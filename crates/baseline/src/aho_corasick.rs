@@ -1,0 +1,188 @@
+//! Aho–Corasick multi-pattern matching.
+//!
+//! The high-performance software counterpart of the FPGA pattern
+//! matchers the paper builds on: one pass over the input, all patterns
+//! simultaneously. Implemented from scratch (goto/fail/output functions
+//! over a byte-labelled trie) — still context-blind, but the right
+//! software baseline for throughput comparisons.
+
+use std::collections::VecDeque;
+
+/// A compiled Aho–Corasick automaton.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// goto function: `next[state][byte]`.
+    next: Vec<[u32; 256]>,
+    /// Output: pattern indices ending at each state.
+    output: Vec<Vec<u32>>,
+    pattern_lens: Vec<usize>,
+}
+
+/// A match: pattern index and exclusive end offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcMatch {
+    /// Index into the pattern list.
+    pub pattern: usize,
+    /// Exclusive end offset.
+    pub end: usize,
+}
+
+impl AhoCorasick {
+    /// Build the automaton from literal patterns. Empty patterns are
+    /// ignored.
+    #[allow(clippy::needless_range_loop)] // b is both byte value and index
+    pub fn new<I, P>(patterns: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[u8]>,
+    {
+        let patterns: Vec<Vec<u8>> = patterns.into_iter().map(|p| p.as_ref().to_vec()).collect();
+        // Trie construction.
+        let mut next: Vec<[u32; 256]> = vec![[u32::MAX; 256]];
+        let mut output: Vec<Vec<u32>> = vec![Vec::new()];
+        for (pi, pat) in patterns.iter().enumerate() {
+            if pat.is_empty() {
+                continue;
+            }
+            let mut state = 0usize;
+            for &b in pat {
+                let slot = next[state][b as usize];
+                state = if slot == u32::MAX {
+                    next.push([u32::MAX; 256]);
+                    output.push(Vec::new());
+                    let new = (next.len() - 1) as u32;
+                    next[state][b as usize] = new;
+                    new as usize
+                } else {
+                    slot as usize
+                };
+            }
+            output[state].push(pi as u32);
+        }
+
+        // BFS to compute fail links, flattening goto into a full DFA.
+        let mut fail = vec![0u32; next.len()];
+        let mut queue = VecDeque::new();
+        for b in 0..256 {
+            let s = next[0][b];
+            if s == u32::MAX {
+                next[0][b] = 0;
+            } else {
+                fail[s as usize] = 0;
+                queue.push_back(s);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let f = fail[s as usize];
+            // Merge outputs from the fail state.
+            let inherited = output[f as usize].clone();
+            output[s as usize].extend(inherited);
+            for b in 0..256 {
+                let t = next[s as usize][b];
+                if t == u32::MAX {
+                    next[s as usize][b] = next[f as usize][b];
+                } else {
+                    fail[t as usize] = next[f as usize][b];
+                    queue.push_back(t);
+                }
+            }
+        }
+
+        AhoCorasick {
+            next,
+            output,
+            pattern_lens: patterns.iter().map(|p| p.len()).collect(),
+        }
+    }
+
+    /// All matches in the input.
+    pub fn find_all(&self, input: &[u8]) -> Vec<AcMatch> {
+        let mut out = Vec::new();
+        let mut state = 0usize;
+        for (i, &b) in input.iter().enumerate() {
+            state = self.next[state][b as usize] as usize;
+            for &pi in &self.output[state] {
+                out.push(AcMatch { pattern: pi as usize, end: i + 1 });
+            }
+        }
+        out
+    }
+
+    /// Does any pattern occur in the input? (Early-exit scan.)
+    pub fn contains_any(&self, input: &[u8]) -> bool {
+        let mut state = 0usize;
+        for &b in input {
+            state = self.next[state][b as usize] as usize;
+            if !self.output[state].is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of automaton states.
+    pub fn state_count(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Length of pattern `i`.
+    pub fn pattern_len(&self, i: usize) -> usize {
+        self.pattern_lens[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveScanner;
+
+    #[test]
+    fn classic_example() {
+        // The textbook {he, she, his, hers} automaton.
+        let ac = AhoCorasick::new(["he", "she", "his", "hers"]);
+        let matches = ac.find_all(b"ushers");
+        let got: Vec<(usize, usize)> = matches.iter().map(|m| (m.pattern, m.end)).collect();
+        // "she" ends at 4, "he" ends at 4, "hers" ends at 6.
+        assert!(got.contains(&(1, 4)));
+        assert!(got.contains(&(0, 4)));
+        assert!(got.contains(&(3, 6)));
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn agrees_with_naive_scanner_on_random_inputs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let pats = ["ab", "ba", "aab", "bbb", "abab"];
+        let ac = AhoCorasick::new(pats);
+        let naive = NaiveScanner::new(pats);
+        for _ in 0..200 {
+            let len = rng.random_range(0..40);
+            let input: Vec<u8> = (0..len).map(|_| *b"ab".choose(&mut rng).unwrap()).collect();
+            let mut a: Vec<(usize, usize)> =
+                ac.find_all(&input).iter().map(|m| (m.pattern, m.end)).collect();
+            let mut n: Vec<(usize, usize)> =
+                naive.scan(&input).iter().map(|h| (h.pattern, h.end)).collect();
+            a.sort_unstable();
+            n.sort_unstable();
+            assert_eq!(a, n, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_and_nested_patterns() {
+        let ac = AhoCorasick::new(["aaa", "aa", "a"]);
+        let matches = ac.find_all(b"aaa");
+        // "a"×3, "aa"×2, "aaa"×1.
+        assert_eq!(matches.len(), 6);
+    }
+
+    #[test]
+    fn contains_any_early_exit() {
+        let ac = AhoCorasick::new(["needle"]);
+        assert!(ac.contains_any(b"hay needle hay"));
+        assert!(!ac.contains_any(b"hay hay hay"));
+        assert_eq!(ac.pattern_len(0), 6);
+        assert!(ac.state_count() > 6);
+    }
+}

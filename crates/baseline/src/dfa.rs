@@ -1,0 +1,275 @@
+//! DFA-compiled scanner — what `lex` actually ships.
+//!
+//! The [`SwLexer`](crate::swlexer::SwLexer) baseline re-runs every
+//! token's NFA at every position (simple, obviously correct, slow). A
+//! production lexer compiles all token patterns into **one** DFA via
+//! subset construction, with accepting states labelled by the
+//! highest-priority token (longest match wins, declaration order breaks
+//! ties). One table lookup per byte — the strongest software baseline
+//! for the throughput comparison, and still context-blind: it inherits
+//! every lexical-ambiguity failure documented in EXPERIMENTS.md.
+
+use crate::swlexer::{LexError, LexedToken};
+use cfg_grammar::{Grammar, TokenId};
+use cfg_regex::ByteSet;
+use std::collections::HashMap;
+
+/// Combined-NFA state: (token index, position index) or a start marker.
+type NfaState = (u16, u16);
+
+/// A scanner DFA over all tokens of a grammar.
+#[derive(Debug, Clone)]
+pub struct DfaLexer {
+    /// `trans[state * 256 + byte]` = next state or `DEAD`.
+    trans: Vec<u32>,
+    /// Accepting token per state (`u32::MAX` = none).
+    accept: Vec<u32>,
+    delim: ByteSet,
+    states: usize,
+}
+
+const DEAD: u32 = u32::MAX;
+
+impl DfaLexer {
+    /// Compile the scanner DFA by Glushkov determinization over the
+    /// union of the grammar's token automata: a DFA state is the set of
+    /// NFA positions that **fired on the last byte**; the transition on
+    /// byte `b` fires the successors whose class contains `b`. State 0
+    /// is the virtual start (no position fired yet), whose successors
+    /// are the `first` positions.
+    pub fn new(g: &Grammar) -> DfaLexer {
+        let toks = g.tokens();
+        let class_of = |s: NfaState| -> ByteSet {
+            toks[s.0 as usize].pattern.template().positions[s.1 as usize]
+        };
+        let accept_of = |set: &[NfaState]| -> u32 {
+            // Lowest token index among accepting members = declaration
+            // priority (matches SwLexer's tie break after longest match).
+            set.iter()
+                .filter(|s| {
+                    toks[s.0 as usize]
+                        .pattern
+                        .template()
+                        .last
+                        .contains(&(s.1 as usize))
+                })
+                .map(|s| s.0 as u32)
+                .min()
+                .unwrap_or(DEAD)
+        };
+        // Successors of a state member (candidates for the next byte).
+        let successors = |s: Option<NfaState>| -> Vec<NfaState> {
+            match s {
+                None => {
+                    // Virtual start: every token's first positions.
+                    let mut v = Vec::new();
+                    for (t, tok) in toks.iter().enumerate() {
+                        for &p in &tok.pattern.template().first {
+                            v.push((t as u16, p as u16));
+                        }
+                    }
+                    v
+                }
+                Some(s) => toks[s.0 as usize].pattern.template().follow[s.1 as usize]
+                    .iter()
+                    .map(|&q| (s.0, q as u16))
+                    .collect(),
+            }
+        };
+
+        // State 0 = virtual start (empty fired set).
+        let mut states: Vec<Vec<NfaState>> = vec![Vec::new()];
+        let mut index: HashMap<Vec<NfaState>, u32> = HashMap::new();
+        index.insert(Vec::new(), 0);
+        let mut trans: Vec<u32> = Vec::new();
+        let mut accept: Vec<u32> = Vec::new();
+
+        let mut cursor = 0usize;
+        while cursor < states.len() {
+            let current = states[cursor].clone();
+            accept.push(accept_of(&current));
+            let base = trans.len();
+            trans.resize(base + 256, DEAD);
+
+            // Candidate positions for the next byte.
+            let mut candidates: Vec<NfaState> = if cursor == 0 {
+                successors(None)
+            } else {
+                current.iter().flat_map(|&s| successors(Some(s))).collect()
+            };
+            candidates.sort_unstable();
+            candidates.dedup();
+
+            // 256 probes per state keeps this simple; construction is
+            // offline.
+            for byte in 0..=255u8 {
+                let mut next: Vec<NfaState> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&s| class_of(s).contains(byte))
+                    .collect();
+                if next.is_empty() {
+                    continue;
+                }
+                next.sort_unstable();
+                let id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = states.len() as u32;
+                        index.insert(next.clone(), id);
+                        states.push(next);
+                        id
+                    }
+                };
+                trans[base + byte as usize] = id;
+            }
+            cursor += 1;
+        }
+
+        DfaLexer { trans, accept, delim: g.delimiters(), states: states.len() }
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> usize {
+        self.states
+    }
+
+    /// Longest match starting exactly at `start`; returns `(length,
+    /// token)`.
+    pub fn longest_match_at(&self, input: &[u8], start: usize) -> Option<(usize, TokenId)> {
+        let mut state = 0u32;
+        let mut best: Option<(usize, TokenId)> = None;
+        for (off, &b) in input[start..].iter().enumerate() {
+            state = self.trans[state as usize * 256 + b as usize];
+            if state == DEAD {
+                break;
+            }
+            let acc = self.accept[state as usize];
+            if acc != DEAD {
+                best = Some((off + 1, TokenId(acc)));
+            }
+        }
+        best
+    }
+
+    /// Tokenize the whole input (maximal munch, delimiters skipped) —
+    /// same contract as [`SwLexer::tokenize`](crate::swlexer::SwLexer::tokenize).
+    pub fn tokenize(&self, input: &[u8]) -> Result<Vec<LexedToken>, LexError> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < input.len() {
+            if self.delim.contains(input[i]) {
+                i += 1;
+                continue;
+            }
+            match self.longest_match_at(input, i) {
+                Some((len, token)) => {
+                    out.push(LexedToken { token, start: i, end: i + len });
+                    i += len;
+                }
+                None => return Err(LexError { offset: i }),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swlexer::SwLexer;
+    use cfg_grammar::builtin;
+
+    #[test]
+    fn agrees_with_nfa_lexer_on_builtins() {
+        for g in [builtin::if_then_else(), builtin::arithmetic(), builtin::key_value()] {
+            let dfa = DfaLexer::new(&g);
+            let nfa = SwLexer::new(&g);
+            let inputs: [&[u8]; 4] = [
+                b"if true then go else stop",
+                b"1 + 2 * ( x - 3 )",
+                b"key = value.1 ;",
+                b"###",
+            ];
+            for input in inputs {
+                assert_eq!(
+                    dfa.tokenize(input),
+                    nfa.tokenize(input),
+                    "input {:?}",
+                    String::from_utf8_lossy(input)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_nfa_lexer_on_random_inputs() {
+        use rand::prelude::*;
+        let g = builtin::arithmetic();
+        let dfa = DfaLexer::new(&g);
+        let nfa = SwLexer::new(&g);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let len = rng.random_range(0..24);
+            let input: Vec<u8> =
+                (0..len).map(|_| *b"abc123+-*/() ".choose(&mut rng).unwrap()).collect();
+            assert_eq!(
+                dfa.tokenize(&input),
+                nfa.tokenize(&input),
+                "input {:?}",
+                String::from_utf8_lossy(&input)
+            );
+        }
+    }
+
+    #[test]
+    fn longest_match_and_priority() {
+        let g = cfg_grammar::Grammar::parse(
+            r#"
+            ID [a-z]+
+            %%
+            s: "if" ID;
+            %%
+            "#,
+        )
+        .unwrap();
+        let dfa = DfaLexer::new(&g);
+        // Longest: "iffy" is one ID.
+        let (len, tok) = dfa.longest_match_at(b"iffy", 0).unwrap();
+        assert_eq!(len, 4);
+        assert_eq!(g.token_name(tok), "ID");
+        // Tie at equal length: declaration order (ID first).
+        let (len, tok) = dfa.longest_match_at(b"if", 0).unwrap();
+        assert_eq!(len, 2);
+        assert_eq!(g.token_name(tok), "ID");
+    }
+
+    #[test]
+    fn state_count_reasonable() {
+        let g = builtin::if_then_else();
+        let dfa = DfaLexer::new(&g);
+        // Seven short keywords share prefixes; the DFA must be compact.
+        assert!(dfa.state_count() < 40, "{} states", dfa.state_count());
+        assert!(dfa.state_count() > 10);
+    }
+
+    #[test]
+    fn xmlrpc_scale_construction() {
+        // The full XML-RPC token set compiles to a finite, modest DFA.
+        let g = cfg_grammar::Grammar::parse(
+            r#"
+            STRING [a-zA-Z0-9]+
+            INT    [+-]?[0-9]+
+            DOUBLE [+-]?[0-9]+\.[0-9]+
+            %%
+            s: "<i4>" INT "</i4>" STRING DOUBLE;
+            %%
+            "#,
+        )
+        .unwrap();
+        let dfa = DfaLexer::new(&g);
+        assert!(dfa.state_count() < 200);
+        let toks = dfa.tokenize(b"<i4> -42 </i4> abc 3.14").unwrap();
+        assert_eq!(toks.len(), 5);
+    }
+}

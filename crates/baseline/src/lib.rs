@@ -1,0 +1,37 @@
+//! # cfg-baseline — the systems the paper compares against
+//!
+//! The paper's introduction motivates the token tagger by the weakness
+//! of context-free deep-packet-inspection engines ("the naive pattern
+//! searches used in these implementations do not consider the context of
+//! the text … they are susceptible to false positive identifications")
+//! and §3.1 contrasts the direct-to-logic mapping with "the traditional
+//! table look-up or recursive descent methods used in most CFG parsers".
+//! This crate implements those comparators in software:
+//!
+//! * [`naive`] — a multi-literal substring scanner: the DPI baseline
+//!   whose false positives the evaluation quantifies.
+//! * [`aho_corasick`] — a proper Aho–Corasick automaton, the fast
+//!   software multi-pattern matcher used for throughput comparisons.
+//! * [`swlexer`] — a software maximal-munch lexer over the grammar's
+//!   token list (context-free tokenization, like running Lex alone).
+//! * [`dfa`] — the same lexer compiled to a single scanner DFA by
+//!   subset construction (what `lex` really generates) — the strongest
+//!   software tokenization baseline.
+//! * [`ll1`] — a table-driven LL(1) parser (the "true parser"): rejects
+//!   non-conforming input and tags tokens with their grammatical role,
+//!   at software speeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aho_corasick;
+pub mod dfa;
+pub mod ll1;
+pub mod naive;
+pub mod swlexer;
+
+pub use aho_corasick::AhoCorasick;
+pub use dfa::DfaLexer;
+pub use ll1::{Ll1Parser, Ll1Error, ParsedToken};
+pub use naive::NaiveScanner;
+pub use swlexer::{LexedToken, SwLexer};

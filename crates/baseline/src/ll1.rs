@@ -1,0 +1,326 @@
+//! Table-driven LL(1) parser — the "true parser" baseline.
+//!
+//! §3.1 of the paper contrasts its direct-to-logic mapping with "the
+//! traditional table look-up … methods used in most CFG parsers". This
+//! module implements that tradition: a predictive parse table built from
+//! the same FIRST/FOLLOW sets (Figure 8), driven over the token stream
+//! of the software lexer. Unlike the hardware tagger it maintains the
+//! full derivation (the collapsed stack of Figure 2), so it **rejects**
+//! non-conforming input instead of accepting a superset — tests use it
+//! to cross-check the tagger on conforming inputs, and the benches use
+//! it as the software-parsing speed reference.
+
+use crate::swlexer::{LexError, SwLexer};
+use cfg_grammar::{Analysis, Grammar, NtId, Symbol, TokenId};
+use std::fmt;
+
+/// A token accepted by the parser, with the production that predicted
+/// it (its grammatical context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedToken {
+    /// The terminal.
+    pub token: TokenId,
+    /// Inclusive start offset.
+    pub start: usize,
+    /// Exclusive end offset.
+    pub end: usize,
+    /// Index of the production whose expansion consumed this terminal.
+    pub production: usize,
+    /// Position of the terminal within that production's rhs.
+    pub position: usize,
+}
+
+/// Parser construction / parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ll1Error {
+    /// The grammar is not LL(1): two productions compete for a cell.
+    Conflict {
+        /// Nonterminal name.
+        nonterminal: String,
+        /// Lookahead token name ("$" for end of input).
+        lookahead: String,
+    },
+    /// Lexing failed.
+    Lex(LexError),
+    /// A token that no prediction allows.
+    UnexpectedToken {
+        /// Byte offset of the offending token.
+        offset: usize,
+        /// Its name.
+        token: String,
+    },
+    /// Input ended while symbols were still expected.
+    UnexpectedEof,
+    /// Tokens remain after the start symbol was fully derived.
+    TrailingInput {
+        /// Byte offset of the first extra token.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for Ll1Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ll1Error::Conflict { nonterminal, lookahead } => {
+                write!(f, "grammar is not LL(1): conflict at ({nonterminal}, {lookahead})")
+            }
+            Ll1Error::Lex(e) => write!(f, "lex error: {e}"),
+            Ll1Error::UnexpectedToken { offset, token } => {
+                write!(f, "unexpected token {token} at offset {offset}")
+            }
+            Ll1Error::UnexpectedEof => write!(f, "unexpected end of input"),
+            Ll1Error::TrailingInput { offset } => {
+                write!(f, "trailing input at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Ll1Error {}
+
+impl From<LexError> for Ll1Error {
+    fn from(e: LexError) -> Self {
+        Ll1Error::Lex(e)
+    }
+}
+
+/// A compiled LL(1) parser (lexer + parse table).
+#[derive(Debug, Clone)]
+pub struct Ll1Parser {
+    grammar: Grammar,
+    lexer: SwLexer,
+    /// `table[nt][token]` = production index; last column is EOF.
+    table: Vec<Vec<Option<u32>>>,
+}
+
+impl Ll1Parser {
+    /// Build the predictive parse table. Fails if the grammar is not
+    /// LL(1).
+    pub fn new(g: &Grammar) -> Result<Ll1Parser, Ll1Error> {
+        let analysis = g.analyze();
+        let nt_count = g.nonterminals().len();
+        let t_count = g.tokens().len();
+        let eof = t_count; // last column
+        let mut table: Vec<Vec<Option<u32>>> = vec![vec![None; t_count + 1]; nt_count];
+
+        let set_cell = |nt: NtId, col: usize, prod: usize, g: &Grammar,
+                            table: &mut Vec<Vec<Option<u32>>>|
+         -> Result<(), Ll1Error> {
+            let cell = &mut table[nt.index()][col];
+            match cell {
+                Some(existing) if *existing as usize != prod => Err(Ll1Error::Conflict {
+                    nonterminal: g.nt_name(nt).to_owned(),
+                    lookahead: if col == g.tokens().len() {
+                        "$".to_owned()
+                    } else {
+                        g.token_name(TokenId(col as u32)).to_owned()
+                    },
+                }),
+                _ => {
+                    *cell = Some(prod as u32);
+                    Ok(())
+                }
+            }
+        };
+
+        for (pi, p) in g.productions().iter().enumerate() {
+            let (first, nullable) = first_of_seq(&p.rhs, &analysis);
+            for t in first.iter() {
+                set_cell(p.lhs, t.index(), pi, g, &mut table)?;
+            }
+            if nullable {
+                for t in analysis.follow_nt[p.lhs.index()].iter() {
+                    set_cell(p.lhs, t.index(), pi, g, &mut table)?;
+                }
+                if analysis.nt_can_end[p.lhs.index()] {
+                    set_cell(p.lhs, eof, pi, g, &mut table)?;
+                }
+            }
+        }
+
+        Ok(Ll1Parser { grammar: g.clone(), lexer: SwLexer::new(g), table })
+    }
+
+    /// The grammar.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// Parse a byte input: lex, then drive the table. Returns the
+    /// accepted tokens with their predicting productions.
+    pub fn parse(&self, input: &[u8]) -> Result<Vec<ParsedToken>, Ll1Error> {
+        let tokens = self.lexer.tokenize(input)?;
+        let eof_col = self.grammar.tokens().len();
+
+        // Stack of (symbol, production, position); bottom is the start.
+        let mut stack: Vec<(Symbol, usize, usize)> =
+            vec![(Symbol::Nt(self.grammar.start()), usize::MAX, 0)];
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+
+        while let Some((sym, prod, pos)) = stack.pop() {
+            match sym {
+                Symbol::T(expected) => match tokens.get(cursor) {
+                    Some(lt) if lt.token == expected => {
+                        out.push(ParsedToken {
+                            token: lt.token,
+                            start: lt.start,
+                            end: lt.end,
+                            production: prod,
+                            position: pos,
+                        });
+                        cursor += 1;
+                    }
+                    Some(lt) => {
+                        return Err(Ll1Error::UnexpectedToken {
+                            offset: lt.start,
+                            token: self.grammar.token_name(lt.token).to_owned(),
+                        })
+                    }
+                    None => return Err(Ll1Error::UnexpectedEof),
+                },
+                Symbol::Nt(nt) => {
+                    let col = match tokens.get(cursor) {
+                        Some(lt) => lt.token.index(),
+                        None => eof_col,
+                    };
+                    let Some(pi) = self.table[nt.index()][col] else {
+                        return match tokens.get(cursor) {
+                            Some(lt) => Err(Ll1Error::UnexpectedToken {
+                                offset: lt.start,
+                                token: self.grammar.token_name(lt.token).to_owned(),
+                            }),
+                            None => Err(Ll1Error::UnexpectedEof),
+                        };
+                    };
+                    let p = &self.grammar.productions()[pi as usize];
+                    for (i, s) in p.rhs.iter().enumerate().rev() {
+                        stack.push((*s, pi as usize, i));
+                    }
+                }
+            }
+        }
+
+        match tokens.get(cursor) {
+            Some(lt) => Err(Ll1Error::TrailingInput { offset: lt.start }),
+            None => Ok(out),
+        }
+    }
+
+    /// Accept/reject only.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        self.parse(input).is_ok()
+    }
+}
+
+/// FIRST set and nullability of a symbol sequence.
+fn first_of_seq(rhs: &[Symbol], a: &Analysis) -> (cfg_grammar::TokenSet, bool) {
+    let width = a.follow_t.len();
+    let mut first = cfg_grammar::TokenSet::new(width);
+    for s in rhs {
+        match s {
+            Symbol::T(t) => {
+                first.insert(*t);
+                return (first, false);
+            }
+            Symbol::Nt(n) => {
+                first.union_with(&a.first[n.index()]);
+                if !a.nullable[n.index()] {
+                    return (first, false);
+                }
+            }
+        }
+    }
+    (first, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfg_grammar::builtin;
+
+    #[test]
+    fn accepts_and_rejects_if_then_else() {
+        let p = Ll1Parser::new(&builtin::if_then_else()).unwrap();
+        assert!(p.accepts(b"go"));
+        assert!(p.accepts(b"if true then go else stop"));
+        assert!(p.accepts(b"if false then if true then go else go else stop"));
+        assert!(!p.accepts(b"if true then go")); // missing else
+        assert!(!p.accepts(b"then go"));
+        assert!(!p.accepts(b"go go")); // trailing input
+        assert!(!p.accepts(b""));
+    }
+
+    #[test]
+    fn parses_arithmetic() {
+        let p = Ll1Parser::new(&builtin::arithmetic()).unwrap();
+        assert!(p.accepts(b"1 + 2 * ( x - 3 )"));
+        assert!(p.accepts(b"42"));
+        assert!(!p.accepts(b"1 +"));
+        assert!(!p.accepts(b"( 1"));
+    }
+
+    #[test]
+    fn parsed_tokens_carry_production_context() {
+        let g = builtin::if_then_else();
+        let p = Ll1Parser::new(&g).unwrap();
+        let toks = p.parse(b"if true then go else stop").unwrap();
+        assert_eq!(toks.len(), 6);
+        // "if" is position 0 of production 0 (E's first alternative).
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[0].production, 0);
+        // "true" comes from C's first alternative.
+        let true_tok = &toks[1];
+        assert_eq!(g.nt_name(g.productions()[true_tok.production].lhs), "C");
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens_unlike_the_tagger() {
+        // The stackless tagger accepts this superset sentence; the true
+        // parser does not (Figure 2's distinction).
+        let p = Ll1Parser::new(&builtin::balanced_parens()).unwrap();
+        assert!(p.accepts(b"( ( 0 ) )"));
+        assert!(!p.accepts(b"( 0 ) )"));
+        assert!(!p.accepts(b"( ( 0 )"));
+    }
+
+    #[test]
+    fn non_ll1_grammar_detected() {
+        // Classic left-recursion is not LL(1).
+        let g = cfg_grammar::Grammar::parse(
+            r#"
+            %%
+            e: e "+" "n" | "n";
+            %%
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(Ll1Parser::new(&g), Err(Ll1Error::Conflict { .. })));
+    }
+
+    #[test]
+    fn error_variants_render() {
+        let p = Ll1Parser::new(&builtin::if_then_else()).unwrap();
+        let e = p.parse(b"go go").unwrap_err();
+        assert!(e.to_string().contains("trailing"));
+        let e = p.parse(b"###").unwrap_err();
+        assert!(matches!(e, Ll1Error::Lex(_)));
+    }
+
+    #[test]
+    fn epsilon_productions_via_follow() {
+        let g = cfg_grammar::Grammar::parse(
+            r#"
+            %%
+            list: "<l>" items "</l>";
+            items: | "<i>" items;
+            %%
+            "#,
+        )
+        .unwrap();
+        let p = Ll1Parser::new(&g).unwrap();
+        assert!(p.accepts(b"<l></l>"));
+        assert!(p.accepts(b"<l><i><i></l>"));
+        assert!(!p.accepts(b"<l><i>"));
+    }
+}

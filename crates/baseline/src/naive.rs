@@ -1,0 +1,103 @@
+//! Naive multi-literal scanner — the context-free DPI baseline.
+//!
+//! Scans the stream for every pattern at every alignment, exactly like
+//! the deep-packet-inspection engines of the paper's introduction. It is
+//! *correct* as a string matcher but *context-blind*: a service name
+//! inside a string value matches just as well as one inside
+//! `<methodName>` — the false positives the token tagger eliminates.
+
+/// A naive multi-pattern substring scanner.
+#[derive(Debug, Clone)]
+pub struct NaiveScanner {
+    patterns: Vec<Vec<u8>>,
+}
+
+/// A hit: pattern index and the match's end offset (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// Index into the pattern list.
+    pub pattern: usize,
+    /// Exclusive end offset.
+    pub end: usize,
+}
+
+impl NaiveScanner {
+    /// Build a scanner over the given literal patterns.
+    pub fn new<I, P>(patterns: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[u8]>,
+    {
+        NaiveScanner {
+            patterns: patterns.into_iter().map(|p| p.as_ref().to_vec()).collect(),
+        }
+    }
+
+    /// The pattern list.
+    pub fn patterns(&self) -> &[Vec<u8>] {
+        &self.patterns
+    }
+
+    /// Scan the input; every occurrence of every pattern is a hit.
+    pub fn scan(&self, input: &[u8]) -> Vec<Hit> {
+        let mut hits = Vec::new();
+        for (end, _) in input.iter().enumerate().map(|(i, b)| (i + 1, b)) {
+            for (pi, pat) in self.patterns.iter().enumerate() {
+                if pat.is_empty() || end < pat.len() {
+                    continue;
+                }
+                if &input[end - pat.len()..end] == pat.as_slice() {
+                    hits.push(Hit { pattern: pi, end });
+                }
+            }
+        }
+        hits
+    }
+
+    /// Does any pattern occur anywhere in the input?
+    pub fn contains_any(&self, input: &[u8]) -> bool {
+        self.patterns
+            .iter()
+            .any(|p| !p.is_empty() && input.windows(p.len()).any(|w| w == p.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_all_occurrences() {
+        let s = NaiveScanner::new([b"ab".as_slice(), b"b"]);
+        let hits = s.scan(b"abab");
+        assert_eq!(
+            hits,
+            vec![
+                Hit { pattern: 0, end: 2 },
+                Hit { pattern: 1, end: 2 },
+                Hit { pattern: 0, end: 4 },
+                Hit { pattern: 1, end: 4 },
+            ]
+        );
+        assert!(s.contains_any(b"xxabxx"));
+        assert!(!s.contains_any(b"xxx"));
+    }
+
+    #[test]
+    fn context_blindness_demonstrated() {
+        // "deposit" inside a data value still matches — the false
+        // positive the paper's tagger avoids.
+        let s = NaiveScanner::new([b"deposit".as_slice()]);
+        let legit = b"<methodName>deposit</methodName>";
+        let trap = b"<string>please deposit my paycheck</string>";
+        assert!(s.contains_any(legit));
+        assert!(s.contains_any(trap)); // false positive!
+    }
+
+    #[test]
+    fn empty_patterns_never_hit() {
+        let s = NaiveScanner::new([b"".as_slice()]);
+        assert!(s.scan(b"abc").is_empty());
+        assert!(!s.contains_any(b"abc"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Software maximal-munch lexer — "running Lex alone".
+//!
+//! Tokenizes with the grammar's token list but **without** any
+//! syntactic context: at each position it tries every token's NFA and
+//! takes the longest match (ties broken by declaration order, as Lex
+//! does). This is both a throughput baseline and the front end of the
+//! LL(1) parser baseline.
+
+use cfg_grammar::{Grammar, TokenId};
+use cfg_regex::{MatchSemantics, Nfa};
+
+/// One lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LexedToken {
+    /// Which token matched.
+    pub token: TokenId,
+    /// Inclusive start offset.
+    pub start: usize,
+    /// Exclusive end offset.
+    pub end: usize,
+}
+
+/// A compiled lexer over a grammar's token list.
+#[derive(Debug, Clone)]
+pub struct SwLexer {
+    nfas: Vec<Nfa>,
+    delim: cfg_regex::ByteSet,
+}
+
+/// Lexing failure: no token matches at the given offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LexError {
+    /// Offset of the unmatchable byte.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no token matches at offset {}", self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+impl SwLexer {
+    /// Compile the lexer from a grammar's token list.
+    pub fn new(g: &Grammar) -> SwLexer {
+        SwLexer {
+            nfas: g.tokens().iter().map(|t| t.pattern.nfa().clone()).collect(),
+            delim: g.delimiters(),
+        }
+    }
+
+    /// Tokenize the whole input. Delimiter bytes between tokens are
+    /// skipped; anything else that no token matches is an error.
+    pub fn tokenize(&self, input: &[u8]) -> Result<Vec<LexedToken>, LexError> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < input.len() {
+            if self.delim.contains(input[i]) {
+                i += 1;
+                continue;
+            }
+            let mut best: Option<(usize, usize)> = None; // (len, token)
+            for (t, nfa) in self.nfas.iter().enumerate() {
+                if let Some(len) = nfa.find_longest_at(input, i, MatchSemantics::GlobalLongest)
+                {
+                    let better = match best {
+                        None => true,
+                        // Longest match wins; earlier declaration on ties.
+                        Some((blen, btok)) => len > blen || (len == blen && t < btok),
+                    };
+                    if better && len > 0 {
+                        best = Some((len, t));
+                    }
+                }
+            }
+            match best {
+                Some((len, t)) => {
+                    out.push(LexedToken { token: TokenId(t as u32), start: i, end: i + len });
+                    i += len;
+                }
+                None => return Err(LexError { offset: i }),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfg_grammar::builtin;
+
+    #[test]
+    fn lexes_if_then_else() {
+        let g = builtin::if_then_else();
+        let lx = SwLexer::new(&g);
+        let toks = lx.tokenize(b"if true then go else stop").unwrap();
+        let names: Vec<&str> = toks.iter().map(|t| g.token_name(t.token)).collect();
+        assert_eq!(names, ["if", "true", "then", "go", "else", "stop"]);
+    }
+
+    #[test]
+    fn maximal_munch_prefers_longest() {
+        let g = Grammar::parse(
+            r#"
+            ID [a-z]+
+            %%
+            s: "i" ID "if";
+            %%
+            "#,
+        )
+        .unwrap();
+        let lx = SwLexer::new(&g);
+        // "iffy" must lex as one ID (4), not "if" + ID.
+        let toks = lx.tokenize(b"iffy").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(g.token_name(toks[0].token), "ID");
+        // Exactly "if" ties between "if" literal and ID: declaration
+        // order decides — literals appear after named tokens here, so
+        // ID wins only if declared first.
+        let toks = lx.tokenize(b"if").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(g.token_name(toks[0].token), "ID");
+    }
+
+    #[test]
+    fn lex_error_reports_offset() {
+        let g = builtin::if_then_else();
+        let lx = SwLexer::new(&g);
+        let err = lx.tokenize(b"go ###").unwrap_err();
+        assert_eq!(err.offset, 3);
+        assert!(err.to_string().contains("offset 3"));
+    }
+
+    #[test]
+    fn skips_delimiter_runs() {
+        let g = builtin::if_then_else();
+        let lx = SwLexer::new(&g);
+        let toks = lx.tokenize(b"   go \t\n stop  ").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].start, 3);
+        assert_eq!(toks[0].end, 5);
+    }
+
+    #[test]
+    fn lexer_is_context_blind() {
+        // The lexer happily tokenizes sequences the grammar forbids —
+        // unlike the tagger, it has no FOLLOW wiring.
+        let g = builtin::if_then_else();
+        let lx = SwLexer::new(&g);
+        let toks = lx.tokenize(b"then then then").unwrap();
+        assert_eq!(toks.len(), 3);
+    }
+
+    use cfg_grammar::Grammar;
+}

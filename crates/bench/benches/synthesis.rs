@@ -1,0 +1,32 @@
+//! Generator pipeline cost: grammar analysis, circuit generation and
+//! LUT mapping time as the grammar scales (the software counterpart of
+//! the paper's synthesis/place-and-route flow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cfg_bench::scaled_xmlrpc;
+use cfg_hwgen::{generate, GeneratorOptions};
+use cfg_netlist::MappedNetlist;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for factor in [1usize, 4] {
+        let g = scaled_xmlrpc(factor);
+        group.bench_with_input(BenchmarkId::new("first_follow", factor), &g, |b, g| {
+            b.iter(|| black_box(g.analyze()))
+        });
+        group.bench_with_input(BenchmarkId::new("generate", factor), &g, |b, g| {
+            b.iter(|| black_box(generate(g, &GeneratorOptions::default()).unwrap()))
+        });
+        let hw = generate(&g, &GeneratorOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("lut_map", factor), &hw.netlist, |b, nl| {
+            b.iter(|| black_box(MappedNetlist::map(nl).lut_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

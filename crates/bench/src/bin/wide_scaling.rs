@@ -1,0 +1,69 @@
+//! Supplementary experiment: **wide datapath scaling** (§5.2).
+//!
+//! "Other improvements in speed can be gained by scaling the design to
+//! process 32-bits or 64-bits per clock cycle." The paper proposes this
+//! as future work; here we build the W-byte designs and measure the
+//! trade: per-cycle logic ripples across W lanes, so depth grows and the
+//! clock slows, but W bytes arrive per cycle — net bandwidth =
+//! W × 8 × freq.
+//!
+//! Run: `cargo run -p cfg-bench --bin wide_scaling --release`
+
+use cfg_fpga::Device;
+use cfg_grammar::transform::duplicate_multi_context_tokens;
+use cfg_hwgen::{generate, generate_wide, GeneratorOptions, StartMode};
+use cfg_netlist::MappedNetlist;
+use cfg_xmlrpc::xmlrpc_grammar;
+
+fn main() {
+    let g = duplicate_multi_context_tokens(&xmlrpc_grammar());
+    let device = Device::virtex4_lx200();
+
+    println!("wide datapath scaling (XML-RPC grammar, Virtex-4 model)");
+    println!(
+        "{:>6}{:>10}{:>10}{:>8}{:>12}{:>14}{:>12}",
+        "W", "LUTs", "regs", "depth", "freq (MHz)", "BW (Gbps)", "BW/W=1"
+    );
+
+    // W = 1 reference: the byte-serial design without an encoder (the
+    // wide designs have none either, so the areas compare fairly).
+    let base = generate(
+        &g,
+        &GeneratorOptions {
+            encoder: cfg_hwgen::generate::EncoderKind::None,
+            ..Default::default()
+        },
+    )
+    .expect("generates");
+    let mapped = MappedNetlist::map(&base.netlist);
+    let stats = mapped.stats();
+    let t = device.analyze(&mapped);
+    let bw1 = t.freq_mhz * 8.0 / 1000.0;
+    println!(
+        "{:>6}{:>10}{:>10}{:>8}{:>12.0}{:>14.2}{:>12.2}",
+        1, stats.luts, stats.regs, stats.depth, t.freq_mhz, bw1, 1.0
+    );
+
+    for w in [2usize, 4, 8] {
+        let hw = generate_wide(&g, w, StartMode::AtStart).expect("generates");
+        let mapped = MappedNetlist::map(&hw.netlist);
+        let stats = mapped.stats();
+        let t = device.analyze(&mapped);
+        let bw = (w as f64) * t.freq_mhz * 8.0 / 1000.0;
+        println!(
+            "{:>6}{:>10}{:>10}{:>8}{:>12.0}{:>14.2}{:>12.2}",
+            w,
+            stats.luts,
+            stats.regs,
+            stats.depth,
+            t.freq_mhz,
+            bw,
+            bw / bw1
+        );
+    }
+    println!();
+    println!(
+        "shape check: bandwidth grows with W while frequency falls \
+         (the in-cycle lane ripple deepens the logic)."
+    );
+}

@@ -1,0 +1,385 @@
+//! # cfg-cli — the `cfgtag` command
+//!
+//! A thin, dependency-free command-line front end over the workspace:
+//!
+//! ```text
+//! cfgtag check  <grammar.y>                 grammar diagnostics + FOLLOW table
+//! cfgtag tag    <grammar.y> [input] [opts]  tag a byte stream
+//! cfgtag parse  <grammar.y> [input]         exact (stack-augmented) parse
+//! cfgtag vhdl   <grammar.y> [entity]        emit the generated VHDL
+//! cfgtag dot    <grammar.y>                 emit the circuit as Graphviz
+//! cfgtag report <grammar.y> [--scale N]     LUT/timing report on both devices
+//! ```
+//!
+//! Options for `tag`: `--gate` (simulate the circuit instead of the fast
+//! engine), `--always` (scan at every alignment), `--recover` (§5.2
+//! error recovery), `--no-context` (skip token duplication).
+//!
+//! All commands are plain functions over in-memory inputs so they are
+//! unit-testable without process spawning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cfg_fpga::Device;
+use cfg_grammar::Grammar;
+use cfg_hwgen::vhdl::emit_vhdl;
+use cfg_netlist::MappedNetlist;
+use cfg_tagger::{PdaParser, StartMode, TaggerOptions, TokenTagger};
+use std::fmt::Write as _;
+
+/// CLI errors (message + suggested exit code).
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>, code: i32) -> CliError {
+        CliError { message: message.into(), code }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed `tag` options.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TagFlags {
+    /// Use the gate-level engine.
+    pub gate: bool,
+    /// Scan at every byte alignment.
+    pub always: bool,
+    /// Enable §5.2 error recovery.
+    pub recover: bool,
+    /// Skip §3.2 context duplication.
+    pub no_context: bool,
+}
+
+impl TagFlags {
+    /// Parse from raw flag strings.
+    pub fn parse(args: &[String]) -> Result<TagFlags, CliError> {
+        let mut f = TagFlags::default();
+        for a in args {
+            match a.as_str() {
+                "--gate" => f.gate = true,
+                "--always" => f.always = true,
+                "--recover" => f.recover = true,
+                "--no-context" => f.no_context = true,
+                other => {
+                    return Err(CliError::new(format!("unknown flag {other}"), 2));
+                }
+            }
+        }
+        Ok(f)
+    }
+
+    fn options(self) -> TaggerOptions {
+        TaggerOptions {
+            start_mode: if self.always { StartMode::Always } else { StartMode::AtStart },
+            duplicate_contexts: !self.no_context,
+            error_recovery: self.recover,
+            ..Default::default()
+        }
+    }
+}
+
+fn load_grammar(text: &str) -> Result<Grammar, CliError> {
+    Grammar::parse(text).map_err(|e| CliError::new(format!("grammar error: {e}"), 1))
+}
+
+/// `cfgtag check`: summary, warnings and the FOLLOW table.
+pub fn cmd_check(grammar_text: &str) -> Result<String, CliError> {
+    let g = load_grammar(grammar_text)?;
+    let a = g.analyze();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "grammar ok: {} tokens, {} nonterminals, {} productions, {} pattern bytes",
+        g.tokens().len(),
+        g.nonterminals().len(),
+        g.productions().len(),
+        g.pattern_bytes()
+    );
+    let start: Vec<&str> = a.start_set.iter().map(|t| g.token_name(t)).collect();
+    let _ = writeln!(out, "start set: {{{}}}", start.join(", "));
+
+    for l in cfg_grammar::lint(&g) {
+        let _ = writeln!(out, "{l}");
+    }
+    out.push('\n');
+    out.push_str(&a.follow_table(&g));
+    Ok(out)
+}
+
+/// `cfgtag tag`: tag an input and render the events.
+pub fn cmd_tag(grammar_text: &str, input: &[u8], flags: TagFlags) -> Result<String, CliError> {
+    let g = load_grammar(grammar_text)?;
+    let tagger = TokenTagger::compile(&g, flags.options())
+        .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
+    let events = if flags.gate {
+        tagger
+            .tag_gate(input)
+            .map_err(|e| CliError::new(format!("simulation error: {e}"), 1))?
+    } else {
+        tagger.tag_fast(input)
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<20} {:>6} {:>6}  lexeme / context", "token", "start", "end");
+    for ev in &events {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} {:>6}  {:?}  {}",
+            tagger.token_name(ev.token),
+            ev.start,
+            ev.end,
+            String::from_utf8_lossy(ev.lexeme(input)),
+            tagger.context(ev.token).map(|c| c.to_string()).unwrap_or_default(),
+        );
+    }
+    let _ = writeln!(out, "{} events", events.len());
+    Ok(out)
+}
+
+/// `cfgtag parse`: exact stack-augmented parse.
+pub fn cmd_parse(grammar_text: &str, input: &[u8]) -> Result<String, CliError> {
+    let g = load_grammar(grammar_text)?;
+    let pda = PdaParser::new(&g);
+    let r = pda.parse(input);
+    let mut out = String::new();
+    if r.accepted {
+        let _ = writeln!(out, "ACCEPT ({} tokens)", r.events.len());
+        for ev in &r.events {
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>6}..{:<6} {:?}",
+                g.token_name(ev.token),
+                ev.start,
+                ev.end,
+                String::from_utf8_lossy(ev.lexeme(input))
+            );
+        }
+        Ok(out)
+    } else {
+        let _ = writeln!(out, "REJECT");
+        Ok(out)
+    }
+}
+
+/// `cfgtag vhdl`: emit the generated circuit as VHDL.
+pub fn cmd_vhdl(grammar_text: &str, entity: &str) -> Result<String, CliError> {
+    let g = load_grammar(grammar_text)?;
+    let tagger = TokenTagger::compile(&g, TaggerOptions::default())
+        .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
+    Ok(emit_vhdl(&tagger.hardware().netlist, entity))
+}
+
+/// `cfgtag dot`: emit the circuit as Graphviz.
+pub fn cmd_dot(grammar_text: &str) -> Result<String, CliError> {
+    let g = load_grammar(grammar_text)?;
+    let tagger = TokenTagger::compile(&g, TaggerOptions::default())
+        .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
+    Ok(cfg_netlist::to_dot(&tagger.hardware().netlist, "tagger"))
+}
+
+/// `cfgtag report`: area/timing on both device models.
+pub fn cmd_report(grammar_text: &str, scale: usize) -> Result<String, CliError> {
+    let g = load_grammar(grammar_text)?;
+    let g = if scale > 1 { cfg_grammar::scale::replicate(&g, scale) } else { g };
+    let g = cfg_grammar::transform::duplicate_multi_context_tokens(&g);
+    let tagger = TokenTagger::compile(
+        &g,
+        TaggerOptions { duplicate_contexts: false, ..Default::default() },
+    )
+    .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
+    let hw = tagger.hardware();
+    let mapped = MappedNetlist::map(&hw.netlist);
+    let stats = mapped.stats();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tokens: {}   pattern bytes: {}   decoder classes: {}",
+        hw.tokens.len(),
+        hw.pattern_bytes,
+        hw.decoder_classes
+    );
+    let _ = writeln!(
+        out,
+        "LUTs: {}   FFs: {}   logic depth: {}   max fanout: {}",
+        stats.luts, stats.regs, stats.depth, stats.max_fanout
+    );
+    for device in [Device::virtex4_lx200(), Device::virtexe_2000()] {
+        let t = device.analyze(&mapped);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7.0} MHz  {:>5.2} Gbps (critical: {} levels, fanout {})",
+            t.device,
+            t.freq_mhz,
+            t.bandwidth_gbps(),
+            t.critical_levels,
+            t.critical_fanout
+        );
+    }
+    Ok(out)
+}
+
+/// Top-level dispatch; returns the text to print.
+pub fn run(args: &[String], read_input: impl Fn(&str) -> Result<Vec<u8>, std::io::Error>) -> Result<String, CliError> {
+    let usage = "usage: cfgtag <check|tag|parse|vhdl|dot|report> <grammar-file> [args]\n\
+                 see crate docs for per-command options";
+    let cmd = args.first().ok_or_else(|| CliError::new(usage, 2))?;
+    let grammar_path = args.get(1).ok_or_else(|| CliError::new(usage, 2))?;
+    let grammar_text = read_input(grammar_path)
+        .map_err(|e| CliError::new(format!("cannot read {grammar_path}: {e}"), 1))?;
+    let grammar_text = String::from_utf8_lossy(&grammar_text).into_owned();
+
+    match cmd.as_str() {
+        "check" => cmd_check(&grammar_text),
+        "tag" => {
+            let (files, flags): (Vec<String>, Vec<String>) =
+                args[2..].iter().cloned().partition(|a| !a.starts_with("--"));
+            let flags = TagFlags::parse(&flags)?;
+            let input = match files.first() {
+                Some(path) => read_input(path)
+                    .map_err(|e| CliError::new(format!("cannot read {path}: {e}"), 1))?,
+                None => read_input("-")
+                    .map_err(|e| CliError::new(format!("cannot read stdin: {e}"), 1))?,
+            };
+            cmd_tag(&grammar_text, &input, flags)
+        }
+        "parse" => {
+            let input = match args.get(2) {
+                Some(path) => read_input(path)
+                    .map_err(|e| CliError::new(format!("cannot read {path}: {e}"), 1))?,
+                None => read_input("-")
+                    .map_err(|e| CliError::new(format!("cannot read stdin: {e}"), 1))?,
+            };
+            cmd_parse(&grammar_text, &input)
+        }
+        "vhdl" => cmd_vhdl(&grammar_text, args.get(2).map(String::as_str).unwrap_or("tagger")),
+        "dot" => cmd_dot(&grammar_text),
+        "report" => {
+            let scale = match args.get(2).map(String::as_str) {
+                Some("--scale") => args
+                    .get(3)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| CliError::new("--scale needs a number", 2))?,
+                _ => 1,
+            };
+            cmd_report(&grammar_text, scale)
+        }
+        other => Err(CliError::new(format!("unknown command {other}\n{usage}"), 2)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ITE: &str = r#"
+        %%
+        E: "if" C "then" E "else" E | "go" | "stop";
+        C: "true" | "false";
+        %%
+    "#;
+
+    #[test]
+    fn check_reports_follow_table() {
+        let out = cmd_check(ITE).unwrap();
+        assert!(out.contains("7 tokens"));
+        assert!(out.contains("start set: {if, go, stop}")
+            || out.contains("start set: {"));
+        assert!(out.contains("go"));
+        assert!(out.contains("ε"));
+    }
+
+    #[test]
+    fn check_warns_on_unused() {
+        let out = cmd_check("UNUSED [0-9]+\n%%\ns: \"a\";\n%%\n").unwrap();
+        assert!(out.contains("warning[unused-token]: token UNUSED"));
+    }
+
+    #[test]
+    fn tag_fast_and_gate_agree() {
+        let input = b"if true then go else stop";
+        let fast = cmd_tag(ITE, input, TagFlags::default()).unwrap();
+        let gate = cmd_tag(ITE, input, TagFlags { gate: true, ..Default::default() }).unwrap();
+        assert_eq!(fast, gate);
+        assert!(fast.contains("6 events"));
+    }
+
+    #[test]
+    fn parse_accepts_and_rejects() {
+        assert!(cmd_parse(ITE, b"go").unwrap().starts_with("ACCEPT"));
+        assert!(cmd_parse(ITE, b"go go").unwrap().starts_with("REJECT"));
+    }
+
+    #[test]
+    fn vhdl_and_dot_emit() {
+        let v = cmd_vhdl(ITE, "ite").unwrap();
+        assert!(v.contains("entity ite is"));
+        let d = cmd_dot(ITE).unwrap();
+        assert!(d.starts_with("digraph tagger"));
+    }
+
+    #[test]
+    fn report_scales() {
+        let r1 = cmd_report(ITE, 1).unwrap();
+        let r2 = cmd_report(ITE, 2).unwrap();
+        assert!(r1.contains("Virtex4 LX200"));
+        let luts = |s: &str| -> usize {
+            s.lines()
+                .find(|l| l.starts_with("LUTs:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|x| x.parse().ok())
+                .unwrap()
+        };
+        assert!(luts(&r2) > luts(&r1));
+    }
+
+    #[test]
+    fn dispatch_and_errors() {
+        let read = |path: &str| -> Result<Vec<u8>, std::io::Error> {
+            match path {
+                "g" => Ok(ITE.as_bytes().to_vec()),
+                "-" => Ok(b"go".to_vec()),
+                _ => Err(std::io::Error::new(std::io::ErrorKind::NotFound, "nope")),
+            }
+        };
+        let argv = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+
+        assert!(run(&argv(&["check", "g"]), read).is_ok());
+        assert!(run(&argv(&["tag", "g"]), read).unwrap().contains("1 events"));
+        assert!(run(&argv(&["parse", "g"]), read).unwrap().starts_with("ACCEPT"));
+        assert!(run(&argv(&["vhdl", "g", "top"]), read).unwrap().contains("entity top"));
+        assert!(run(&argv(&["report", "g", "--scale", "2"]), read).is_ok());
+
+        assert_eq!(run(&argv(&[]), read).unwrap_err().code, 2);
+        assert_eq!(run(&argv(&["bogus", "g"]), read).unwrap_err().code, 2);
+        assert_eq!(run(&argv(&["check", "missing"]), read).unwrap_err().code, 1);
+        assert_eq!(
+            run(&argv(&["tag", "g", "--frobnicate"]), read).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            run(&argv(&["report", "g", "--scale", "x"]), read).unwrap_err().code,
+            2
+        );
+    }
+
+    #[test]
+    fn bad_grammar_is_code_1() {
+        let e = cmd_check("not a grammar").unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.to_string().contains("grammar error"));
+    }
+}

@@ -1,0 +1,23 @@
+//! `cfgtag` binary entry point: thin shell over [`cfg_cli::run`].
+
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let read_input = |path: &str| -> Result<Vec<u8>, std::io::Error> {
+        if path == "-" {
+            let mut buf = Vec::new();
+            std::io::stdin().read_to_end(&mut buf)?;
+            Ok(buf)
+        } else {
+            std::fs::read(path)
+        }
+    };
+    match cfg_cli::run(&args, read_input) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("cfgtag: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

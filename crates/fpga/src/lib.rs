@@ -1,0 +1,26 @@
+//! # cfg-fpga — device models and utilization reports
+//!
+//! The paper evaluates on two Xilinx parts: the VirtexE 2000 (Table 1,
+//! row 1) and the Virtex-4 LX200 (rows 2–6, Figure 15). With no vendor
+//! toolchain available, this crate supplies the *device substrate*:
+//!
+//! * [`device`] — parametric delay models (clock-to-Q, LUT delay, setup,
+//!   and a fanout-dependent routing-delay curve) implementing
+//!   [`cfg_netlist::DelayModel`]. §4.3 of the paper attributes the
+//!   entire critical path of the larger designs to "routing delay
+//!   associated with the large fanout of the decoded character bits", so
+//!   routing-vs-fanout is the curve that matters. The default constants
+//!   are **calibrated against Table 1's two endpoint designs** (300 and
+//!   3000 pattern bytes); the intermediate sizes are model predictions.
+//! * [`report`] — (de)serializable rows mirroring Table 1 and Figure 15,
+//!   with text rendering in the paper's format, plus the paper's
+//!   published numbers for side-by-side comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod report;
+
+pub use device::Device;
+pub use report::{paper_table1, Figure15Point, UtilizationRow};

@@ -1,0 +1,194 @@
+//! Experiment report types mirroring Table 1 and Figure 15.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of Table 1: "Device utilization for XML token taggers of
+/// varying sizes".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationRow {
+    /// Device name.
+    pub device: String,
+    /// Place-and-route (here: model) frequency, MHz.
+    pub freq_mhz: f64,
+    /// Throughput at one byte per cycle, Gbps.
+    pub bandwidth_gbps: f64,
+    /// Grammar size in pattern bytes.
+    pub pattern_bytes: usize,
+    /// LUT count of the mapped design.
+    pub luts: usize,
+    /// LUTs per pattern byte.
+    pub luts_per_byte: f64,
+}
+
+impl UtilizationRow {
+    /// Assemble a row, deriving bandwidth and LUTs/byte.
+    pub fn new(device: &str, freq_mhz: f64, pattern_bytes: usize, luts: usize) -> Self {
+        UtilizationRow {
+            device: device.to_owned(),
+            freq_mhz,
+            bandwidth_gbps: freq_mhz * 8.0 / 1000.0,
+            pattern_bytes,
+            luts,
+            luts_per_byte: luts as f64 / pattern_bytes.max(1) as f64,
+        }
+    }
+}
+
+/// Render rows in the paper's Table 1 column order.
+pub fn render_table1(title: &str, rows: &[UtilizationRow]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n"));
+    s.push_str(&format!(
+        "{:<16}{:>10}{:>10}{:>10}{:>10}{:>11}\n",
+        "Device", "Freq", "BW", "# of", "# of", "LUTs/"
+    ));
+    s.push_str(&format!(
+        "{:<16}{:>10}{:>10}{:>10}{:>10}{:>11}\n",
+        "", "(MHz)", "(Gbps)", "Bytes", "LUTs", "Byte"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<16}{:>10.0}{:>10.2}{:>10}{:>10}{:>11.2}\n",
+            r.device, r.freq_mhz, r.bandwidth_gbps, r.pattern_bytes, r.luts, r.luts_per_byte
+        ));
+    }
+    s
+}
+
+/// One point of Figure 15: frequency versus pattern bytes on the
+/// Virtex-4 LX200, annotated with LUTs/byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure15Point {
+    /// Grammar size in pattern bytes (x axis).
+    pub pattern_bytes: usize,
+    /// Frequency in MHz (y axis).
+    pub freq_mhz: f64,
+    /// The LUTs/byte annotation next to each point.
+    pub luts_per_byte: f64,
+}
+
+/// Render the Figure 15 series as an ASCII plot plus the data points.
+pub fn render_figure15(points: &[Figure15Point]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 15: Frequency vs pattern bytes (Virtex-4 LX200)\n");
+    let fmax = points.iter().map(|p| p.freq_mhz).fold(1.0_f64, f64::max);
+    for p in points {
+        let bar = "#".repeat(((p.freq_mhz / fmax) * 50.0).round() as usize);
+        s.push_str(&format!(
+            "{:>6} B |{:<52}{:>6.0} MHz  ({:.2} LUT/Byte)\n",
+            p.pattern_bytes, bar, p.freq_mhz, p.luts_per_byte
+        ));
+    }
+    s
+}
+
+/// The paper's published Table 1 (for side-by-side comparison in
+/// EXPERIMENTS.md and the harness output).
+pub fn paper_table1() -> Vec<UtilizationRow> {
+    vec![
+        UtilizationRow::new("VirtexE 2000", 196.0, 300, 310),
+        UtilizationRow::new("Virtex4 LX200", 318.0, 2100, 1652),
+        UtilizationRow::new("Virtex4 LX200", 316.0, 3000, 2316),
+        UtilizationRow::new("Virtex4 LX200", 533.0, 300, 302),
+        UtilizationRow::new("Virtex4 LX200", 445.0, 1200, 975),
+        UtilizationRow::new("Virtex4 LX200", 497.0, 600, 526),
+    ]
+}
+
+/// Render rows as a JSON array (hand-rolled — no JSON crate in the
+/// dependency budget; the fields are all numbers and plain strings).
+pub fn rows_to_json(rows: &[UtilizationRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"device\": \"{}\", \"freq_mhz\": {:.1}, \"bandwidth_gbps\": {:.3}, \
+             \"pattern_bytes\": {}, \"luts\": {}, \"luts_per_byte\": {:.3}}}{}\n",
+            r.device.replace('\"', "\\\""),
+            r.freq_mhz,
+            r.bandwidth_gbps,
+            r.pattern_bytes,
+            r.luts,
+            r.luts_per_byte,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push(']');
+    s
+}
+
+impl fmt::Display for UtilizationRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {:.0} MHz ({:.2} Gbps): {} bytes, {} LUTs ({:.2}/byte)",
+            self.device,
+            self.freq_mhz,
+            self.bandwidth_gbps,
+            self.pattern_bytes,
+            self.luts,
+            self.luts_per_byte
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_derivations() {
+        let r = UtilizationRow::new("Virtex4 LX200", 533.0, 300, 302);
+        assert!((r.bandwidth_gbps - 4.264).abs() < 1e-9);
+        assert!((r.luts_per_byte - 302.0 / 300.0).abs() < 1e-9);
+        assert!(r.to_string().contains("302 LUTs"));
+    }
+
+    #[test]
+    fn paper_reference_matches_published_values() {
+        let rows = paper_table1();
+        assert_eq!(rows.len(), 6);
+        // Spot-check the headline row: 533 MHz → 4.26 Gbps, 1.01 LUT/B.
+        let headline = &rows[3];
+        assert_eq!(headline.pattern_bytes, 300);
+        assert!((headline.bandwidth_gbps - 4.26).abs() < 0.01);
+        assert!((headline.luts_per_byte - 1.01).abs() < 0.01);
+        // And the largest: 316 MHz → 2.53 Gbps, 0.77 LUT/B.
+        let largest = &rows[2];
+        assert!((largest.bandwidth_gbps - 2.53).abs() < 0.01);
+        assert!((largest.luts_per_byte - 0.77).abs() < 0.01);
+    }
+
+    #[test]
+    fn rendering_contains_all_rows() {
+        let text = render_table1("Table 1", &paper_table1());
+        assert!(text.contains("VirtexE 2000"));
+        assert!(text.contains("533"));
+        assert!(text.contains("2316"));
+        let fig = render_figure15(&[
+            Figure15Point { pattern_bytes: 300, freq_mhz: 533.0, luts_per_byte: 1.01 },
+            Figure15Point { pattern_bytes: 3000, freq_mhz: 316.0, luts_per_byte: 0.77 },
+        ]);
+        assert!(fig.contains("300 B"));
+        assert!(fig.contains("316 MHz"));
+    }
+
+    #[test]
+    fn json_rendering() {
+        let json = rows_to_json(&paper_table1());
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert_eq!(json.matches("\"device\"").count(), 6);
+        assert!(json.contains("\"freq_mhz\": 533.0"));
+        assert!(json.contains("\"luts\": 2316"));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn rows_clone_and_compare() {
+        let rows = paper_table1();
+        let copy = rows.clone();
+        assert_eq!(rows, copy);
+    }
+}

@@ -1,0 +1,389 @@
+//! Nullable / FIRST / FOLLOW — the Figure 8 algorithm.
+//!
+//! The paper computes, for every **terminal** token, the set of terminal
+//! tokens that may follow it in a sentence (Figure 10 shows the table for
+//! the if-then-else grammar). That FOLLOW set becomes the wiring between
+//! tokenizers (Figure 11): the output of token `t` drives, through an OR
+//! gate, the enable input of every token in `FOLLOW(t)`.
+//!
+//! We implement the textbook fixpoint exactly as the paper's Figure 8
+//! states it, uniformly over terminals and nonterminals:
+//!
+//! ```text
+//! for each terminal Z:            FIRST[Z] = {Z}
+//! repeat until no change:
+//!   for each production X -> Y1..Yk:
+//!     if all Yi nullable:         nullable[X] = true
+//!     for each i:
+//!       if Y1..Y(i-1) all nullable:   FIRST[X]  ∪= FIRST[Yi]
+//!       if Y(i+1)..Yk all nullable:   FOLLOW[Yi] ∪= FOLLOW[X]
+//!       for each j > i, if Y(i+1)..Y(j-1) all nullable:
+//!                                    FOLLOW[Yi] ∪= FIRST[Yj]
+//! ```
+//!
+//! End-of-sentence is tracked separately ([`Analysis::can_end`]); the
+//! paper renders it as `ε` in Figure 10 (`go`, `stop` may end the input).
+
+use crate::ast::{Grammar, NtId, Symbol, TokenId};
+use std::fmt;
+
+/// A bitset over the grammar's terminal tokens.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct TokenSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl TokenSet {
+    /// Empty set sized for `n` tokens.
+    pub fn new(n: usize) -> Self {
+        TokenSet { words: vec![0; n.div_ceil(64).max(1)], len: n }
+    }
+
+    /// Insert a token; returns true if it was newly inserted.
+    pub fn insert(&mut self, t: TokenId) -> bool {
+        let (w, b) = (t.index() / 64, t.index() % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: TokenId) -> bool {
+        let (w, b) = (t.index() / 64, t.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// In-place union; returns true if `self` grew.
+    pub fn union_with(&mut self, other: &TokenSet) -> bool {
+        let mut grew = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            grew |= *a != before;
+        }
+        grew
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = TokenId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut word = w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let b = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(TokenId((wi * 64 + b) as u32))
+            })
+        })
+    }
+}
+
+impl fmt::Debug for TokenSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|t| t.0)).finish()
+    }
+}
+
+/// Result of the Figure 8 analysis.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// `nullable[nt]` — can the nonterminal derive ε?
+    pub nullable: Vec<bool>,
+    /// `first[nt]` — terminals that may begin a derivation of the
+    /// nonterminal.
+    pub first: Vec<TokenSet>,
+    /// `follow_nt[nt]` — terminals that may follow the nonterminal.
+    pub follow_nt: Vec<TokenSet>,
+    /// `follow_t[token]` — terminals that may follow the terminal; this is
+    /// the Figure 10 table and the Figure 11 wiring.
+    pub follow_t: Vec<TokenSet>,
+    /// Terminals that may begin a sentence: FIRST of the start symbol.
+    /// These tokenizers get the *start* enable (§3.3).
+    pub start_set: TokenSet,
+    /// `can_end[token]` — may the terminal end a sentence (the `ε` entries
+    /// of Figure 10)?
+    pub can_end: Vec<bool>,
+    /// `nt_can_end[nt]` — may the nonterminal end a sentence?
+    pub nt_can_end: Vec<bool>,
+}
+
+impl Analysis {
+    /// Run the fixpoint for a grammar.
+    pub fn of(g: &Grammar) -> Analysis {
+        let nt_count = g.nonterminals().len();
+        let t_count = g.tokens().len();
+
+        let mut nullable = vec![false; nt_count];
+        let mut first = vec![TokenSet::new(t_count); nt_count];
+        let mut follow_nt = vec![TokenSet::new(t_count); nt_count];
+        let mut follow_t = vec![TokenSet::new(t_count); t_count];
+        let mut nt_can_end = vec![false; nt_count];
+        let mut t_can_end = vec![false; t_count];
+
+        // End-of-sentence marker: the start symbol may be followed by EOF.
+        nt_can_end[g.start().index()] = true;
+
+        let sym_nullable = |s: &Symbol, nullable: &[bool]| match s {
+            Symbol::T(_) => false,
+            Symbol::Nt(n) => nullable[n.index()],
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in g.productions() {
+                let x = p.lhs.index();
+                let k = p.rhs.len();
+
+                // nullable[X] if all Yi nullable (incl. the empty rhs).
+                if !nullable[x] && p.rhs.iter().all(|s| sym_nullable(s, &nullable)) {
+                    nullable[x] = true;
+                    changed = true;
+                }
+
+                for i in 0..k {
+                    // FIRST[X] ∪= FIRST[Yi] if Y1..Y(i-1) all nullable.
+                    if p.rhs[..i].iter().all(|s| sym_nullable(s, &nullable)) {
+                        match &p.rhs[i] {
+                            Symbol::T(t) => changed |= first[x].insert(*t),
+                            Symbol::Nt(n) => {
+                                if x != n.index() {
+                                    let (fx, fn_) = two_mut(&mut first, x, n.index());
+                                    changed |= fx.union_with(fn_);
+                                }
+                            }
+                        }
+                    }
+
+                    // FOLLOW[Yi] ∪= FOLLOW[X] if Y(i+1)..Yk all nullable.
+                    if p.rhs[i + 1..].iter().all(|s| sym_nullable(s, &nullable)) {
+                        match &p.rhs[i] {
+                            Symbol::T(t) => {
+                                changed |= follow_t[t.index()].union_with(&follow_nt[x]);
+                                if nt_can_end[x] && !t_can_end[t.index()] {
+                                    t_can_end[t.index()] = true;
+                                    changed = true;
+                                }
+                            }
+                            Symbol::Nt(n) => {
+                                if x != n.index() {
+                                    let (fx, fn_) = two_mut(&mut follow_nt, n.index(), x);
+                                    changed |= fx.union_with(fn_);
+                                }
+                                if nt_can_end[x] && !nt_can_end[n.index()] {
+                                    nt_can_end[n.index()] = true;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+
+                    // FOLLOW[Yi] ∪= FIRST[Yj] for j > i with the gap nullable.
+                    for j in i + 1..k {
+                        if !p.rhs[i + 1..j].iter().all(|s| sym_nullable(s, &nullable)) {
+                            break;
+                        }
+                        let first_j = match &p.rhs[j] {
+                            Symbol::T(t) => {
+                                let mut s = TokenSet::new(t_count);
+                                s.insert(*t);
+                                s
+                            }
+                            Symbol::Nt(n) => first[n.index()].clone(),
+                        };
+                        match &p.rhs[i] {
+                            Symbol::T(t) => changed |= follow_t[t.index()].union_with(&first_j),
+                            Symbol::Nt(n) => {
+                                changed |= follow_nt[n.index()].union_with(&first_j)
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let start_set = first[g.start().index()].clone();
+        Analysis {
+            nullable,
+            first,
+            follow_nt,
+            follow_t,
+            start_set,
+            can_end: t_can_end,
+            nt_can_end,
+        }
+    }
+
+    /// FOLLOW of a terminal token (the Figure 10 / Figure 11 relation).
+    pub fn follow_of(&self, t: TokenId) -> &TokenSet {
+        &self.follow_t[t.index()]
+    }
+
+    /// FIRST of a nonterminal.
+    pub fn first_of(&self, n: NtId) -> &TokenSet {
+        &self.first[n.index()]
+    }
+
+    /// Render the Figure 10 table for documentation/tests.
+    pub fn follow_table(&self, g: &Grammar) -> String {
+        let mut out = String::from("token           | follow set\n");
+        for (i, tok) in g.tokens().iter().enumerate() {
+            let mut names: Vec<&str> =
+                self.follow_t[i].iter().map(|f| g.token_name(f)).collect();
+            if self.can_end[i] {
+                names.push("ε");
+            }
+            out.push_str(&format!("{:<16}| {{{}}}\n", tok.name, names.join(", ")));
+        }
+        out
+    }
+}
+
+/// Mutable references to two distinct vector elements.
+fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Grammar;
+
+    fn follow_names<'g>(g: &'g Grammar, a: &Analysis, tok: &str) -> Vec<&'g str> {
+        let t = g.token_by_name(tok).unwrap();
+        let mut v: Vec<&str> = a.follow_of(t).iter().map(|f| g.token_name(f)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The paper's Figure 10 table, exactly.
+    #[test]
+    fn figure10_follow_sets() {
+        let g = crate::builtin::if_then_else();
+        let a = g.analyze();
+
+        assert_eq!(follow_names(&g, &a, "if"), ["false", "true"]);
+        assert_eq!(follow_names(&g, &a, "then"), ["go", "if", "stop"]);
+        assert_eq!(follow_names(&g, &a, "else"), ["go", "if", "stop"]);
+        assert_eq!(follow_names(&g, &a, "go"), ["else"]);
+        assert_eq!(follow_names(&g, &a, "stop"), ["else"]);
+        assert_eq!(follow_names(&g, &a, "true"), ["then"]);
+        assert_eq!(follow_names(&g, &a, "false"), ["then"]);
+
+        // The ε entries: go and stop may end a sentence.
+        assert!(a.can_end[g.token_by_name("go").unwrap().index()]);
+        assert!(a.can_end[g.token_by_name("stop").unwrap().index()]);
+        assert!(!a.can_end[g.token_by_name("if").unwrap().index()]);
+
+        // Start set = FIRST(E) = {if, go, stop}.
+        let mut start: Vec<&str> = a.start_set.iter().map(|t| g.token_name(t)).collect();
+        start.sort_unstable();
+        assert_eq!(start, ["go", "if", "stop"]);
+    }
+
+    #[test]
+    fn balanced_parens_first_follow() {
+        // Figure 1: E -> ( E ) | 0.
+        let g = crate::builtin::balanced_parens();
+        let a = g.analyze();
+        assert_eq!(follow_names(&g, &a, "("), ["(", "0"]);
+        assert_eq!(follow_names(&g, &a, "0"), [")"]);
+        assert_eq!(follow_names(&g, &a, ")"), [")"]);
+        assert!(a.can_end[g.token_by_name(")").unwrap().index()]);
+        assert!(a.can_end[g.token_by_name("0").unwrap().index()]);
+    }
+
+    #[test]
+    fn nullable_propagates_through_epsilon() {
+        let g = Grammar::parse(
+            r#"
+            %%
+            s: a b "end";
+            a: | "x";
+            b: | "y";
+            %%
+            "#,
+        )
+        .unwrap();
+        let a = g.analyze();
+        let na = g.nt_by_name("a").unwrap();
+        let nb = g.nt_by_name("b").unwrap();
+        assert!(a.nullable[na.index()]);
+        assert!(a.nullable[nb.index()]);
+        assert!(!a.nullable[g.nt_by_name("s").unwrap().index()]);
+        // FIRST(s) must include x, y AND end (both a and b nullable).
+        let mut start: Vec<&str> = a.start_set.iter().map(|t| g.token_name(t)).collect();
+        start.sort_unstable();
+        assert_eq!(start, ["end", "x", "y"]);
+        // follow(x) = FIRST(b) ∪ {end}.
+        assert_eq!(follow_names(&g, &a, "x"), ["end", "y"]);
+    }
+
+    #[test]
+    fn recursive_list_grammar() {
+        // Figure 14 param-list shape: the closing tag follows the list.
+        let g = Grammar::parse(
+            r#"
+            %%
+            params: "<params>" param "</params>";
+            param: | "<param>" "</param>" param;
+            %%
+            "#,
+        )
+        .unwrap();
+        let a = g.analyze();
+        assert_eq!(follow_names(&g, &a, "<params>"), ["</params>", "<param>"]);
+        assert_eq!(follow_names(&g, &a, "</param>"), ["</params>", "<param>"]);
+        assert_eq!(follow_names(&g, &a, "<param>"), ["</param>"]);
+    }
+
+    #[test]
+    fn tokenset_operations() {
+        let mut s = TokenSet::new(100);
+        assert!(s.insert(TokenId(3)));
+        assert!(!s.insert(TokenId(3)));
+        assert!(s.insert(TokenId(99)));
+        assert!(s.contains(TokenId(3)));
+        assert!(!s.contains(TokenId(4)));
+        assert_eq!(s.count(), 2);
+        let ids: Vec<u32> = s.iter().map(|t| t.0).collect();
+        assert_eq!(ids, [3, 99]);
+
+        let mut t = TokenSet::new(100);
+        t.insert(TokenId(4));
+        assert!(s.union_with(&t));
+        assert!(!s.union_with(&t));
+        assert_eq!(s.count(), 3);
+        assert!(!s.is_empty());
+        assert!(TokenSet::new(10).is_empty());
+    }
+
+    #[test]
+    fn follow_table_renders() {
+        let g = crate::builtin::if_then_else();
+        let a = g.analyze();
+        let table = a.follow_table(&g);
+        assert!(table.contains("go"));
+        assert!(table.contains("ε"));
+    }
+}

@@ -1,0 +1,382 @@
+//! The CFG data model.
+//!
+//! A [`Grammar`] is a token list (terminals defined by regular-expression
+//! [`Pattern`]s, as in a Lex specification) plus a production list over
+//! terminals and nonterminals (as in a Yacc specification), a start
+//! symbol, and a delimiter byte class (the lexical scanner's token
+//! separators, §3.2 of the paper).
+
+use cfg_regex::{ByteSet, Pattern};
+use std::fmt;
+
+/// Index of a terminal token in [`Grammar::tokens`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+/// Index of a nonterminal in [`Grammar::nonterminals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NtId(pub u32);
+
+impl TokenId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NtId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A grammar symbol: terminal token or nonterminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// Terminal token.
+    T(TokenId),
+    /// Nonterminal.
+    Nt(NtId),
+}
+
+/// The grammatical context of a (possibly duplicated) token: where in the
+/// production list this terminal instance occurs. Filled in by
+/// [`crate::transform::duplicate_multi_context_tokens`]; the paper (§3.2)
+/// uses the duplication to let "the meaning of each token … be determined
+/// by monitoring where it is being processed".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Context {
+    /// Name of the production's left-hand-side nonterminal.
+    pub production: String,
+    /// Index of the production (alternative) in [`Grammar::productions`].
+    pub production_index: usize,
+    /// Zero-based position of the occurrence within that alternative.
+    pub position: usize,
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}].{}", self.production, self.production_index, self.position)
+    }
+}
+
+/// A terminal token definition.
+#[derive(Debug, Clone)]
+pub struct TokenDef {
+    /// Token name: a named definition (`STRING`), a quoted literal
+    /// (`"<methodCall>"`), or a duplicated-instance name (`STRING@2`).
+    pub name: String,
+    /// The pattern the lexical scanner matches.
+    pub pattern: Pattern,
+    /// `true` if the token came from a quoted literal in a production.
+    pub from_literal: bool,
+    /// Grammatical context, if the duplication transform has run.
+    pub context: Option<Context>,
+}
+
+/// One production alternative `lhs -> rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Production {
+    /// Left-hand-side nonterminal.
+    pub lhs: NtId,
+    /// Right-hand-side symbol string; empty for an ε-alternative.
+    pub rhs: Vec<Symbol>,
+}
+
+/// A context-free grammar: tokens, nonterminals, productions, start
+/// symbol and delimiter class.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    tokens: Vec<TokenDef>,
+    nonterminals: Vec<String>,
+    productions: Vec<Production>,
+    start: NtId,
+    delimiters: ByteSet,
+}
+
+impl Grammar {
+    /// Assemble a grammar from parts, validating symbol references.
+    pub fn new(
+        tokens: Vec<TokenDef>,
+        nonterminals: Vec<String>,
+        productions: Vec<Production>,
+        start: NtId,
+        delimiters: ByteSet,
+    ) -> Result<Self, crate::parse::GrammarError> {
+        use crate::parse::GrammarError;
+        if start.index() >= nonterminals.len() {
+            return Err(GrammarError::UnknownStart);
+        }
+        let mut has_rule = vec![false; nonterminals.len()];
+        for p in &productions {
+            if p.lhs.index() >= nonterminals.len() {
+                return Err(GrammarError::BadSymbolIndex);
+            }
+            has_rule[p.lhs.index()] = true;
+            for s in &p.rhs {
+                match s {
+                    Symbol::T(t) if t.index() >= tokens.len() => {
+                        return Err(GrammarError::BadSymbolIndex)
+                    }
+                    Symbol::Nt(n) if n.index() >= nonterminals.len() => {
+                        return Err(GrammarError::BadSymbolIndex)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for p in &productions {
+            for s in &p.rhs {
+                if let Symbol::Nt(n) = s {
+                    if !has_rule[n.index()] {
+                        return Err(GrammarError::UndefinedNonterminal(
+                            nonterminals[n.index()].clone(),
+                        ));
+                    }
+                }
+            }
+        }
+        if !has_rule[start.index()] {
+            return Err(GrammarError::UndefinedNonterminal(
+                nonterminals[start.index()].clone(),
+            ));
+        }
+        Ok(Grammar { tokens, nonterminals, productions, start, delimiters })
+    }
+
+    /// Parse the Lex/Yacc-flavoured text format (see [`crate::parse`]).
+    pub fn parse(src: &str) -> Result<Self, crate::parse::GrammarError> {
+        crate::parse::parse(src)
+    }
+
+    /// The terminal tokens.
+    pub fn tokens(&self) -> &[TokenDef] {
+        &self.tokens
+    }
+
+    /// The nonterminal names.
+    pub fn nonterminals(&self) -> &[String] {
+        &self.nonterminals
+    }
+
+    /// The production list (one entry per alternative).
+    pub fn productions(&self) -> &[Production] {
+        &self.productions
+    }
+
+    /// The start nonterminal.
+    pub fn start(&self) -> NtId {
+        self.start
+    }
+
+    /// The delimiter byte class separating tokens in the input stream.
+    pub fn delimiters(&self) -> ByteSet {
+        self.delimiters
+    }
+
+    /// Name of a token.
+    pub fn token_name(&self, t: TokenId) -> &str {
+        &self.tokens[t.index()].name
+    }
+
+    /// Name of a nonterminal.
+    pub fn nt_name(&self, n: NtId) -> &str {
+        &self.nonterminals[n.index()]
+    }
+
+    /// Look up a token by name.
+    pub fn token_by_name(&self, name: &str) -> Option<TokenId> {
+        self.tokens
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TokenId(i as u32))
+    }
+
+    /// Look up a nonterminal by name.
+    pub fn nt_by_name(&self, name: &str) -> Option<NtId> {
+        self.nonterminals
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NtId(i as u32))
+    }
+
+    /// Run the Figure 8 nullable/FIRST/FOLLOW analysis.
+    pub fn analyze(&self) -> crate::analysis::Analysis {
+        crate::analysis::Analysis::of(self)
+    }
+
+    /// Total "pattern bytes" across all tokens — the paper's §4.3 size
+    /// metric (one byte per tokenizer pipeline register; the XML-RPC
+    /// grammar measures ≈300).
+    pub fn pattern_bytes(&self) -> usize {
+        self.tokens.iter().map(|t| t.pattern.pattern_bytes()).sum()
+    }
+
+    /// Union of all byte classes used by any token — drives character
+    /// decoder generation.
+    pub fn alphabet(&self) -> ByteSet {
+        self.tokens
+            .iter()
+            .fold(ByteSet::EMPTY, |acc, t| acc.union(t.pattern.ast().alphabet()))
+    }
+
+    /// Nonterminals reachable from the start symbol.
+    pub fn reachable_nonterminals(&self) -> Vec<bool> {
+        let mut reach = vec![false; self.nonterminals.len()];
+        let mut stack = vec![self.start];
+        reach[self.start.index()] = true;
+        while let Some(nt) = stack.pop() {
+            for p in self.productions.iter().filter(|p| p.lhs == nt) {
+                for s in &p.rhs {
+                    if let Symbol::Nt(n) = s {
+                        if !reach[n.index()] {
+                            reach[n.index()] = true;
+                            stack.push(*n);
+                        }
+                    }
+                }
+            }
+        }
+        reach
+    }
+
+    /// Tokens that occur in at least one production body.
+    pub fn used_tokens(&self) -> Vec<bool> {
+        let mut used = vec![false; self.tokens.len()];
+        for p in &self.productions {
+            for s in &p.rhs {
+                if let Symbol::T(t) = s {
+                    used[t.index()] = true;
+                }
+            }
+        }
+        used
+    }
+
+    /// Render the grammar back to (approximately) its textual form; used
+    /// by diagnostics and tests.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tokens {
+            if !t.from_literal {
+                out.push_str(&format!("{:<16}{}\n", t.name, t.pattern.source()));
+            }
+        }
+        out.push_str("%%\n");
+        let mut by_lhs: Vec<(NtId, Vec<&Production>)> = Vec::new();
+        for p in &self.productions {
+            match by_lhs.iter_mut().find(|(l, _)| *l == p.lhs) {
+                Some((_, v)) => v.push(p),
+                None => by_lhs.push((p.lhs, vec![p])),
+            }
+        }
+        for (lhs, alts) in by_lhs {
+            out.push_str(&format!("{}:", self.nt_name(lhs)));
+            for (i, alt) in alts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" |");
+                }
+                for s in &alt.rhs {
+                    match s {
+                        Symbol::T(t) => {
+                            let def = &self.tokens[t.index()];
+                            if def.from_literal {
+                                out.push_str(&format!(" \"{}\"", def.name));
+                            } else {
+                                out.push_str(&format!(" {}", def.name));
+                            }
+                        }
+                        Symbol::Nt(n) => out.push_str(&format!(" {}", self.nt_name(*n))),
+                    }
+                }
+            }
+            out.push_str(";\n");
+        }
+        out.push_str("%%\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Grammar {
+        // S -> "a" S | "b"
+        let tokens = vec![
+            TokenDef {
+                name: "a".into(),
+                pattern: Pattern::literal(b"a"),
+                from_literal: true,
+                context: None,
+            },
+            TokenDef {
+                name: "b".into(),
+                pattern: Pattern::literal(b"b"),
+                from_literal: true,
+                context: None,
+            },
+        ];
+        Grammar::new(
+            tokens,
+            vec!["S".into()],
+            vec![
+                Production { lhs: NtId(0), rhs: vec![Symbol::T(TokenId(0)), Symbol::Nt(NtId(0))] },
+                Production { lhs: NtId(0), rhs: vec![Symbol::T(TokenId(1))] },
+            ],
+            NtId(0),
+            ByteSet::whitespace(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let g = tiny();
+        assert_eq!(g.tokens().len(), 2);
+        assert_eq!(g.token_name(TokenId(1)), "b");
+        assert_eq!(g.nt_name(NtId(0)), "S");
+        assert_eq!(g.token_by_name("a"), Some(TokenId(0)));
+        assert_eq!(g.token_by_name("zzz"), None);
+        assert_eq!(g.nt_by_name("S"), Some(NtId(0)));
+        assert_eq!(g.pattern_bytes(), 2);
+        assert!(g.alphabet().contains(b'a'));
+        assert!(!g.alphabet().contains(b'c'));
+    }
+
+    #[test]
+    fn validation_rejects_dangling_nt() {
+        let tokens = vec![TokenDef {
+            name: "a".into(),
+            pattern: Pattern::literal(b"a"),
+            from_literal: true,
+            context: None,
+        }];
+        let err = Grammar::new(
+            tokens,
+            vec!["S".into(), "T".into()],
+            vec![Production { lhs: NtId(0), rhs: vec![Symbol::Nt(NtId(1))] }],
+            NtId(0),
+            ByteSet::whitespace(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::parse::GrammarError::UndefinedNonterminal(n) if n == "T"));
+    }
+
+    #[test]
+    fn reachability_and_usage() {
+        let g = tiny();
+        assert_eq!(g.reachable_nonterminals(), vec![true]);
+        assert_eq!(g.used_tokens(), vec![true, true]);
+    }
+
+    #[test]
+    fn render_roundtrips_through_parse() {
+        let g = tiny();
+        let text = g.render();
+        let g2 = Grammar::parse(&text).unwrap();
+        assert_eq!(g2.tokens().len(), g.tokens().len());
+        assert_eq!(g2.productions().len(), g.productions().len());
+    }
+}

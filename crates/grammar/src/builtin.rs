@@ -1,0 +1,179 @@
+//! The example grammars from the paper's figures, plus small grammars
+//! used throughout tests, examples and benches.
+
+use crate::ast::Grammar;
+
+/// Figure 1: `E -> ( E ) | 0` — "0" with balanced parenthesis.
+///
+/// The paper uses this grammar to motivate collapsing the push-down
+/// automaton (Figure 2a) into a finite-state automaton (Figure 2b): the
+/// tagger accepts a superset in which the parenthesis counts need not
+/// balance, but every conforming sentence is parsed correctly.
+pub fn balanced_parens() -> Grammar {
+    Grammar::parse(
+        r#"
+        %%
+        E: "(" E ")" | "0";
+        %%
+        "#,
+    )
+    .expect("builtin grammar parses")
+}
+
+/// Figure 9: the if-then-else statement grammar whose FOLLOW table is
+/// Figure 10 and whose tokenizer wiring is Figure 11.
+pub fn if_then_else() -> Grammar {
+    Grammar::parse(
+        r#"
+        %%
+        E: "if" C "then" E "else" E | "go" | "stop";
+        C: "true" | "false";
+        %%
+        "#,
+    )
+    .expect("builtin grammar parses")
+}
+
+/// A small arithmetic-expression grammar (classic LL(1) shape) used by
+/// examples and the LL(1)-baseline tests.
+pub fn arithmetic() -> Grammar {
+    Grammar::parse(
+        r#"
+        NUM   [0-9]+
+        IDENT [a-zA-Z][a-zA-Z0-9]*
+        %%
+        expr:   term expr_t;
+        expr_t: | "+" term expr_t | "-" term expr_t;
+        term:   factor term_t;
+        term_t: | "*" factor term_t | "/" factor term_t;
+        factor: NUM | IDENT | "(" expr ")";
+        %%
+        "#,
+    )
+    .expect("builtin grammar parses")
+}
+
+/// A tiny key-value configuration language: exercises named regex tokens,
+/// repetition through recursion, and multi-context literals.
+pub fn key_value() -> Grammar {
+    Grammar::parse(
+        r#"
+        KEY   [a-z][a-z0-9_]*
+        VALUE [a-zA-Z0-9./:]+
+        %%
+        config: entry config_t;
+        config_t: | entry config_t;
+        entry: KEY "=" VALUE ";";
+        %%
+        "#,
+    )
+    .expect("builtin grammar parses")
+}
+
+/// A miniature HTTP-request-line grammar: shows tagging protocol fields
+/// by position (method vs. path vs. version are all "words").
+pub fn http_request_line() -> Grammar {
+    Grammar::parse(
+        r#"
+        METHOD  GET|POST|PUT|DELETE|HEAD
+        PATH    [/a-zA-Z0-9._-]+
+        VERSION HTTP/[0-9]\.[0-9]
+        %%
+        request: METHOD PATH VERSION;
+        %%
+        "#,
+    )
+    .expect("builtin grammar parses")
+}
+
+/// A JSON subset (RFC 8259 shape, no string escapes or unicode): shows
+/// delimiter bytes *inside* tokens (spaces within string literals), the
+/// multi-context duplication distinguishing object **keys** from string
+/// **values**, and counted-repetition-free numeric tokens.
+pub fn json() -> Grammar {
+    Grammar::parse(
+        r#"
+        STR  "[^"]*"
+        NUM  -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?
+        %%
+        value:    obj | arr | STR | NUM | "true" | "false" | "null";
+        obj:      "{" members "}";
+        members:  | member member_tail;
+        member_tail: | "," member member_tail;
+        member:   STR ":" value;
+        arr:      "[" elements "]";
+        elements: | value value_tail;
+        value_tail: | "," value value_tail;
+        %%
+        "#,
+    )
+    .expect("builtin grammar parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtins_parse_and_analyze() {
+        for (name, g) in [
+            ("parens", balanced_parens()),
+            ("ite", if_then_else()),
+            ("arith", arithmetic()),
+            ("kv", key_value()),
+            ("http", http_request_line()),
+            ("json", json()),
+        ] {
+            let a = g.analyze();
+            assert!(!a.start_set.is_empty(), "{name}: empty start set");
+            assert!(g.pattern_bytes() > 0, "{name}: no pattern bytes");
+        }
+    }
+
+    #[test]
+    fn if_then_else_token_inventory() {
+        let g = if_then_else();
+        assert_eq!(g.tokens().len(), 7);
+        assert_eq!(g.pattern_bytes(), 2 + 4 + 4 + 2 + 4 + 4 + 5); // if then else go stop true false
+    }
+
+    #[test]
+    fn arithmetic_is_nontrivial() {
+        let g = arithmetic();
+        let a = g.analyze();
+        // factor follows: '+' can follow NUM via expr_t.
+        let num = g.token_by_name("NUM").unwrap();
+        let plus = g.token_by_name("+").unwrap();
+        assert!(a.follow_of(num).contains(plus));
+        // ')' can follow NUM (inside parens).
+        let rp = g.token_by_name(")").unwrap();
+        assert!(a.follow_of(num).contains(rp));
+    }
+
+    #[test]
+    fn json_tokens() {
+        let g = json();
+        let str_tok = g.token_by_name("STR").unwrap();
+        let pat = &g.tokens()[str_tok.index()].pattern;
+        assert!(pat.is_full_match(b"\"hello world\"")); // space inside token
+        assert!(pat.is_full_match(b"\"\""));
+        assert!(!pat.is_full_match(b"\"unterminated"));
+        let num = g.token_by_name("NUM").unwrap();
+        let pat = &g.tokens()[num.index()].pattern;
+        for ok in [&b"0"[..], b"-12", b"3.14", b"1e9", b"-2.5E-3"] {
+            assert!(pat.is_full_match(ok), "{}", String::from_utf8_lossy(ok));
+        }
+        assert!(!pat.is_full_match(b"1."));
+        assert!(!pat.is_full_match(b"e5"));
+    }
+
+    #[test]
+    fn http_method_alternation() {
+        let g = http_request_line();
+        let m = g.token_by_name("METHOD").unwrap();
+        let pat = &g.tokens()[m.index()].pattern;
+        assert!(pat.is_full_match(b"GET"));
+        assert!(pat.is_full_match(b"DELETE"));
+        assert!(!pat.is_full_match(b"PATCH"));
+    }
+}

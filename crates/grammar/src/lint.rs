@@ -1,0 +1,363 @@
+//! Grammar lints — diagnostics beyond hard errors.
+//!
+//! The generator accepts any well-formed CFG, but several shapes degrade
+//! the tagger in ways a user should hear about before synthesizing:
+//!
+//! * unreachable nonterminals / unused tokens (dead hardware),
+//! * FIRST/FIRST and FIRST/FOLLOW conflicts (the §3.3 "two or more
+//!   tokenizers … mutually exclusive in a true parser" ambiguity — legal,
+//!   but the back-end must disambiguate, so surface it),
+//! * token patterns whose languages overlap (lexical ambiguity — see the
+//!   XML-RPC findings in EXPERIMENTS.md),
+//! * tokens whose pattern can *contain* delimiter bytes mid-lexeme
+//!   (legal and supported, but easy to write by accident),
+//! * left-recursive nonterminals (fine for the tagger and the Earley
+//!   engine, fatal for the LL(1) baseline).
+
+use crate::analysis::Analysis;
+use crate::ast::{Grammar, Symbol};
+use std::fmt;
+
+/// Severity of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: expected for many grammars.
+    Note,
+    /// Probably unintended.
+    Warning,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Severity.
+    pub severity: Severity,
+    /// Stable identifier, e.g. `unreachable-nonterminal`.
+    pub code: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}[{}]: {}", self.code, self.message)
+    }
+}
+
+/// Run all lints over a grammar.
+pub fn lint(g: &Grammar) -> Vec<Lint> {
+    let analysis = g.analyze();
+    let mut out = Vec::new();
+    unreachable_nonterminals(g, &mut out);
+    unused_tokens(g, &mut out);
+    predictive_conflicts(g, &analysis, &mut out);
+    lexical_overlaps(g, &mut out);
+    delimiter_interiors(g, &mut out);
+    left_recursion(g, &analysis, &mut out);
+    out
+}
+
+fn unreachable_nonterminals(g: &Grammar, out: &mut Vec<Lint>) {
+    for (i, ok) in g.reachable_nonterminals().iter().enumerate() {
+        if !ok {
+            out.push(Lint {
+                severity: Severity::Warning,
+                code: "unreachable-nonterminal",
+                message: format!(
+                    "nonterminal {} is unreachable from the start symbol",
+                    g.nonterminals()[i]
+                ),
+            });
+        }
+    }
+}
+
+fn unused_tokens(g: &Grammar, out: &mut Vec<Lint>) {
+    for (i, used) in g.used_tokens().iter().enumerate() {
+        if !used {
+            out.push(Lint {
+                severity: Severity::Warning,
+                code: "unused-token",
+                message: format!(
+                    "token {} never appears in a production",
+                    g.tokens()[i].name
+                ),
+            });
+        }
+    }
+}
+
+fn predictive_conflicts(g: &Grammar, a: &Analysis, out: &mut Vec<Lint>) {
+    for nt in 0..g.nonterminals().len() {
+        let mut seen = crate::analysis::TokenSet::new(g.tokens().len());
+        for p in g.productions().iter().filter(|p| p.lhs.index() == nt) {
+            let mut first = crate::analysis::TokenSet::new(g.tokens().len());
+            let mut nullable = true;
+            for s in &p.rhs {
+                match s {
+                    Symbol::T(t) => {
+                        first.insert(*t);
+                        nullable = false;
+                    }
+                    Symbol::Nt(x) => {
+                        first.union_with(&a.first[x.index()]);
+                        nullable = a.nullable[x.index()];
+                    }
+                }
+                if !nullable {
+                    break;
+                }
+            }
+            if nullable {
+                first.union_with(&a.follow_nt[nt]);
+            }
+            for t in first.iter() {
+                if seen.contains(t) {
+                    out.push(Lint {
+                        severity: Severity::Note,
+                        code: "predictive-conflict",
+                        message: format!(
+                            "nonterminal {} has competing predictions on token {} \
+                             (parallel tokenizer paths will run; the back-end \
+                             must select, §3.3)",
+                            g.nonterminals()[nt],
+                            g.token_name(t)
+                        ),
+                    });
+                } else {
+                    seen.insert(t);
+                }
+            }
+        }
+    }
+}
+
+fn lexical_overlaps(g: &Grammar, out: &mut Vec<Lint>) {
+    // Two named (non-literal) tokens overlap when a sample word of one
+    // fully matches the other — cheap probe: literals of one tested
+    // against the other's NFA, and class-subset checks for one-position
+    // patterns.
+    let toks = g.tokens();
+    for a in 0..toks.len() {
+        for b in a + 1..toks.len() {
+            let (ta, tb) = (&toks[a], &toks[b]);
+            let overlap = match (ta.pattern.as_literal(), tb.pattern.as_literal()) {
+                (Some(la), _) if tb.pattern.is_full_match(&la) => true,
+                (_, Some(lb)) if ta.pattern.is_full_match(&lb) => true,
+                (Some(_), Some(_)) => false, // distinct literals
+                _ => {
+                    // Both regexes: probe with single-byte intersections
+                    // of one-position patterns (e.g. INT vs STRING share
+                    // "7"); deeper overlap stays a known limitation.
+                    let fa = &ta.pattern.template();
+                    let fb = &tb.pattern.template();
+                    fa.last.iter().any(|&p| {
+                        fb.last.iter().any(|&q| {
+                            fa.positions[p].intersects(fb.positions[q])
+                                && fa.first.contains(&p)
+                                && fb.first.contains(&q)
+                        })
+                    })
+                }
+            };
+            if overlap {
+                out.push(Lint {
+                    severity: Severity::Note,
+                    code: "lexical-overlap",
+                    message: format!(
+                        "tokens {} and {} can match the same lexeme; \
+                         a maximal-munch lexer cannot separate them \
+                         (the context tagger can)",
+                        ta.name, tb.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn delimiter_interiors(g: &Grammar, out: &mut Vec<Lint>) {
+    let delim = g.delimiters();
+    for tok in g.tokens() {
+        let t = tok.pattern.template();
+        let interior = (0..t.positions.len())
+            .filter(|p| !t.first.contains(p))
+            .any(|p| t.positions[p].intersects(delim));
+        if interior {
+            out.push(Lint {
+                severity: Severity::Note,
+                code: "delimiter-inside-token",
+                message: format!(
+                    "token {} can contain delimiter bytes inside its lexeme \
+                     (supported — but confirm it is intentional)",
+                    tok.name
+                ),
+            });
+        }
+    }
+}
+
+fn left_recursion(g: &Grammar, a: &Analysis, out: &mut Vec<Lint>) {
+    // nt is left-recursive if nt can appear leftmost (through nullable
+    // prefixes) in one of its own derivations. Detect via graph walk.
+    let n = g.nonterminals().len();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for p in g.productions() {
+        for s in &p.rhs {
+            match s {
+                Symbol::Nt(x) => {
+                    edges[p.lhs.index()].push(x.index());
+                    if !a.nullable[x.index()] {
+                        break;
+                    }
+                }
+                Symbol::T(_) => break,
+            }
+        }
+    }
+    for start in 0..n {
+        // DFS from start looking for a cycle back to start.
+        let mut stack = edges[start].clone();
+        let mut seen = vec![false; n];
+        let mut cyclic = false;
+        while let Some(x) = stack.pop() {
+            if x == start {
+                cyclic = true;
+                break;
+            }
+            if !seen[x] {
+                seen[x] = true;
+                stack.extend(edges[x].iter().copied());
+            }
+        }
+        if cyclic {
+            out.push(Lint {
+                severity: Severity::Note,
+                code: "left-recursion",
+                message: format!(
+                    "nonterminal {} is left-recursive (fine for the tagger \
+                     and the exact parser; the LL(1) baseline will reject \
+                     this grammar)",
+                    g.nonterminals()[start]
+                ),
+            });
+        }
+    }
+}
+
+/// Convenience: does the lint list contain a given code?
+pub fn has_lint(lints: &[Lint], code: &str) -> bool {
+    lints.iter().any(|l| l.code == code)
+}
+
+/// Quick check used by tests: count lints with a code.
+pub fn count_lints(lints: &[Lint], code: &str) -> usize {
+    lints.iter().filter(|l| l.code == code).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Grammar;
+
+    #[test]
+    fn clean_grammar_has_no_warnings() {
+        let g = crate::builtin::if_then_else();
+        let lints = lint(&g);
+        assert!(
+            lints.iter().all(|l| l.severity < Severity::Warning),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_and_unused_detected() {
+        let g = Grammar::parse(
+            r#"
+            GHOST [0-9]+
+            %%
+            s: "a";
+            orphan: "b";
+            %%
+            "#,
+        )
+        .unwrap();
+        let lints = lint(&g);
+        assert!(has_lint(&lints, "unreachable-nonterminal"));
+        assert!(has_lint(&lints, "unused-token"));
+        // orphan's "b" is used *by orphan*, so only GHOST is unused.
+        assert_eq!(count_lints(&lints, "unused-token"), 1);
+    }
+
+    #[test]
+    fn predictive_conflict_detected() {
+        let g = Grammar::parse(
+            r#"
+            %%
+            e: e "+" "n" | "n";
+            %%
+            "#,
+        )
+        .unwrap();
+        let lints = lint(&g);
+        assert!(has_lint(&lints, "predictive-conflict"));
+        assert!(has_lint(&lints, "left-recursion"));
+    }
+
+    #[test]
+    fn lexical_overlap_detected() {
+        let g = Grammar::parse(
+            r#"
+            STRING [a-zA-Z0-9]+
+            INT    [0-9]+
+            %%
+            s: STRING INT "go";
+            %%
+            "#,
+        )
+        .unwrap();
+        let lints = lint(&g);
+        // INT ⊂ STRING at single-byte probes, and literal "go" matches
+        // STRING entirely.
+        assert!(count_lints(&lints, "lexical-overlap") >= 2, "{lints:?}");
+    }
+
+    #[test]
+    fn delimiter_interior_detected() {
+        let g = crate::builtin::json();
+        let lints = lint(&g);
+        assert!(has_lint(&lints, "delimiter-inside-token"), "{lints:?}");
+    }
+
+    #[test]
+    fn left_recursion_not_flagged_for_right_recursion() {
+        let g = Grammar::parse(
+            r#"
+            %%
+            list: "x" list | "end";
+            %%
+            "#,
+        )
+        .unwrap();
+        assert!(!has_lint(&lint(&g), "left-recursion"));
+    }
+
+    #[test]
+    fn nullable_prefix_left_recursion() {
+        // a is nullable, so `s: a s "x"` is left-recursive through it.
+        let g = Grammar::parse(
+            r#"
+            %%
+            s: a s "x" | "y";
+            a: | "z";
+            %%
+            "#,
+        )
+        .unwrap();
+        assert!(has_lint(&lint(&g), "left-recursion"));
+    }
+}

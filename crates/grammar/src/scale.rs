@@ -1,0 +1,195 @@
+//! Grammar replication for the scalability study.
+//!
+//! §4.3 of the paper: "In order to test the scalability of the
+//! architecture, larger XML grammars were created by repeatedly
+//! duplicating the 300 byte grammar. The larger grammars contained up to
+//! 400 tokens and up to 3000 bytes of pattern data."
+//!
+//! [`replicate`] performs that duplication: `n` disjoint copies of the
+//! grammar with renamed tokens and nonterminals, joined under a fresh
+//! start symbol `S -> start_1 | … | start_n`. Literal tokens are renamed
+//! by *mutating their pattern text deterministically* so that each copy
+//! really contributes distinct pattern bytes and distinct decoders, as
+//! duplicated rule sets would in the paper's generator (identical copies
+//! would share every tokenizer and defeat the measurement).
+
+use crate::ast::{Grammar, NtId, Production, Symbol, TokenDef, TokenId};
+use cfg_regex::Pattern;
+
+/// Produce a grammar `n` times the size of `g` by disjoint replication.
+///
+/// Copy 0 keeps the original token text; copy `k > 0` rewrites each
+/// literal's interior bytes deterministically (wrapping letters/digits by
+/// `k`) so patterns differ between copies. Named regex tokens keep their
+/// pattern but get renamed (`STRING__2`), which matches the paper's setup
+/// where the duplicated grammars have the same token *classes*.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn replicate(g: &Grammar, n: usize) -> Grammar {
+    assert!(n > 0, "replication factor must be positive");
+    if n == 1 {
+        return g.clone();
+    }
+
+    let mut tokens: Vec<TokenDef> = Vec::new();
+    let mut nonterminals: Vec<String> = Vec::new();
+    let mut productions: Vec<Production> = Vec::new();
+
+    // Fresh start symbol at index 0.
+    nonterminals.push("replicated_start".to_owned());
+    let start = NtId(0);
+
+    for copy in 0..n {
+        let t_base = tokens.len() as u32;
+        let nt_base = nonterminals.len() as u32;
+
+        for t in g.tokens() {
+            let (name, pattern) = if copy == 0 {
+                (t.name.clone(), t.pattern.clone())
+            } else if t.from_literal {
+                let mutated = mutate_literal(
+                    &t.pattern.as_literal().expect("literal token has literal pattern"),
+                    copy,
+                );
+                (String::from_utf8_lossy(&mutated).into_owned(), Pattern::literal(&mutated))
+            } else {
+                (format!("{}__{}", t.name, copy + 1), t.pattern.clone())
+            };
+            tokens.push(TokenDef {
+                name,
+                pattern,
+                from_literal: t.from_literal,
+                context: t.context.clone(),
+            });
+        }
+        for nt in g.nonterminals() {
+            nonterminals.push(if copy == 0 {
+                nt.clone()
+            } else {
+                format!("{}__{}", nt, copy + 1)
+            });
+        }
+        for p in g.productions() {
+            productions.push(Production {
+                lhs: NtId(nt_base + p.lhs.0),
+                rhs: p
+                    .rhs
+                    .iter()
+                    .map(|s| match s {
+                        Symbol::T(t) => Symbol::T(TokenId(t_base + t.0)),
+                        Symbol::Nt(nt) => Symbol::Nt(NtId(nt_base + nt.0)),
+                    })
+                    .collect(),
+            });
+        }
+        // S -> start_copy
+        productions.insert(
+            copy,
+            Production { lhs: start, rhs: vec![Symbol::Nt(NtId(nt_base + g.start().0))] },
+        );
+    }
+
+    Grammar::new(tokens, nonterminals, productions, start, g.delimiters())
+        .expect("replication preserves validity")
+}
+
+/// Deterministically rewrite a literal's bytes for copy `k`, keeping
+/// structural bytes (`<`, `>`, `/`, first and last byte) intact so that
+/// the result still looks like the source language. Letters rotate within
+/// their case, digits within `0-9`.
+fn mutate_literal(bytes: &[u8], copy: usize) -> Vec<u8> {
+    let k = ((copy - 1) % 25 + 1) as u8;
+    let mut out: Vec<u8> = bytes
+        .iter()
+        .map(|&b| match b {
+            b'a'..=b'z' => b'a' + (b - b'a' + k) % 26,
+            b'A'..=b'Z' => b'A' + (b - b'A' + k) % 26,
+            b'0'..=b'9' => b'0' + (b - b'0' + k) % 10,
+            other => other,
+        })
+        .collect();
+    if out == bytes {
+        // Punctuation-only literal (e.g. "("): suffix a letter so each
+        // copy still contributes distinct pattern bytes and decoders.
+        out.push(b'a' + (copy as u8 - 1) % 26);
+    }
+    out
+}
+
+/// Replicate until the grammar reaches at least `target` pattern bytes
+/// (the x-axis of Figure 15). Returns the grammar and the factor used.
+pub fn replicate_to_pattern_bytes(g: &Grammar, target: usize) -> (Grammar, usize) {
+    let base = g.pattern_bytes().max(1);
+    let factor = target.div_ceil(base).max(1);
+    (replicate(g, factor), factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_one_is_identity() {
+        let g = crate::builtin::if_then_else();
+        let r = replicate(&g, 1);
+        assert_eq!(r.tokens().len(), g.tokens().len());
+        assert_eq!(r.pattern_bytes(), g.pattern_bytes());
+    }
+
+    #[test]
+    fn replication_scales_linearly() {
+        let g = crate::builtin::if_then_else();
+        let base_bytes = g.pattern_bytes();
+        for n in [2usize, 4, 7] {
+            let r = replicate(&g, n);
+            assert_eq!(r.tokens().len(), n * g.tokens().len(), "n={n}");
+            assert_eq!(r.pattern_bytes(), n * base_bytes, "n={n}");
+            assert_eq!(
+                r.productions().len(),
+                n * (g.productions().len() + 1),
+                "n={n}"
+            );
+            // All copies reachable from the fresh start.
+            assert!(r.reachable_nonterminals().iter().all(|&b| b), "n={n}");
+            r.analyze(); // must not loop or panic
+        }
+    }
+
+    #[test]
+    fn copies_have_distinct_literals() {
+        let g = crate::builtin::balanced_parens();
+        let r = replicate(&g, 3);
+        let names: std::collections::HashSet<&str> =
+            r.tokens().iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names.len(), r.tokens().len(), "token names must be unique");
+        // "0" mutates to "2" in copy 2 (k=1) and "3" in copy 3 (k=2)... digits rotate.
+        assert!(r.token_by_name("0").is_some());
+        assert!(r.token_by_name("1").is_some());
+        assert!(r.token_by_name("2").is_some());
+    }
+
+    #[test]
+    fn mutate_preserves_structure() {
+        let m = mutate_literal(b"<methodCall>", 1);
+        assert_eq!(m[0], b'<');
+        assert_eq!(*m.last().unwrap(), b'>');
+        assert_eq!(m.len(), 12);
+        assert_ne!(m, b"<methodCall>");
+    }
+
+    #[test]
+    fn replicate_to_target() {
+        let g = crate::builtin::if_then_else();
+        let (r, factor) = replicate_to_pattern_bytes(&g, 200);
+        assert!(r.pattern_bytes() >= 200);
+        assert_eq!(factor, 200usize.div_ceil(g.pattern_bytes()));
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn zero_factor_panics() {
+        replicate(&crate::builtin::balanced_parens(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Grammar transforms.
+//!
+//! The central one is **multi-context token duplication** (§3.2 of the
+//! paper): "for streaming applications, one would want to determine the
+//! context of the tokens during the detection process. We facilitate this
+//! process by automatically duplicating the tokens used in multiple
+//! contexts and defining them as different tokens."
+//!
+//! After [`duplicate_multi_context_tokens`], every terminal *occurrence*
+//! in the production list is its own token (sharing the original pattern)
+//! carrying a [`Context`] that names the production and position. The
+//! hardware generator then instantiates one tokenizer per occurrence, and
+//! the index reported by the match identifies the grammatical role — e.g.
+//! the XML-RPC `STRING` inside `<methodName>` gets a different index from
+//! the `STRING` inside `<name>`.
+
+use crate::ast::{Context, Grammar, Production, Symbol, TokenDef, TokenId};
+
+/// Duplicate every terminal used in more than one occurrence, recording
+/// per-occurrence [`Context`]s. Terminals used exactly once keep their
+/// name but also gain a context. Unused tokens are dropped (they have no
+/// grammatical context and would never be enabled).
+pub fn duplicate_multi_context_tokens(g: &Grammar) -> Grammar {
+    // Count occurrences per original token.
+    let mut occurrences: Vec<usize> = vec![0; g.tokens().len()];
+    for p in g.productions() {
+        for s in &p.rhs {
+            if let Symbol::T(t) = s {
+                occurrences[t.index()] += 1;
+            }
+        }
+    }
+
+    let mut tokens: Vec<TokenDef> = Vec::new();
+    let mut productions: Vec<Production> = Vec::new();
+    // For singly-used tokens: the new id once allocated.
+    let mut single_id: Vec<Option<TokenId>> = vec![None; g.tokens().len()];
+
+    for (pi, p) in g.productions().iter().enumerate() {
+        let mut rhs = Vec::with_capacity(p.rhs.len());
+        for (pos, s) in p.rhs.iter().enumerate() {
+            match s {
+                Symbol::Nt(n) => rhs.push(Symbol::Nt(*n)),
+                Symbol::T(t) => {
+                    let orig = &g.tokens()[t.index()];
+                    let context = Context {
+                        production: g.nt_name(p.lhs).to_owned(),
+                        production_index: pi,
+                        position: pos,
+                    };
+                    let id = if occurrences[t.index()] == 1 {
+                        // Keep the original name; allocate on first (only) use.
+                        *single_id[t.index()].get_or_insert_with(|| {
+                            let id = TokenId(tokens.len() as u32);
+                            tokens.push(TokenDef {
+                                name: orig.name.clone(),
+                                pattern: orig.pattern.clone(),
+                                from_literal: orig.from_literal,
+                                context: Some(context.clone()),
+                            });
+                            id
+                        })
+                    } else {
+                        // One fresh token per occurrence.
+                        let id = TokenId(tokens.len() as u32);
+                        tokens.push(TokenDef {
+                            name: format!("{}@{}", orig.name, context),
+                            pattern: orig.pattern.clone(),
+                            from_literal: orig.from_literal,
+                            context: Some(context),
+                        });
+                        id
+                    };
+                    rhs.push(Symbol::T(id));
+                }
+            }
+        }
+        productions.push(Production { lhs: p.lhs, rhs });
+    }
+
+    Grammar::new(
+        tokens,
+        g.nonterminals().to_vec(),
+        productions,
+        g.start(),
+        g.delimiters(),
+    )
+    .expect("duplication preserves validity")
+}
+
+/// Map each duplicated token back to the original token id in `base`,
+/// matching by pattern. Returns `None` for tokens whose pattern does not
+/// occur in `base` (cannot happen for grammars produced by
+/// [`duplicate_multi_context_tokens`] from `base`).
+pub fn originals_of(dup: &Grammar, base: &Grammar) -> Vec<Option<TokenId>> {
+    dup.tokens()
+        .iter()
+        .map(|d| {
+            base.tokens()
+                .iter()
+                .position(|b| b.pattern == d.pattern && d.name.starts_with(b.name.as_str()))
+                .map(|i| TokenId(i as u32))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Grammar;
+
+    #[test]
+    fn xmlrpc_style_string_duplication() {
+        let g = Grammar::parse(
+            r#"
+            STRING [a-zA-Z0-9]+
+            %%
+            call: "<methodName>" STRING "</methodName>" member;
+            member: "<name>" STRING "</name>";
+            %%
+            "#,
+        )
+        .unwrap();
+        let d = duplicate_multi_context_tokens(&g);
+        // STRING appears twice => 2 instances; each literal once => kept.
+        let strings: Vec<&TokenDef> = d
+            .tokens()
+            .iter()
+            .filter(|t| t.name.starts_with("STRING"))
+            .collect();
+        assert_eq!(strings.len(), 2);
+        assert_ne!(strings[0].name, strings[1].name);
+        let ctx0 = strings[0].context.as_ref().unwrap();
+        let ctx1 = strings[1].context.as_ref().unwrap();
+        assert_eq!(ctx0.production, "call");
+        assert_eq!(ctx1.production, "member");
+
+        // FOLLOW now distinguishes the contexts.
+        let a = d.analyze();
+        let s0 = d.token_by_name(&strings[0].name).unwrap();
+        let close: Vec<&str> = a.follow_of(s0).iter().map(|t| d.token_name(t)).collect();
+        assert_eq!(close, ["</methodName>"]);
+    }
+
+    #[test]
+    fn single_use_tokens_keep_names() {
+        let g = crate::builtin::if_then_else();
+        let d = duplicate_multi_context_tokens(&g);
+        // Every token in Figure 9 occurs exactly once.
+        let names: Vec<&str> = d.tokens().iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["if", "then", "else", "go", "stop", "true", "false"]);
+        assert!(d.tokens().iter().all(|t| t.context.is_some()));
+    }
+
+    #[test]
+    fn unused_tokens_dropped() {
+        let g = Grammar::parse(
+            r#"
+            UNUSED [0-9]+
+            %%
+            s: "a";
+            %%
+            "#,
+        )
+        .unwrap();
+        assert_eq!(g.tokens().len(), 2);
+        let d = duplicate_multi_context_tokens(&g);
+        assert_eq!(d.tokens().len(), 1);
+        assert_eq!(d.tokens()[0].name, "a");
+    }
+
+    #[test]
+    fn analysis_agrees_with_paper_follow_semantics_after_dup() {
+        // Duplicating in balanced parens: "(" occurs once, ")" once, "0" once.
+        let g = crate::builtin::balanced_parens();
+        let d = duplicate_multi_context_tokens(&g);
+        assert_eq!(d.tokens().len(), 3);
+        let a = d.analyze();
+        let zero = d.token_by_name("0").unwrap();
+        let names: Vec<&str> = a.follow_of(zero).iter().map(|t| d.token_name(t)).collect();
+        assert_eq!(names, [")"]);
+    }
+
+    #[test]
+    fn originals_mapping() {
+        let g = Grammar::parse(
+            r#"
+            W [a-z]+
+            %%
+            s: "x" W "y" W;
+            %%
+            "#,
+        )
+        .unwrap();
+        let d = duplicate_multi_context_tokens(&g);
+        let map = originals_of(&d, &g);
+        let w_orig = g.token_by_name("W").unwrap();
+        let w_dups: Vec<_> = d
+            .tokens()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.name.starts_with("W@"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(w_dups.len(), 2);
+        for i in w_dups {
+            assert_eq!(map[i], Some(w_orig));
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Syntactic control flow — Figures 8–11 of the paper.
+//!
+//! The FOLLOW sets computed by `cfg_grammar::analysis` become wiring:
+//! the (combinational) match line of token `u` drives, through an OR
+//! gate, the *enable* of every token in `FOLLOW(u)` (Figure 11). Tokens
+//! in FIRST(start) are additionally enabled by the start-of-stream pulse
+//! (`StartMode::AtStart`) or permanently (`StartMode::Always`, the
+//! paper's "enabled at all times … every byte alignment" configuration).
+//!
+//! ## Delimiter arming (§3.2)
+//!
+//! "As a stream of data enters the hardware, token delimiters
+//! effectively hold the detection of the next pattern." A successor's
+//! enable must survive a run of delimiter bytes between two tokens. The
+//! paper stalls the first register of each chain with the inverted
+//! delimiter decode; we realise the same behaviour with one explicit
+//! **arm register** per token:
+//!
+//! ```text
+//! enable(t) = set_now(t) OR arm(t)
+//! set_now(t) = OR over u with t ∈ FOLLOW(u) of match_raw(u)  [OR start]
+//! arm(t).d  = enable(t) AND delim_q     -- held while delimiters pass,
+//!                                       -- cleared by the first data byte
+//! ```
+
+use cfg_grammar::{Analysis, Grammar, TokenId};
+use cfg_netlist::{NetId, NetlistBuilder};
+
+/// How the start-of-language tokens are enabled (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StartMode {
+    /// Enable FIRST(start) tokens on the start-of-stream pulse only; the
+    /// arm registers then thread enables through the sentence.
+    #[default]
+    AtStart,
+    /// Enable FIRST(start) tokens on every cycle — scans for sentences
+    /// starting at every byte alignment.
+    Always,
+}
+
+/// Per-token control nets.
+#[derive(Debug, Clone)]
+pub struct ControlNets {
+    /// Enable wire per token (drives the tokenizer's first positions).
+    pub enables: Vec<NetId>,
+    /// Arm register per token (probes/tests).
+    pub arms: Vec<NetId>,
+    /// The error-recovery resync wire, if enabled (probes/tests).
+    pub recovery: Option<NetId>,
+}
+
+/// Wire the syntactic control flow.
+///
+/// `match_raws[t]` must be the combinational match line of token `t`;
+/// `start_q` a one-cycle-delayed start pulse; `delim_q` the registered
+/// delimiter-class decode; `positions` every tokenizer position register
+/// (used by the optional §5.2 error-recovery resync logic).
+///
+/// With `error_recovery`, a wide NOR over all position and arm registers
+/// detects the *dead* state the machine enters on non-conforming input
+/// (nothing matching, nothing armed); the start tokens are then
+/// re-enabled at the next token boundary (previous byte a delimiter) so
+/// "the parser will continue processing from the point of the error"
+/// (§5.2).
+#[allow(clippy::too_many_arguments)]
+pub fn build_control(
+    b: &mut NetlistBuilder,
+    g: &Grammar,
+    analysis: &Analysis,
+    match_raws: &[NetId],
+    positions: &[NetId],
+    start_q: NetId,
+    delim_q: NetId,
+    mode: StartMode,
+    error_recovery: bool,
+) -> ControlNets {
+    let n = g.tokens().len();
+    assert_eq!(match_raws.len(), n, "one match line per token");
+
+    // Invert FOLLOW: predecessors[t] = tokens whose FOLLOW contains t.
+    let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for u in 0..n {
+        for t in analysis.follow_of(TokenId(u as u32)).iter() {
+            predecessors[t.index()].push(u);
+        }
+    }
+
+    // Phase A: arm registers first — the recovery NOR reads them, and
+    // the enables read the recovery wire.
+    let mut arms: Vec<Option<NetId>> = Vec::with_capacity(n);
+    for t in 0..n {
+        let is_start = analysis.start_set.contains(TokenId(t as u32));
+        if is_start && mode == StartMode::Always {
+            arms.push(None);
+        } else {
+            let arm = b.reg_feedback(false);
+            b.name(arm, &format!("arm_{}", g.token_name(TokenId(t as u32))));
+            arms.push(Some(arm));
+        }
+    }
+
+    let recovery = if error_recovery {
+        // dead = NOR(all position regs, all arm regs); resync when dead
+        // and the previous byte was a delimiter (token boundary).
+        let mut busy_terms: Vec<NetId> = positions.to_vec();
+        busy_terms.extend(arms.iter().flatten().copied());
+        let busy = b.or_many(&busy_terms);
+        let dead = b.not(busy);
+        let delim_qq = b.reg(delim_q, None, false);
+        b.name(delim_qq, "delim_qq");
+        let recover = b.and2(dead, delim_qq);
+        b.name(recover, "recover");
+        Some(recover)
+    } else {
+        None
+    };
+
+    // Phase B: enables and arm feedback.
+    let mut enables = Vec::with_capacity(n);
+    let mut arm_probes = Vec::with_capacity(n);
+    for t in 0..n {
+        let is_start = analysis.start_set.contains(TokenId(t as u32));
+        let Some(arm) = arms[t] else {
+            // Always-mode start token.
+            let high = b.constant(true);
+            enables.push(high);
+            arm_probes.push(high);
+            continue;
+        };
+        let mut sources: Vec<NetId> =
+            predecessors[t].iter().map(|&u| match_raws[u]).collect();
+        if is_start {
+            sources.push(start_q);
+            if let Some(r) = recovery {
+                sources.push(r);
+            }
+        }
+        sources.push(arm);
+        let enable = b.or_many(&sources);
+        b.name(enable, &format!("en_{}", g.token_name(TokenId(t as u32))));
+        let hold = b.and2(enable, delim_q);
+        b.connect_reg(arm, hold, None);
+        enables.push(enable);
+        arm_probes.push(arm);
+    }
+
+    ControlNets { enables, arms: arm_probes, recovery }
+}
+
+/// The Figure 11 edge set: `(from token, to token)` pairs the control
+/// flow wires, for tests and documentation diagrams.
+pub fn wiring_edges(g: &Grammar, analysis: &Analysis) -> Vec<(String, String)> {
+    let mut edges = Vec::new();
+    for u in 0..g.tokens().len() {
+        let from = TokenId(u as u32);
+        for t in analysis.follow_of(from).iter() {
+            edges.push((g.token_name(from).to_owned(), g.token_name(t).to_owned()));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfg_grammar::builtin;
+
+    /// Figure 11 of the paper: the tokenizer wiring of the if-then-else
+    /// grammar, exactly.
+    #[test]
+    fn figure11_edge_set() {
+        let g = builtin::if_then_else();
+        let a = g.analyze();
+        let mut edges = wiring_edges(&g, &a);
+        edges.sort();
+        let expected: Vec<(String, String)> = [
+            ("else", "go"),
+            ("else", "if"),
+            ("else", "stop"),
+            ("false", "then"),
+            ("go", "else"),
+            ("if", "false"),
+            ("if", "true"),
+            ("stop", "else"),
+            ("then", "go"),
+            ("then", "if"),
+            ("then", "stop"),
+            ("true", "then"),
+        ]
+        .iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+        assert_eq!(edges, expected);
+    }
+
+    #[test]
+    fn always_mode_ties_start_tokens_high() {
+        use cfg_netlist::Simulator;
+        let g = builtin::if_then_else();
+        let a = g.analyze();
+        let mut b = cfg_netlist::NetlistBuilder::new();
+        let start = b.input("start");
+        let delim = b.input("delim");
+        let fake_matches: Vec<_> =
+            (0..g.tokens().len()).map(|i| b.input(&format!("m{i}"))).collect();
+        let ctl = build_control(
+            &mut b, &g, &a, &fake_matches, &[], start, delim, StartMode::Always, false,
+        );
+        for (i, &en) in ctl.enables.iter().enumerate() {
+            b.output(&format!("en{i}"), en);
+        }
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let zeros = vec![0u64; 2 + g.tokens().len()];
+        sim.step(&zeros).unwrap();
+        // Start tokens (if, go, stop) are always enabled; others not.
+        for (i, tok) in g.tokens().iter().enumerate() {
+            let en = sim.output(&format!("en{i}")).unwrap() & 1;
+            let is_start = matches!(tok.name.as_str(), "if" | "go" | "stop");
+            assert_eq!(en == 1, is_start, "token {}", tok.name);
+        }
+    }
+
+    #[test]
+    fn arm_register_holds_across_delimiters() {
+        use cfg_netlist::Simulator;
+        let g = builtin::if_then_else();
+        let a = g.analyze();
+        let mut b = cfg_netlist::NetlistBuilder::new();
+        let start = b.input("start");
+        let delim = b.input("delim");
+        let fake_matches: Vec<_> =
+            (0..g.tokens().len()).map(|i| b.input(&format!("m{i}"))).collect();
+        let ctl = build_control(
+            &mut b, &g, &a, &fake_matches, &[], start, delim, StartMode::AtStart, false,
+        );
+        let then_idx = g.token_by_name("then").unwrap().index();
+        b.output("en_then", ctl.enables[then_idx]);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+
+        let true_idx = g.token_by_name("true").unwrap().index();
+        let n = g.tokens().len();
+        let mk = |start: u64, delim: u64, fire: Option<usize>| {
+            let mut v = vec![0u64; 2 + n];
+            v[0] = start;
+            v[1] = delim;
+            if let Some(f) = fire {
+                v[2 + f] = 1;
+            }
+            v
+        };
+
+        // 'true' fires while a delimiter byte is in the decode slot:
+        // enable('then') asserts immediately (set_now path)…
+        sim.step(&mk(0, 1, Some(true_idx))).unwrap();
+        assert_eq!(sim.output("en_then").unwrap() & 1, 1);
+        // …and holds through further delimiters via the arm register.
+        sim.step(&mk(0, 1, None)).unwrap();
+        assert_eq!(sim.output("en_then").unwrap() & 1, 1);
+        sim.step(&mk(0, 1, None)).unwrap();
+        assert_eq!(sim.output("en_then").unwrap() & 1, 1);
+        // A data (non-delimiter) byte consumes the arm…
+        sim.step(&mk(0, 0, None)).unwrap();
+        assert_eq!(sim.output("en_then").unwrap() & 1, 1); // still enabled this cycle
+        sim.step(&mk(0, 0, None)).unwrap();
+        assert_eq!(sim.output("en_then").unwrap() & 1, 0); // …and it is gone after
+    }
+}

@@ -1,0 +1,305 @@
+//! Character decoders — Figures 4 and 5 of the paper.
+//!
+//! Every distinct byte class used by any tokenizer position (plus the
+//! delimiter class and the lookahead continuation classes) gets one
+//! **registered decoder wire**. A singleton class is the paper's Figure 4
+//! decoder: an 8-input AND over the data bits with selective inversion.
+//! Multi-byte classes (Figure 5: `nocase`, `alphabet`, `alpha-numeric`)
+//! are OR combinations; we decompose a [`ByteSet`] into maximal *aligned
+//! power-of-two blocks*, each of which is an AND over the fixed high
+//! bits — the same structure a synthesis tool derives from a range
+//! comparison, and what keeps the decoder section's LUT budget small
+//! relative to the tokenizers (§4.3 observes ≈1 LUT/byte shrinking as
+//! the grammar grows, because decoders are shared and fixed-cost).
+//!
+//! Block comparators are hash-consed across classes, so e.g. `[0-9]` and
+//! `[a-zA-Z0-9]` share the digit blocks.
+
+use cfg_netlist::{NetId, NetlistBuilder};
+use cfg_regex::ByteSet;
+use std::collections::HashMap;
+
+/// An aligned power-of-two block of byte values: `base..base + 2^k`,
+/// with `base` a multiple of `2^k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Block {
+    /// First byte value of the block.
+    pub base: u8,
+    /// log2 of the block length (0 = single byte).
+    pub log_len: u8,
+}
+
+/// Decompose a byte set into the minimal list of maximal aligned blocks.
+pub fn aligned_blocks(set: &ByteSet) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut b: usize = 0;
+    while b < 256 {
+        if !set.contains(b as u8) {
+            b += 1;
+            continue;
+        }
+        // Largest aligned block starting at b fully inside the set.
+        let mut k = 0u8;
+        loop {
+            let next_k = k + 1;
+            let len = 1usize << next_k;
+            if next_k > 8 || !b.is_multiple_of(len) || b + len > 256 {
+                break;
+            }
+            let all_in = (b..b + len).all(|v| set.contains(v as u8));
+            if !all_in {
+                break;
+            }
+            k = next_k;
+        }
+        blocks.push(Block { base: b as u8, log_len: k });
+        b += 1usize << k;
+    }
+    blocks
+}
+
+/// The registered decoder bank shared by all tokenizers.
+#[derive(Debug)]
+pub struct DecoderBank {
+    /// Data input bits, LSB first (`data[0]` = bit 0).
+    pub data_bits: Vec<NetId>,
+    /// Registered decoder output per distinct class, keyed by the set.
+    registered: HashMap<ByteSet, NetId>,
+    /// Raw (combinational) decoder output per distinct class.
+    raw: HashMap<ByteSet, NetId>,
+    /// Hash-consed block comparators.
+    blocks: HashMap<Block, NetId>,
+}
+
+impl DecoderBank {
+    /// Create the bank and its 8 data inputs.
+    pub fn new(b: &mut NetlistBuilder) -> DecoderBank {
+        Self::with_registered_inputs(b, false)
+    }
+
+    /// Build a bank over externally supplied data-bit nets (e.g. one
+    /// registered byte lane of the §5.2 wide datapath).
+    pub fn from_data_bits(data_bits: Vec<NetId>) -> DecoderBank {
+        assert_eq!(data_bits.len(), 8, "a byte lane has eight bits");
+        DecoderBank {
+            data_bits,
+            registered: HashMap::new(),
+            raw: HashMap::new(),
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// Create the bank, optionally inserting a register stage between
+    /// the data pads and the block comparators — the paper's "register
+    /// tree to pipeline the fanout" remedy (§4.3). Costs one cycle of
+    /// uniform extra latency; combined with register replication it
+    /// bounds the data-bit fanout as well.
+    pub fn with_registered_inputs(b: &mut NetlistBuilder, registered: bool) -> DecoderBank {
+        let data_bits: Vec<NetId> = (0..8)
+            .map(|i| {
+                let pad = b.input(&format!("data{i}"));
+                if registered {
+                    let r = b.reg(pad, None, false);
+                    b.name(r, &format!("data{i}_q"));
+                    r
+                } else {
+                    pad
+                }
+            })
+            .collect();
+        DecoderBank {
+            data_bits,
+            registered: HashMap::new(),
+            raw: HashMap::new(),
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// Combinational comparator for one aligned block: AND over the
+    /// fixed high bits, inverted where the base has a zero (Figure 4).
+    fn block_net(&mut self, b: &mut NetlistBuilder, blk: Block) -> NetId {
+        if let Some(&net) = self.blocks.get(&blk) {
+            return net;
+        }
+        let fixed_bits = 8 - blk.log_len as usize;
+        let net = if fixed_bits == 0 {
+            b.constant(true)
+        } else {
+            let mut terms = Vec::with_capacity(fixed_bits);
+            for bit in (blk.log_len as usize)..8 {
+                let wire = self.data_bits[bit];
+                if blk.base & (1 << bit) != 0 {
+                    terms.push(wire);
+                } else {
+                    terms.push(b.not(wire));
+                }
+            }
+            b.and_many(&terms)
+        };
+        b.name(net, &format!("blk_{:02x}_{}", blk.base, blk.log_len));
+        self.blocks.insert(blk, net);
+        net
+    }
+
+    /// Raw (combinational, same-cycle) decode of a class.
+    pub fn raw_class(&mut self, b: &mut NetlistBuilder, set: ByteSet) -> NetId {
+        if let Some(&net) = self.raw.get(&set) {
+            return net;
+        }
+        let nets: Vec<NetId> = aligned_blocks(&set)
+            .into_iter()
+            .map(|blk| self.block_net(b, blk))
+            .collect();
+        let net = b.or_many(&nets);
+        b.name(net, &format!("dec_{}", sanitize(&set.describe())));
+        self.raw.insert(set, net);
+        net
+    }
+
+    /// Registered decode of a class: high during the cycle *after* the
+    /// byte was presented — the alignment every tokenizer position uses.
+    pub fn class(&mut self, b: &mut NetlistBuilder, set: ByteSet) -> NetId {
+        if let Some(&net) = self.registered.get(&set) {
+            return net;
+        }
+        let raw = self.raw_class(b, set);
+        let reg = b.reg(raw, None, false);
+        b.name(reg, &format!("decq_{}", sanitize(&set.describe())));
+        self.registered.insert(set, reg);
+        reg
+    }
+
+    /// Number of distinct registered classes built so far.
+    pub fn class_count(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// Number of distinct block comparators built so far.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfg_netlist::Simulator;
+
+    #[test]
+    fn aligned_block_decomposition() {
+        // [0-9] = 0x30..0x38 (8) + 0x38..0x3a (2).
+        let blocks = aligned_blocks(&ByteSet::digits());
+        assert_eq!(
+            blocks,
+            vec![
+                Block { base: 0x30, log_len: 3 },
+                Block { base: 0x38, log_len: 1 },
+            ]
+        );
+        // Singleton.
+        assert_eq!(
+            aligned_blocks(&ByteSet::singleton(b'a')),
+            vec![Block { base: 0x61, log_len: 0 }]
+        );
+        // Full set = one 256-block.
+        assert_eq!(aligned_blocks(&ByteSet::FULL), vec![Block { base: 0, log_len: 8 }]);
+        // Empty set.
+        assert!(aligned_blocks(&ByteSet::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn blocks_cover_exactly() {
+        for set in [
+            ByteSet::alphanumeric(),
+            ByteSet::whitespace(),
+            ByteSet::dot(),
+            ByteSet::range(b'!', b'~'),
+            ByteSet::singleton(b'<').complement(),
+        ] {
+            let blocks = aligned_blocks(&set);
+            let mut covered = ByteSet::EMPTY;
+            for blk in &blocks {
+                let len = 1usize << blk.log_len;
+                for v in blk.base as usize..blk.base as usize + len {
+                    assert!(!covered.contains(v as u8), "overlap at {v:#x}");
+                    covered.insert(v as u8);
+                }
+            }
+            assert_eq!(covered, set);
+        }
+    }
+
+    fn byte_inputs(v: u8) -> Vec<u64> {
+        (0..8).map(|i| if v & (1 << i) != 0 { u64::MAX } else { 0 }).collect()
+    }
+
+    #[test]
+    fn decoder_truth_table() {
+        let mut b = NetlistBuilder::new();
+        let mut bank = DecoderBank::new(&mut b);
+        let digit = bank.raw_class(&mut b, ByteSet::digits());
+        let lt = bank.raw_class(&mut b, ByteSet::singleton(b'<'));
+        let alnum = bank.raw_class(&mut b, ByteSet::alphanumeric());
+        b.output("digit", digit);
+        b.output("lt", lt);
+        b.output("alnum", alnum);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+
+        for v in 0..=255u8 {
+            sim.step(&byte_inputs(v)).unwrap();
+            assert_eq!(
+                sim.output("digit").unwrap() & 1 == 1,
+                v.is_ascii_digit(),
+                "digit({v:#x})"
+            );
+            assert_eq!(sim.output("lt").unwrap() & 1 == 1, v == b'<', "lt({v:#x})");
+            assert_eq!(
+                sim.output("alnum").unwrap() & 1 == 1,
+                v.is_ascii_alphanumeric(),
+                "alnum({v:#x})"
+            );
+        }
+    }
+
+    #[test]
+    fn registered_decoder_is_one_cycle_late() {
+        let mut b = NetlistBuilder::new();
+        let mut bank = DecoderBank::new(&mut b);
+        let q = bank.class(&mut b, ByteSet::singleton(b'x'));
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.step(&byte_inputs(b'x')).unwrap();
+        // Registered value read post-step reflects the byte just fed.
+        assert_eq!(sim.output("q").unwrap() & 1, 1);
+        sim.step(&byte_inputs(b'y')).unwrap();
+        assert_eq!(sim.output("q").unwrap() & 1, 0);
+    }
+
+    #[test]
+    fn sharing_across_classes() {
+        let mut b = NetlistBuilder::new();
+        let mut bank = DecoderBank::new(&mut b);
+        let _d = bank.class(&mut b, ByteSet::digits());
+        let before = bank.block_count();
+        // alphanumeric contains the digit blocks: they must be reused.
+        let _a = bank.class(&mut b, ByteSet::alphanumeric());
+        let after = bank.block_count();
+        let digit_blocks = aligned_blocks(&ByteSet::digits()).len();
+        let alnum_blocks = aligned_blocks(&ByteSet::alphanumeric()).len();
+        assert_eq!(after - before, alnum_blocks - digit_blocks);
+        assert_eq!(bank.class_count(), 2);
+
+        // Same class twice: no new nets.
+        let n_before = b.len();
+        let _d2 = bank.class(&mut b, ByteSet::digits());
+        assert_eq!(b.len(), n_before);
+    }
+}

@@ -1,0 +1,466 @@
+//! Token index encoder — §3.4 of the paper (equations 1–5).
+//!
+//! Each tokenizer contributes a 1-bit registered match line; the encoder
+//! reports the *index* of the matching token. The paper's construction is
+//! a **binary tree of OR gates** with a register after every level
+//! ("structure the index encoder to insert a register at the output of
+//! each LUT"): placing token `t`'s line at leaf position `code(t)`,
+//! index bit `ℓ` is the OR of the *odd* nodes at level `ℓ` of the tree
+//! (equations 1–4 show the 15-input case). All bit paths are
+//! delay-balanced so the full index emerges aligned.
+//!
+//! **Priority indices (equation 5).** Tokens that can assert in the same
+//! cycle (duplicated tokens, or tokens whose languages overlap at a
+//! common end byte) would OR their codes together. Equation 5 requires
+//! `I_n | I_{n-1} | … | I_0 = I_n` within such a conflict set, which a
+//! prefix-ones chain satisfies: codes `0b1, 0b11, 0b111, …` shifted into
+//! a bit range dedicated to the set. [`assign_slots`] implements that
+//! allocation; [`conflict_groups`] derives conservative conflict sets
+//! from the token patterns.
+//!
+//! A deliberately *naive* priority-chain encoder
+//! ([`build_naive_encoder`]) is provided for the ablation bench: the
+//! paper notes that "in a naive implementation … the index encoder is
+//! almost always the critical path for the entire system".
+
+use cfg_grammar::Grammar;
+use cfg_netlist::{NetId, NetlistBuilder};
+
+/// The encoder's output nets.
+#[derive(Debug, Clone)]
+pub struct EncoderNets {
+    /// Index bits, LSB first.
+    pub index_bits: Vec<NetId>,
+    /// OR of all match lines (delay-balanced with the index bits).
+    pub match_any: NetId,
+    /// Cycles from a match line asserting to the index appearing.
+    pub latency: u64,
+}
+
+/// Code assignment for the encoder inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotAssignment {
+    /// `codes[t]` = encoder leaf position of token `t` (nonzero).
+    pub codes: Vec<usize>,
+    /// Index width in bits.
+    pub width: usize,
+}
+
+/// Hard cap on the index width: an encoder allocates `2^width` tree
+/// leaves, and the paper's back-end interface has a fixed pin budget
+/// ("the maximum number of indices for each set is equal to the number
+/// of index output pins", §3.4).
+pub const MAX_INDEX_WIDTH: usize = 20;
+
+/// Assign encoder codes. `groups` are disjoint conflict sets (token
+/// indices in ascending priority: the **last** member wins an OR).
+/// Tokens outside any group receive arbitrary unique nonzero codes.
+///
+/// Priority chains consume one dedicated index bit per member, so only
+/// the groups that fit the pin budget get them (smallest groups first —
+/// they are the common duplicated-literal cases); oversized groups fall
+/// back to ordinary unique codes, the paper's "divide the set … each
+/// subset can have its own index encoder" escape hatch left to the
+/// back-end.
+pub fn assign_slots(n: usize, groups: &[Vec<usize>]) -> SlotAssignment {
+    let bits_needed = (usize::BITS as usize - n.leading_zeros() as usize).max(1);
+    let budget = (bits_needed + 6).min(MAX_INDEX_WIDTH);
+    // Grant chain bits to the smallest groups first, within budget.
+    let mut chained: Vec<&Vec<usize>> = Vec::new();
+    let mut chain_bits = 0usize;
+    let mut by_size: Vec<&Vec<usize>> = groups.iter().filter(|g| g.len() > 1).collect();
+    by_size.sort_by_key(|g| g.len());
+    for g in by_size {
+        if chain_bits + g.len() <= budget {
+            chain_bits += g.len();
+            chained.push(g);
+        }
+    }
+    let mut width = chain_bits.max(bits_needed);
+    loop {
+        let mut codes = vec![0usize; n];
+        let mut used = std::collections::HashSet::new();
+        let mut base = 0usize;
+        for g in &chained {
+            for (j, &t) in g.iter().enumerate() {
+                let code = ((1usize << (j + 1)) - 1) << base;
+                codes[t] = code;
+                used.insert(code);
+            }
+            base += g.len();
+        }
+        // Singleton groups and ungrouped tokens: smallest unused codes.
+        let mut next = 1usize;
+        let mut ok = true;
+        for code in codes.iter_mut().filter(|c| **c == 0) {
+            while used.contains(&next) {
+                next += 1;
+            }
+            if next >= 1 << width {
+                ok = false;
+                break;
+            }
+            *code = next;
+            used.insert(next);
+        }
+        if ok {
+            return SlotAssignment { codes, width };
+        }
+        width += 1;
+    }
+}
+
+/// Derive conservative conflict sets: tokens that may assert their match
+/// lines in the same cycle. Two tokens conflict when
+///
+/// * their patterns are identical (context-duplicated tokens), or
+/// * both are literals and one is a suffix of the other, or
+/// * at least one is a regular expression and the byte classes of their
+///   last positions intersect (e.g. `INT` and `STRING` both end on a
+///   digit).
+///
+/// Members are ordered ascending by priority: more pattern bytes = more
+/// specific = higher priority (ties broken by lower token id).
+pub fn conflict_groups(g: &Grammar) -> Vec<Vec<usize>> {
+    let n = g.tokens().len();
+    let toks = g.tokens();
+    let last_class = |i: usize| {
+        let t = toks[i].pattern.template();
+        t.last
+            .iter()
+            .fold(cfg_regex::ByteSet::EMPTY, |acc, &p| acc.union(t.positions[p]))
+    };
+    let conflicts = |a: usize, b: usize| -> bool {
+        let (pa, pb) = (&toks[a].pattern, &toks[b].pattern);
+        if pa == pb {
+            return true;
+        }
+        match (pa.as_literal(), pb.as_literal()) {
+            (Some(la), Some(lb)) => la.ends_with(&lb) || lb.ends_with(&la),
+            _ => last_class(a).intersects(last_class(b)),
+        }
+    };
+
+    // Union-find over conflicting pairs.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    for a in 0..n {
+        for b in a + 1..n {
+            if conflicts(a, b) {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+    for t in 0..n {
+        let r = find(&mut parent, t);
+        groups.entry(r).or_default().push(t);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() > 1).collect();
+    for g in &mut out {
+        // Ascending priority: fewest pattern bytes first, higher id first
+        // on ties (so the earliest-declared token wins).
+        g.sort_by_key(|&t| (toks[t].pattern.pattern_bytes(), usize::MAX - t));
+    }
+    out.sort();
+    out
+}
+
+/// Pipelined OR tree (fanin 4, one register per level). Returns the root
+/// and the number of register stages.
+fn or_tree_pipelined(b: &mut NetlistBuilder, inputs: &[NetId]) -> (NetId, u64) {
+    let mut layer: Vec<NetId> = inputs.to_vec();
+    let mut stages = 0u64;
+    if layer.is_empty() {
+        return (b.constant(false), 0);
+    }
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(4));
+        for chunk in layer.chunks(4) {
+            let or = b.or_many(chunk);
+            next.push(b.reg(or, None, false));
+        }
+        layer = next;
+        stages += 1;
+    }
+    (layer[0], stages)
+}
+
+/// Build the paper's pipelined binary-tree index encoder.
+///
+/// `lines[t]` is token `t`'s registered match line; `codes`/`width` come
+/// from [`assign_slots`].
+pub fn build_paper_encoder(
+    b: &mut NetlistBuilder,
+    lines: &[NetId],
+    assignment: &SlotAssignment,
+) -> EncoderNets {
+    let width = assignment.width;
+    let size = 1usize << width;
+    let zero = b.constant(false);
+
+    // Leaves: match lines at their code positions.
+    let mut level: Vec<NetId> = vec![zero; size];
+    for (t, &line) in lines.iter().enumerate() {
+        let code = assignment.codes[t];
+        // Two tokens share a leaf only if codes collide, which
+        // assign_slots prevents; OR defensively anyway.
+        level[code] = b.or2(level[code], line);
+    }
+
+    // Binary tree, registering each level; collect the odd nodes of each
+    // level for the index-bit equations.
+    let mut odd_nodes: Vec<Vec<NetId>> = Vec::with_capacity(width);
+    for _bit in 0..width {
+        odd_nodes.push(level.iter().skip(1).step_by(2).copied().collect());
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            let or = b.or2(pair[0], pair[1]);
+            if let Some(false) = const_of(b, or) {
+                next.push(or); // constant-false subtree: no register needed
+            } else {
+                next.push(b.reg(or, None, false));
+            }
+        }
+        level = next;
+        debug_assert!(!level.is_empty());
+    }
+    let root = level[0]; // latency = width (where populated)
+
+    // Per-bit OR over the odd nodes (equations 1–4), pipelined; then
+    // delay-balance every path to the worst latency.
+    let mut paths: Vec<(NetId, u64)> = Vec::with_capacity(width + 1);
+    for (bit, nodes) in odd_nodes.iter().enumerate() {
+        let live: Vec<NetId> = nodes
+            .iter()
+            .copied()
+            .filter(|&n| const_of(b, n) != Some(false))
+            .collect();
+        let (net, stages) = or_tree_pipelined(b, &live);
+        paths.push((net, bit as u64 + stages));
+    }
+    paths.push((root, width as u64)); // match_any
+
+    let total = paths.iter().map(|&(_, l)| l).max().unwrap_or(0);
+    let balanced: Vec<NetId> = paths
+        .iter()
+        .map(|&(net, l)| b.delay_chain(net, (total - l) as usize))
+        .collect();
+
+    let index_bits = balanced[..width].to_vec();
+    let match_any = balanced[width];
+    for (i, &bit) in index_bits.iter().enumerate() {
+        b.name(bit, &format!("index{i}"));
+    }
+    b.name(match_any, "match_any");
+    EncoderNets { index_bits, match_any, latency: total }
+}
+
+/// Naive priority-chain encoder for the ablation bench: a combinational
+/// serial grant chain (`grant_t = line_t AND no higher-priority line`)
+/// followed by a single output register. Its logic depth grows linearly
+/// with the token count — the paper's "critical path" warning.
+pub fn build_naive_encoder(
+    b: &mut NetlistBuilder,
+    lines: &[NetId],
+    assignment: &SlotAssignment,
+) -> EncoderNets {
+    let width = assignment.width;
+    // Higher token id = higher priority (mirrors a trailing CASE arm).
+    let mut grants = Vec::with_capacity(lines.len());
+    let mut higher = b.constant(false);
+    for &line in lines.iter().rev() {
+        let nh = b.not(higher);
+        grants.push(b.and2(line, nh));
+        higher = b.or2(higher, line);
+    }
+    grants.reverse();
+
+    let mut index_bits = Vec::with_capacity(width);
+    for bit in 0..width {
+        let sel: Vec<NetId> = grants
+            .iter()
+            .enumerate()
+            .filter(|(t, _)| assignment.codes[*t] >> bit & 1 == 1)
+            .map(|(_, &g)| g)
+            .collect();
+        let or = b.or_many(&sel);
+        index_bits.push(b.reg(or, None, false));
+    }
+    let match_any = b.reg(higher, None, false);
+    EncoderNets { index_bits, match_any, latency: 1 }
+}
+
+/// Constant value of a net if it is a constant: constant-false subtrees
+/// (empty leaf ranges) need neither registers nor delay balancing.
+fn const_of(b: &NetlistBuilder, net: NetId) -> Option<bool> {
+    b.const_value_of(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfg_netlist::Simulator;
+
+    #[test]
+    fn slot_assignment_unique_nonzero() {
+        let a = assign_slots(10, &[]);
+        let mut seen = std::collections::HashSet::new();
+        for &c in &a.codes {
+            assert!(c > 0);
+            assert!(c < 1 << a.width);
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn slot_assignment_eq5_within_groups() {
+        // Two conflict groups of sizes 3 and 2.
+        let groups = vec![vec![0, 1, 2], vec![3, 4]];
+        let a = assign_slots(6, &groups);
+        for g in &groups {
+            let codes: Vec<usize> = g.iter().map(|&t| a.codes[t]).collect();
+            // OR of any prefix = the last (highest-priority) element.
+            for i in 0..codes.len() {
+                let or = codes[..=i].iter().fold(0, |x, &y| x | y);
+                assert_eq!(or, codes[i], "equation 5 violated: {codes:?}");
+            }
+        }
+        // All codes still unique.
+        let mut seen = std::collections::HashSet::new();
+        assert!(a.codes.iter().all(|&c| seen.insert(c)));
+    }
+
+    fn run_encoder(naive: bool) {
+        // 5 token lines driven directly as inputs.
+        let n = 5;
+        let assignment = assign_slots(n, &[]);
+        let mut b = cfg_netlist::NetlistBuilder::new();
+        let lines: Vec<NetId> = (0..n).map(|i| b.input(&format!("m{i}"))).collect();
+        let enc = if naive {
+            build_naive_encoder(&mut b, &lines, &assignment)
+        } else {
+            build_paper_encoder(&mut b, &lines, &assignment)
+        };
+        for (i, &bit) in enc.index_bits.iter().enumerate() {
+            b.output(&format!("i{i}"), bit);
+        }
+        b.output("any", enc.match_any);
+        let latency = enc.latency;
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+
+        for t in 0..n {
+            sim.reset();
+            // Pulse line t for one cycle, then run out the latency.
+            let mut inputs = vec![0u64; n];
+            inputs[t] = 1;
+            sim.step(&inputs).unwrap();
+            let zeros = vec![0u64; n];
+            for _ in 1..latency.max(1) {
+                sim.step(&zeros).unwrap();
+            }
+            let mut idx = 0usize;
+            for i in 0..assignment.width {
+                if sim.output(&format!("i{i}")).unwrap() & 1 != 0 {
+                    idx |= 1 << i;
+                }
+            }
+            assert_eq!(idx, assignment.codes[t], "token {t} (naive={naive})");
+            assert_eq!(sim.output("any").unwrap() & 1, 1);
+            // One more cycle: everything clears.
+            sim.step(&zeros).unwrap();
+            assert_eq!(sim.output("any").unwrap() & 1, 0);
+        }
+    }
+
+    #[test]
+    fn paper_encoder_reports_codes() {
+        run_encoder(false);
+    }
+
+    #[test]
+    fn naive_encoder_reports_codes() {
+        run_encoder(true);
+    }
+
+    #[test]
+    fn paper_encoder_priority_or() {
+        // Conflict group {0,1}: simultaneous assertion must yield the
+        // higher-priority (index 1) code — equation 5 in action.
+        let assignment = assign_slots(2, &[vec![0, 1]]);
+        let mut b = cfg_netlist::NetlistBuilder::new();
+        let lines: Vec<NetId> = (0..2).map(|i| b.input(&format!("m{i}"))).collect();
+        let enc = build_paper_encoder(&mut b, &lines, &assignment);
+        for (i, &bit) in enc.index_bits.iter().enumerate() {
+            b.output(&format!("i{i}"), bit);
+        }
+        let latency = enc.latency;
+        let width = assignment.width;
+        let codes = assignment.codes.clone();
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+
+        sim.step(&[1, 1]).unwrap();
+        for _ in 1..latency {
+            sim.step(&[0, 0]).unwrap();
+        }
+        let mut idx = 0usize;
+        for i in 0..width {
+            if sim.output(&format!("i{i}")).unwrap() & 1 != 0 {
+                idx |= 1 << i;
+            }
+        }
+        assert_eq!(idx, codes[1]);
+    }
+
+    #[test]
+    fn conflict_groups_for_duplicated_tokens() {
+        let g = cfg_grammar::Grammar::parse(
+            r#"
+            STRING [a-zA-Z0-9]+
+            INT    [0-9]+
+            %%
+            s: "<a>" STRING "</a>" INT;
+            %%
+            "#,
+        )
+        .unwrap();
+        let groups = conflict_groups(&g);
+        // STRING and INT overlap (both can end on a digit) → one group.
+        let si: Vec<usize> = vec![
+            g.token_by_name("STRING").unwrap().index(),
+            g.token_by_name("INT").unwrap().index(),
+        ];
+        assert!(groups.iter().any(|grp| si.iter().all(|t| grp.contains(t))));
+        // "<a>" and "</a>" are literals, neither a suffix of the other.
+        let a = g.token_by_name("<a>").unwrap().index();
+        let ca = g.token_by_name("</a>").unwrap().index();
+        assert!(!groups
+            .iter()
+            .any(|grp| grp.contains(&a) && grp.contains(&ca)));
+    }
+
+    #[test]
+    fn suffix_literals_conflict() {
+        let g = cfg_grammar::Grammar::parse("%%\ns: \"cat\" \"concat\";\n%%\n").unwrap();
+        let groups = conflict_groups(&g);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+        // Priority ascending by specificity: "cat" (3 bytes) before
+        // "concat" (6 bytes).
+        let names: Vec<&str> = groups[0].iter().map(|&t| {
+            g.tokens()[t].name.as_str()
+        }).collect();
+        assert_eq!(names, ["cat", "concat"]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Tokenizer pipelines — Figures 6 and 7 of the paper.
+//!
+//! A tokenizer is instantiated from a token's Glushkov template
+//! ([`cfg_regex::Template`]): **one pipeline register per pattern
+//! position**. Position `p` fires (its register goes high) when its byte
+//! class decoded and either a predecessor position fired on the previous
+//! byte or — for `first` positions — the token's enable was asserted by
+//! the syntactic control flow.
+//!
+//! The paper's regular-expression templates map as follows:
+//!
+//! * sequencing (Fig. 6a) — `follow` edges between consecutive positions;
+//! * `!a` (Fig. 6b) — a complemented byte class (no special gate);
+//! * `a?` (Fig. 6c) — `follow` edges that skip the optional position;
+//! * `a+`/`a*` (Fig. 6d) — self-loop `follow` edges;
+//! * longest match (Fig. 7) — a last position only asserts the match
+//!   when the *next* byte cannot continue the token from it. In this
+//!   implementation the registered class decoders are one cycle behind
+//!   the raw input, so when position `p` (byte `c`) is readable, the
+//!   registered decode of byte `c+1` is readable in the same cycle: the
+//!   lookahead needs one AND gate with the inverted continuation-class
+//!   decoder, and no extra delay register.
+//!
+//! ## Pipeline timing
+//!
+//! Byte `c` is presented on cycle `c`. Registered class decoders show it
+//! during cycle `c+1`; the position register for byte `c` is readable
+//! during cycle `c+2`; `match_raw` is a combinational function of that
+//! cycle. Reading nets after `Simulator::step(s)` therefore reports
+//! matches whose lexeme *ends at byte `s − MATCH_LATENCY`*.
+
+use crate::decoder::DecoderBank;
+use cfg_netlist::{NetId, NetlistBuilder};
+use cfg_regex::Template;
+
+/// Cycles between a token's final byte entering the circuit and
+/// `match_raw` being observable post-step (see module docs).
+pub const MATCH_LATENCY: u64 = 2;
+
+/// The nets of one generated tokenizer.
+#[derive(Debug, Clone)]
+pub struct TokenizerNets {
+    /// Combinational match line (the Figure 7 output): high during the
+    /// cycle aligned with the lexeme's final byte + [`MATCH_LATENCY`].
+    pub match_raw: NetId,
+    /// Registered match line feeding the index encoder.
+    pub match_q: NetId,
+    /// One pipeline register per Glushkov position (probes/tests).
+    pub positions: Vec<NetId>,
+}
+
+/// A tokenizer whose position registers and match taps exist but whose
+/// enable has not been connected yet.
+///
+/// The syntactic control flow needs every token's `match_raw` to build
+/// the enables, and every tokenizer needs its enable to connect its
+/// first-position registers — a cycle broken by building in two phases:
+/// [`TokenizerSkeleton::build`] then [`TokenizerSkeleton::connect`].
+/// (The cycle is not combinational: enables reach `match_raw` only
+/// through the position registers.)
+#[derive(Debug, Clone)]
+pub struct TokenizerSkeleton {
+    template: Template,
+    name: String,
+    /// The nets, fully formed except for first-position enables.
+    pub nets: TokenizerNets,
+}
+
+impl TokenizerSkeleton {
+    /// Phase 1: create the position registers and match taps.
+    pub fn build(
+        b: &mut NetlistBuilder,
+        bank: &mut DecoderBank,
+        template: &Template,
+        longest_match: bool,
+        name: &str,
+    ) -> TokenizerSkeleton {
+        let n = template.positions.len();
+        debug_assert!(n > 0, "token patterns are non-nullable");
+
+        // Position registers, as feedback placeholders: self-loops and
+        // backward follow edges (repeats) reference later positions, and
+        // the D inputs need the enable from phase 2.
+        let positions: Vec<NetId> = (0..n)
+            .map(|p| {
+                let r = b.reg_feedback(false);
+                b.name(r, &format!("tok_{name}_pos{p}"));
+                r
+            })
+            .collect();
+
+        // Match taps: last positions, with the longest-match lookahead
+        // gate (Figure 7).
+        let mut taps = Vec::with_capacity(template.last.len());
+        for &p in &template.last {
+            let cont = template.continuation_class(p);
+            let tap = if longest_match && !cont.is_empty() {
+                let cont_q = bank.class(b, cont);
+                let not_cont = b.not(cont_q);
+                b.and2(positions[p], not_cont)
+            } else {
+                positions[p]
+            };
+            taps.push(tap);
+        }
+        let match_raw = b.or_many(&taps);
+        b.name(match_raw, &format!("tok_{name}_match"));
+        let match_q = b.reg(match_raw, None, false);
+        b.name(match_q, &format!("tok_{name}_match_q"));
+
+        TokenizerSkeleton {
+            template: template.clone(),
+            name: name.to_owned(),
+            nets: TokenizerNets { match_raw, match_q, positions },
+        }
+    }
+
+    /// Phase 2: connect the position registers' D inputs, enabling the
+    /// first positions from `enable`.
+    #[allow(clippy::needless_range_loop)] // three parallel arrays indexed by p
+    pub fn connect(&self, b: &mut NetlistBuilder, bank: &mut DecoderBank, enable: NetId) {
+        let n = self.template.positions.len();
+        // Predecessors of each position (reverse of the follow relation).
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (p, follows) in self.template.follow.iter().enumerate() {
+            for &q in follows {
+                preds[q].push(p);
+            }
+        }
+        for p in 0..n {
+            let class_q = bank.class(b, self.template.positions[p]);
+            let mut sources: Vec<NetId> =
+                preds[p].iter().map(|&q| self.nets.positions[q]).collect();
+            if self.template.first.contains(&p) {
+                sources.push(enable);
+            }
+            let armed = b.or_many(&sources);
+            let d = b.and2(class_q, armed);
+            b.connect_reg(self.nets.positions[p], d, None);
+        }
+        let _ = &self.name;
+    }
+}
+
+/// Instantiate a complete tokenizer with a fixed enable (convenience for
+/// tests and single-token uses; the full generator uses the two-phase
+/// [`TokenizerSkeleton`]).
+pub fn build_tokenizer(
+    b: &mut NetlistBuilder,
+    bank: &mut DecoderBank,
+    template: &Template,
+    enable: NetId,
+    longest_match: bool,
+    name: &str,
+) -> TokenizerNets {
+    let sk = TokenizerSkeleton::build(b, bank, template, longest_match, name);
+    sk.connect(b, bank, enable);
+    sk.nets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfg_netlist::Simulator;
+    use cfg_regex::Pattern;
+
+    /// Drive a single tokenizer with a constant-true enable and report
+    /// the end-byte offsets at which `match_raw` asserts.
+    fn run(pattern: &str, input: &[u8], longest: bool) -> Vec<i64> {
+        let pat = Pattern::parse(pattern).unwrap();
+        let mut b = NetlistBuilder::new();
+        let mut bank = DecoderBank::new(&mut b);
+        let en = b.constant(true);
+        let t = build_tokenizer(&mut b, &mut bank, pat.template(), en, longest, "t");
+        // Observe the registered match line: post-step reads of `match_q`
+        // have uniform latency whether or not `match_raw` collapsed to a
+        // bare position register (single-tap tokens).
+        b.output("m", t.match_q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+
+        let mut ends = Vec::new();
+        // Feed the input plus flush padding for the lookahead.
+        let padded: Vec<u8> = input.iter().copied().chain([b' ', b' ', b' ']).collect();
+        for (s, &byte) in padded.iter().enumerate() {
+            let inputs: Vec<u64> =
+                (0..8).map(|i| if byte & (1 << i) != 0 { u64::MAX } else { 0 }).collect();
+            sim.step(&inputs).unwrap();
+            if sim.output("m").unwrap() & 1 != 0 {
+                ends.push(s as i64 - MATCH_LATENCY as i64 + 1); // exclusive end
+            }
+        }
+        ends
+    }
+
+    #[test]
+    fn literal_chain_matches_once() {
+        assert_eq!(run("abc", b"abc", true), vec![3]);
+        assert_eq!(run("abc", b"ab", true), Vec::<i64>::new());
+        // Enable is tied high here, so the chain restarts at every byte.
+        assert_eq!(run("abc", b"xabc", true), vec![4]);
+    }
+
+    #[test]
+    fn always_enabled_matches_at_any_alignment() {
+        // With enable tied high the chain restarts at every byte, the
+        // paper's "every byte alignment" mode.
+        assert_eq!(run("bc", b"abcabc", true), vec![3, 6]);
+    }
+
+    #[test]
+    fn one_or_more_longest_match() {
+        // Figure 7: a+ over "aaab" asserts once, at the end of the run.
+        assert_eq!(run("a+", b"aaab", true), vec![3]);
+        // Without the lookahead gate it asserts at every 'a'.
+        assert_eq!(run("a+", b"aaab", false), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn optional_and_classes() {
+        assert_eq!(run("[+-]?[0-9]+", b"-12 ", true), vec![3]);
+        assert_eq!(run("[+-]?[0-9]+", b"7 ", true), vec![1]);
+        assert_eq!(run(r"[+-]?[0-9]+\.[0-9]+", b"3.14 ", true), vec![4]);
+    }
+
+    #[test]
+    fn alternation_tokenizer() {
+        assert_eq!(run("go|stop", b"go stop", true), vec![2, 7]);
+    }
+
+    #[test]
+    fn complement_class() {
+        // !x = any byte except 'x'.
+        assert_eq!(run("a!xb", b"ayb", true), vec![3]);
+        assert_eq!(run("a!xb", b"axb", true), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn tokenizer_agrees_with_reference_nfa_on_random_inputs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let patterns = ["[a-c]+", "ab|ac|ad", "x[0-9]*y", "(ab)+", "a?b?c"];
+        for pattern in patterns {
+            let pat = Pattern::parse(pattern).unwrap();
+            for _ in 0..30 {
+                let len = rng.random_range(1..10);
+                let input: Vec<u8> =
+                    (0..len).map(|_| *b"abcdxy0123 ".choose(&mut rng).unwrap()).collect();
+                // Hardware asserts for matches starting at ANY offset
+                // (enable tied high); mirror with the NFA from each start.
+                let mut expected: Vec<i64> = Vec::new();
+                for s in 0..input.len() {
+                    for e in pat.nfa().hardware_ends(&input, s) {
+                        expected.push(e as i64);
+                    }
+                }
+                expected.sort_unstable();
+                expected.dedup();
+                let mut got = run(pattern, &input, true);
+                got.sort_unstable();
+                got.dedup();
+                assert_eq!(got, expected, "pattern {pattern} input {input:?}");
+            }
+        }
+    }
+}

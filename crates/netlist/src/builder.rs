@@ -1,0 +1,285 @@
+//! Netlist construction API.
+//!
+//! [`NetlistBuilder`] provides the gate vocabulary the hardware generator
+//! uses, with light constant folding and trivial-gate collapsing so that
+//! generated circuits do not carry degenerate one-input gates.
+
+use crate::ir::{Net, NetId, Netlist, Op};
+
+/// Builds a [`Netlist`] incrementally.
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    nl: Netlist,
+    /// Hash-consed constant nets (folding-heavy callers like the index
+    /// encoder request the same constant millions of times).
+    consts: [Option<NetId>; 2],
+}
+
+impl NetlistBuilder {
+    /// A fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, op: Op, name: Option<String>) -> NetId {
+        let id = NetId(self.nl.nets.len() as u32);
+        self.nl.nets.push(Net { op, name });
+        id
+    }
+
+    /// Declare an external input.
+    pub fn input(&mut self, name: &str) -> NetId {
+        let id = self.push(Op::Input, Some(name.to_owned()));
+        self.nl.inputs.push(id);
+        id
+    }
+
+    /// A constant wire (hash-consed: repeated requests share one net).
+    pub fn constant(&mut self, value: bool) -> NetId {
+        if let Some(id) = self.consts[value as usize] {
+            return id;
+        }
+        let id = self.push(Op::Const(value), None);
+        self.consts[value as usize] = Some(id);
+        id
+    }
+
+    fn const_value(&self, id: NetId) -> Option<bool> {
+        match self.nl.nets[id.index()].op {
+            Op::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The constant value of a net, if it is a constant — lets callers
+    /// skip registering/delaying wires that can never assert.
+    pub fn const_value_of(&self, id: NetId) -> Option<bool> {
+        self.const_value(id)
+    }
+
+    /// N-ary AND with folding: drops constant-true operands, returns
+    /// constant-false if any operand is false, collapses arity 0/1.
+    pub fn and_many(&mut self, inputs: &[NetId]) -> NetId {
+        let mut ops: Vec<NetId> = Vec::with_capacity(inputs.len());
+        for &i in inputs {
+            match self.const_value(i) {
+                Some(true) => {}
+                Some(false) => return self.constant(false),
+                None => {
+                    if !ops.contains(&i) {
+                        ops.push(i);
+                    }
+                }
+            }
+        }
+        match ops.len() {
+            0 => self.constant(true),
+            1 => ops[0],
+            _ => self.push(Op::And(ops), None),
+        }
+    }
+
+    /// Two-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.and_many(&[a, b])
+    }
+
+    /// N-ary OR with folding (dual of [`Self::and_many`]).
+    pub fn or_many(&mut self, inputs: &[NetId]) -> NetId {
+        let mut ops: Vec<NetId> = Vec::with_capacity(inputs.len());
+        for &i in inputs {
+            match self.const_value(i) {
+                Some(false) => {}
+                Some(true) => return self.constant(true),
+                None => {
+                    if !ops.contains(&i) {
+                        ops.push(i);
+                    }
+                }
+            }
+        }
+        match ops.len() {
+            0 => self.constant(false),
+            1 => ops[0],
+            _ => self.push(Op::Or(ops), None),
+        }
+    }
+
+    /// Two-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.or_many(&[a, b])
+    }
+
+    /// Inverter (folds constants and double inversion).
+    pub fn not(&mut self, a: NetId) -> NetId {
+        if let Some(v) = self.const_value(a) {
+            return self.constant(!v);
+        }
+        if let Op::Not(inner) = self.nl.nets[a.index()].op {
+            return inner;
+        }
+        self.push(Op::Not(a), None)
+    }
+
+    /// Two-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.const_value(a), self.const_value(b)) {
+            (Some(x), Some(y)) => self.constant(x ^ y),
+            (Some(false), None) => b,
+            (None, Some(false)) => a,
+            (Some(true), None) => self.not(b),
+            (None, Some(true)) => self.not(a),
+            (None, None) => self.push(Op::Xor(a, b), None),
+        }
+    }
+
+    /// D flip-flop with optional clock enable.
+    pub fn reg(&mut self, d: NetId, en: Option<NetId>, init: bool) -> NetId {
+        // en == const true is the same as no enable.
+        let en = en.filter(|e| self.const_value(*e) != Some(true));
+        self.push(Op::Reg { d, en, init }, None)
+    }
+
+    /// A flip-flop whose data input will be connected later with
+    /// [`Self::connect_reg`]. Needed for feedback loops (e.g. the §3.2
+    /// "arm" registers whose next state depends on their own output).
+    /// Until connected, the register feeds back its own value.
+    pub fn reg_feedback(&mut self, init: bool) -> NetId {
+        let id = NetId(self.nl.nets.len() as u32);
+        self.nl.nets.push(Net { op: Op::Reg { d: id, en: None, init }, name: None });
+        id
+    }
+
+    /// Connect the data/enable inputs of a register created with
+    /// [`Self::reg_feedback`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not a register net.
+    pub fn connect_reg(&mut self, reg: NetId, d: NetId, en: Option<NetId>) {
+        let en = en.filter(|e| self.const_value(*e) != Some(true));
+        match &mut self.nl.nets[reg.index()].op {
+            Op::Reg { d: slot_d, en: slot_en, .. } => {
+                *slot_d = d;
+                *slot_en = en;
+            }
+            other => panic!("connect_reg on non-register net {reg:?}: {other:?}"),
+        }
+    }
+
+    /// Attach a diagnostic name to a net (keeps the first name if called
+    /// twice — probes must stay stable).
+    pub fn name(&mut self, id: NetId, name: &str) {
+        let slot = &mut self.nl.nets[id.index()].name;
+        if slot.is_none() {
+            *slot = Some(name.to_owned());
+        }
+    }
+
+    /// Declare a named output.
+    pub fn output(&mut self, name: &str, id: NetId) {
+        self.nl.outputs.push((name.to_owned(), id));
+    }
+
+    /// A chain of `n` registers (a shift register / pipeline delay).
+    /// Constants pass through unchanged — delaying them is a no-op.
+    pub fn delay_chain(&mut self, mut d: NetId, n: usize) -> NetId {
+        if self.const_value(d).is_some() {
+            return d;
+        }
+        for _ in 0..n {
+            d = self.reg(d, None, false);
+        }
+        d
+    }
+
+    /// Number of nets so far.
+    pub fn len(&self) -> usize {
+        self.nl.nets.len()
+    }
+
+    /// Whether no nets have been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.nl.nets.is_empty()
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> Netlist {
+        self.nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folding_rules() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let t = b.constant(true);
+        let f = b.constant(false);
+
+        // AND folding.
+        assert_eq!(b.and2(a, t), a);
+        let af = b.and2(a, f);
+        assert_eq!(b.nl.nets[af.index()].op, Op::Const(false));
+        assert_eq!(b.and_many(&[a, a]), a);
+
+        // OR folding.
+        assert_eq!(b.or2(a, f), a);
+        let ot = b.or2(a, t);
+        assert_eq!(b.nl.nets[ot.index()].op, Op::Const(true));
+
+        // NOT folding.
+        let na = b.not(a);
+        assert_eq!(b.not(na), a);
+        let nt = b.not(t);
+        assert_eq!(b.nl.nets[nt.index()].op, Op::Const(false));
+
+        // XOR folding.
+        assert_eq!(b.xor2(a, f), a);
+        assert_eq!(b.xor2(f, a), a);
+        let xat = b.xor2(a, t);
+        assert_eq!(b.nl.nets[xat.index()].op, Op::Not(a));
+        let tt = b.xor2(t, t);
+        assert_eq!(b.nl.nets[tt.index()].op, Op::Const(false));
+    }
+
+    #[test]
+    fn empty_gates_become_identities() {
+        let mut b = NetlistBuilder::new();
+        let e_and = b.and_many(&[]);
+        assert_eq!(b.nl.nets[e_and.index()].op, Op::Const(true));
+        let e_or = b.or_many(&[]);
+        assert_eq!(b.nl.nets[e_or.index()].op, Op::Const(false));
+    }
+
+    #[test]
+    fn reg_enable_const_true_dropped() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let t = b.constant(true);
+        let r = b.reg(a, Some(t), false);
+        assert!(matches!(b.nl.nets[r.index()].op, Op::Reg { en: None, .. }));
+    }
+
+    #[test]
+    fn delay_chain_length() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let end = b.delay_chain(a, 3);
+        b.output("o", end);
+        let nl = b.finish();
+        assert_eq!(nl.reg_count(), 3);
+    }
+
+    #[test]
+    fn name_is_sticky() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        b.name(a, "first");
+        b.name(a, "second");
+        assert_eq!(b.nl.nets[a.index()].name.as_deref(), Some("a"));
+    }
+}

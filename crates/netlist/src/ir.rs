@@ -1,0 +1,225 @@
+//! Netlist intermediate representation.
+//!
+//! A [`Netlist`] is a flat array of [`Net`]s, each producing one logical
+//! wire from an [`Op`]. Gates may have arbitrary arity; the technology
+//! mapper decomposes them onto 4-input LUTs. Registers are D flip-flops
+//! with an optional clock-enable — the paper uses clock enables to stall
+//! the first tokenizer stage across delimiter runs (§3.2).
+
+use std::fmt;
+
+/// Index of a net (wire) in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The operation producing a net's value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// External input, set each cycle by the simulation driver.
+    Input,
+    /// Constant wire.
+    Const(bool),
+    /// N-ary AND (arity ≥ 1).
+    And(Vec<NetId>),
+    /// N-ary OR (arity ≥ 1).
+    Or(Vec<NetId>),
+    /// Inverter.
+    Not(NetId),
+    /// Two-input XOR.
+    Xor(NetId, NetId),
+    /// D flip-flop: samples `d` on the clock edge when `en` (if present)
+    /// is high, otherwise holds. Starts at `init`.
+    Reg {
+        /// Data input.
+        d: NetId,
+        /// Optional clock enable (high = sample).
+        en: Option<NetId>,
+        /// Power-on value.
+        init: bool,
+    },
+}
+
+impl Op {
+    /// Nets this op reads combinationally or at the clock edge.
+    pub fn operands(&self) -> Vec<NetId> {
+        match self {
+            Op::Input | Op::Const(_) => vec![],
+            Op::And(v) | Op::Or(v) => v.clone(),
+            Op::Not(a) => vec![*a],
+            Op::Xor(a, b) => vec![*a, *b],
+            Op::Reg { d, en, .. } => {
+                let mut v = vec![*d];
+                if let Some(e) = en {
+                    v.push(*e);
+                }
+                v
+            }
+        }
+    }
+
+    /// True for flip-flops.
+    pub fn is_reg(&self) -> bool {
+        matches!(self, Op::Reg { .. })
+    }
+
+    /// True for combinational gates (not inputs/consts/regs).
+    pub fn is_gate(&self) -> bool {
+        matches!(self, Op::And(_) | Op::Or(_) | Op::Not(_) | Op::Xor(..))
+    }
+}
+
+/// One wire and the operation driving it.
+#[derive(Debug, Clone)]
+pub struct Net {
+    /// The driving operation.
+    pub op: Op,
+    /// Optional diagnostic name (probes, VHDL signal names).
+    pub name: Option<String>,
+}
+
+/// A complete circuit.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    pub(crate) nets: Vec<Net>,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) outputs: Vec<(String, NetId)>,
+}
+
+impl Netlist {
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// A net by id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// External inputs, in driver order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Named outputs.
+    pub fn outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// Number of nets.
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// True if the netlist has no nets.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Find an output net by name.
+    pub fn output_by_name(&self, name: &str) -> Option<NetId> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
+    }
+
+    /// Find any net by its diagnostic name (first match).
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name.as_deref() == Some(name))
+            .map(|i| NetId(i as u32))
+    }
+
+    /// Count of flip-flops.
+    pub fn reg_count(&self) -> usize {
+        self.nets.iter().filter(|n| n.op.is_reg()).count()
+    }
+
+    /// Count of combinational gates.
+    pub fn gate_count(&self) -> usize {
+        self.nets.iter().filter(|n| n.op.is_gate()).count()
+    }
+
+    /// Fanout of every net: how many ops and outputs read it.
+    pub fn fanouts(&self) -> Vec<usize> {
+        let mut fan = vec![0usize; self.nets.len()];
+        for net in &self.nets {
+            for o in net.op.operands() {
+                fan[o.index()] += 1;
+            }
+        }
+        for (_, id) in &self.outputs {
+            fan[id.index()] += 1;
+        }
+        fan
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "netlist: {} nets, {} gates, {} regs, {} inputs, {} outputs",
+            self.nets.len(),
+            self.gate_count(),
+            self.reg_count(),
+            self.inputs.len(),
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn operands_and_kinds() {
+        let and = Op::And(vec![NetId(0), NetId(1)]);
+        assert_eq!(and.operands(), vec![NetId(0), NetId(1)]);
+        assert!(and.is_gate());
+        assert!(!and.is_reg());
+
+        let reg = Op::Reg { d: NetId(2), en: Some(NetId(3)), init: false };
+        assert_eq!(reg.operands(), vec![NetId(2), NetId(3)]);
+        assert!(reg.is_reg());
+        assert!(!reg.is_gate());
+
+        assert!(Op::Input.operands().is_empty());
+        assert!(!Op::Const(true).is_gate());
+    }
+
+    #[test]
+    fn counting_and_lookup() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c);
+        let r = b.reg(x, None, false);
+        b.name(x, "and_ab");
+        b.output("q", r);
+        let nl = b.finish();
+        assert_eq!(nl.len(), 4);
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.reg_count(), 1);
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.output_by_name("q"), Some(r));
+        assert_eq!(nl.output_by_name("nope"), None);
+        assert_eq!(nl.net_by_name("and_ab"), Some(x));
+        let fan = nl.fanouts();
+        assert_eq!(fan[a.index()], 1);
+        assert_eq!(fan[x.index()], 1); // read by the reg
+        assert_eq!(fan[r.index()], 1); // read by the output
+        assert!(format!("{nl}").contains("4 nets"));
+    }
+}

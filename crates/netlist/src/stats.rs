@@ -1,0 +1,127 @@
+//! Netlist statistics: gate inventories and fanout distributions.
+//!
+//! §4.3 of the paper attributes its frequency falloff to "the large
+//! fanout of the decoded character bits as they are routed to each of the
+//! tokens" — so fanout statistics are a first-class measurement here, not
+//! an afterthought.
+
+use crate::ir::{Netlist, Op};
+
+/// Gate/register inventory and fanout distribution of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Number of external inputs.
+    pub inputs: usize,
+    /// Number of constants.
+    pub consts: usize,
+    /// Number of AND gates.
+    pub ands: usize,
+    /// Number of OR gates.
+    pub ors: usize,
+    /// Number of inverters.
+    pub nots: usize,
+    /// Number of XOR gates.
+    pub xors: usize,
+    /// Number of flip-flops.
+    pub regs: usize,
+    /// Maximum fanout over all nets.
+    pub max_fanout: usize,
+    /// Name of a net with maximum fanout, if it has one.
+    pub max_fanout_net: Option<String>,
+    /// Histogram of fanouts: `histogram[k]` = nets with fanout in the
+    /// bucket `[2^k, 2^(k+1))` (bucket 0 holds fanouts 0 and 1).
+    pub fanout_histogram: Vec<usize>,
+}
+
+impl NetlistStats {
+    /// Compute statistics for a netlist.
+    pub fn of(nl: &Netlist) -> NetlistStats {
+        let mut s = NetlistStats {
+            inputs: 0,
+            consts: 0,
+            ands: 0,
+            ors: 0,
+            nots: 0,
+            xors: 0,
+            regs: 0,
+            max_fanout: 0,
+            max_fanout_net: None,
+            fanout_histogram: Vec::new(),
+        };
+        for net in nl.nets() {
+            match net.op {
+                Op::Input => s.inputs += 1,
+                Op::Const(_) => s.consts += 1,
+                Op::And(_) => s.ands += 1,
+                Op::Or(_) => s.ors += 1,
+                Op::Not(_) => s.nots += 1,
+                Op::Xor(..) => s.xors += 1,
+                Op::Reg { .. } => s.regs += 1,
+            }
+        }
+        let fanouts = nl.fanouts();
+        for (i, &f) in fanouts.iter().enumerate() {
+            if f > s.max_fanout {
+                s.max_fanout = f;
+                s.max_fanout_net = nl.nets()[i].name.clone();
+            }
+            let bucket = if f <= 1 { 0 } else { (usize::BITS - (f.leading_zeros() + 1)) as usize };
+            if s.fanout_histogram.len() <= bucket {
+                s.fanout_histogram.resize(bucket + 1, 0);
+            }
+            s.fanout_histogram[bucket] += 1;
+        }
+        s
+    }
+
+    /// Total combinational gates.
+    pub fn gates(&self) -> usize {
+        self.ands + self.ors + self.nots + self.xors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn inventory_counts() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c);
+        let y = b.or2(a, c);
+        let z = b.xor2(x, y);
+        let n = b.not(z);
+        let r = b.reg(n, None, false);
+        let k = b.constant(true);
+        let _ = k;
+        b.output("q", r);
+        let s = NetlistStats::of(&b.finish());
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.ands, 1);
+        assert_eq!(s.ors, 1);
+        assert_eq!(s.xors, 1);
+        assert_eq!(s.nots, 1);
+        assert_eq!(s.regs, 1);
+        assert_eq!(s.consts, 1);
+        assert_eq!(s.gates(), 4);
+    }
+
+    #[test]
+    fn fanout_tracking() {
+        let mut b = NetlistBuilder::new();
+        let hot = b.input("hot_wire");
+        for i in 0..9 {
+            let x = b.input(&format!("x{i}"));
+            let g = b.and2(hot, x);
+            b.output(&format!("o{i}"), g);
+        }
+        let s = NetlistStats::of(&b.finish());
+        assert_eq!(s.max_fanout, 9);
+        assert_eq!(s.max_fanout_net.as_deref(), Some("hot_wire"));
+        // Bucket for fanout 9 is [8,16) = bucket 3.
+        assert!(s.fanout_histogram[3] >= 1);
+    }
+}

@@ -1,0 +1,519 @@
+//! Technology mapping onto 4-input LUTs.
+//!
+//! The paper's area numbers (Table 1) are LUT counts: "the elementary
+//! logic unit of our target FPGA consists of a four input look-up-table
+//! followed by a one bit register" (§3.4). This module maps the gate
+//! netlist onto that cell library:
+//!
+//! 1. **Inverter absorption** — a `Not` is free when it feeds a gate
+//!    (LUT inputs can be inverted in the truth table); it costs a LUT
+//!    only when it directly drives a register or output.
+//! 2. **Arity lowering** — n-ary AND/OR gates become balanced trees of
+//!    ≤4-input nodes.
+//! 3. **Cone packing** — a single-fanout LUT whose union of leaves with
+//!    its consumer stays ≤4 is absorbed into the consumer (e.g.
+//!    `or2(and2(a,b), and2(c,d))` maps to one LUT).
+//!
+//! Registers are not counted against LUTs: each slice pairs a LUT with a
+//! flip-flop, and the generated pipelines keep roughly one gate per
+//! register, mirroring the paper's "just over one LUT per byte".
+
+use crate::ir::{NetId, Netlist, Op};
+
+/// Index of a node in a [`MappedNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MNetId(pub u32);
+
+impl MNetId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node of the mapped netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MNode {
+    /// External input (assumed registered at the pad).
+    Input,
+    /// Constant.
+    Const(bool),
+    /// A 4-input LUT (1–4 inputs). Inversions are folded into the truth
+    /// table and not represented.
+    Lut {
+        /// Input nets (≤ 4).
+        inputs: Vec<MNetId>,
+    },
+    /// A flip-flop.
+    Reg {
+        /// Data input (patched after lowering; feedback allowed).
+        d: MNetId,
+        /// Optional clock enable.
+        en: Option<MNetId>,
+    },
+    /// A LUT absorbed into its consumer during packing (kept so ids stay
+    /// stable; not counted).
+    Dead,
+}
+
+/// The LUT-mapped form of a netlist.
+#[derive(Debug, Clone)]
+pub struct MappedNetlist {
+    nodes: Vec<MNode>,
+    /// Original net → mapped node computing the same value (up to
+    /// polarity).
+    map: Vec<MNetId>,
+    outputs: Vec<(String, MNetId)>,
+}
+
+/// Summary statistics of a mapped netlist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappedStats {
+    /// Number of LUTs (after packing; inverter-only LUTs included).
+    pub luts: usize,
+    /// Number of flip-flops.
+    pub regs: usize,
+    /// Maximum LUT levels between registers (logic depth).
+    pub depth: usize,
+    /// Maximum fanout over all mapped nets.
+    pub max_fanout: usize,
+}
+
+impl MappedNetlist {
+    /// Map a netlist onto 4-input LUTs.
+    pub fn map(nl: &Netlist) -> MappedNetlist {
+        Lowerer::new(nl).run()
+    }
+
+    /// The mapped nodes.
+    pub fn nodes(&self) -> &[MNode] {
+        &self.nodes
+    }
+
+    /// The mapped node computing an original net's value.
+    pub fn mapped(&self, orig: NetId) -> MNetId {
+        self.map[orig.index()]
+    }
+
+    /// Mapped outputs.
+    pub fn outputs(&self) -> &[(String, MNetId)] {
+        &self.outputs
+    }
+
+    /// Number of live LUTs.
+    pub fn lut_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, MNode::Lut { .. })).count()
+    }
+
+    /// Number of flip-flops.
+    pub fn reg_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, MNode::Reg { .. })).count()
+    }
+
+    /// Fanout of every mapped node (reads by LUTs, registers, outputs).
+    pub fn fanouts(&self) -> Vec<usize> {
+        let mut fan = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            match node {
+                MNode::Lut { inputs } => {
+                    for i in inputs {
+                        fan[i.index()] += 1;
+                    }
+                }
+                MNode::Reg { d, en } => {
+                    fan[d.index()] += 1;
+                    if let Some(e) = en {
+                        fan[e.index()] += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (_, id) in &self.outputs {
+            fan[id.index()] += 1;
+        }
+        fan
+    }
+
+    /// LUT level of every node: 0 for inputs/consts/regs, `max(level of
+    /// inputs) + 1` for LUTs.
+    pub fn levels(&self) -> Vec<usize> {
+        // Nodes are created children-first for LUTs (registers may point
+        // forward, but registers are level 0), so one pass suffices.
+        let mut level = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let MNode::Lut { inputs } = node {
+                level[i] = 1 + inputs.iter().map(|x| level[x.index()]).max().unwrap_or(0);
+            }
+        }
+        level
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> MappedStats {
+        let levels = self.levels();
+        let mut depth = 0usize;
+        for node in &self.nodes {
+            if let MNode::Reg { d, en } = node {
+                depth = depth.max(levels[d.index()]);
+                if let Some(e) = en {
+                    depth = depth.max(levels[e.index()]);
+                }
+            }
+        }
+        for (_, o) in &self.outputs {
+            depth = depth.max(levels[o.index()]);
+        }
+        MappedStats {
+            luts: self.lut_count(),
+            regs: self.reg_count(),
+            depth,
+            max_fanout: self.fanouts().into_iter().max().unwrap_or(0),
+        }
+    }
+}
+
+/// A signal reference during lowering: a mapped node plus polarity.
+#[derive(Debug, Clone, Copy)]
+struct Literal {
+    node: MNetId,
+    inverted: bool,
+}
+
+struct Lowerer<'a> {
+    nl: &'a Netlist,
+    nodes: Vec<MNode>,
+    /// Original net → literal (node + polarity).
+    lit: Vec<Option<Literal>>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(nl: &'a Netlist) -> Self {
+        Lowerer { nl, nodes: Vec::with_capacity(nl.len()), lit: vec![None; nl.len()] }
+    }
+
+    fn push(&mut self, node: MNode) -> MNetId {
+        let id = MNetId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    fn run(mut self) -> MappedNetlist {
+        // Pass 0: create nodes for inputs, constants and registers so
+        // feedback references resolve.
+        for (i, net) in self.nl.nets().iter().enumerate() {
+            let lit = match net.op {
+                Op::Input => Some(Literal { node: self.push(MNode::Input), inverted: false }),
+                Op::Const(v) => {
+                    Some(Literal { node: self.push(MNode::Const(v)), inverted: false })
+                }
+                Op::Reg { .. } => Some(Literal {
+                    // d is patched in pass 2; self-reference placeholder.
+                    node: self.push(MNode::Reg { d: MNetId(0), en: None }),
+                    inverted: false,
+                }),
+                _ => None,
+            };
+            self.lit[i] = lit;
+        }
+
+        // Pass 1: lower gates in combinational topological order.
+        for id in comb_topo_order(self.nl) {
+            let net = &self.nl.nets()[id.index()];
+            let lit = match &net.op {
+                Op::Not(a) => {
+                    let inner = self.lit[a.index()].expect("operand lowered");
+                    Literal { node: inner.node, inverted: !inner.inverted }
+                }
+                Op::And(v) | Op::Or(v) => {
+                    let lits: Vec<Literal> =
+                        v.iter().map(|o| self.lit[o.index()].expect("operand lowered")).collect();
+                    self.lower_tree(&lits)
+                }
+                Op::Xor(a, b) => {
+                    let la = self.lit[a.index()].expect("operand lowered");
+                    let lb = self.lit[b.index()].expect("operand lowered");
+                    let node = self.push(MNode::Lut { inputs: vec![la.node, lb.node] });
+                    Literal { node, inverted: false }
+                }
+                _ => unreachable!("topo order yields gates only"),
+            };
+            self.lit[id.index()] = Some(lit);
+        }
+
+        // Pass 2: patch register inputs; materialise inverters where a
+        // negative-polarity literal feeds a register.
+        for i in 0..self.nl.len() {
+            if let Op::Reg { d, en, .. } = self.nl.nets()[i].op {
+                let d_node = self.materialise(d);
+                let en_node = en.map(|e| self.materialise(e));
+                let self_node = self.lit[i].expect("reg lowered").node;
+                self.nodes[self_node.index()] = MNode::Reg { d: d_node, en: en_node };
+            }
+        }
+
+        // Outputs: materialise polarity.
+        let outputs: Vec<(String, MNetId)> = self
+            .nl
+            .outputs()
+            .iter()
+            .map(|(n, id)| (n.clone(), self.materialise(*id)))
+            .collect();
+
+        let map: Vec<MNetId> =
+            self.lit.iter().map(|l| l.expect("every net lowered").node).collect();
+
+        let mut mapped = MappedNetlist { nodes: self.nodes, map, outputs };
+        pack_cones(&mut mapped);
+        mapped
+    }
+
+    /// Balanced ≤4-ary tree over the literals; each tree node is a LUT.
+    /// Polarity of inputs is folded into the LUT truth table, so the
+    /// output literal is always positive.
+    fn lower_tree(&mut self, lits: &[Literal]) -> Literal {
+        debug_assert!(!lits.is_empty());
+        if lits.len() == 1 {
+            return lits[0];
+        }
+        let mut layer: Vec<Literal> = lits.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(4));
+            for chunk in layer.chunks(4) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    let node =
+                        self.push(MNode::Lut { inputs: chunk.iter().map(|l| l.node).collect() });
+                    next.push(Literal { node, inverted: false });
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// A mapped node carrying the *positive* value of an original net,
+    /// inserting an inverter LUT if the literal is negative.
+    fn materialise(&mut self, orig: NetId) -> MNetId {
+        let lit = self.lit[orig.index()].expect("net lowered");
+        if !lit.inverted {
+            lit.node
+        } else {
+            self.push(MNode::Lut { inputs: vec![lit.node] })
+        }
+    }
+}
+
+/// Combinational topological order of the gate nets (operands first).
+fn comb_topo_order(nl: &Netlist) -> Vec<NetId> {
+    let n = nl.len();
+    let mut indegree = vec![0u32; n];
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, net) in nl.nets().iter().enumerate() {
+        if net.op.is_gate() {
+            for o in net.op.operands() {
+                if nl.net(o).op.is_gate() {
+                    indegree[i] += 1;
+                    consumers[o.index()].push(i as u32);
+                }
+            }
+        }
+    }
+    let mut ready: Vec<u32> = (0..n as u32)
+        .filter(|&i| nl.nets()[i as usize].op.is_gate() && indegree[i as usize] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(nl.gate_count());
+    while let Some(i) = ready.pop() {
+        order.push(NetId(i));
+        for &c in &consumers[i as usize] {
+            indegree[c as usize] -= 1;
+            if indegree[c as usize] == 0 {
+                ready.push(c);
+            }
+        }
+    }
+    assert_eq!(
+        order.len(),
+        nl.gate_count(),
+        "combinational loop; run Simulator::new first for a proper error"
+    );
+    order
+}
+
+/// Greedy single-fanout cone packing: absorb a LUT into its only
+/// consumer when the merged input set stays within 4.
+fn pack_cones(m: &mut MappedNetlist) {
+    let fan = m.fanouts();
+    // LUT nodes were created children-first, so a single forward pass
+    // sees packed children before parents (absorption is transitive).
+    for i in 0..m.nodes.len() {
+        let MNode::Lut { inputs } = &m.nodes[i] else { continue };
+        let mut merged: Vec<MNetId> = Vec::with_capacity(4);
+        let mut absorbed: Vec<usize> = Vec::new();
+        let mut ok = true;
+        let inputs = inputs.clone();
+        for (idx, inp) in inputs.iter().enumerate() {
+            let child_is_single_lut = matches!(m.nodes[inp.index()], MNode::Lut { .. })
+                && fan[inp.index()] == 1;
+            if child_is_single_lut {
+                let MNode::Lut { inputs: grand } = &m.nodes[inp.index()] else { unreachable!() };
+                // Tentatively absorb if the union stays ≤ 4, counting the
+                // not-yet-processed inputs pessimistically as one leaf each.
+                let mut tentative = merged.clone();
+                for g in grand {
+                    if !tentative.contains(g) {
+                        tentative.push(*g);
+                    }
+                }
+                let remaining =
+                    inputs[idx + 1..].iter().filter(|x| !tentative.contains(x)).count();
+                if tentative.len() + remaining <= 4 {
+                    merged = tentative;
+                    absorbed.push(inp.index());
+                    continue;
+                }
+            }
+            if !merged.contains(inp) {
+                merged.push(*inp);
+            }
+            if merged.len() > 4 {
+                ok = false;
+                break;
+            }
+        }
+        if ok && !absorbed.is_empty() {
+            m.nodes[i] = MNode::Lut { inputs: merged };
+            for a in absorbed {
+                m.nodes[a] = MNode::Dead;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn eight_input_and_costs_two_luts_packed() {
+        // 8-input AND: tree = 2 LUTs (4+4) + 1 combiner; packing absorbs
+        // nothing further (each 4-LUT is full), so 3 LUTs total.
+        let mut b = NetlistBuilder::new();
+        let ins: Vec<_> = (0..8).map(|i| b.input(&format!("i{i}"))).collect();
+        let x = b.and_many(&ins);
+        let r = b.reg(x, None, false);
+        b.output("q", r);
+        let m = MappedNetlist::map(&b.finish());
+        assert_eq!(m.lut_count(), 3);
+        assert_eq!(m.reg_count(), 1);
+        assert_eq!(m.stats().depth, 2);
+    }
+
+    #[test]
+    fn inverters_are_free_inside_gates() {
+        // AND(a, NOT b) is one LUT, no inverter node.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let nb = b.not(c);
+        let x = b.and2(a, nb);
+        b.output("x", x);
+        let m = MappedNetlist::map(&b.finish());
+        assert_eq!(m.lut_count(), 1);
+    }
+
+    #[test]
+    fn inverter_driving_register_costs_a_lut() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let na = b.not(a);
+        let r = b.reg(na, None, false);
+        b.output("q", r);
+        let m = MappedNetlist::map(&b.finish());
+        assert_eq!(m.lut_count(), 1); // the materialised inverter
+        assert_eq!(m.reg_count(), 1);
+    }
+
+    #[test]
+    fn two_level_cone_packs_into_one_lut() {
+        // or2(and2(a,b), and2(c,d)): 4 leaves → 1 LUT after packing.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let e = b.input("d");
+        let x = b.and2(a, c);
+        let y = b.and2(d, e);
+        let o = b.or2(x, y);
+        b.output("o", o);
+        let m = MappedNetlist::map(&b.finish());
+        assert_eq!(m.lut_count(), 1);
+        assert_eq!(m.stats().depth, 1);
+    }
+
+    #[test]
+    fn shared_subexpression_not_absorbed() {
+        // x = and2(a,b) feeds two ORs: fanout 2, must stay its own LUT.
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let x = b.and2(a, c);
+        let o1 = b.or2(x, d);
+        let o2 = b.or2(x, a);
+        b.output("o1", o1);
+        b.output("o2", o2);
+        let m = MappedNetlist::map(&b.finish());
+        assert_eq!(m.lut_count(), 3);
+    }
+
+    #[test]
+    fn paper_decoder_shape() {
+        // Figure 4: an 8-bit decoder is AND of 8 (possibly inverted)
+        // inputs → 3 LUTs on a 4-LUT fabric.
+        let mut b = NetlistBuilder::new();
+        let bits: Vec<_> = (0..8).map(|i| b.input(&format!("d{i}"))).collect();
+        let inverted: Vec<_> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &bit)| if i % 2 == 0 { b.not(bit) } else { bit })
+            .collect();
+        let dec = b.and_many(&inverted);
+        b.output("dec", dec);
+        let m = MappedNetlist::map(&b.finish());
+        assert_eq!(m.lut_count(), 3);
+    }
+
+    #[test]
+    fn feedback_register_maps() {
+        let mut b = NetlistBuilder::new();
+        let q = b.reg_feedback(false);
+        let nq = b.not(q);
+        b.connect_reg(q, nq, None);
+        b.output("q", q);
+        let m = MappedNetlist::map(&b.finish());
+        // The NOT feeding the reg materialises as one inverter LUT.
+        assert_eq!(m.lut_count(), 1);
+        assert_eq!(m.reg_count(), 1);
+    }
+
+    #[test]
+    fn stats_max_fanout() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let outs: Vec<_> = (0..5)
+            .map(|i| {
+                let x = b.input(&format!("x{i}"));
+                b.and2(a, x)
+            })
+            .collect();
+        for (i, o) in outs.iter().enumerate() {
+            b.output(&format!("o{i}"), *o);
+        }
+        let m = MappedNetlist::map(&b.finish());
+        assert_eq!(m.stats().max_fanout, 5); // 'a' feeds five LUTs
+        assert_eq!(m.lut_count(), 5);
+    }
+}

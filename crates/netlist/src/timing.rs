@@ -1,0 +1,293 @@
+//! Static timing analysis over a LUT-mapped netlist.
+//!
+//! The timing model mirrors the paper's analysis (§4.3): the clock period
+//! of the pipelined designs is dominated by *routing delay*, which grows
+//! with the fanout of the decoded character bits. A [`DelayModel`]
+//! supplies four device parameters:
+//!
+//! * `clk_to_q` — register clock-to-output delay,
+//! * `lut_delay` — one LUT's combinational delay,
+//! * `routing_delay(fanout)` — net delay as a function of its fanout
+//!   (device models in `cfg-fpga` calibrate this curve against Table 1),
+//! * `setup` — register setup time.
+//!
+//! Arrival times propagate through LUT levels; the critical path is the
+//! worst register→register (or input→register) path:
+//!
+//! `period = max over reg data/enable pins of
+//!     arrival(driver) + routing(fanout(driver)) + setup`
+
+use crate::techmap::{MNode, MappedNetlist};
+
+/// Device delay parameters (all times in nanoseconds).
+pub trait DelayModel {
+    /// Register clock-to-output delay.
+    fn clk_to_q(&self) -> f64;
+    /// LUT combinational delay.
+    fn lut_delay(&self) -> f64;
+    /// Register setup time.
+    fn setup(&self) -> f64;
+    /// Net routing delay as a function of fanout.
+    fn routing_delay(&self, fanout: usize) -> f64;
+    /// Human-readable device name.
+    fn name(&self) -> &str;
+}
+
+/// Result of static timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Minimum clock period in nanoseconds.
+    pub period_ns: f64,
+    /// Maximum clock frequency in MHz.
+    pub freq_mhz: f64,
+    /// LUT levels on the critical path.
+    pub critical_levels: usize,
+    /// Fanout of the highest-fanout net on the critical path.
+    pub critical_fanout: usize,
+    /// Routing delay share of the critical path, in nanoseconds.
+    pub routing_ns: f64,
+    /// Device name the analysis used.
+    pub device: String,
+}
+
+impl TimingReport {
+    /// Throughput at one byte per cycle, in Gbit/s — the paper's
+    /// bandwidth column (`BW = freq × 8 bits`).
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.freq_mhz * 8.0 / 1000.0
+    }
+}
+
+/// Per-node arrival bookkeeping.
+#[derive(Clone, Copy)]
+struct Arrival {
+    /// Time the node's output is valid, ns.
+    time: f64,
+    /// LUT levels accumulated.
+    levels: usize,
+    /// Max fanout seen along the path.
+    max_fanout: usize,
+    /// Routing ns accumulated along the path.
+    routing: f64,
+}
+
+/// Run static timing analysis.
+pub fn analyze(m: &MappedNetlist, model: &dyn DelayModel) -> TimingReport {
+    let fan = m.fanouts();
+    let n = m.nodes().len();
+    let mut arr = vec![
+        Arrival { time: 0.0, levels: 0, max_fanout: 0, routing: 0.0 };
+        n
+    ];
+
+    // Sources: inputs arrive at 0 (registered at the pad), registers at
+    // clk_to_q, constants at 0. LUT nodes were created children-first,
+    // so a single forward pass propagates arrivals.
+    for (i, node) in m.nodes().iter().enumerate() {
+        match node {
+            MNode::Input | MNode::Const(_) | MNode::Dead => {}
+            MNode::Reg { .. } => arr[i].time = model.clk_to_q(),
+            MNode::Lut { inputs } => {
+                let mut best = Arrival { time: 0.0, levels: 0, max_fanout: 0, routing: 0.0 };
+                for inp in inputs {
+                    let src = arr[inp.index()];
+                    let route = model.routing_delay(fan[inp.index()]);
+                    let t = src.time + route;
+                    if t > best.time {
+                        best = Arrival {
+                            time: t,
+                            levels: src.levels,
+                            max_fanout: src.max_fanout.max(fan[inp.index()]),
+                            routing: src.routing + route,
+                        };
+                    }
+                }
+                arr[i] = Arrival {
+                    time: best.time + model.lut_delay(),
+                    levels: best.levels + 1,
+                    max_fanout: best.max_fanout,
+                    routing: best.routing,
+                };
+            }
+        }
+    }
+
+    // Critical path: worst arrival at any register data/enable pin
+    // (plus its own routing hop) + setup.
+    let mut worst = Arrival { time: 0.0, levels: 0, max_fanout: 0, routing: 0.0 };
+    let sink = |id: usize, arr: &[Arrival], worst: &mut Arrival| {
+        let route = model.routing_delay(fan[id]);
+        let t = arr[id].time + route;
+        if t > worst.time {
+            *worst = Arrival {
+                time: t,
+                levels: arr[id].levels,
+                max_fanout: arr[id].max_fanout.max(fan[id]),
+                routing: arr[id].routing + route,
+            };
+        }
+    };
+    for node in m.nodes() {
+        if let MNode::Reg { d, en } = node {
+            sink(d.index(), &arr, &mut worst);
+            if let Some(e) = en {
+                sink(e.index(), &arr, &mut worst);
+            }
+        }
+    }
+    for (_, o) in m.outputs() {
+        sink(o.index(), &arr, &mut worst);
+    }
+
+    let period = (worst.time + model.setup()).max(model.clk_to_q() + model.setup());
+    TimingReport {
+        period_ns: period,
+        freq_mhz: 1000.0 / period,
+        critical_levels: worst.levels,
+        critical_fanout: worst.max_fanout,
+        routing_ns: worst.routing,
+        device: model.name().to_owned(),
+    }
+}
+
+/// A simple fixed-parameter model for tests and examples; real device
+/// models live in `cfg-fpga`.
+#[derive(Debug, Clone)]
+pub struct SimpleDelayModel {
+    /// Clock-to-q, ns.
+    pub clk_to_q: f64,
+    /// LUT delay, ns.
+    pub lut: f64,
+    /// Setup, ns.
+    pub setup: f64,
+    /// Base routing delay, ns.
+    pub route_base: f64,
+    /// Incremental routing delay per √fanout, ns.
+    pub route_per_sqrt_fanout: f64,
+}
+
+impl Default for SimpleDelayModel {
+    fn default() -> Self {
+        SimpleDelayModel {
+            clk_to_q: 0.3,
+            lut: 0.4,
+            setup: 0.3,
+            route_base: 0.2,
+            route_per_sqrt_fanout: 0.3,
+        }
+    }
+}
+
+impl DelayModel for SimpleDelayModel {
+    fn clk_to_q(&self) -> f64 {
+        self.clk_to_q
+    }
+    fn lut_delay(&self) -> f64 {
+        self.lut
+    }
+    fn setup(&self) -> f64 {
+        self.setup
+    }
+    fn routing_delay(&self, fanout: usize) -> f64 {
+        self.route_base + self.route_per_sqrt_fanout * (fanout.max(1) as f64).sqrt()
+    }
+    fn name(&self) -> &str {
+        "simple"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::techmap::MappedNetlist;
+
+    fn simple() -> SimpleDelayModel {
+        SimpleDelayModel::default()
+    }
+
+    #[test]
+    fn single_lut_between_regs() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let c = b.input("b");
+        let r1 = b.reg(a, None, false);
+        let r2 = b.reg(c, None, false);
+        let x = b.and2(r1, r2);
+        let r3 = b.reg(x, None, false);
+        b.output("q", r3);
+        let m = MappedNetlist::map(&b.finish());
+        let model = simple();
+        let t = analyze(&m, &model);
+        // period = clk_to_q + route(1) + lut + route(1) + setup
+        let route1 = model.routing_delay(1);
+        let expect = model.clk_to_q + route1 + model.lut + route1 + model.setup;
+        assert!((t.period_ns - expect).abs() < 1e-9, "{} vs {expect}", t.period_ns);
+        assert_eq!(t.critical_levels, 1);
+        assert!((t.freq_mhz - 1000.0 / expect).abs() < 1e-9);
+        assert!(t.bandwidth_gbps() > 0.0);
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        // reg -> 16-input AND tree (2 levels) -> reg vs 1 level.
+        let mut shallow = NetlistBuilder::new();
+        let deep_period;
+        let shallow_period;
+        {
+            let a = shallow.input("a");
+            let r = shallow.reg(a, None, false);
+            let x = shallow.and2(r, r);
+            let _ = x;
+            let r2 = shallow.reg(r, None, false);
+            shallow.output("q", r2);
+            let m = MappedNetlist::map(&shallow.finish());
+            shallow_period = analyze(&m, &simple()).period_ns;
+        }
+        {
+            let mut b = NetlistBuilder::new();
+            let regs: Vec<_> = (0..16)
+                .map(|i| {
+                    let x = b.input(&format!("i{i}"));
+                    b.reg(x, None, false)
+                })
+                .collect();
+            let x = b.and_many(&regs);
+            let r = b.reg(x, None, false);
+            b.output("q", r);
+            let m = MappedNetlist::map(&b.finish());
+            let t = analyze(&m, &simple());
+            assert_eq!(t.critical_levels, 2);
+            deep_period = t.period_ns;
+        }
+        assert!(deep_period > shallow_period);
+    }
+
+    #[test]
+    fn fanout_raises_period() {
+        // One register driving k LUT sinks: higher k, higher period.
+        let period_for = |k: usize| {
+            let mut b = NetlistBuilder::new();
+            let a = b.input("a");
+            let hot = b.reg(a, None, false);
+            for i in 0..k {
+                let x = b.input(&format!("x{i}"));
+                let g = b.and2(hot, x);
+                let r = b.reg(g, None, false);
+                b.output(&format!("o{i}"), r);
+            }
+            let m = MappedNetlist::map(&b.finish());
+            analyze(&m, &simple()).period_ns
+        };
+        assert!(period_for(64) > period_for(2));
+    }
+
+    #[test]
+    fn empty_netlist_has_floor_period() {
+        let b = NetlistBuilder::new();
+        let m = MappedNetlist::map(&b.finish());
+        let model = simple();
+        let t = analyze(&m, &model);
+        assert!((t.period_ns - (model.clk_to_q + model.setup)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Netlist transforms.
+//!
+//! [`replicate_high_fanout_regs`] implements the fanout optimisation the
+//! paper proposes for its own bottleneck (§4.3): "Possibilities for
+//! improving the routing delay include a register tree to pipeline the
+//! fanout, or **replicating decoders and balancing the fanout across
+//! them**." Every register whose output fanout exceeds a cap is cloned
+//! (same D/enable/init, so identical timing and contents) and its
+//! consumers are rebalanced round-robin across the copies. Behaviour is
+//! bit-for-bit identical — property-tested — while the maximum register
+//! fanout, and with it the modelled routing delay, drops.
+
+use crate::ir::{Net, NetId, Netlist, Op};
+
+/// Replicate registers whose fanout exceeds `max_fanout`, rebalancing
+/// consumers across the copies. Returns the transformed netlist and the
+/// number of replica registers added.
+///
+/// Existing [`NetId`]s remain valid (replicas are appended; original
+/// nets keep one share of their consumers).
+pub fn replicate_high_fanout_regs(nl: &Netlist, max_fanout: usize) -> (Netlist, usize) {
+    assert!(max_fanout >= 1, "fanout cap must be at least 1");
+    let fanouts = nl.fanouts();
+    let mut out = nl.clone();
+
+    // Plan replicas for each hot register.
+    struct Plan {
+        /// Original + replica nets, used round-robin.
+        pool: Vec<NetId>,
+        next: usize,
+    }
+    let mut plans: Vec<Option<Plan>> = (0..nl.len()).map(|_| None).collect();
+    let mut added = 0usize;
+    for (i, net) in nl.nets().iter().enumerate() {
+        let Op::Reg { d, en, init } = net.op else { continue };
+        let fan = fanouts[i];
+        if fan <= max_fanout {
+            continue;
+        }
+        let copies = fan.div_ceil(max_fanout);
+        let mut pool = vec![NetId(i as u32)];
+        for k in 1..copies {
+            let id = NetId(out.nets.len() as u32);
+            let name = net
+                .name
+                .as_ref()
+                .map(|n| format!("{n}_rep{k}"))
+                .or(Some(format!("rep{k}_of_n{i}")));
+            out.nets.push(Net { op: Op::Reg { d, en, init }, name });
+            pool.push(id);
+            added += 1;
+        }
+        plans[i] = Some(Plan { pool, next: 0 });
+    }
+    if added == 0 {
+        return (out, 0);
+    }
+
+    // Rebalance consumers: every operand slot referencing a hot register
+    // takes the next replica in round-robin order. Replica D/EN inputs
+    // keep their original references (they must all load the same
+    // value), as do the replicas' own plan entries.
+    let n_original = nl.len();
+    let reassign = |id: &mut NetId, plans: &mut [Option<Plan>]| {
+        if let Some(plan) = plans.get_mut(id.index()).and_then(|p| p.as_mut()) {
+            *id = plan.pool[plan.next % plan.pool.len()];
+            plan.next += 1;
+        }
+    };
+    for i in 0..n_original {
+        // Skip rewiring inside replicas (none exist below n_original) and
+        // do not rewire a register's own feedback through a replica plan
+        // of itself — feedback loads must stay coherent, so leave reg
+        // D/EN inputs untouched when they reference the hot reg itself.
+        let net = &mut out.nets[i];
+        match &mut net.op {
+            Op::And(v) | Op::Or(v) => {
+                for id in v.iter_mut() {
+                    reassign(id, &mut plans);
+                }
+            }
+            Op::Not(a) => reassign(a, &mut plans),
+            Op::Xor(a, b) => {
+                reassign(a, &mut plans);
+                reassign(b, &mut plans);
+            }
+            Op::Reg { d, en, .. } => {
+                reassign(d, &mut plans);
+                if let Some(e) = en {
+                    reassign(e, &mut plans);
+                }
+            }
+            Op::Input | Op::Const(_) => {}
+        }
+    }
+    for (_, id) in out.outputs.iter_mut() {
+        reassign(id, &mut plans);
+    }
+    (out, added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::sim::Simulator;
+
+    /// One register fanning out to `n` AND gates.
+    fn hot_design(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let hot = b.reg(a, None, false);
+        b.name(hot, "hot");
+        for i in 0..n {
+            let x = b.input(&format!("x{i}"));
+            let g = b.and2(hot, x);
+            let r = b.reg(g, None, false);
+            b.output(&format!("o{i}"), r);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn fanout_capped_and_behaviour_identical() {
+        let nl = hot_design(20);
+        let before = crate::stats::NetlistStats::of(&nl);
+        assert_eq!(before.max_fanout, 20);
+
+        let (rep, added) = replicate_high_fanout_regs(&nl, 4);
+        assert_eq!(added, 4); // ceil(20/4)=5 copies → 4 new
+        let after = crate::stats::NetlistStats::of(&rep);
+        assert!(after.max_fanout <= 5, "max fanout {}", after.max_fanout);
+        assert_eq!(rep.reg_count(), nl.reg_count() + 4);
+
+        // Bit-for-bit equivalence over random stimulus.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sim_a = Simulator::new(&nl).unwrap();
+        let mut sim_b = Simulator::new(&rep).unwrap();
+        for _ in 0..50 {
+            let inputs: Vec<u64> = (0..21).map(|_| rng.random()).collect();
+            sim_a.step(&inputs).unwrap();
+            sim_b.step(&inputs).unwrap();
+            for i in 0..20 {
+                let name = format!("o{i}");
+                assert_eq!(sim_a.output(&name), sim_b.output(&name));
+            }
+        }
+    }
+
+    #[test]
+    fn cool_netlist_untouched() {
+        let nl = hot_design(3);
+        let (rep, added) = replicate_high_fanout_regs(&nl, 4);
+        assert_eq!(added, 0);
+        assert_eq!(rep.len(), nl.len());
+    }
+
+    #[test]
+    fn feedback_register_survives() {
+        // A toggling feedback register with high fanout: its own D path
+        // must stay coherent after replication.
+        let mut b = NetlistBuilder::new();
+        let q = b.reg_feedback(false);
+        let nq = b.not(q);
+        b.connect_reg(q, nq, None);
+        for i in 0..10 {
+            let x = b.input(&format!("x{i}"));
+            let g = b.and2(q, x);
+            b.output(&format!("o{i}"), g);
+        }
+        let nl = b.finish();
+        let (rep, added) = replicate_high_fanout_regs(&nl, 3);
+        assert!(added > 0);
+        let mut sim_a = Simulator::new(&nl).unwrap();
+        let mut sim_b = Simulator::new(&rep).unwrap();
+        for _ in 0..6 {
+            let inputs = vec![u64::MAX; 10];
+            sim_a.step(&inputs).unwrap();
+            sim_b.step(&inputs).unwrap();
+            for i in 0..10 {
+                let name = format!("o{i}");
+                assert_eq!(sim_a.output(&name), sim_b.output(&name));
+            }
+        }
+    }
+}

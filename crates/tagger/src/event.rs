@@ -1,0 +1,56 @@
+//! Tag events — what the back-end processor receives.
+
+use cfg_grammar::TokenId;
+
+/// One tagged token occurrence in the input stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TagEvent {
+    /// Token id in the *compiled* grammar (after context duplication);
+    /// resolve names/contexts through [`crate::TokenTagger`].
+    pub token: TokenId,
+    /// First byte of the lexeme (inclusive).
+    pub start: usize,
+    /// One past the last byte of the lexeme (exclusive).
+    pub end: usize,
+}
+
+impl TagEvent {
+    /// The lexeme bytes within `input`.
+    pub fn lexeme<'a>(&self, input: &'a [u8]) -> &'a [u8] {
+        &input[self.start..self.end]
+    }
+
+    /// Lexeme length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Never true for real events; kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A raw hardware match: the gate engine observes only *end* positions
+/// on the per-token match lines; spans are recovered in software (§3.4:
+/// "identification accomplished in software").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RawMatch {
+    /// Token id in the compiled grammar.
+    pub token: TokenId,
+    /// One past the last byte of the lexeme (exclusive).
+    pub end: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexeme_slicing() {
+        let ev = TagEvent { token: TokenId(0), start: 3, end: 7 };
+        assert_eq!(ev.lexeme(b"xx yyyy zz"), b"yyyy");
+        assert_eq!(ev.len(), 4);
+        assert!(!ev.is_empty());
+    }
+}

@@ -1,0 +1,376 @@
+//! The fast functional engine — a software mirror of the circuit.
+//!
+//! [`FastEngine`] simulates the generated structure at token/position
+//! granularity: one boolean per Glushkov position instead of one
+//! flip-flop, the FOLLOW wiring as follower lists instead of OR gates,
+//! and the arm registers as booleans. It produces *identical events* to
+//! the gate-level engine (property-tested) while running orders of
+//! magnitude faster — this is the engine applications use; the gate
+//! engine is the hardware-fidelity reference.
+
+use crate::event::TagEvent;
+use crate::tagger::TaggerOptions;
+use cfg_grammar::{Grammar, TokenId};
+use cfg_hwgen::StartMode;
+use cfg_regex::ByteSet;
+use std::sync::Arc;
+
+/// Precomputed per-token structure.
+#[derive(Debug)]
+struct TokenTable {
+    /// Byte class per position.
+    classes: Vec<ByteSet>,
+    /// First-position flags.
+    is_first: Vec<bool>,
+    /// Predecessors per position (inverted follow relation).
+    preds: Vec<Vec<usize>>,
+    /// Last-position flags.
+    is_last: Vec<bool>,
+    /// Continuation class per position (lookahead).
+    cont: Vec<ByteSet>,
+}
+
+/// Shared compiled tables for fast engines.
+#[derive(Debug)]
+pub struct FastTables {
+    tokens: Vec<TokenTable>,
+    /// `followers[u]` = tokens enabled when `u` matches.
+    followers: Vec<Vec<usize>>,
+    /// Tokens in FIRST(start).
+    start_tokens: Vec<bool>,
+    delim: ByteSet,
+    always: bool,
+    longest: bool,
+    error_recovery: bool,
+}
+
+impl FastTables {
+    /// Build tables from a compiled grammar.
+    pub fn build(g: &Grammar, opts: &TaggerOptions) -> FastTables {
+        let analysis = g.analyze();
+        let tokens = g
+            .tokens()
+            .iter()
+            .map(|tok| {
+                let t = tok.pattern.template();
+                let n = t.positions.len();
+                let mut preds = vec![Vec::new(); n];
+                for (p, fs) in t.follow.iter().enumerate() {
+                    for &q in fs {
+                        preds[q].push(p);
+                    }
+                }
+                let mut is_last = vec![false; n];
+                for &p in &t.last {
+                    is_last[p] = true;
+                }
+                let mut is_first = vec![false; n];
+                for &p in &t.first {
+                    is_first[p] = true;
+                }
+                let cont = (0..n).map(|p| t.continuation_class(p)).collect();
+                TokenTable { classes: t.positions.clone(), is_first, preds, is_last, cont }
+            })
+            .collect();
+        let followers = (0..g.tokens().len())
+            .map(|u| {
+                analysis
+                    .follow_of(TokenId(u as u32))
+                    .iter()
+                    .map(|t| t.index())
+                    .collect()
+            })
+            .collect();
+        let start_tokens = (0..g.tokens().len())
+            .map(|t| analysis.start_set.contains(TokenId(t as u32)))
+            .collect();
+        FastTables {
+            tokens,
+            followers,
+            start_tokens,
+            delim: g.delimiters(),
+            always: opts.start_mode == StartMode::Always,
+            longest: !opts.disable_longest_match,
+            error_recovery: opts.error_recovery,
+        }
+    }
+
+    /// Number of tokens.
+    pub fn token_count(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+/// Streaming functional engine. Create via
+/// [`crate::TokenTagger::fast_engine`]; feed byte slices, then call
+/// [`FastEngine::finish`] to drain the final lookahead byte.
+#[derive(Debug)]
+pub struct FastEngine {
+    tables: Arc<FastTables>,
+    /// Active flag per position per token. Valid only when
+    /// `active_any[t]` is set — skipped tokens keep stale buffers.
+    active: Vec<Vec<bool>>,
+    /// Lexeme start per active position.
+    starts: Vec<Vec<usize>>,
+    /// Per-token "has any active position" summary (hot-loop skip).
+    active_any: Vec<bool>,
+    /// Scratch buffers (double-buffered per byte).
+    next_active: Vec<Vec<bool>>,
+    next_starts: Vec<Vec<usize>>,
+    next_any: Vec<bool>,
+    /// Enable set by matches on the previous byte.
+    set_now: Vec<bool>,
+    /// Arm registers.
+    arm: Vec<bool>,
+    /// Was the previously processed byte a delimiter? (Recovery resync
+    /// fires only at token boundaries.)
+    prev_was_delim: bool,
+    /// Byte held for the one-byte lookahead.
+    pending: Option<u8>,
+    /// Index of the next byte to be processed (the pending one).
+    cursor: usize,
+    finished: bool,
+}
+
+impl FastEngine {
+    /// New engine over shared tables.
+    pub fn new(tables: Arc<FastTables>) -> FastEngine {
+        let shapes: Vec<usize> = tables.tokens.iter().map(|t| t.classes.len()).collect();
+        let n = tables.token_count();
+        let mut e = FastEngine {
+            active: shapes.iter().map(|&k| vec![false; k]).collect(),
+            starts: shapes.iter().map(|&k| vec![0; k]).collect(),
+            active_any: vec![false; n],
+            next_active: shapes.iter().map(|&k| vec![false; k]).collect(),
+            next_starts: shapes.iter().map(|&k| vec![0; k]).collect(),
+            next_any: vec![false; n],
+            set_now: vec![false; n],
+            arm: vec![false; n],
+            prev_was_delim: false,
+            pending: None,
+            cursor: 0,
+            finished: false,
+            tables,
+        };
+        e.reset();
+        e
+    }
+
+    /// Reset to the start-of-stream state.
+    pub fn reset(&mut self) {
+        for a in &mut self.active {
+            a.iter_mut().for_each(|x| *x = false);
+        }
+        self.active_any.iter_mut().for_each(|x| *x = false);
+        self.arm.iter_mut().for_each(|x| *x = false);
+        // The start pulse: FIRST(start) tokens are enabled for byte 0.
+        for (t, s) in self.set_now.iter_mut().enumerate() {
+            *s = self.tables.start_tokens[t];
+        }
+        self.prev_was_delim = false;
+        self.pending = None;
+        self.cursor = 0;
+        self.finished = false;
+    }
+
+    /// Feed bytes; returns the events completed so far (an event is only
+    /// emitted once its lookahead byte has been seen).
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<TagEvent> {
+        assert!(!self.finished, "feed after finish; call reset first");
+        let mut events = Vec::new();
+        for &b in bytes {
+            if let Some(prev) = self.pending.replace(b) {
+                self.step(prev, Some(b), &mut events);
+            }
+        }
+        events
+    }
+
+    /// Drain the final byte. Mirrors the hardware exactly: the circuit
+    /// never sees "end of input" — the driver flushes the pipeline with
+    /// delimiter bytes, so the final byte's lookahead (Figure 7) is
+    /// evaluated against a **delimiter**, not against nothing. A token
+    /// whose continuation class contains the delimiter therefore keeps
+    /// matching into the flush and reports no in-bounds event, just as
+    /// the gate-level engine observes.
+    pub fn finish(&mut self) -> Vec<TagEvent> {
+        let mut events = Vec::new();
+        if let Some(prev) = self.pending.take() {
+            let flush = self.tables.delim.iter().next().unwrap_or(b' ');
+            self.step(prev, Some(flush), &mut events);
+        }
+        self.finished = true;
+        events
+    }
+
+    /// Process one byte with its lookahead; `self.cursor` indexes it.
+    fn step(&mut self, byte: u8, next: Option<u8>, events: &mut Vec<TagEvent>) {
+        let i = self.cursor;
+        self.cursor += 1;
+        let tables = Arc::clone(&self.tables);
+        let is_delim = tables.delim.contains(byte);
+        let mut matched: Vec<usize> = Vec::new();
+
+        // §5.2 error recovery: if the machine is dead (nothing active,
+        // nothing armed) and the previous byte was a delimiter, re-enable
+        // the start tokens — mirrors the hardware's NOR-based resync.
+        let recover = tables.error_recovery
+            && self.prev_was_delim
+            && !self.active_any.iter().any(|&a| a)
+            && !self.arm.iter().any(|&a| a);
+
+        for (t, tok) in tables.tokens.iter().enumerate() {
+            let enabled = self.set_now[t]
+                || self.arm[t]
+                || ((tables.always || recover) && tables.start_tokens[t]);
+            let any = self.active_any[t];
+
+            // Hot-loop skip: a token with no live positions and no
+            // enable cannot fire or change state this byte.
+            if !enabled && !any {
+                self.next_any[t] = false;
+                self.arm[t] = false;
+                continue;
+            }
+
+            let active = &self.active[t];
+            let starts = &self.starts[t];
+            let next_active = &mut self.next_active[t];
+            let next_starts = &mut self.next_starts[t];
+
+            let mut token_match_start: Option<usize> = None;
+            let mut any_fired = false;
+            for p in 0..tok.classes.len() {
+                let mut fired = false;
+                let mut start = usize::MAX;
+                if tok.classes[p].contains(byte) {
+                    if any {
+                        for &q in &tok.preds[p] {
+                            if active[q] {
+                                fired = true;
+                                start = start.min(starts[q]);
+                            }
+                        }
+                    }
+                    if enabled && tok.is_first[p] {
+                        fired = true;
+                        start = start.min(i);
+                    }
+                }
+                next_active[p] = fired;
+                next_starts[p] = start;
+                any_fired |= fired;
+                if fired && tok.is_last[p] {
+                    let continues = match (tables.longest, next) {
+                        (true, Some(nb)) => tok.cont[p].contains(nb),
+                        _ => false,
+                    };
+                    if !continues {
+                        token_match_start =
+                            Some(token_match_start.map_or(start, |s: usize| s.min(start)));
+                    }
+                }
+            }
+            self.next_any[t] = any_fired;
+            if let Some(start) = token_match_start {
+                events.push(TagEvent { token: TokenId(t as u32), start, end: i + 1 });
+                matched.push(t);
+            }
+
+            // Arm update: hold a pending enable across delimiter bytes.
+            self.arm[t] = enabled && is_delim;
+        }
+
+        // Commit position state.
+        std::mem::swap(&mut self.active, &mut self.next_active);
+        std::mem::swap(&mut self.starts, &mut self.next_starts);
+        std::mem::swap(&mut self.active_any, &mut self.next_any);
+
+        // Enables for the next byte come from this byte's matches.
+        self.set_now.iter_mut().for_each(|s| *s = false);
+        for &u in &matched {
+            for &f in &tables.followers[u] {
+                self.set_now[f] = true;
+            }
+        }
+        self.prev_was_delim = is_delim;
+    }
+
+    /// Bytes processed so far (excluding the pending lookahead byte).
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::tagger::{TaggerOptions, TokenTagger};
+    use cfg_grammar::builtin;
+
+    #[test]
+    fn streaming_matches_batch() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let input = b"if true then go else stop";
+        let batch = t.tag_fast(input);
+
+        // Feed in awkward chunk sizes.
+        for chunk in [1usize, 2, 3, 7] {
+            let mut e = t.fast_engine();
+            let mut events = Vec::new();
+            for c in input.chunks(chunk) {
+                events.extend(e.feed(c));
+            }
+            events.extend(e.finish());
+            assert_eq!(events, batch, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let mut e = t.fast_engine();
+        let mut ev1 = e.feed(b"go");
+        ev1.extend(e.finish());
+        e.reset();
+        let mut ev2 = e.feed(b"go");
+        ev2.extend(e.finish());
+        assert_eq!(ev1, ev2);
+        assert_eq!(ev1.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feed after finish")]
+    fn feed_after_finish_panics() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let mut e = t.fast_engine();
+        let _ = e.finish();
+        let _ = e.feed(b"go");
+    }
+
+    #[test]
+    fn repeated_list_items() {
+        let g = Grammar::parse(
+            r#"
+            %%
+            list: "<l>" item "</l>";
+            item: | "<i>" "</i>" item;
+            %%
+            "#,
+        )
+        .unwrap();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let input = b"<l><i></i><i></i><i></i></l>";
+        let events = t.tag_fast(input);
+        let names: Vec<&str> = events.iter().map(|e| t.token_name(e.token)).collect();
+        assert_eq!(
+            names,
+            ["<l>", "<i>", "</i>", "<i>", "</i>", "<i>", "</i>", "</l>"]
+        );
+    }
+
+    use cfg_grammar::Grammar;
+}

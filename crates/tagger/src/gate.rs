@@ -1,0 +1,292 @@
+//! The gate-level engine — drives the generated circuit cycle by cycle.
+//!
+//! This is the hardware-fidelity path: each input byte becomes one clock
+//! cycle of the generated netlist in `cfg-netlist`'s simulator, and
+//! matches are read off the registered per-token match lines exactly as
+//! a back-end module on the FPGA would. Only *end* positions are
+//! observable in hardware; span starts are recovered in software by
+//! [`crate::TokenTagger::resolve_spans`].
+
+use crate::event::RawMatch;
+use cfg_grammar::TokenId;
+use cfg_hwgen::GeneratedTagger;
+use cfg_netlist::{NetId, SimError, Simulator};
+
+/// Cycle-accurate engine over the generated netlist.
+#[derive(Debug)]
+pub struct GateEngine {
+    sim: Simulator,
+    match_nets: Vec<NetId>,
+    match_latency: u64,
+    flush: usize,
+    flush_byte: u8,
+    /// Bytes fed since the last reset (streaming API).
+    fed: usize,
+    /// Whether the start pulse is still pending.
+    start_pending: bool,
+}
+
+impl GateEngine {
+    /// Compile the netlist into a simulator.
+    pub fn new(hw: &GeneratedTagger) -> Result<GateEngine, SimError> {
+        Ok(GateEngine {
+            sim: Simulator::new(&hw.netlist)?,
+            match_nets: hw.tokens.iter().map(|t| t.match_q).collect(),
+            match_latency: hw.match_latency,
+            flush: hw.flush_bytes(),
+            flush_byte: hw.flush_byte(),
+            fed: 0,
+            start_pending: true,
+        })
+    }
+
+    /// Reset for a fresh stream.
+    pub fn reset(&mut self) {
+        self.sim.reset();
+        self.fed = 0;
+        self.start_pending = true;
+    }
+
+    /// Clock one byte through the circuit and collect any in-bounds
+    /// matches observable this cycle.
+    fn clock(&mut self, byte: u8, limit: usize, raw: &mut Vec<RawMatch>) -> Result<(), SimError> {
+        let mut inputs = [0u64; 9];
+        for (i, slot) in inputs.iter_mut().take(8).enumerate() {
+            *slot = if byte & (1 << i) != 0 { u64::MAX } else { 0 };
+        }
+        inputs[8] = if self.start_pending { u64::MAX } else { 0 };
+        self.start_pending = false;
+        self.sim.step(&inputs)?;
+
+        // A match line high after step `s` marks a lexeme ending at byte
+        // `s - match_latency` (inclusive).
+        let s = self.sim.cycle() - 1;
+        if s < self.match_latency {
+            return Ok(());
+        }
+        let end = (s - self.match_latency) as usize + 1;
+        if end > limit {
+            return Ok(()); // assertions caused by flush padding
+        }
+        for (t, &net) in self.match_nets.iter().enumerate() {
+            if self.sim.value(net) & 1 != 0 {
+                raw.push(RawMatch { token: TokenId(t as u32), end });
+            }
+        }
+        Ok(())
+    }
+
+    /// Streaming: feed a chunk of bytes, returning the raw matches whose
+    /// lexemes ended within what has been fed so far.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<RawMatch>, SimError> {
+        let mut raw = Vec::new();
+        for &b in bytes {
+            self.fed += 1;
+            self.clock(b, self.fed, &mut raw)?;
+        }
+        Ok(raw)
+    }
+
+    /// Streaming: flush the pipeline with delimiter bytes and return the
+    /// remaining matches. The engine is then ready for [`Self::reset`].
+    pub fn finish(&mut self) -> Result<Vec<RawMatch>, SimError> {
+        let mut raw = Vec::new();
+        for _ in 0..self.flush {
+            self.clock(self.flush_byte, self.fed, &mut raw)?;
+        }
+        Ok(raw)
+    }
+
+    /// Run a complete input through the circuit (with automatic pipeline
+    /// flush) and collect the raw matches, ordered by end position.
+    pub fn run(&mut self, input: &[u8]) -> Result<Vec<RawMatch>, SimError> {
+        self.reset();
+        let mut raw = self.feed(input)?;
+        raw.extend(self.finish()?);
+        Ok(raw)
+    }
+
+    /// Number of cycles simulated so far (diagnostics).
+    pub fn cycles(&self) -> u64 {
+        self.sim.cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tagger::{TaggerOptions, TokenTagger};
+    use cfg_grammar::{builtin, Grammar};
+
+    #[test]
+    fn raw_matches_have_correct_ends() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let mut e = t.gate_engine().unwrap();
+        let raw = e.run(b"if true then go else stop").unwrap();
+        let ends: Vec<usize> = raw.iter().map(|m| m.end).collect();
+        assert_eq!(ends, [2, 7, 12, 15, 20, 25]);
+        assert!(e.cycles() > 25);
+    }
+
+    #[test]
+    fn engine_reusable_across_runs() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let mut e = t.gate_engine().unwrap();
+        let a = e.run(b"go").unwrap();
+        let b = e.run(b"stop").unwrap();
+        let c = e.run(b"go").unwrap();
+        assert_eq!(a, c);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_ne!(a[0].token, b[0].token);
+    }
+
+    #[test]
+    fn gate_agrees_with_fast_on_random_conforming_sentences() {
+        use rand::prelude::*;
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+
+        // Random sentence generator for the Figure 9 grammar.
+        fn sentence(rng: &mut StdRng, depth: usize, out: &mut String) {
+            if depth == 0 || rng.random_bool(0.6) {
+                out.push_str(["go", "stop"].choose(rng).unwrap());
+            } else {
+                out.push_str("if ");
+                out.push_str(["true", "false"].choose(rng).unwrap());
+                out.push_str(" then ");
+                sentence(rng, depth - 1, out);
+                out.push_str(" else ");
+                sentence(rng, depth - 1, out);
+            }
+        }
+
+        for _ in 0..20 {
+            let mut s = String::new();
+            sentence(&mut rng, 3, &mut s);
+            let fast = t.tag_fast(s.as_bytes());
+            let gate = t.tag_gate(s.as_bytes()).unwrap();
+            assert_eq!(fast, gate, "sentence {s}");
+            assert!(!fast.is_empty());
+        }
+    }
+
+    #[test]
+    fn fanout_remedies_preserve_behaviour() {
+        // §4.3 remedies (input registering + register replication) must
+        // not change a single event.
+        let g = builtin::if_then_else();
+        let plain = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let remedied = TokenTagger::compile(
+            &g,
+            TaggerOptions {
+                register_inputs: true,
+                max_reg_fanout: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(remedied.hardware().match_latency > plain.hardware().match_latency);
+        for input in [&b"go"[..], b"if true then go else stop", b"then bogus"] {
+            let a = plain.tag_gate(input).unwrap();
+            let b2 = remedied.tag_gate(input).unwrap();
+            let f = remedied.tag_fast(input);
+            assert_eq!(a, b2, "input {:?}", String::from_utf8_lossy(input));
+            assert_eq!(a, f);
+        }
+    }
+
+    #[test]
+    fn streaming_chunks_equal_batch() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let input = b"if true then go else stop";
+        let mut e = t.gate_engine().unwrap();
+        let batch = e.run(input).unwrap();
+        for chunk in [1usize, 3, 7, 100] {
+            let mut e = t.gate_engine().unwrap();
+            e.reset();
+            let mut raw = Vec::new();
+            for c in input.chunks(chunk) {
+                raw.extend(e.feed(c).unwrap());
+            }
+            raw.extend(e.finish().unwrap());
+            assert_eq!(raw, batch, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn error_recovery_resyncs_after_garbage() {
+        // §5.2: "the hardware based parser will be able to gracefully
+        // recover from errors … continue processing from the point of
+        // the error."
+        let g = builtin::if_then_else();
+        let plain = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let recovering = TokenTagger::compile(
+            &g,
+            TaggerOptions { error_recovery: true, ..Default::default() },
+        )
+        .unwrap();
+
+        let input = b"go ##garbage## stop";
+        // Without recovery the machine stays dead after the error.
+        let names = |t: &TokenTagger, evs: &[crate::TagEvent]| -> Vec<String> {
+            evs.iter().map(|e| t.token_name(e.token).to_owned()).collect()
+        };
+        assert_eq!(names(&plain, &plain.tag_fast(input)), ["go"]);
+        // With recovery, 'stop' (a start token) is tagged after resync.
+        let fast = recovering.tag_fast(input);
+        assert_eq!(names(&recovering, &fast), ["go", "stop"]);
+        // And the circuit implements the same semantics.
+        let gate = recovering.tag_gate(input).unwrap();
+        assert_eq!(fast, gate);
+    }
+
+    #[test]
+    fn error_recovery_gate_equals_fast_on_noisy_streams() {
+        use rand::prelude::*;
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(
+            &g,
+            TaggerOptions { error_recovery: true, ..Default::default() },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..12 {
+            let len = rng.random_range(0..30);
+            let input: String = (0..len)
+                .map(|_| *[" ", "go", "stop", "if", "true", "#", "x"].choose(&mut rng).unwrap())
+                .collect();
+            let fast = t.tag_fast(input.as_bytes());
+            let gate = t.tag_gate(input.as_bytes()).unwrap();
+            assert_eq!(fast, gate, "input {:?}", input);
+        }
+    }
+
+    #[test]
+    fn gate_agrees_with_fast_on_regex_tokens() {
+        let g = Grammar::parse(
+            r#"
+            NUM  [0-9]+
+            WORD [a-z]+
+            %%
+            s: WORD "=" NUM rest;
+            rest: | ";" s;
+            %%
+            "#,
+        )
+        .unwrap();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        for input in [
+            &b"x = 42"[..],
+            b"speed = 9000 ; limit = 55",
+            b"a=1;b=2;c=3",
+        ] {
+            let fast = t.tag_fast(input);
+            let gate = t.tag_gate(input).unwrap();
+            assert_eq!(fast, gate, "input {:?}", String::from_utf8_lossy(input));
+        }
+    }
+}

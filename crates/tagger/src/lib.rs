@@ -1,0 +1,51 @@
+//! # cfg-tagger — the streaming token tagger (core public API)
+//!
+//! The paper's primary contribution as a library: compile a context-free
+//! grammar into a streaming engine that tags each token occurrence with
+//! its **grammatical context** at wire speed.
+//!
+//! Two engines execute the *same* generated structure:
+//!
+//! * [`GateEngine`] — drives the generated gate-level netlist cycle by
+//!   cycle through `cfg-netlist`'s simulator: the circuit itself decides
+//!   which token fires when (our stand-in for the FPGA).
+//! * [`FastEngine`] — a functional mirror of that circuit at
+//!   token/position granularity, hundreds of times faster; property
+//!   tests assert the two agree event-for-event (the repo's substitute
+//!   for hardware/software co-verification).
+//!
+//! ```
+//! use cfg_grammar::Grammar;
+//! use cfg_tagger::{TokenTagger, TaggerOptions};
+//!
+//! let g = Grammar::parse(r#"
+//!     %%
+//!     E: "if" C "then" E "else" E | "go" | "stop";
+//!     C: "true" | "false";
+//!     %%
+//! "#).unwrap();
+//! let tagger = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+//! let events = tagger.tag_fast(b"if true then go else stop");
+//! assert_eq!(events.len(), 6);
+//! assert_eq!(tagger.token_name(events[0].token), "if");
+//! assert_eq!(&b"if true then go else stop"[events[3].start..events[3].end], b"go");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod event;
+pub mod fast;
+pub mod gate;
+pub mod pda;
+pub mod tagger;
+pub mod wide;
+
+pub use backend::{Backend, CollectBackend, CountingBackend};
+pub use event::TagEvent;
+pub use fast::FastEngine;
+pub use gate::GateEngine;
+pub use pda::{PdaParser, PdaResult};
+pub use wide::WideTagger;
+pub use tagger::{EncoderKind, StartMode, TaggerError, TaggerOptions, TokenTagger};

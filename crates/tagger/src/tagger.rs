@@ -1,0 +1,295 @@
+//! The [`TokenTagger`]: compile once, tag many streams.
+
+use crate::event::{RawMatch, TagEvent};
+use crate::fast::{FastEngine, FastTables};
+use crate::gate::GateEngine;
+use cfg_grammar::{transform, Context, Grammar, TokenId};
+use cfg_hwgen::{generate, GenError, GeneratedTagger, GeneratorOptions};
+use cfg_netlist::SimError;
+use cfg_regex::Nfa;
+use std::fmt;
+use std::sync::Arc;
+
+pub use cfg_hwgen::generate::EncoderKind;
+pub use cfg_hwgen::StartMode;
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy)]
+pub struct TaggerOptions {
+    /// Start-token enabling (§3.3). Default: [`StartMode::AtStart`].
+    pub start_mode: StartMode,
+    /// Apply the §3.2 multi-context token duplication so each event
+    /// carries its grammatical context. Default: `true`.
+    pub duplicate_contexts: bool,
+    /// Disable the Figure 7 longest-match lookahead (ablation).
+    pub disable_longest_match: bool,
+    /// Index encoder for the generated circuit.
+    pub encoder: EncoderKind,
+    /// Register-fanout cap for the generated circuit (§4.3 replication
+    /// remedy); `None` leaves the netlist as generated.
+    pub max_reg_fanout: Option<usize>,
+    /// Register the data pads (§4.3 "register tree" remedy; one extra
+    /// cycle of latency).
+    pub register_inputs: bool,
+    /// §5.2 error recovery: resync at the next token boundary after
+    /// non-conforming input instead of staying dead.
+    pub error_recovery: bool,
+}
+
+impl Default for TaggerOptions {
+    fn default() -> Self {
+        TaggerOptions {
+            start_mode: StartMode::AtStart,
+            duplicate_contexts: true,
+            disable_longest_match: false,
+            encoder: EncoderKind::Pipelined,
+            max_reg_fanout: None,
+            register_inputs: false,
+            error_recovery: false,
+        }
+    }
+}
+
+/// Compilation and execution errors.
+#[derive(Debug)]
+pub enum TaggerError {
+    /// Hardware generation failed.
+    Generate(GenError),
+    /// The gate-level simulator rejected the netlist (internal bug if it
+    /// ever happens — generated circuits are loop-free by construction).
+    Sim(SimError),
+}
+
+impl fmt::Display for TaggerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaggerError::Generate(e) => write!(f, "hardware generation failed: {e}"),
+            TaggerError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TaggerError {}
+
+impl From<GenError> for TaggerError {
+    fn from(e: GenError) -> Self {
+        TaggerError::Generate(e)
+    }
+}
+
+impl From<SimError> for TaggerError {
+    fn from(e: SimError) -> Self {
+        TaggerError::Sim(e)
+    }
+}
+
+/// A compiled streaming token tagger.
+///
+/// Holds the compiled grammar (with context-duplicated tokens), the
+/// generated gate-level circuit, and the functional tables both engines
+/// share.
+#[derive(Debug, Clone)]
+pub struct TokenTagger {
+    grammar: Grammar,
+    hw: GeneratedTagger,
+    tables: Arc<FastTables>,
+    /// Reversed-automaton NFAs per token, for span recovery from gate
+    /// match ends.
+    reverse_nfas: Arc<Vec<Nfa>>,
+    opts: TaggerOptions,
+}
+
+impl TokenTagger {
+    /// Compile a grammar into a tagger.
+    pub fn compile(g: &Grammar, opts: TaggerOptions) -> Result<TokenTagger, TaggerError> {
+        let grammar = if opts.duplicate_contexts {
+            transform::duplicate_multi_context_tokens(g)
+        } else {
+            g.clone()
+        };
+        let gen_opts = GeneratorOptions {
+            start_mode: opts.start_mode,
+            disable_longest_match: opts.disable_longest_match,
+            encoder: opts.encoder,
+            max_reg_fanout: opts.max_reg_fanout,
+            register_inputs: opts.register_inputs,
+            error_recovery: opts.error_recovery,
+        };
+        let hw = generate(&grammar, &gen_opts)?;
+        let tables = Arc::new(FastTables::build(&grammar, &opts));
+        let reverse_nfas = Arc::new(
+            grammar
+                .tokens()
+                .iter()
+                .map(|t| Nfa::from_template(&t.pattern.template().reversed()))
+                .collect(),
+        );
+        Ok(TokenTagger { grammar, hw, tables, reverse_nfas, opts })
+    }
+
+    /// The compiled grammar (post-duplication).
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The generated circuit and its metadata.
+    pub fn hardware(&self) -> &GeneratedTagger {
+        &self.hw
+    }
+
+    /// Compilation options used.
+    pub fn options(&self) -> &TaggerOptions {
+        &self.opts
+    }
+
+    /// Name of a token in the compiled grammar.
+    pub fn token_name(&self, t: TokenId) -> &str {
+        self.grammar.token_name(t)
+    }
+
+    /// Grammatical context of a token (productions/position), if the
+    /// duplication transform ran.
+    pub fn context(&self, t: TokenId) -> Option<&Context> {
+        self.grammar.tokens()[t.index()].context.as_ref()
+    }
+
+    /// A fresh streaming functional engine.
+    pub fn fast_engine(&self) -> FastEngine {
+        FastEngine::new(Arc::clone(&self.tables))
+    }
+
+    /// A fresh cycle-accurate gate-level engine.
+    pub fn gate_engine(&self) -> Result<GateEngine, TaggerError> {
+        Ok(GateEngine::new(&self.hw)?)
+    }
+
+    /// Tag a complete input with the functional engine.
+    pub fn tag_fast(&self, input: &[u8]) -> Vec<TagEvent> {
+        let mut engine = self.fast_engine();
+        let mut events = engine.feed(input);
+        events.extend(engine.finish());
+        events
+    }
+
+    /// Tag a complete input by simulating the generated circuit, then
+    /// recover spans in software (§3.4). Events are sorted by end.
+    pub fn tag_gate(&self, input: &[u8]) -> Result<Vec<TagEvent>, TaggerError> {
+        let mut engine = self.gate_engine()?;
+        let raw = engine.run(input)?;
+        Ok(self.resolve_spans(input, &raw))
+    }
+
+    /// Convert raw hardware matches (token + end) into spanned events by
+    /// running each token's reversed automaton backwards from the end.
+    pub fn resolve_spans(&self, input: &[u8], raw: &[RawMatch]) -> Vec<TagEvent> {
+        raw.iter()
+            .filter_map(|m| {
+                let len = self.reverse_nfas[m.token.index()].find_longest_rev(input, m.end)?;
+                Some(TagEvent { token: m.token, start: m.end - len, end: m.end })
+            })
+            .collect()
+    }
+
+    /// Feed a complete input through the fast engine into a back-end
+    /// processor (§3.5).
+    pub fn process<B: crate::backend::Backend>(&self, input: &[u8], backend: &mut B) {
+        for ev in self.tag_fast(input) {
+            backend.on_event(ev, self, input);
+        }
+        backend.on_end(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfg_grammar::builtin;
+
+    fn names(t: &TokenTagger, events: &[TagEvent]) -> Vec<String> {
+        events.iter().map(|e| t.token_name(e.token).to_owned()).collect()
+    }
+
+    #[test]
+    fn compile_and_tag_if_then_else() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let input = b"if false then stop else go";
+        let events = t.tag_fast(input);
+        assert_eq!(names(&t, &events), ["if", "false", "then", "stop", "else", "go"]);
+        // Spans slice back to the exact lexemes.
+        let lexemes: Vec<&[u8]> = events.iter().map(|e| e.lexeme(input)).collect();
+        assert_eq!(lexemes, [&b"if"[..], b"false", b"then", b"stop", b"else", b"go"]);
+    }
+
+    #[test]
+    fn gate_and_fast_agree_on_ite() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        for input in [
+            &b"go"[..],
+            b"if true then go else stop",
+            b"if false then if true then go else stop else go",
+            b"stop",
+        ] {
+            let fast = t.tag_fast(input);
+            let gate = t.tag_gate(input).unwrap();
+            assert_eq!(fast, gate, "input {:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn contexts_reported_after_duplication() {
+        let g = Grammar::parse(
+            r#"
+            WORD [a-z]+
+            %%
+            s: "<m>" WORD "</m>" "<n>" WORD "</n>";
+            %%
+            "#,
+        )
+        .unwrap();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let input = b"<m>abc</m><n>def</n>";
+        let events = t.tag_fast(input);
+        assert_eq!(events.len(), 6);
+        let ctx1 = t.context(events[1].token).unwrap();
+        let ctx4 = t.context(events[4].token).unwrap();
+        assert_eq!(ctx1.position, 1);
+        assert_eq!(ctx4.position, 4);
+        assert_eq!(events[1].lexeme(input), b"abc");
+        assert_eq!(events[4].lexeme(input), b"def");
+    }
+
+    #[test]
+    fn no_duplication_option() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(
+            &g,
+            TaggerOptions { duplicate_contexts: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(t.context(TokenId(0)).is_none());
+        assert_eq!(t.grammar().tokens().len(), 7);
+    }
+
+    #[test]
+    fn non_conforming_input_yields_no_events() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        assert!(t.tag_fast(b"hello world").is_empty());
+        assert!(t.tag_fast(b"then go").is_empty());
+        assert!(t.tag_fast(b"").is_empty());
+    }
+
+    #[test]
+    fn always_mode_scans_every_alignment() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(
+            &g,
+            TaggerOptions { start_mode: StartMode::Always, ..Default::default() },
+        )
+        .unwrap();
+        let events = t.tag_fast(b"zzz go zzz");
+        assert_eq!(names(&t, &events), ["go"]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # cfg-xmlrpc — the paper's §4 application
+//!
+//! "XML-RPC allows remote procedure calls to be made between systems
+//! over the Internet … it is desirable to have a system that can route
+//! XML-RPC messages based on the service requested in the content of
+//! the message." This crate supplies:
+//!
+//! * [`grammar`] — the Figure 14 Yacc-style grammar for XML-RPC
+//!   (≈45 tokens, ≈300 bytes of pattern data, §4.3), with the paper's
+//!   two small typos repaired and documented;
+//! * [`workload`] — a seeded generator of valid XML-RPC `methodCall`
+//!   messages (bank and shopping services, recursive values, structs,
+//!   arrays, dateTime, base64) plus *adversarial* messages that embed
+//!   service names inside string values — the naive matcher's trap;
+//! * [`router`] — the Figure 12 content-based router: a
+//!   [`cfg_tagger::Backend`] that watches the `STRING` token in its
+//!   `methodName` context and switches each message to the bank or
+//!   shopping port.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grammar;
+pub mod router;
+pub mod workload;
+
+pub use grammar::xmlrpc_grammar;
+pub use router::{Port, Router, RouterTables};
+pub use workload::{MessageKind, WorkloadGenerator};

@@ -1,0 +1,276 @@
+//! XML-RPC message workload generator.
+//!
+//! Produces the §4 traffic: `methodCall` messages for the Figure 12
+//! bank services (`deposit`, `withdraw`, `acctinfo`) and shopping
+//! services (`buy`, `sell`, `price`), with recursive parameter values.
+//! Seeded, so experiments are reproducible.
+//!
+//! Two generation modes matter for the evaluation:
+//!
+//! * [`MessageKind::Honest`] — the service name appears only in
+//!   `<methodName>`.
+//! * [`MessageKind::Adversarial`] — the method name is a *different*
+//!   service, and the routed-on service name is smuggled inside a
+//!   `<string>` parameter value. A context-blind matcher misroutes
+//!   these; the token tagger does not (the paper's false-positive
+//!   argument, §1/§3.5).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Bank services routed to the bank port (Figure 12).
+pub const BANK_SERVICES: [&str; 3] = ["deposit", "withdraw", "acctinfo"];
+/// Shopping services routed to the shopping port (Figure 12).
+pub const SHOP_SERVICES: [&str; 3] = ["buy", "sell", "price"];
+
+/// What kind of message to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// Service name only in `<methodName>`.
+    Honest,
+    /// Service name hidden in a string value; methodName is another
+    /// service.
+    Adversarial,
+}
+
+/// A generated message and its ground truth.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// The XML-RPC bytes.
+    pub bytes: Vec<u8>,
+    /// The service actually requested (in `<methodName>`).
+    pub method: String,
+    /// A service name embedded in a value, if adversarial.
+    pub decoy: Option<String>,
+}
+
+/// Seeded generator of XML-RPC messages.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    rng: StdRng,
+    /// Include dateTime/base64 values (which a conventional
+    /// longest-match lexer cannot tokenize — tagger-only territory).
+    pub full_value_set: bool,
+}
+
+impl WorkloadGenerator {
+    /// New generator with a seed.
+    pub fn new(seed: u64) -> Self {
+        WorkloadGenerator { rng: StdRng::seed_from_u64(seed), full_value_set: false }
+    }
+
+    /// Enable dateTime and base64 values.
+    pub fn with_full_values(mut self) -> Self {
+        self.full_value_set = true;
+        self
+    }
+
+    /// All known services.
+    pub fn services() -> Vec<&'static str> {
+        BANK_SERVICES.iter().chain(SHOP_SERVICES.iter()).copied().collect()
+    }
+
+    /// Generate one message.
+    pub fn message(&mut self, kind: MessageKind) -> Message {
+        let services = Self::services();
+        let method = (*services.choose(&mut self.rng).expect("nonempty")).to_owned();
+        let decoy = match kind {
+            MessageKind::Honest => None,
+            MessageKind::Adversarial => {
+                // Pick a decoy from the *other* port's services so a
+                // misroute is observable.
+                let other: Vec<&str> = if BANK_SERVICES.contains(&method.as_str()) {
+                    SHOP_SERVICES.to_vec()
+                } else {
+                    BANK_SERVICES.to_vec()
+                };
+                Some((*other.choose(&mut self.rng).expect("nonempty")).to_owned())
+            }
+        };
+
+        let mut s = String::new();
+        s.push_str("<methodCall>");
+        s.push_str(&format!("<methodName>{method}</methodName>"));
+        s.push_str("<params>");
+        let nparams = self.rng.random_range(1..4usize);
+        for i in 0..nparams {
+            s.push_str("<param>");
+            if i == 0 {
+                if let Some(d) = &decoy {
+                    // The trap: a value that *contains* the decoy
+                    // service name as its STRING content.
+                    s.push_str(&format!("<string>{d}</string>"));
+                    s.push_str("</param>");
+                    continue;
+                }
+            }
+            self.value(&mut s, 2);
+            s.push_str("</param>");
+        }
+        s.push_str("</params>");
+        s.push_str("</methodCall>");
+        Message { bytes: s.into_bytes(), method, decoy }
+    }
+
+    /// Generate a batch of messages with a given adversarial fraction
+    /// (0.0–1.0).
+    pub fn batch(&mut self, count: usize, adversarial_fraction: f64) -> Vec<Message> {
+        (0..count)
+            .map(|_| {
+                let kind = if self.rng.random_bool(adversarial_fraction.clamp(0.0, 1.0)) {
+                    MessageKind::Adversarial
+                } else {
+                    MessageKind::Honest
+                };
+                self.message(kind)
+            })
+            .collect()
+    }
+
+    fn value(&mut self, s: &mut String, depth: usize) {
+        let max = if self.full_value_set { 8 } else { 6 };
+        let choice = if depth == 0 {
+            self.rng.random_range(0..4) // scalars only at the leaves
+        } else {
+            self.rng.random_range(0..max)
+        };
+        match choice {
+            0 => {
+                let v: i32 = self.rng.random_range(-9999..10000);
+                s.push_str(&format!("<i4>{v}</i4>"));
+            }
+            1 => {
+                let v: i32 = self.rng.random_range(-99999..100000);
+                s.push_str(&format!("<int>{v}</int>"));
+            }
+            2 => {
+                let w = self.word();
+                s.push_str(&format!("<string>{w}</string>"));
+            }
+            3 => {
+                let a: i32 = self.rng.random_range(-999..1000);
+                let b: u32 = self.rng.random_range(0..100);
+                s.push_str(&format!("<double>{a}.{b:02}</double>"));
+            }
+            4 => {
+                // struct with 1–2 members.
+                s.push_str("<struct>");
+                for _ in 0..self.rng.random_range(1..3usize) {
+                    s.push_str("<member>");
+                    let w = self.word();
+                    s.push_str(&format!("<name>{w}</name>"));
+                    self.value(s, depth - 1);
+                    s.push_str("</member>");
+                }
+                s.push_str("</struct>");
+            }
+            5 => {
+                s.push_str("<array><data>");
+                for _ in 0..self.rng.random_range(0..3usize) {
+                    self.value(s, depth - 1);
+                }
+                s.push_str("</data></array>");
+            }
+            6 => {
+                let y = self.rng.random_range(1990..2030);
+                let mo = self.rng.random_range(1..13u32);
+                let d = self.rng.random_range(1..29u32);
+                let h = self.rng.random_range(0..24u32);
+                let mi = self.rng.random_range(0..60u32);
+                let sec = self.rng.random_range(0..60u32);
+                s.push_str(&format!(
+                    "<dateTime.iso8601>{y:04}{mo:02}{d:02}T{h:02}:{mi:02}:{sec:02}</dateTime.iso8601>"
+                ));
+            }
+            _ => {
+                let w = self.word();
+                s.push_str(&format!("<base64>{w}</base64>"));
+            }
+        }
+    }
+
+    fn word(&mut self) -> String {
+        let len = self.rng.random_range(3..10usize);
+        (0..len)
+            .map(|_| {
+                let c = self.rng.random_range(0..36u32);
+                if c < 26 {
+                    (b'a' + c as u8) as char
+                } else {
+                    (b'0' + (c - 26) as u8) as char
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = WorkloadGenerator::new(1);
+        let mut b = WorkloadGenerator::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.message(MessageKind::Honest).bytes, b.message(MessageKind::Honest).bytes);
+        }
+        let mut c = WorkloadGenerator::new(2);
+        assert_ne!(
+            a.message(MessageKind::Honest).bytes,
+            c.message(MessageKind::Honest).bytes
+        );
+    }
+
+    #[test]
+    fn honest_message_shape() {
+        let mut g = WorkloadGenerator::new(3);
+        let m = g.message(MessageKind::Honest);
+        let text = String::from_utf8(m.bytes.clone()).unwrap();
+        assert!(text.starts_with("<methodCall><methodName>"));
+        assert!(text.ends_with("</methodCall>"));
+        assert!(text.contains(&format!("<methodName>{}</methodName>", m.method)));
+        assert!(m.decoy.is_none());
+    }
+
+    #[test]
+    fn adversarial_contains_decoy_in_value() {
+        let mut g = WorkloadGenerator::new(4);
+        for _ in 0..20 {
+            let m = g.message(MessageKind::Adversarial);
+            let text = String::from_utf8(m.bytes.clone()).unwrap();
+            let decoy = m.decoy.as_ref().unwrap();
+            assert!(text.contains(&format!("<string>{decoy}</string>")));
+            assert_ne!(decoy, &m.method);
+            // Decoy and method target different ports.
+            let method_is_bank = BANK_SERVICES.contains(&m.method.as_str());
+            let decoy_is_bank = BANK_SERVICES.contains(&decoy.as_str());
+            assert_ne!(method_is_bank, decoy_is_bank);
+        }
+    }
+
+    #[test]
+    fn batch_fraction() {
+        let mut g = WorkloadGenerator::new(5);
+        let batch = g.batch(100, 0.5);
+        let adv = batch.iter().filter(|m| m.decoy.is_some()).count();
+        assert!((20..=80).contains(&adv), "got {adv}");
+        assert_eq!(batch.len(), 100);
+        let all_honest = g.batch(10, 0.0);
+        assert!(all_honest.iter().all(|m| m.decoy.is_none()));
+    }
+
+    #[test]
+    fn full_value_set_eventually_emits_datetime_and_base64() {
+        let mut g = WorkloadGenerator::new(6).with_full_values();
+        let mut saw_dt = false;
+        let mut saw_b64 = false;
+        for _ in 0..200 {
+            let m = g.message(MessageKind::Honest);
+            let text = String::from_utf8(m.bytes).unwrap();
+            saw_dt |= text.contains("<dateTime.iso8601>");
+            saw_b64 |= text.contains("<base64>");
+        }
+        assert!(saw_dt && saw_b64);
+    }
+}

@@ -1,0 +1,434 @@
+//! Property-based tests over the core invariants.
+//!
+//! The central property is hardware/software co-verification: the
+//! gate-level engine (the generated circuit, simulated cycle by cycle)
+//! and the fast functional engine must produce identical event streams
+//! on arbitrary inputs — conforming or not.
+
+use proptest::prelude::*;
+
+use cfg_token_tagger::grammar::{builtin, Grammar};
+use cfg_token_tagger::regex::{ByteSet, MatchSemantics, Pattern};
+use cfg_token_tagger::tagger::{StartMode, TaggerOptions, TokenTagger};
+
+// ---------------------------------------------------------------- regex
+
+/// Strategy: a non-nullable pattern string over a tiny alphabet.
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("[ab]".to_string()),
+        Just("[bc]".to_string()),
+        Just("[0-9]".to_string()),
+        Just("!a".to_string()),
+    ];
+    let elem = (atom, prop_oneof![Just(""), Just("+"), Just("?"), Just("*")])
+        .prop_map(|(a, p)| format!("{a}{p}"));
+    // A head literal keeps the whole pattern non-nullable.
+    (prop_oneof![Just("a"), Just("b"), Just("c")], prop::collection::vec(elem, 0..4))
+        .prop_map(|(head, tail)| format!("{head}{}", tail.join("")))
+}
+
+fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(b'a'),
+            Just(b'b'),
+            Just(b'c'),
+            Just(b'0'),
+            Just(b'7'),
+            Just(b' '),
+        ],
+        0..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GlobalLongest is an upper bound on every hardware-asserted end.
+    #[test]
+    fn hardware_ends_bounded_by_global_longest(
+        pat in pattern_strategy(),
+        input in input_strategy(),
+    ) {
+        let p = Pattern::parse(&pat).unwrap();
+        let global = p.find_longest_at(&input, 0, MatchSemantics::GlobalLongest);
+        let ends = p.nfa().hardware_ends(&input, 0);
+        for &e in &ends {
+            prop_assert!(e <= input.len());
+            prop_assert!(global.is_some());
+            prop_assert!(e <= global.unwrap());
+        }
+        // The longest hardware end equals the global longest whenever
+        // any end is asserted at all.
+        if let Some(&max) = ends.iter().max() {
+            prop_assert_eq!(max, global.unwrap());
+        }
+    }
+
+    /// Full match agrees with "longest-at-0 spans the input".
+    #[test]
+    fn full_match_consistency(pat in pattern_strategy(), input in input_strategy()) {
+        let p = Pattern::parse(&pat).unwrap();
+        let full = p.is_full_match(&input);
+        let longest = p.find_longest_at(&input, 0, MatchSemantics::GlobalLongest);
+        if full {
+            prop_assert_eq!(longest, Some(input.len()));
+        }
+        if longest == Some(input.len()) && !input.is_empty() {
+            prop_assert!(full);
+        }
+    }
+
+    /// Reversed template recognises exactly the mirror language.
+    #[test]
+    fn reverse_template_mirror(pat in pattern_strategy(), input in input_strategy()) {
+        let p = Pattern::parse(&pat).unwrap();
+        let rev = cfg_token_tagger::regex::Nfa::from_template(&p.template().reversed());
+        let mirrored: Vec<u8> = input.iter().rev().copied().collect();
+        prop_assert_eq!(p.is_full_match(&input), rev.is_full_match(&mirrored));
+    }
+}
+
+// -------------------------------------------------------------- bytesets
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn byteset_algebra_laws(a in prop::collection::vec(any::<u8>(), 0..16),
+                            b in prop::collection::vec(any::<u8>(), 0..16)) {
+        let sa: ByteSet = a.iter().copied().collect();
+        let sb: ByteSet = b.iter().copied().collect();
+        // De Morgan.
+        prop_assert_eq!(
+            sa.union(sb).complement(),
+            sa.complement().intersect(sb.complement())
+        );
+        // Difference via complement.
+        prop_assert_eq!(sa.difference(sb), sa.intersect(sb.complement()));
+        // Cardinality of disjoint union.
+        prop_assert_eq!(
+            sa.union(sb).len() + sa.intersect(sb).len(),
+            sa.len() + sb.len()
+        );
+        // Membership matches construction.
+        for &x in &a {
+            prop_assert!(sa.contains(x));
+        }
+    }
+}
+
+// ------------------------------------------------------ engines agree
+
+/// Build a one-token grammar in Always mode; any byte stream is legal
+/// input, so this fuzzes the whole generate→simulate pipeline.
+fn single_token_tagger(pat: &str) -> Option<TokenTagger> {
+    let text = format!("TOK {pat}\n%%\ns: TOK;\n%%\n");
+    let g = Grammar::parse(&text).ok()?;
+    TokenTagger::compile(
+        &g,
+        TaggerOptions { start_mode: StartMode::Always, ..Default::default() },
+    )
+    .ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The generated circuit and the functional mirror agree
+    /// event-for-event on arbitrary inputs.
+    #[test]
+    fn gate_equals_fast_on_random_patterns(
+        pat in pattern_strategy(),
+        input in input_strategy(),
+    ) {
+        // Patterns whose first byte class overlaps the delimiter set are
+        // rejected by the generator; skip those cases.
+        let Some(tagger) = single_token_tagger(&pat) else {
+            return Ok(());
+        };
+        let fast = tagger.tag_fast(&input);
+        let gate = tagger.tag_gate(&input).unwrap();
+        prop_assert_eq!(fast, gate, "pattern {} input {:?}", pat, input);
+    }
+
+    /// Same property on grammar-driven sequences: random conforming and
+    /// non-conforming if-then-else streams.
+    #[test]
+    fn gate_equals_fast_on_random_ite_streams(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("if"), Just("then"), Just("else"), Just("go"),
+                Just("stop"), Just("true"), Just("false"), Just("xx"),
+            ],
+            0..8,
+        ),
+        seps in prop::collection::vec(prop_oneof![Just(" "), Just("  "), Just("\t")], 8),
+    ) {
+        let g = builtin::if_then_else();
+        let tagger = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let mut input = String::new();
+        for (w, s) in words.iter().zip(seps.iter()) {
+            input.push_str(w);
+            input.push_str(s);
+        }
+        let fast = tagger.tag_fast(input.as_bytes());
+        let gate = tagger.tag_gate(input.as_bytes()).unwrap();
+        prop_assert_eq!(fast, gate, "input {:?}", input);
+    }
+}
+
+// -------------------------------------------------- tagger vs LL(1)
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On *conforming* sentences, the tagger's spans equal the classical
+    /// lexer+LL(1) pipeline's tokens (arithmetic grammar).
+    #[test]
+    fn tagger_matches_ll1_on_conforming_arithmetic(depth in 0usize..3, seed in any::<u64>()) {
+        use cfg_token_tagger::baseline::Ll1Parser;
+        use rand::prelude::*;
+
+        let g = builtin::arithmetic();
+        let tagger = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let parser = Ll1Parser::new(&g).unwrap();
+
+        // Random expression via the grammar itself.
+        fn expr(rng: &mut StdRng, depth: usize, out: &mut String) {
+            term(rng, depth, out);
+            while depth > 0 && rng.random_bool(0.4) {
+                out.push_str([" + ", " - "].choose(rng).unwrap());
+                term(rng, depth - 1, out);
+            }
+        }
+        fn term(rng: &mut StdRng, depth: usize, out: &mut String) {
+            factor(rng, depth, out);
+            while depth > 0 && rng.random_bool(0.3) {
+                out.push_str([" * ", " / "].choose(rng).unwrap());
+                factor(rng, depth - 1, out);
+            }
+        }
+        fn factor(rng: &mut StdRng, depth: usize, out: &mut String) {
+            if depth > 0 && rng.random_bool(0.3) {
+                out.push_str("( ");
+                expr(rng, depth - 1, out);
+                out.push_str(" )");
+            } else if rng.random_bool(0.5) {
+                out.push_str(&format!("{}", rng.random_range(0..1000)));
+            } else {
+                out.push_str(["x", "y", "count", "a1"].choose(rng).unwrap());
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sentence = String::new();
+        expr(&mut rng, depth, &mut sentence);
+
+        let truth = parser.parse(sentence.as_bytes()).expect("conforming by construction");
+        let tagged = tagger.tag_fast(sentence.as_bytes());
+        let truth_spans: Vec<(usize, usize)> = truth.iter().map(|t| (t.start, t.end)).collect();
+        let tag_spans: Vec<(usize, usize)> = tagged.iter().map(|e| (e.start, e.end)).collect();
+        prop_assert_eq!(tag_spans, truth_spans, "sentence {}", sentence);
+    }
+}
+
+// ------------------------------------------------------------- encoder
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Slot assignment: codes are unique, nonzero, within width, and
+    /// chained groups satisfy equation 5.
+    #[test]
+    fn slot_assignment_invariants(n in 1usize..40, group_seed in any::<u64>()) {
+        use cfg_token_tagger::hwgen::encoder::assign_slots;
+        use rand::prelude::*;
+
+        // Random disjoint groups over 0..n.
+        let mut rng = StdRng::seed_from_u64(group_seed);
+        let mut ids: Vec<usize> = (0..n).collect();
+        ids.shuffle(&mut rng);
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut it = ids.into_iter();
+        while let Some(first) = it.next() {
+            let extra = rng.random_range(0..3usize);
+            let mut g = vec![first];
+            for _ in 0..extra {
+                if let Some(x) = it.next() {
+                    g.push(x);
+                }
+            }
+            if g.len() > 1 {
+                groups.push(g);
+            }
+        }
+
+        let a = assign_slots(n, &groups);
+        let mut seen = std::collections::HashSet::new();
+        for &c in &a.codes {
+            prop_assert!(c > 0);
+            prop_assert!(c < 1 << a.width);
+            prop_assert!(seen.insert(c));
+        }
+        // Equation 5 within every chained group: prefix ORs equal the
+        // member codes. Groups the budget skipped get plain codes, so
+        // only check groups whose codes form a chain.
+        for g in &groups {
+            let codes: Vec<usize> = g.iter().map(|&t| a.codes[t]).collect();
+            let chained = codes.windows(2).all(|w| w[0] & w[1] == w[0]);
+            if chained {
+                for i in 0..codes.len() {
+                    let or = codes[..=i].iter().fold(0, |x, &y| x | y);
+                    prop_assert_eq!(or, codes[i]);
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- robustness
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The pattern parser never panics, whatever bytes arrive.
+    #[test]
+    fn pattern_parser_never_panics(src in "\\PC{0,24}") {
+        let _ = Pattern::parse(&src);
+    }
+
+    /// The grammar parser never panics either.
+    #[test]
+    fn grammar_parser_never_panics(src in "\\PC{0,64}") {
+        let _ = Grammar::parse(&src);
+        // Also with section markers sprinkled in.
+        let _ = Grammar::parse(&format!("%%\n{src}\n%%\n"));
+    }
+}
+
+// ------------------------------------------- netlist sim cross-check
+
+/// A tiny reference evaluator for random combinational DAGs, checked
+/// against the production simulator.
+mod netlist_fuzz {
+    use super::*;
+    use cfg_token_tagger::netlist::{NetlistBuilder, Simulator};
+
+    #[derive(Debug, Clone)]
+    pub enum GateKind {
+        And,
+        Or,
+        Xor,
+        Not,
+    }
+
+    pub fn gate_strategy() -> impl Strategy<Value = GateKind> {
+        prop_oneof![
+            Just(GateKind::And),
+            Just(GateKind::Or),
+            Just(GateKind::Xor),
+            Just(GateKind::Not),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Build a random DAG of gates over 4 inputs; evaluate with the
+        /// simulator and with direct recursive evaluation — they must
+        /// agree on all 16 input combinations (checked in parallel via
+        /// the 64-stream values).
+        #[test]
+        fn simulator_matches_reference_eval(
+            gates in prop::collection::vec((gate_strategy(), any::<u16>(), any::<u16>()), 1..24),
+        ) {
+            let mut b = NetlistBuilder::new();
+            let inputs: Vec<_> = (0..4).map(|i| b.input(&format!("i{i}"))).collect();
+            let mut nets = inputs.clone();
+            for (kind, a_sel, b_sel) in &gates {
+                let ai = (*a_sel as usize) % nets.len();
+                let bi = (*b_sel as usize) % nets.len();
+                let (na, nb) = (nets[ai], nets[bi]);
+                let net = match kind {
+                    GateKind::And => b.and2(na, nb),
+                    GateKind::Or => b.or2(na, nb),
+                    GateKind::Xor => b.xor2(na, nb),
+                    GateKind::Not => b.not(na),
+                };
+                nets.push(net);
+            }
+            // Reference evaluation bottom-up over the same structure
+            // (the value index space grows exactly like `nets` above).
+            let eval_all = |v: &[u64; 4]| -> Vec<u64> {
+                let mut vals: Vec<u64> = v.to_vec();
+                for (kind, a_sel, b_sel) in &gates {
+                    let ai = (*a_sel as usize) % vals.len();
+                    let bi = (*b_sel as usize) % vals.len();
+                    let (x, y) = (vals[ai], vals[bi]);
+                    vals.push(match kind {
+                        GateKind::And => x & y,
+                        GateKind::Or => x | y,
+                        GateKind::Xor => x ^ y,
+                        GateKind::Not => !x,
+                    });
+                }
+                vals
+            };
+
+            let last = *nets.last().unwrap();
+            b.output("out", last);
+            let nl = b.finish();
+            let mut sim = Simulator::new(&nl).unwrap();
+
+            // All 16 combinations of 4 inputs packed into one word each.
+            let mut vin = [0u64; 4];
+            for combo in 0..16u64 {
+                for (i, slot) in vin.iter_mut().enumerate() {
+                    if combo & (1 << i) != 0 {
+                        *slot |= 1 << combo;
+                    }
+                }
+            }
+            sim.step(&vin).unwrap();
+            let reference = eval_all(&vin);
+            let got = sim.output("out").unwrap();
+            let mask = (1u64 << 16) - 1;
+            prop_assert_eq!(got & mask, reference.last().unwrap() & mask);
+        }
+    }
+}
+
+// --------------------------------------------------- wide datapath
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The W-lane circuit is a retiming, not a semantic change: its
+    /// events equal the byte-serial fast engine's on random streams for
+    /// random lane counts.
+    #[test]
+    fn wide_equals_fast_on_random_streams(
+        lanes in 2usize..6,
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("if"), Just("go"), Just("stop"), Just("true"),
+                Just("then"), Just("else"), Just("??"),
+            ],
+            0..6,
+        ),
+    ) {
+        use cfg_token_tagger::tagger::WideTagger;
+        let g = builtin::if_then_else();
+        let tagger = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let wide = WideTagger::compile(&g, lanes, TaggerOptions::default()).unwrap();
+        let input = words.join(" ");
+        let fast = tagger.tag_fast(input.as_bytes());
+        let w = wide.tag(input.as_bytes()).unwrap();
+        prop_assert_eq!(fast, w, "W={} input {:?}", lanes, input);
+    }
+}
