@@ -88,11 +88,7 @@ impl AhoCorasick {
             }
         }
 
-        AhoCorasick {
-            next,
-            output,
-            pattern_lens: patterns.iter().map(|p| p.len()).collect(),
-        }
+        AhoCorasick { next, output, pattern_lens: patterns.iter().map(|p| p.len()).collect() }
     }
 
     /// All matches in the input.

@@ -46,13 +46,7 @@ impl DfaLexer {
             // Lowest token index among accepting members = declaration
             // priority (matches SwLexer's tie break after longest match).
             set.iter()
-                .filter(|s| {
-                    toks[s.0 as usize]
-                        .pattern
-                        .template()
-                        .last
-                        .contains(&(s.1 as usize))
-                })
+                .filter(|s| toks[s.0 as usize].pattern.template().last.contains(&(s.1 as usize)))
                 .map(|s| s.0 as u32)
                 .min()
                 .unwrap_or(DEAD)
@@ -103,11 +97,8 @@ impl DfaLexer {
             // 256 probes per state keeps this simple; construction is
             // offline.
             for byte in 0..=255u8 {
-                let mut next: Vec<NfaState> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|&s| class_of(s).contains(byte))
-                    .collect();
+                let mut next: Vec<NfaState> =
+                    candidates.iter().copied().filter(|&s| class_of(s).contains(byte)).collect();
                 if next.is_empty() {
                     continue;
                 }
@@ -185,12 +176,8 @@ mod tests {
         for g in [builtin::if_then_else(), builtin::arithmetic(), builtin::key_value()] {
             let dfa = DfaLexer::new(&g);
             let nfa = SwLexer::new(&g);
-            let inputs: [&[u8]; 4] = [
-                b"if true then go else stop",
-                b"1 + 2 * ( x - 3 )",
-                b"key = value.1 ;",
-                b"###",
-            ];
+            let inputs: [&[u8]; 4] =
+                [b"if true then go else stop", b"1 + 2 * ( x - 3 )", b"key = value.1 ;", b"###"];
             for input in inputs {
                 assert_eq!(
                     dfa.tokenize(input),

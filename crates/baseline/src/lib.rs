@@ -32,6 +32,6 @@ pub mod swlexer;
 
 pub use aho_corasick::AhoCorasick;
 pub use dfa::DfaLexer;
-pub use ll1::{Ll1Parser, Ll1Error, ParsedToken};
+pub use ll1::{Ll1Error, Ll1Parser, ParsedToken};
 pub use naive::NaiveScanner;
 pub use swlexer::{LexedToken, SwLexer};

@@ -103,8 +103,11 @@ impl Ll1Parser {
         let eof = t_count; // last column
         let mut table: Vec<Vec<Option<u32>>> = vec![vec![None; t_count + 1]; nt_count];
 
-        let set_cell = |nt: NtId, col: usize, prod: usize, g: &Grammar,
-                            table: &mut Vec<Vec<Option<u32>>>|
+        let set_cell = |nt: NtId,
+                        col: usize,
+                        prod: usize,
+                        g: &Grammar,
+                        table: &mut Vec<Vec<Option<u32>>>|
          -> Result<(), Ll1Error> {
             let cell = &mut table[nt.index()][col];
             match cell {

@@ -28,9 +28,7 @@ impl NaiveScanner {
         I: IntoIterator<Item = P>,
         P: AsRef<[u8]>,
     {
-        NaiveScanner {
-            patterns: patterns.into_iter().map(|p| p.as_ref().to_vec()).collect(),
-        }
+        NaiveScanner { patterns: patterns.into_iter().map(|p| p.as_ref().to_vec()).collect() }
     }
 
     /// The pattern list.

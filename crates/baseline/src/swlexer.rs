@@ -63,8 +63,7 @@ impl SwLexer {
             }
             let mut best: Option<(usize, usize)> = None; // (len, token)
             for (t, nfa) in self.nfas.iter().enumerate() {
-                if let Some(len) = nfa.find_longest_at(input, i, MatchSemantics::GlobalLongest)
-                {
+                if let Some(len) = nfa.find_longest_at(input, i, MatchSemantics::GlobalLongest) {
                     let better = match best {
                         None => true,
                         // Longest match wins; earlier declaration on ties.

@@ -11,9 +11,8 @@ use cfg_xmlrpc::xmlrpc_grammar;
 
 fn bench_ablation(c: &mut Criterion) {
     let mut gen = WorkloadGenerator::new(7);
-    let msgs: Vec<Vec<u8>> = (0..64)
-        .map(|_| gen.message(cfg_xmlrpc::MessageKind::Honest).bytes)
-        .collect();
+    let msgs: Vec<Vec<u8>> =
+        (0..64).map(|_| gen.message(cfg_xmlrpc::MessageKind::Honest).bytes).collect();
     let bytes: usize = msgs.iter().map(|m| m.len()).sum();
     let grammar = xmlrpc_grammar();
 
@@ -23,10 +22,7 @@ fn bench_ablation(c: &mut Criterion) {
             "no_context_duplication",
             TaggerOptions { duplicate_contexts: false, ..Default::default() },
         ),
-        (
-            "no_longest_match",
-            TaggerOptions { disable_longest_match: true, ..Default::default() },
-        ),
+        ("no_longest_match", TaggerOptions { disable_longest_match: true, ..Default::default() }),
     ];
 
     let mut group = c.benchmark_group("fast_engine_ablation");

@@ -34,9 +34,7 @@ fn bench_throughput(c: &mut Criterion) {
     let tagger = TokenTagger::compile(&grammar, TaggerOptions::default()).unwrap();
     let lexer = SwLexer::new(&grammar);
     let ll1 = Ll1Parser::new(&grammar).unwrap();
-    let ac = AhoCorasick::new(
-        WorkloadGenerator::services().iter().map(|s| s.as_bytes().to_vec()),
-    );
+    let ac = AhoCorasick::new(WorkloadGenerator::services().iter().map(|s| s.as_bytes().to_vec()));
 
     let mut group = c.benchmark_group("xmlrpc_throughput");
     group.throughput(Throughput::Bytes(bytes as u64));
@@ -111,12 +109,7 @@ fn bench_throughput(c: &mut Criterion) {
         b.iter(|| black_box(pda.parse(black_box(one)).events.len()))
     });
     group.bench_function("wide_tagger_w4_one_message", |b| {
-        let wide = cfg_tagger::WideTagger::compile(
-            &grammar,
-            4,
-            TaggerOptions::default(),
-        )
-        .unwrap();
+        let wide = cfg_tagger::WideTagger::compile(&grammar, 4, TaggerOptions::default()).unwrap();
         b.iter(|| black_box(wide.tag(black_box(one)).unwrap().len()))
     });
     group.finish();

@@ -59,17 +59,14 @@ fn main() {
         )
         .expect("compiles");
         let events = t.tag_fast(&msg.bytes);
-        println!(
-            "{:<26}{:>6} events on one {}-byte message",
-            name,
-            events.len(),
-            msg.bytes.len()
-        );
+        println!("{:<26}{:>6} events on one {}-byte message", name, events.len(), msg.bytes.len());
     }
 
     println!();
     println!("== ablation 3: fanout remedies (§4.3: replication + input register tree) ==");
-    println!("(factor-10 grammar, the paper's 3000-byte point; frequency on the uncalibrated V4 model)");
+    println!(
+        "(factor-10 grammar, the paper's 3000-byte point; frequency on the uncalibrated V4 model)"
+    );
     {
         use cfg_grammar::scale;
         let g10 = duplicate_multi_context_tokens(&scale::replicate(&base, 10));

@@ -35,8 +35,8 @@ fn main() {
     let services = WorkloadGenerator::services();
     let ac = AhoCorasick::new(services.iter().map(|s| s.as_bytes()));
 
-    let tagger = TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default())
-        .expect("xmlrpc compiles");
+    let tagger =
+        TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default()).expect("xmlrpc compiles");
     let tables = RouterTables::new(&tagger).expect("methodName STRING exists");
 
     let mut naive_fp = 0usize;
@@ -53,11 +53,8 @@ fn main() {
 
         // Context-blind: service-presence bits from anywhere in the
         // message.
-        let detected: HashSet<&str> = ac
-            .find_all(&m.bytes)
-            .iter()
-            .map(|hit| services[hit.pattern])
-            .collect();
+        let detected: HashSet<&str> =
+            ac.find_all(&m.bytes).iter().map(|hit| services[hit.pattern]).collect();
         naive_fp += detected.iter().filter(|s| **s != m.method).count();
         let naive_port = if detected.iter().any(|s| BANK_SERVICES.contains(s)) {
             Port::Bank
@@ -73,11 +70,7 @@ fn main() {
         // The tagger: one decision per message, from methodName context.
         let mut r = Router::new(tables.clone());
         tagger.process(&m.bytes, &mut r);
-        tagger_fp += r
-            .decisions
-            .iter()
-            .filter(|(svc, _)| *svc != m.method)
-            .count();
+        tagger_fp += r.decisions.iter().filter(|(svc, _)| *svc != m.method).count();
         let tagger_port = r.decisions.first().map(|(_, p)| *p).unwrap_or(Port::Unknown);
         if tagger_port != truth {
             tagger_misroutes += 1;
@@ -85,10 +78,7 @@ fn main() {
     }
 
     println!("false-positive experiment ({n} messages, {adversarial} adversarial)");
-    println!(
-        "{:<34}{:>18}{:>12}{:>15}",
-        "engine", "false positives", "misroutes", "misroute rate"
-    );
+    println!("{:<34}{:>18}{:>12}{:>15}", "engine", "false positives", "misroutes", "misroute rate");
     println!(
         "{:<34}{:>18}{:>12}{:>14.1}%",
         "context-blind DPI (Aho-Corasick)",

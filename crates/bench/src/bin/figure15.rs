@@ -5,7 +5,7 @@
 //! Run: `cargo run -p cfg-bench --bin figure15 --release`
 
 use cfg_bench::{calibrated_devices, row_for, synthesize_all};
-use cfg_fpga::report::{render_figure15, Figure15Point};
+use cfg_fpga::report::{points_to_json, render_figure15, Figure15Point};
 
 fn main() {
     let points = synthesize_all();
@@ -26,7 +26,16 @@ fn main() {
     println!("{}", render_figure15(&series));
     println!("paper series: (300, 533, 1.01) (600, 497, 0.88) (1200, 445, 0.81) (2100, 318, 0.79) (3000, 316, 0.77)");
 
+    // Machine-readable copy for downstream analysis.
+    if std::fs::create_dir_all("bench_results").is_ok() {
+        let _ = std::fs::write("bench_results/figure15.json", points_to_json(&series));
+        eprintln!("wrote bench_results/figure15.json");
+    }
+
     // Monotone-decrease shape check (the paper's curve falls overall).
     let falling = series.windows(2).all(|w| w[1].freq_mhz <= w[0].freq_mhz + 1.0);
-    println!("shape check: frequency non-increasing with size: {}", if falling { "OK" } else { "FAIL" });
+    println!(
+        "shape check: frequency non-increasing with size: {}",
+        if falling { "OK" } else { "FAIL" }
+    );
 }

@@ -1,0 +1,87 @@
+//! Measures the observability layer's overhead on the hot path.
+//!
+//! The cfg-obs design promise is *zero overhead when off*: `Metrics` is
+//! an `Option<Arc<dyn MetricsSink>>`, so the un-instrumented engine pays
+//! one never-taken branch per `feed()` call. This bin times
+//! `FastEngine::feed` over a multi-megabyte XML-RPC stream in three
+//! configurations —
+//!
+//! * **off** — `Metrics::off()` (the default),
+//! * **noop** — a live sink whose methods do nothing ([`NoopSink`]),
+//! * **stats** — the full counter sink ([`StatsSink`]),
+//!
+//! and reports each as ns/byte plus the percentage overhead versus
+//! *off*. The PR's acceptance target is noop overhead **< 2%**; the
+//! check is printed but never fails the process (timing on shared CI
+//! boxes is too noisy to gate on).
+//!
+//! Run: `cargo run -p cfg-bench --bin obs_overhead --release`
+
+use cfg_obs::{Metrics, NoopSink, StatsSink};
+use cfg_tagger::{TaggerOptions, TokenTagger};
+use cfg_xmlrpc::workload::{MessageKind, WorkloadGenerator};
+use cfg_xmlrpc::xmlrpc_grammar;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time for one full-stream feed, in ns/byte.
+fn bench_feed(tagger: &TokenTagger, input: &[u8], metrics: &Metrics, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut engine = tagger.fast_engine().with_metrics(metrics.clone());
+        let t0 = Instant::now();
+        let events = engine.feed(input);
+        let dt = t0.elapsed().as_nanos() as f64;
+        // Keep the events alive past the clock stop so the compiler
+        // cannot discard the work.
+        std::hint::black_box(&events);
+        best = best.min(dt / input.len() as f64);
+    }
+    best
+}
+
+fn main() {
+    let tagger = TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default())
+        .expect("XML-RPC grammar compiles");
+
+    // ~4 MB of honest traffic: large enough that per-call constants
+    // (engine setup, the one BytesIn add) vanish into the stream.
+    let mut gen = WorkloadGenerator::new(42);
+    let mut input = Vec::new();
+    while input.len() < 4 << 20 {
+        input.extend_from_slice(&gen.message(MessageKind::Honest).bytes);
+        input.push(b'\n');
+    }
+
+    let reps = 7;
+    // Warm-up pass (page in the tables, settle the clocks).
+    bench_feed(&tagger, &input, &Metrics::off(), 2);
+
+    let off = bench_feed(&tagger, &input, &Metrics::off(), reps);
+    let noop = bench_feed(&tagger, &input, &Metrics::new(Arc::new(NoopSink)), reps);
+    let stats = bench_feed(&tagger, &input, &Metrics::new(Arc::new(StatsSink::new())), reps);
+
+    let pct = |x: f64| (x - off) / off * 100.0;
+    println!("obs overhead on FastEngine::feed ({} bytes, best of {reps})", input.len());
+    println!("  off   : {off:>7.3} ns/byte");
+    println!("  noop  : {noop:>7.3} ns/byte  ({:+.2}% vs off)", pct(noop));
+    println!("  stats : {stats:>7.3} ns/byte  ({:+.2}% vs off)", pct(stats));
+    let ok = pct(noop) < 2.0;
+    println!("check: noop overhead < 2%: {}", if ok { "OK" } else { "FAIL (non-gating)" });
+
+    if std::fs::create_dir_all("bench_results").is_ok() {
+        let json = format!(
+            "{{\"bytes\": {}, \"reps\": {reps}, \"off_ns_per_byte\": {off:.4}, \
+             \"noop_ns_per_byte\": {noop:.4}, \"stats_ns_per_byte\": {stats:.4}, \
+             \"noop_overhead_pct\": {:.3}, \"stats_overhead_pct\": {:.3}, \
+             \"noop_under_2pct\": {ok}}}\n",
+            input.len(),
+            pct(noop),
+            pct(stats),
+        );
+        let _ = std::fs::write("bench_results/obs_overhead.json", json);
+        eprintln!("wrote bench_results/obs_overhead.json");
+    }
+    // Non-gating by design: timing noise on shared machines must not
+    // break CI. The JSON carries the verdict for anyone who cares.
+}

@@ -20,7 +20,12 @@ fn main() {
     for p in &points {
         eprintln!(
             "  factor {:>2}: {:>5} pattern bytes, {:>6} LUTs, {:>6} regs, depth {}, max fanout {}",
-            p.factor, p.pattern_bytes, p.stats.luts, p.stats.regs, p.stats.depth, p.stats.max_fanout
+            p.factor,
+            p.pattern_bytes,
+            p.stats.luts,
+            p.stats.regs,
+            p.stats.depth,
+            p.stats.max_fanout
         );
     }
     let (v4, ve) = calibrated_devices(&points);
@@ -35,10 +40,7 @@ fn main() {
     // Machine-readable copy for downstream analysis.
     if std::fs::create_dir_all("bench_results").is_ok() {
         let _ = std::fs::write("bench_results/table1.json", rows_to_json(&rows));
-        let _ = std::fs::write(
-            "bench_results/table1_paper.json",
-            rows_to_json(&paper_table1()),
-        );
+        let _ = std::fs::write("bench_results/table1_paper.json", rows_to_json(&paper_table1()));
         eprintln!("wrote bench_results/table1.json");
     }
 

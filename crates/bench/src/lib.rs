@@ -64,8 +64,7 @@ pub fn synthesize_all() -> Vec<DesignPoint> {
 pub fn calibrated_devices(points: &[DesignPoint]) -> (Device, Device) {
     let smallest = &points.first().expect("nonempty").mapped;
     let largest = &points.last().expect("nonempty").mapped;
-    let v4 =
-        Device::virtex4_lx200().calibrate_two_point((smallest, 533.0), (largest, 316.0));
+    let v4 = Device::virtex4_lx200().calibrate_two_point((smallest, 533.0), (largest, 316.0));
     let ve = Device::virtexe_2000().calibrate_uniform(smallest, 196.0);
     (v4, ve)
 }

@@ -3,17 +3,23 @@
 //! A thin, dependency-free command-line front end over the workspace:
 //!
 //! ```text
-//! cfgtag check  <grammar.y>                 grammar diagnostics + FOLLOW table
-//! cfgtag tag    <grammar.y> [input] [opts]  tag a byte stream
-//! cfgtag parse  <grammar.y> [input]         exact (stack-augmented) parse
-//! cfgtag vhdl   <grammar.y> [entity]        emit the generated VHDL
-//! cfgtag dot    <grammar.y>                 emit the circuit as Graphviz
-//! cfgtag report <grammar.y> [--scale N]     LUT/timing report on both devices
+//! cfgtag check  <grammar.y>                      grammar diagnostics + FOLLOW table
+//! cfgtag tag    <grammar.y> [input] [opts]       tag a byte stream
+//! cfgtag parse  <grammar.y> [input]              exact (stack-augmented) parse
+//! cfgtag vhdl   <grammar.y> [entity]             emit the generated VHDL
+//! cfgtag dot    <grammar.y>                      emit the circuit as Graphviz
+//! cfgtag report <grammar.y> [--scale N] [--json] LUT/timing report on both devices
 //! ```
 //!
 //! Options for `tag`: `--gate` (simulate the circuit instead of the fast
 //! engine), `--always` (scan at every alignment), `--recover` (§5.2
-//! error recovery), `--no-context` (skip token duplication).
+//! error recovery), `--no-context` (skip token duplication), `--stats`
+//! (counter/timing report after the events), `--trace-out PATH` (write
+//! the structured event trace as JSON lines).
+//!
+//! `tag` always ends with a one-line summary (`N events, M bytes, R
+//! resyncs`) and exits with code 3 when the stream ends with the machine
+//! dead and error recovery off — scriptable non-conformance detection.
 //!
 //! All commands are plain functions over in-memory inputs so they are
 //! unit-testable without process spawning.
@@ -25,8 +31,10 @@ use cfg_fpga::Device;
 use cfg_grammar::Grammar;
 use cfg_hwgen::vhdl::emit_vhdl;
 use cfg_netlist::MappedNetlist;
+use cfg_obs::{json, Metrics, Stat, StatsSink};
 use cfg_tagger::{PdaParser, StartMode, TaggerOptions, TokenTagger};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// CLI errors (message + suggested exit code).
 #[derive(Debug)]
@@ -51,8 +59,28 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// A command's successful result: text for stdout, an exit code, and
+/// side-channel files for the caller to write (the library itself never
+/// touches the filesystem).
+#[derive(Debug, Default)]
+pub struct CliOutput {
+    /// Text to print to stdout.
+    pub text: String,
+    /// Process exit code (0 = clean; `tag` uses 3 for "stream ended
+    /// dead without error recovery").
+    pub code: i32,
+    /// `(path, contents)` pairs to write, e.g. the `--trace-out` JSONL.
+    pub files: Vec<(String, String)>,
+}
+
+impl From<String> for CliOutput {
+    fn from(text: String) -> CliOutput {
+        CliOutput { text, code: 0, files: Vec::new() }
+    }
+}
+
 /// Parsed `tag` options.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub struct TagFlags {
     /// Use the gate-level engine.
     pub gate: bool,
@@ -62,27 +90,45 @@ pub struct TagFlags {
     pub recover: bool,
     /// Skip §3.2 context duplication.
     pub no_context: bool,
+    /// Append the counter/timing report after the events.
+    pub stats: bool,
+    /// Write the structured event trace (JSON lines) to this path.
+    pub trace_out: Option<String>,
 }
 
 impl TagFlags {
-    /// Parse from raw flag strings.
-    pub fn parse(args: &[String]) -> Result<TagFlags, CliError> {
+    /// Parse the full `tag` argument tail: flags in any position, plus
+    /// at most one positional input path.
+    pub fn parse(args: &[String]) -> Result<(TagFlags, Option<String>), CliError> {
         let mut f = TagFlags::default();
-        for a in args {
+        let mut input: Option<String> = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
             match a.as_str() {
                 "--gate" => f.gate = true,
                 "--always" => f.always = true,
                 "--recover" => f.recover = true,
                 "--no-context" => f.no_context = true,
-                other => {
+                "--stats" => f.stats = true,
+                "--trace-out" => {
+                    let path =
+                        it.next().ok_or_else(|| CliError::new("--trace-out needs a path", 2))?;
+                    f.trace_out = Some(path.clone());
+                }
+                other if other.starts_with("--") => {
                     return Err(CliError::new(format!("unknown flag {other}"), 2));
+                }
+                path => {
+                    if input.replace(path.to_owned()).is_some() {
+                        return Err(CliError::new("tag takes at most one input file", 2));
+                    }
                 }
             }
         }
-        Ok(f)
+        Ok((f, input))
     }
 
-    fn options(self) -> TaggerOptions {
+    fn options(&self) -> TaggerOptions {
         TaggerOptions {
             start_mode: if self.always { StartMode::Always } else { StartMode::AtStart },
             duplicate_contexts: !self.no_context,
@@ -121,16 +167,44 @@ pub fn cmd_check(grammar_text: &str) -> Result<String, CliError> {
 }
 
 /// `cfgtag tag`: tag an input and render the events.
-pub fn cmd_tag(grammar_text: &str, input: &[u8], flags: TagFlags) -> Result<String, CliError> {
+///
+/// Always attaches a [`StatsSink`] (process startup dwarfs its cost) so
+/// the trailing summary line — `N events, M bytes, R resyncs` — is
+/// available on every run. `--stats` renders the full counter/fire/
+/// compile report; `--trace-out PATH` returns the JSONL trace via
+/// [`CliOutput::files`]. When the stream ends with the machine dead and
+/// error recovery off, the exit code is 3.
+pub fn cmd_tag(grammar_text: &str, input: &[u8], flags: &TagFlags) -> Result<CliOutput, CliError> {
+    use cfg_obs::MetricsSink as _;
     let g = load_grammar(grammar_text)?;
     let tagger = TokenTagger::compile(&g, flags.options())
         .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
-    let events = if flags.gate {
-        tagger
-            .tag_gate(input)
+    let sink = Arc::new(StatsSink::with_tokens(tagger.grammar().tokens().len()));
+    let metrics = Metrics::new(sink.clone());
+    let (events, ended_dead) = if flags.gate {
+        let mut engine = tagger
+            .gate_engine()
             .map_err(|e| CliError::new(format!("simulation error: {e}"), 1))?
+            .with_metrics(metrics);
+        let raw =
+            engine.run(input).map_err(|e| CliError::new(format!("simulation error: {e}"), 1))?;
+        let events = tagger.resolve_spans(input, &raw);
+        // Liveness (dead-state / resync) is tracked by the functional
+        // mirror; replay it on a side sink and fold the liveness
+        // counters in without double-counting bytes or events.
+        let probe_sink = Arc::new(StatsSink::new());
+        let mut probe = tagger.fast_engine().with_metrics(Metrics::new(probe_sink.clone()));
+        probe.feed(input);
+        probe.finish();
+        sink.add(Stat::Resyncs, probe_sink.get(Stat::Resyncs));
+        sink.add(Stat::DeadEntries, probe_sink.get(Stat::DeadEntries));
+        (events, probe.is_dead())
     } else {
-        tagger.tag_fast(input)
+        let mut engine = tagger.fast_engine().with_metrics(metrics);
+        let mut events = engine.feed(input);
+        events.extend(engine.finish());
+        let dead = engine.is_dead();
+        (events, dead)
     };
     let mut out = String::new();
     let _ = writeln!(out, "{:<20} {:>6} {:>6}  lexeme / context", "token", "start", "end");
@@ -145,8 +219,47 @@ pub fn cmd_tag(grammar_text: &str, input: &[u8], flags: TagFlags) -> Result<Stri
             tagger.context(ev.token).map(|c| c.to_string()).unwrap_or_default(),
         );
     }
-    let _ = writeln!(out, "{} events", events.len());
-    Ok(out)
+    if flags.stats {
+        let _ = writeln!(out, "-- stats --");
+        let _ = writeln!(out, "counters:");
+        for stat in Stat::ALL {
+            let v = sink.get(stat);
+            if v > 0 {
+                let _ = writeln!(out, "  {:<24} {:>10}", stat.name(), v);
+            }
+        }
+        let _ = writeln!(out, "token fires:");
+        for (i, tok) in tagger.grammar().tokens().iter().enumerate() {
+            let fires = sink.token_fires(i as u32);
+            if fires > 0 {
+                let _ = writeln!(out, "  {:<24} {:>10}", tok.name, fires);
+            }
+        }
+        let _ = writeln!(out, "compile report:");
+        let _ = write!(out, "{}", tagger.report());
+    }
+    let mut files = Vec::new();
+    if let Some(path) = &flags.trace_out {
+        let mut jsonl = sink.trace_jsonl();
+        if !jsonl.is_empty() && !jsonl.ends_with('\n') {
+            jsonl.push('\n');
+        }
+        files.push((path.clone(), jsonl));
+    }
+    let _ = writeln!(
+        out,
+        "{} events, {} bytes, {} resyncs",
+        events.len(),
+        sink.get(Stat::BytesIn),
+        sink.get(Stat::Resyncs)
+    );
+    let code = if ended_dead && !flags.recover {
+        let _ = writeln!(out, "error: stream ended in a dead state (no recovery; exit 3)");
+        3
+    } else {
+        0
+    };
+    Ok(CliOutput { text: out, code, files })
 }
 
 /// `cfgtag parse`: exact stack-augmented parse.
@@ -191,18 +304,60 @@ pub fn cmd_dot(grammar_text: &str) -> Result<String, CliError> {
 }
 
 /// `cfgtag report`: area/timing on both device models.
-pub fn cmd_report(grammar_text: &str, scale: usize) -> Result<String, CliError> {
+///
+/// With `json` set, emits one machine-readable object (structure stats,
+/// per-device timing, and the compile-stage report) instead of the
+/// human-readable table.
+pub fn cmd_report(grammar_text: &str, scale: usize, json: bool) -> Result<String, CliError> {
     let g = load_grammar(grammar_text)?;
     let g = if scale > 1 { cfg_grammar::scale::replicate(&g, scale) } else { g };
     let g = cfg_grammar::transform::duplicate_multi_context_tokens(&g);
-    let tagger = TokenTagger::compile(
-        &g,
-        TaggerOptions { duplicate_contexts: false, ..Default::default() },
-    )
-    .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
+    let tagger =
+        TokenTagger::compile(&g, TaggerOptions { duplicate_contexts: false, ..Default::default() })
+            .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
     let hw = tagger.hardware();
     let mapped = MappedNetlist::map(&hw.netlist);
     let stats = mapped.stats();
+
+    if json {
+        let mut out = String::new();
+        out.push('{');
+        let _ = write!(
+            out,
+            "\"tokens\":{},\"pattern_bytes\":{},\"decoder_classes\":{},",
+            hw.tokens.len(),
+            hw.pattern_bytes,
+            hw.decoder_classes
+        );
+        let _ = write!(
+            out,
+            "\"luts\":{},\"ffs\":{},\"depth\":{},\"max_fanout\":{},",
+            stats.luts, stats.regs, stats.depth, stats.max_fanout
+        );
+        out.push_str("\"devices\":[");
+        for (i, device) in [Device::virtex4_lx200(), Device::virtexe_2000()].into_iter().enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let t = device.analyze(&mapped);
+            out.push_str("{\"device\":");
+            json::push_str(&mut out, &t.device);
+            out.push_str(",\"freq_mhz\":");
+            json::push_f64(&mut out, t.freq_mhz);
+            out.push_str(",\"bandwidth_gbps\":");
+            json::push_f64(&mut out, t.bandwidth_gbps());
+            let _ = write!(
+                out,
+                ",\"critical_levels\":{},\"critical_fanout\":{}}}",
+                t.critical_levels, t.critical_fanout
+            );
+        }
+        out.push_str("],\"compile\":");
+        out.push_str(&tagger.report().to_json());
+        out.push_str("}\n");
+        return Ok(out);
+    }
 
     let mut out = String::new();
     let _ = writeln!(
@@ -232,8 +387,12 @@ pub fn cmd_report(grammar_text: &str, scale: usize) -> Result<String, CliError> 
     Ok(out)
 }
 
-/// Top-level dispatch; returns the text to print.
-pub fn run(args: &[String], read_input: impl Fn(&str) -> Result<Vec<u8>, std::io::Error>) -> Result<String, CliError> {
+/// Top-level dispatch; returns the text to print plus the exit code and
+/// any files the caller should write.
+pub fn run(
+    args: &[String],
+    read_input: impl Fn(&str) -> Result<Vec<u8>, std::io::Error>,
+) -> Result<CliOutput, CliError> {
     let usage = "usage: cfgtag <check|tag|parse|vhdl|dot|report> <grammar-file> [args]\n\
                  see crate docs for per-command options";
     let cmd = args.first().ok_or_else(|| CliError::new(usage, 2))?;
@@ -243,18 +402,16 @@ pub fn run(args: &[String], read_input: impl Fn(&str) -> Result<Vec<u8>, std::io
     let grammar_text = String::from_utf8_lossy(&grammar_text).into_owned();
 
     match cmd.as_str() {
-        "check" => cmd_check(&grammar_text),
+        "check" => cmd_check(&grammar_text).map(CliOutput::from),
         "tag" => {
-            let (files, flags): (Vec<String>, Vec<String>) =
-                args[2..].iter().cloned().partition(|a| !a.starts_with("--"));
-            let flags = TagFlags::parse(&flags)?;
-            let input = match files.first() {
+            let (flags, input_path) = TagFlags::parse(&args[2..])?;
+            let input = match input_path.as_deref() {
                 Some(path) => read_input(path)
                     .map_err(|e| CliError::new(format!("cannot read {path}: {e}"), 1))?,
                 None => read_input("-")
                     .map_err(|e| CliError::new(format!("cannot read stdin: {e}"), 1))?,
             };
-            cmd_tag(&grammar_text, &input, flags)
+            cmd_tag(&grammar_text, &input, &flags)
         }
         "parse" => {
             let input = match args.get(2) {
@@ -263,19 +420,30 @@ pub fn run(args: &[String], read_input: impl Fn(&str) -> Result<Vec<u8>, std::io
                 None => read_input("-")
                     .map_err(|e| CliError::new(format!("cannot read stdin: {e}"), 1))?,
             };
-            cmd_parse(&grammar_text, &input)
+            cmd_parse(&grammar_text, &input).map(CliOutput::from)
         }
-        "vhdl" => cmd_vhdl(&grammar_text, args.get(2).map(String::as_str).unwrap_or("tagger")),
-        "dot" => cmd_dot(&grammar_text),
+        "vhdl" => cmd_vhdl(&grammar_text, args.get(2).map(String::as_str).unwrap_or("tagger"))
+            .map(CliOutput::from),
+        "dot" => cmd_dot(&grammar_text).map(CliOutput::from),
         "report" => {
-            let scale = match args.get(2).map(String::as_str) {
-                Some("--scale") => args
-                    .get(3)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| CliError::new("--scale needs a number", 2))?,
-                _ => 1,
-            };
-            cmd_report(&grammar_text, scale)
+            let mut scale = 1usize;
+            let mut json = false;
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--scale" => {
+                        scale = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| CliError::new("--scale needs a number", 2))?;
+                    }
+                    "--json" => json = true,
+                    other => {
+                        return Err(CliError::new(format!("unknown report flag {other}"), 2));
+                    }
+                }
+            }
+            cmd_report(&grammar_text, scale, json).map(CliOutput::from)
         }
         other => Err(CliError::new(format!("unknown command {other}\n{usage}"), 2)),
     }
@@ -296,8 +464,7 @@ mod tests {
     fn check_reports_follow_table() {
         let out = cmd_check(ITE).unwrap();
         assert!(out.contains("7 tokens"));
-        assert!(out.contains("start set: {if, go, stop}")
-            || out.contains("start set: {"));
+        assert!(out.contains("start set: {if, go, stop}") || out.contains("start set: {"));
         assert!(out.contains("go"));
         assert!(out.contains("ε"));
     }
@@ -311,10 +478,75 @@ mod tests {
     #[test]
     fn tag_fast_and_gate_agree() {
         let input = b"if true then go else stop";
-        let fast = cmd_tag(ITE, input, TagFlags::default()).unwrap();
-        let gate = cmd_tag(ITE, input, TagFlags { gate: true, ..Default::default() }).unwrap();
-        assert_eq!(fast, gate);
-        assert!(fast.contains("6 events"));
+        let fast = cmd_tag(ITE, input, &TagFlags::default()).unwrap();
+        let gate = cmd_tag(ITE, input, &TagFlags { gate: true, ..Default::default() }).unwrap();
+        assert_eq!(fast.text, gate.text);
+        assert_eq!(fast.code, 0);
+        assert_eq!(gate.code, 0);
+        assert!(fast.text.contains("6 events, 25 bytes, 0 resyncs"));
+    }
+
+    #[test]
+    fn tag_stats_reports_fires_and_compile_stages() {
+        let out = cmd_tag(
+            ITE,
+            b"if true then go else stop",
+            &TagFlags { stats: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.text.contains("-- stats --"));
+        assert!(out.text.contains("bytes_in"));
+        assert!(out.text.contains("events_out"));
+        // Per-token fire counts: each of the six tokens fired once.
+        for tok in ["if", "true", "then", "go", "else", "stop"] {
+            assert!(
+                out.text.lines().any(|l| {
+                    let mut w = l.split_whitespace();
+                    w.next() == Some(tok) && w.next() == Some("1")
+                }),
+                "missing fire line for {tok}: {}",
+                out.text
+            );
+        }
+        assert!(out.text.contains("compile report:"));
+        assert!(out.text.contains("token_duplication"));
+    }
+
+    #[test]
+    fn tag_trace_out_returns_jsonl_file() {
+        let out = cmd_tag(
+            ITE,
+            b"go",
+            &TagFlags { trace_out: Some("t.jsonl".into()), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(out.files.len(), 1);
+        assert_eq!(out.files[0].0, "t.jsonl");
+        assert!(out.files[0].1.contains("\"kind\":\"token_fire\""));
+    }
+
+    #[test]
+    fn tag_dead_stream_without_recovery_is_code_3() {
+        let dead = cmd_tag(ITE, b"zzz", &TagFlags::default()).unwrap();
+        assert_eq!(dead.code, 3);
+        assert!(dead.text.contains("dead state"));
+        // With §5.2 recovery the machine resynchronises and exits clean.
+        let rec =
+            cmd_tag(ITE, b"zzz go", &TagFlags { recover: true, ..Default::default() }).unwrap();
+        assert_eq!(rec.code, 0, "{}", rec.text);
+        assert!(rec.text.lines().last().unwrap().contains("resyncs"));
+    }
+
+    #[test]
+    fn tag_flag_parse_handles_values_and_positionals() {
+        let argv = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        let (f, input) =
+            TagFlags::parse(&argv(&["--stats", "in.xml", "--trace-out", "t.jsonl"])).unwrap();
+        assert!(f.stats);
+        assert_eq!(f.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(input.as_deref(), Some("in.xml"));
+        assert_eq!(TagFlags::parse(&argv(&["--trace-out"])).unwrap_err().code, 2);
+        assert_eq!(TagFlags::parse(&argv(&["a", "b"])).unwrap_err().code, 2);
     }
 
     #[test]
@@ -332,9 +564,18 @@ mod tests {
     }
 
     #[test]
+    fn report_json_is_machine_readable() {
+        let out = cmd_report(ITE, 1, true).unwrap();
+        assert!(out.starts_with('{'));
+        assert!(out.contains("\"luts\":"));
+        assert!(out.contains("\"devices\":[{\"device\":"));
+        assert!(out.contains("\"compile\":{\"stages\":"));
+    }
+
+    #[test]
     fn report_scales() {
-        let r1 = cmd_report(ITE, 1).unwrap();
-        let r2 = cmd_report(ITE, 2).unwrap();
+        let r1 = cmd_report(ITE, 1, false).unwrap();
+        let r2 = cmd_report(ITE, 2, false).unwrap();
         assert!(r1.contains("Virtex4 LX200"));
         let luts = |s: &str| -> usize {
             s.lines()
@@ -358,22 +599,20 @@ mod tests {
         let argv = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
 
         assert!(run(&argv(&["check", "g"]), read).is_ok());
-        assert!(run(&argv(&["tag", "g"]), read).unwrap().contains("1 events"));
-        assert!(run(&argv(&["parse", "g"]), read).unwrap().starts_with("ACCEPT"));
-        assert!(run(&argv(&["vhdl", "g", "top"]), read).unwrap().contains("entity top"));
+        assert!(run(&argv(&["tag", "g"]), read).unwrap().text.contains("1 events"));
+        assert!(run(&argv(&["parse", "g"]), read).unwrap().text.starts_with("ACCEPT"));
+        assert!(run(&argv(&["vhdl", "g", "top"]), read).unwrap().text.contains("entity top"));
         assert!(run(&argv(&["report", "g", "--scale", "2"]), read).is_ok());
+        let json = run(&argv(&["report", "g", "--json", "--scale", "2"]), read).unwrap();
+        assert!(json.text.starts_with('{'));
+        let traced = run(&argv(&["tag", "g", "--trace-out", "t.jsonl"]), read).unwrap();
+        assert_eq!(traced.files.len(), 1);
 
         assert_eq!(run(&argv(&[]), read).unwrap_err().code, 2);
         assert_eq!(run(&argv(&["bogus", "g"]), read).unwrap_err().code, 2);
         assert_eq!(run(&argv(&["check", "missing"]), read).unwrap_err().code, 1);
-        assert_eq!(
-            run(&argv(&["tag", "g", "--frobnicate"]), read).unwrap_err().code,
-            2
-        );
-        assert_eq!(
-            run(&argv(&["report", "g", "--scale", "x"]), read).unwrap_err().code,
-            2
-        );
+        assert_eq!(run(&argv(&["tag", "g", "--frobnicate"]), read).unwrap_err().code, 2);
+        assert_eq!(run(&argv(&["report", "g", "--scale", "x"]), read).unwrap_err().code, 2);
     }
 
     #[test]

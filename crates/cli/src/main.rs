@@ -14,7 +14,18 @@ fn main() {
         }
     };
     match cfg_cli::run(&args, read_input) {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            print!("{}", out.text);
+            for (path, contents) in &out.files {
+                if let Err(e) = std::fs::write(path, contents) {
+                    eprintln!("cfgtag: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if out.code != 0 {
+                std::process::exit(out.code);
+            }
+        }
         Err(e) => {
             eprintln!("cfgtag: {e}");
             std::process::exit(e.code);

@@ -77,10 +77,7 @@ impl Device {
     /// the fixed delays. Uses damped Newton iteration on the 2×2 system;
     /// static timing is monotonic in both parameters, so this converges
     /// in a handful of steps.
-    pub fn calibrate_routing(
-        mut self,
-        anchors: &[(&MappedNetlist, f64); 2],
-    ) -> Device {
+    pub fn calibrate_routing(mut self, anchors: &[(&MappedNetlist, f64); 2]) -> Device {
         let targets = [1000.0 / anchors[0].1, 1000.0 / anchors[1].1]; // periods
         for _ in 0..60 {
             let p0 = self.analyze(anchors[0].0).period_ns;
@@ -110,10 +107,7 @@ impl Device {
                 let avg = (e0 + e1) / 2.0;
                 (avg / (db[0] + db[1]).max(1e-6), 0.0)
             } else {
-                (
-                    (e0 * dc[1] - e1 * dc[0]) / det,
-                    (db[0] * e1 - db[1] * e0) / det,
-                )
+                ((e0 * dc[1] - e1 * dc[0]) / det, (db[0] * e1 - db[1] * e0) / det)
             };
             // Damped update, clamped non-negative.
             self.route_base = (self.route_base - 0.7 * step_b).max(0.0);
@@ -238,8 +232,7 @@ mod tests {
     fn calibration_hits_targets() {
         let small = fanout_design(8);
         let large = fanout_design(512);
-        let d = Device::virtex4_lx200()
-            .calibrate_routing(&[(&small, 500.0), (&large, 300.0)]);
+        let d = Device::virtex4_lx200().calibrate_routing(&[(&small, 500.0), (&large, 300.0)]);
         let f_small = d.analyze(&small).freq_mhz;
         let f_large = d.analyze(&large).freq_mhz;
         assert!((f_small - 500.0).abs() < 1.0, "small: {f_small}");
@@ -277,8 +270,7 @@ mod tests {
         let small = fanout_design(8);
         let mid = fanout_design(64);
         let large = fanout_design(512);
-        let d = Device::virtex4_lx200()
-            .calibrate_two_point((&small, 500.0), (&large, 300.0));
+        let d = Device::virtex4_lx200().calibrate_two_point((&small, 500.0), (&large, 300.0));
         let f_mid = d.analyze(&mid).freq_mhz;
         assert!(f_mid < 501.0 && f_mid > 299.0, "{f_mid}");
     }

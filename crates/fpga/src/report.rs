@@ -1,11 +1,10 @@
 //! Experiment report types mirroring Table 1 and Figure 15.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One row of Table 1: "Device utilization for XML token taggers of
 /// varying sizes".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UtilizationRow {
     /// Device name.
     pub device: String,
@@ -58,7 +57,7 @@ pub fn render_table1(title: &str, rows: &[UtilizationRow]) -> String {
 
 /// One point of Figure 15: frequency versus pattern bytes on the
 /// Virtex-4 LX200, annotated with LUTs/byte.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure15Point {
     /// Grammar size in pattern bytes (x axis).
     pub pattern_bytes: usize,
@@ -111,6 +110,23 @@ pub fn rows_to_json(rows: &[UtilizationRow]) -> String {
             r.luts,
             r.luts_per_byte,
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push(']');
+    s
+}
+
+/// Render Figure 15 points as a JSON array (same hand-rolled style as
+/// [`rows_to_json`]).
+pub fn points_to_json(points: &[Figure15Point]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"pattern_bytes\": {}, \"freq_mhz\": {:.1}, \"luts_per_byte\": {:.3}}}{}\n",
+            p.pattern_bytes,
+            p.freq_mhz,
+            p.luts_per_byte,
+            if i + 1 == points.len() { "" } else { "," }
         ));
     }
     s.push(']');

@@ -206,9 +206,7 @@ impl Analysis {
                         };
                         match &p.rhs[i] {
                             Symbol::T(t) => changed |= follow_t[t.index()].union_with(&first_j),
-                            Symbol::Nt(n) => {
-                                changed |= follow_nt[n.index()].union_with(&first_j)
-                            }
+                            Symbol::Nt(n) => changed |= follow_nt[n.index()].union_with(&first_j),
                         }
                     }
                 }
@@ -216,15 +214,7 @@ impl Analysis {
         }
 
         let start_set = first[g.start().index()].clone();
-        Analysis {
-            nullable,
-            first,
-            follow_nt,
-            follow_t,
-            start_set,
-            can_end: t_can_end,
-            nt_can_end,
-        }
+        Analysis { nullable, first, follow_nt, follow_t, start_set, can_end: t_can_end, nt_can_end }
     }
 
     /// FOLLOW of a terminal token (the Figure 10 / Figure 11 relation).
@@ -241,8 +231,7 @@ impl Analysis {
     pub fn follow_table(&self, g: &Grammar) -> String {
         let mut out = String::from("token           | follow set\n");
         for (i, tok) in g.tokens().iter().enumerate() {
-            let mut names: Vec<&str> =
-                self.follow_t[i].iter().map(|f| g.token_name(f)).collect();
+            let mut names: Vec<&str> = self.follow_t[i].iter().map(|f| g.token_name(f)).collect();
             if self.can_end[i] {
                 names.push("ε");
             }

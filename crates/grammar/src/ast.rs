@@ -138,9 +138,7 @@ impl Grammar {
             }
         }
         if !has_rule[start.index()] {
-            return Err(GrammarError::UndefinedNonterminal(
-                nonterminals[start.index()].clone(),
-            ));
+            return Err(GrammarError::UndefinedNonterminal(nonterminals[start.index()].clone()));
         }
         Ok(Grammar { tokens, nonterminals, productions, start, delimiters })
     }
@@ -187,18 +185,12 @@ impl Grammar {
 
     /// Look up a token by name.
     pub fn token_by_name(&self, name: &str) -> Option<TokenId> {
-        self.tokens
-            .iter()
-            .position(|t| t.name == name)
-            .map(|i| TokenId(i as u32))
+        self.tokens.iter().position(|t| t.name == name).map(|i| TokenId(i as u32))
     }
 
     /// Look up a nonterminal by name.
     pub fn nt_by_name(&self, name: &str) -> Option<NtId> {
-        self.nonterminals
-            .iter()
-            .position(|n| n == name)
-            .map(|i| NtId(i as u32))
+        self.nonterminals.iter().position(|n| n == name).map(|i| NtId(i as u32))
     }
 
     /// Run the Figure 8 nullable/FIRST/FOLLOW analysis.
@@ -216,9 +208,7 @@ impl Grammar {
     /// Union of all byte classes used by any token — drives character
     /// decoder generation.
     pub fn alphabet(&self) -> ByteSet {
-        self.tokens
-            .iter()
-            .fold(ByteSet::EMPTY, |acc, t| acc.union(t.pattern.ast().alphabet()))
+        self.tokens.iter().fold(ByteSet::EMPTY, |acc, t| acc.union(t.pattern.ast().alphabet()))
     }
 
     /// Nonterminals reachable from the start symbol.

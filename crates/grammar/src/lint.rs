@@ -82,10 +82,7 @@ fn unused_tokens(g: &Grammar, out: &mut Vec<Lint>) {
             out.push(Lint {
                 severity: Severity::Warning,
                 code: "unused-token",
-                message: format!(
-                    "token {} never appears in a production",
-                    g.tokens()[i].name
-                ),
+                message: format!("token {} never appears in a production", g.tokens()[i].name),
             });
         }
     }
@@ -268,10 +265,7 @@ mod tests {
     fn clean_grammar_has_no_warnings() {
         let g = crate::builtin::if_then_else();
         let lints = lint(&g);
-        assert!(
-            lints.iter().all(|l| l.severity < Severity::Warning),
-            "{lints:?}"
-        );
+        assert!(lints.iter().all(|l| l.severity < Severity::Warning), "{lints:?}");
     }
 
     #[test]

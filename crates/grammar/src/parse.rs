@@ -130,10 +130,8 @@ pub fn parse(src: &str) -> Result<Grammar, GrammarError> {
         if token_index.contains_key(name) {
             return Err(GrammarError::DuplicateToken(name.to_owned()));
         }
-        let pattern = Pattern::parse(pattern_src).map_err(|error| GrammarError::BadPattern {
-            token: name.to_owned(),
-            error,
-        })?;
+        let pattern = Pattern::parse(pattern_src)
+            .map_err(|error| GrammarError::BadPattern { token: name.to_owned(), error })?;
         token_index.insert(name.to_owned(), TokenId(tokens.len() as u32));
         tokens.push(TokenDef {
             name: name.to_owned(),
@@ -201,9 +199,7 @@ pub fn parse(src: &str) -> Result<Grammar, GrammarError> {
     drop(intern_nt);
 
     let start = match start_name {
-        Some(name) => *nt_index
-            .get(&name)
-            .ok_or(GrammarError::UnknownStartName(name))?,
+        Some(name) => *nt_index.get(&name).ok_or(GrammarError::UnknownStartName(name))?,
         None => productions[0].lhs,
     };
     Grammar::new(tokens, nonterminals, productions, start, delimiters)
@@ -278,10 +274,9 @@ fn parse_rule(
     productions: &mut Vec<Production>,
 ) -> Result<(), GrammarError> {
     let stmt = stmt.trim().trim_end_matches(';').trim();
-    let colon = stmt.find(':').ok_or_else(|| GrammarError::RuleSyntax {
-        line,
-        message: "missing ':' in rule".into(),
-    })?;
+    let colon = stmt
+        .find(':')
+        .ok_or_else(|| GrammarError::RuleSyntax { line, message: "missing ':' in rule".into() })?;
     let lhs_name = stmt[..colon].trim();
     if lhs_name.is_empty() || !is_ident(lhs_name) {
         return Err(GrammarError::RuleSyntax {
@@ -531,10 +526,7 @@ mod tests {
 
     #[test]
     fn delim_override() {
-        let g = Grammar::parse(
-            "%delim [,;]\n%%\ns: \"a\";\n%%\n",
-        )
-        .unwrap();
+        let g = Grammar::parse("%delim [,;]\n%%\ns: \"a\";\n%%\n").unwrap();
         assert!(g.delimiters().contains(b','));
         assert!(!g.delimiters().contains(b' '));
     }
@@ -563,10 +555,7 @@ mod tests {
     #[test]
     fn errors() {
         assert!(matches!(Grammar::parse("just text"), Err(GrammarError::MissingRules)));
-        assert!(matches!(
-            Grammar::parse("%%\n%%\n"),
-            Err(GrammarError::Empty)
-        ));
+        assert!(matches!(Grammar::parse("%%\n%%\n"), Err(GrammarError::Empty)));
         assert!(matches!(
             Grammar::parse("%%\ns: undefined_nt;\n%%\n"),
             Err(GrammarError::UndefinedNonterminal(n)) if n == "undefined_nt"

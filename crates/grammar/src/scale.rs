@@ -65,11 +65,7 @@ pub fn replicate(g: &Grammar, n: usize) -> Grammar {
             });
         }
         for nt in g.nonterminals() {
-            nonterminals.push(if copy == 0 {
-                nt.clone()
-            } else {
-                format!("{}__{}", nt, copy + 1)
-            });
+            nonterminals.push(if copy == 0 { nt.clone() } else { format!("{}__{}", nt, copy + 1) });
         }
         for p in g.productions() {
             productions.push(Production {
@@ -146,11 +142,7 @@ mod tests {
             let r = replicate(&g, n);
             assert_eq!(r.tokens().len(), n * g.tokens().len(), "n={n}");
             assert_eq!(r.pattern_bytes(), n * base_bytes, "n={n}");
-            assert_eq!(
-                r.productions().len(),
-                n * (g.productions().len() + 1),
-                "n={n}"
-            );
+            assert_eq!(r.productions().len(), n * (g.productions().len() + 1), "n={n}");
             // All copies reachable from the fresh start.
             assert!(r.reachable_nonterminals().iter().all(|&b| b), "n={n}");
             r.analyze(); // must not loop or panic

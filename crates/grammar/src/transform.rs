@@ -78,14 +78,8 @@ pub fn duplicate_multi_context_tokens(g: &Grammar) -> Grammar {
         productions.push(Production { lhs: p.lhs, rhs });
     }
 
-    Grammar::new(
-        tokens,
-        g.nonterminals().to_vec(),
-        productions,
-        g.start(),
-        g.delimiters(),
-    )
-    .expect("duplication preserves validity")
+    Grammar::new(tokens, g.nonterminals().to_vec(), productions, g.start(), g.delimiters())
+        .expect("duplication preserves validity")
 }
 
 /// Map each duplicated token back to the original token id in `base`,
@@ -123,11 +117,8 @@ mod tests {
         .unwrap();
         let d = duplicate_multi_context_tokens(&g);
         // STRING appears twice => 2 instances; each literal once => kept.
-        let strings: Vec<&TokenDef> = d
-            .tokens()
-            .iter()
-            .filter(|t| t.name.starts_with("STRING"))
-            .collect();
+        let strings: Vec<&TokenDef> =
+            d.tokens().iter().filter(|t| t.name.starts_with("STRING")).collect();
         assert_eq!(strings.len(), 2);
         assert_ne!(strings[0].name, strings[1].name);
         let ctx0 = strings[0].context.as_ref().unwrap();

@@ -127,8 +127,7 @@ pub fn build_control(
             arm_probes.push(high);
             continue;
         };
-        let mut sources: Vec<NetId> =
-            predecessors[t].iter().map(|&u| match_raws[u]).collect();
+        let mut sources: Vec<NetId> = predecessors[t].iter().map(|&u| match_raws[u]).collect();
         if is_start {
             sources.push(start_q);
             if let Some(r) = recovery {
@@ -204,7 +203,15 @@ mod tests {
         let fake_matches: Vec<_> =
             (0..g.tokens().len()).map(|i| b.input(&format!("m{i}"))).collect();
         let ctl = build_control(
-            &mut b, &g, &a, &fake_matches, &[], start, delim, StartMode::Always, false,
+            &mut b,
+            &g,
+            &a,
+            &fake_matches,
+            &[],
+            start,
+            delim,
+            StartMode::Always,
+            false,
         );
         for (i, &en) in ctl.enables.iter().enumerate() {
             b.output(&format!("en{i}"), en);
@@ -232,7 +239,15 @@ mod tests {
         let fake_matches: Vec<_> =
             (0..g.tokens().len()).map(|i| b.input(&format!("m{i}"))).collect();
         let ctl = build_control(
-            &mut b, &g, &a, &fake_matches, &[], start, delim, StartMode::AtStart, false,
+            &mut b,
+            &g,
+            &a,
+            &fake_matches,
+            &[],
+            start,
+            delim,
+            StartMode::AtStart,
+            false,
         );
         let then_idx = g.token_by_name("then").unwrap().index();
         b.output("en_then", ctl.enables[then_idx]);

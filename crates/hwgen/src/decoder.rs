@@ -146,10 +146,8 @@ impl DecoderBank {
         if let Some(&net) = self.raw.get(&set) {
             return net;
         }
-        let nets: Vec<NetId> = aligned_blocks(&set)
-            .into_iter()
-            .map(|blk| self.block_net(b, blk))
-            .collect();
+        let nets: Vec<NetId> =
+            aligned_blocks(&set).into_iter().map(|blk| self.block_net(b, blk)).collect();
         let net = b.or_many(&nets);
         b.name(net, &format!("dec_{}", sanitize(&set.describe())));
         self.raw.insert(set, net);
@@ -181,9 +179,7 @@ impl DecoderBank {
 }
 
 fn sanitize(s: &str) -> String {
-    s.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+    s.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
 #[cfg(test)]
@@ -197,10 +193,7 @@ mod tests {
         let blocks = aligned_blocks(&ByteSet::digits());
         assert_eq!(
             blocks,
-            vec![
-                Block { base: 0x30, log_len: 3 },
-                Block { base: 0x38, log_len: 1 },
-            ]
+            vec![Block { base: 0x30, log_len: 3 }, Block { base: 0x38, log_len: 1 },]
         );
         // Singleton.
         assert_eq!(
@@ -254,11 +247,7 @@ mod tests {
 
         for v in 0..=255u8 {
             sim.step(&byte_inputs(v)).unwrap();
-            assert_eq!(
-                sim.output("digit").unwrap() & 1 == 1,
-                v.is_ascii_digit(),
-                "digit({v:#x})"
-            );
+            assert_eq!(sim.output("digit").unwrap() & 1 == 1, v.is_ascii_digit(), "digit({v:#x})");
             assert_eq!(sim.output("lt").unwrap() & 1 == 1, v == b'<', "lt({v:#x})");
             assert_eq!(
                 sim.output("alnum").unwrap() & 1 == 1,

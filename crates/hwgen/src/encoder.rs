@@ -126,9 +126,7 @@ pub fn conflict_groups(g: &Grammar) -> Vec<Vec<usize>> {
     let toks = g.tokens();
     let last_class = |i: usize| {
         let t = toks[i].pattern.template();
-        t.last
-            .iter()
-            .fold(cfg_regex::ByteSet::EMPTY, |acc, &p| acc.union(t.positions[p]))
+        t.last.iter().fold(cfg_regex::ByteSet::EMPTY, |acc, &p| acc.union(t.positions[p]))
     };
     let conflicts = |a: usize, b: usize| -> bool {
         let (pa, pb) = (&toks[a].pattern, &toks[b].pattern);
@@ -240,21 +238,16 @@ pub fn build_paper_encoder(
     // delay-balance every path to the worst latency.
     let mut paths: Vec<(NetId, u64)> = Vec::with_capacity(width + 1);
     for (bit, nodes) in odd_nodes.iter().enumerate() {
-        let live: Vec<NetId> = nodes
-            .iter()
-            .copied()
-            .filter(|&n| const_of(b, n) != Some(false))
-            .collect();
+        let live: Vec<NetId> =
+            nodes.iter().copied().filter(|&n| const_of(b, n) != Some(false)).collect();
         let (net, stages) = or_tree_pipelined(b, &live);
         paths.push((net, bit as u64 + stages));
     }
     paths.push((root, width as u64)); // match_any
 
     let total = paths.iter().map(|&(_, l)| l).max().unwrap_or(0);
-    let balanced: Vec<NetId> = paths
-        .iter()
-        .map(|&(net, l)| b.delay_chain(net, (total - l) as usize))
-        .collect();
+    let balanced: Vec<NetId> =
+        paths.iter().map(|&(net, l)| b.delay_chain(net, (total - l) as usize)).collect();
 
     let index_bits = balanced[..width].to_vec();
     let match_any = balanced[width];
@@ -445,9 +438,7 @@ mod tests {
         // "<a>" and "</a>" are literals, neither a suffix of the other.
         let a = g.token_by_name("<a>").unwrap().index();
         let ca = g.token_by_name("</a>").unwrap().index();
-        assert!(!groups
-            .iter()
-            .any(|grp| grp.contains(&a) && grp.contains(&ca)));
+        assert!(!groups.iter().any(|grp| grp.contains(&a) && grp.contains(&ca)));
     }
 
     #[test]
@@ -458,9 +449,7 @@ mod tests {
         assert_eq!(groups[0].len(), 2);
         // Priority ascending by specificity: "cat" (3 bytes) before
         // "concat" (6 bytes).
-        let names: Vec<&str> = groups[0].iter().map(|&t| {
-            g.tokens()[t].name.as_str()
-        }).collect();
+        let names: Vec<&str> = groups[0].iter().map(|&t| g.tokens()[t].name.as_str()).collect();
         assert_eq!(names, ["cat", "concat"]);
     }
 }

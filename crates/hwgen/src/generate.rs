@@ -16,8 +16,8 @@
 //! must flush the pipeline with trailing delimiter bytes (see
 //! [`GeneratedTagger::flush_bytes`]).
 
-use crate::control::{build_control, ControlNets};
 pub use crate::control::StartMode;
+use crate::control::{build_control, ControlNets};
 use crate::decoder::DecoderBank;
 use crate::encoder::{
     assign_slots, build_naive_encoder, build_paper_encoder, conflict_groups, SlotAssignment,
@@ -130,6 +130,9 @@ pub struct GeneratedTagger {
     pub decoder_classes: usize,
     /// The grammar's delimiter class (drivers flush with one of these).
     pub delimiters: cfg_regex::ByteSet,
+    /// Wall-clock nanoseconds per generation phase, in execution order
+    /// (consumed by the compile-pipeline report in `cfg-tagger`).
+    pub stage_nanos: Vec<(&'static str, u64)>,
 }
 
 impl GeneratedTagger {
@@ -150,6 +153,12 @@ pub fn generate(g: &Grammar, opts: &GeneratorOptions) -> Result<GeneratedTagger,
     if g.tokens().is_empty() {
         return Err(GenError::NoTokens);
     }
+    let mut stage_nanos: Vec<(&'static str, u64)> = Vec::new();
+    let mut stage_mark = std::time::Instant::now();
+    let mut stage_done = |name: &'static str, mark: &mut std::time::Instant| {
+        stage_nanos.push((name, mark.elapsed().as_nanos() as u64));
+        *mark = std::time::Instant::now();
+    };
     let delim = g.delimiters();
     for tok in g.tokens() {
         let t = tok.pattern.template();
@@ -161,6 +170,7 @@ pub fn generate(g: &Grammar, opts: &GeneratorOptions) -> Result<GeneratedTagger,
     }
 
     let analysis = g.analyze();
+    stage_done("analysis", &mut stage_mark);
     let mut b = NetlistBuilder::new();
     let mut bank = DecoderBank::with_registered_inputs(&mut b, opts.register_inputs);
 
@@ -170,6 +180,7 @@ pub fn generate(g: &Grammar, opts: &GeneratorOptions) -> Result<GeneratedTagger,
     let start_q = b.delay_chain(start, 1 + opts.register_inputs as usize);
     b.name(start_q, "start_q");
     let delim_q = bank.class(&mut b, delim);
+    stage_done("decoders", &mut stage_mark);
 
     // Phase 1: tokenizer skeletons (position regs + match taps).
     let longest = !opts.disable_longest_match;
@@ -187,6 +198,7 @@ pub fn generate(g: &Grammar, opts: &GeneratorOptions) -> Result<GeneratedTagger,
             )
         })
         .collect();
+    stage_done("tokenizers", &mut stage_mark);
 
     // Syntactic control flow from the combinational match lines.
     let match_raws: Vec<NetId> = skeletons.iter().map(|s| s.nets.match_raw).collect();
@@ -203,11 +215,13 @@ pub fn generate(g: &Grammar, opts: &GeneratorOptions) -> Result<GeneratedTagger,
         opts.start_mode,
         opts.error_recovery,
     );
+    stage_done("control", &mut stage_mark);
 
     // Phase 2: connect the pipelines.
     for (sk, &en) in skeletons.iter().zip(&enables) {
         sk.connect(&mut b, &mut bank, en);
     }
+    stage_done("connect", &mut stage_mark);
 
     // Index encoder.
     let match_qs: Vec<NetId> = skeletons.iter().map(|s| s.nets.match_q).collect();
@@ -224,6 +238,7 @@ pub fn generate(g: &Grammar, opts: &GeneratorOptions) -> Result<GeneratedTagger,
         }
         EncoderKind::None => (Vec::new(), None, 0),
     };
+    stage_done("encoder", &mut stage_mark);
 
     // Outputs.
     for (t, sk) in skeletons.iter().enumerate() {
@@ -256,6 +271,7 @@ pub fn generate(g: &Grammar, opts: &GeneratorOptions) -> Result<GeneratedTagger,
         let (replicated, _added) = cfg_netlist::replicate_high_fanout_regs(&netlist, cap);
         netlist = replicated;
     }
+    stage_done("netlist_finish", &mut stage_mark);
     Ok(GeneratedTagger {
         netlist,
         tokens,
@@ -270,6 +286,7 @@ pub fn generate(g: &Grammar, opts: &GeneratorOptions) -> Result<GeneratedTagger,
         pattern_bytes: g.pattern_bytes(),
         decoder_classes,
         delimiters: delim,
+        stage_nanos,
     })
 }
 

@@ -44,7 +44,5 @@ pub mod tokenizer;
 pub mod vhdl;
 pub mod wide;
 
-pub use generate::{
-    generate, GenError, GeneratedTagger, GeneratorOptions, StartMode, TokenHw,
-};
+pub use generate::{generate, GenError, GeneratedTagger, GeneratorOptions, StartMode, TokenHw};
 pub use wide::{generate_wide, GeneratedWideTagger, WideTokenHw};

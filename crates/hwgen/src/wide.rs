@@ -144,11 +144,7 @@ pub fn generate_wide(
     let deferred_last: Vec<Vec<usize>> = templates
         .iter()
         .map(|tpl| {
-            tpl.last
-                .iter()
-                .copied()
-                .filter(|&p| !tpl.continuation_class(p).is_empty())
-                .collect()
+            tpl.last.iter().copied().filter(|&p| !tpl.continuation_class(p).is_empty()).collect()
         })
         .collect();
     let tap_regs: Vec<Vec<NetId>> = deferred_last
@@ -241,8 +237,7 @@ pub fn generate_wide(
             let mut fired_tok: Vec<NetId> = Vec::with_capacity(np);
             for p in 0..np {
                 let cls = banks[lane].raw_class(&mut b, tpl.positions[p]);
-                let mut srcs: Vec<NetId> =
-                    preds[p].iter().map(|&q| prev_fired[t][q]).collect();
+                let mut srcs: Vec<NetId> = preds[p].iter().map(|&q| prev_fired[t][q]).collect();
                 if tpl.first.contains(&p) {
                     srcs.push(enables[t]);
                 }
@@ -265,8 +260,7 @@ pub fn generate_wide(
                 // else: deferred — handled after the loop.
             }
             if lane + 1 == lanes {
-                last_tap_values[t] =
-                    deferred_last[t].iter().map(|&p| fired_tok[p]).collect();
+                last_tap_values[t] = deferred_last[t].iter().map(|&p| fired_tok[p]).collect();
             }
             let m = b.or_many(&taps);
             b.name(m, &format!("w_match_t{t}_l{lane}"));
@@ -275,9 +269,8 @@ pub fn generate_wide(
         }
 
         // Arm ripple: armed' = enable & delim.
-        let armed_next: Vec<NetId> = (0..n_tokens)
-            .map(|t| b.and2(enables[t], delim_here))
-            .collect();
+        let armed_next: Vec<NetId> =
+            (0..n_tokens).map(|t| b.and2(enables[t], delim_here)).collect();
 
         if lane + 1 == lanes {
             last_in_cycle = match_this.clone();
@@ -336,10 +329,7 @@ pub fn generate_wide(
         .tokens()
         .iter()
         .enumerate()
-        .map(|(t, tok)| WideTokenHw {
-            name: tok.name.clone(),
-            match_q: match_outputs[t].clone(),
-        })
+        .map(|(t, tok)| WideTokenHw { name: tok.name.clone(), match_q: match_outputs[t].clone() })
         .collect();
 
     let flush_byte = delim.iter().next().unwrap_or(b' ');

@@ -28,11 +28,7 @@ pub fn to_dot(nl: &Netlist, graph_name: &str) -> String {
             Op::Input | Op::Const(_) => "diamond",
             _ => "ellipse",
         };
-        let name = net
-            .name
-            .as_deref()
-            .map(|n| format!("\\n{n}"))
-            .unwrap_or_default();
+        let name = net.name.as_deref().map(|n| format!("\\n{n}")).unwrap_or_default();
         let _ = writeln!(s, "  n{i} [label=\"{label}{name}\", shape={shape}];");
     }
     for (i, net) in nl.nets().iter().enumerate() {

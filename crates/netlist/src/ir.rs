@@ -125,18 +125,12 @@ impl Netlist {
 
     /// Find an output net by name.
     pub fn output_by_name(&self, name: &str) -> Option<NetId> {
-        self.outputs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, id)| *id)
+        self.outputs.iter().find(|(n, _)| n == name).map(|(_, id)| *id)
     }
 
     /// Find any net by its diagnostic name (first match).
     pub fn net_by_name(&self, name: &str) -> Option<NetId> {
-        self.nets
-            .iter()
-            .position(|n| n.name.as_deref() == Some(name))
-            .map(|i| NetId(i as u32))
+        self.nets.iter().position(|n| n.name.as_deref() == Some(name)).map(|i| NetId(i as u32))
     }
 
     /// Count of flip-flops.

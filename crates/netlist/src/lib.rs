@@ -34,6 +34,7 @@ pub mod transform;
 pub mod vcd;
 
 pub use builder::NetlistBuilder;
+pub use dot::to_dot;
 pub use ir::{Net, NetId, Netlist, Op};
 pub use sim::{SimError, Simulator};
 pub use stats::NetlistStats;
@@ -41,4 +42,3 @@ pub use techmap::{MappedNetlist, MappedStats};
 pub use timing::{DelayModel, TimingReport};
 pub use transform::replicate_high_fanout_regs;
 pub use vcd::VcdRecorder;
-pub use dot::to_dot;

@@ -132,12 +132,9 @@ impl Simulator {
             .iter()
             .enumerate()
             .filter_map(|(i, net)| match net.op {
-                Op::Reg { d, en, init } => Some(RegStep {
-                    out: i as u32,
-                    d: d.0,
-                    en: en.map(|e| e.0),
-                    init,
-                }),
+                Op::Reg { d, en, init } => {
+                    Some(RegStep { out: i as u32, d: d.0, en: en.map(|e| e.0), init })
+                }
                 _ => None,
             })
             .collect();
@@ -250,10 +247,7 @@ impl Simulator {
 
     /// Value of a named output.
     pub fn output(&self, name: &str) -> Option<u64> {
-        self.outputs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, i)| self.values[*i as usize])
+        self.outputs.iter().find(|(n, _)| n == name).map(|(_, i)| self.values[*i as usize])
     }
 
     /// Cycles stepped since construction/reset.

@@ -204,9 +204,7 @@ impl<'a> Lowerer<'a> {
         for (i, net) in self.nl.nets().iter().enumerate() {
             let lit = match net.op {
                 Op::Input => Some(Literal { node: self.push(MNode::Input), inverted: false }),
-                Op::Const(v) => {
-                    Some(Literal { node: self.push(MNode::Const(v)), inverted: false })
-                }
+                Op::Const(v) => Some(Literal { node: self.push(MNode::Const(v)), inverted: false }),
                 Op::Reg { .. } => Some(Literal {
                     // d is patched in pass 2; self-reference placeholder.
                     node: self.push(MNode::Reg { d: MNetId(0), en: None }),
@@ -253,12 +251,8 @@ impl<'a> Lowerer<'a> {
         }
 
         // Outputs: materialise polarity.
-        let outputs: Vec<(String, MNetId)> = self
-            .nl
-            .outputs()
-            .iter()
-            .map(|(n, id)| (n.clone(), self.materialise(*id)))
-            .collect();
+        let outputs: Vec<(String, MNetId)> =
+            self.nl.outputs().iter().map(|(n, id)| (n.clone(), self.materialise(*id))).collect();
 
         let map: Vec<MNetId> =
             self.lit.iter().map(|l| l.expect("every net lowered").node).collect();
@@ -354,8 +348,8 @@ fn pack_cones(m: &mut MappedNetlist) {
         let mut ok = true;
         let inputs = inputs.clone();
         for (idx, inp) in inputs.iter().enumerate() {
-            let child_is_single_lut = matches!(m.nodes[inp.index()], MNode::Lut { .. })
-                && fan[inp.index()] == 1;
+            let child_is_single_lut =
+                matches!(m.nodes[inp.index()], MNode::Lut { .. }) && fan[inp.index()] == 1;
             if child_is_single_lut {
                 let MNode::Lut { inputs: grand } = &m.nodes[inp.index()] else { unreachable!() };
                 // Tentatively absorb if the union stays ≤ 4, counting the
@@ -366,8 +360,7 @@ fn pack_cones(m: &mut MappedNetlist) {
                         tentative.push(*g);
                     }
                 }
-                let remaining =
-                    inputs[idx + 1..].iter().filter(|x| !tentative.contains(x)).count();
+                let remaining = inputs[idx + 1..].iter().filter(|x| !tentative.contains(x)).count();
                 if tentative.len() + remaining <= 4 {
                     merged = tentative;
                     absorbed.push(inp.index());

@@ -75,10 +75,7 @@ struct Arrival {
 pub fn analyze(m: &MappedNetlist, model: &dyn DelayModel) -> TimingReport {
     let fan = m.fanouts();
     let n = m.nodes().len();
-    let mut arr = vec![
-        Arrival { time: 0.0, levels: 0, max_fanout: 0, routing: 0.0 };
-        n
-    ];
+    let mut arr = vec![Arrival { time: 0.0, levels: 0, max_fanout: 0, routing: 0.0 }; n];
 
     // Sources: inputs arrive at 0 (registered at the pad), registers at
     // clk_to_q, constants at 0. LUT nodes were created children-first,

@@ -5,7 +5,7 @@
 //! [`Simulator`] run, `sample` after every step, and write the standard
 //! VCD text out. Records bit 0 of each net (parallel stream 0).
 
-use crate::ir::{Netlist, NetId};
+use crate::ir::{NetId, Netlist};
 use crate::sim::Simulator;
 use std::fmt::Write as _;
 
@@ -103,9 +103,7 @@ impl VcdRecorder {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect()
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect()
 }
 
 #[cfg(test)]

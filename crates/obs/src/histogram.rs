@@ -1,0 +1,167 @@
+//! Power-of-two-bucket histogram for latency/size distributions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket `i` counts values in `[2^(i-1), 2^i)`,
+/// with bucket 0 counting zeros and ones, and the last bucket open
+/// above. 64 buckets cover the full `u64` range.
+const BUCKETS: usize = 64;
+
+/// A concurrent histogram with power-of-two buckets.
+///
+/// `record` is an atomic add on one bucket plus two atomic adds for the
+/// running count/sum — cheap enough for per-message (not per-byte) use.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    // 0 and 1 land in bucket 0; otherwise the position of the highest
+    // set bit. `u64::MAX` lands in bucket 63.
+    (64 - value.leading_zeros() as usize).saturating_sub(1).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket `i` covers `[2^(i-1), 2^i)`.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive) of the bucket containing quantile `q`
+    /// (`0.0 ..= 1.0`) — a coarse percentile good to a factor of two.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Encode as a compact JSON object (non-empty buckets only).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\"buckets\":{{",
+            self.count,
+            self.sum,
+            self.max,
+            self.mean()
+        ));
+        let mut first = true;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if *b == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let hi: u128 = 1u128 << (i + 1);
+            out.push_str(&format!("\"<{hi}\":{b}"));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 221.2).abs() < 1e-9);
+        assert_eq!(s.quantile_bound(0.0), 2); // first value is in bucket 0
+        assert!(s.quantile_bound(1.0) >= 1000);
+        let json = s.to_json();
+        assert!(json.contains("\"count\":5"));
+        assert!(json.contains("\"<2\":1"));
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile_bound(0.5), 0);
+        assert!(s.to_json().contains("\"buckets\":{}"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Minimal hand-rolled JSON encoding helpers.
+//!
+//! The workspace keeps a zero-dependency budget, so the handful of
+//! places that emit JSON (trace events, stats snapshots, compile
+//! reports, bench rows) share these primitives instead of a JSON crate.
+
+/// Append a JSON string literal (with quotes) to `out`, escaping as
+/// required by RFC 8259.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite JSON number for `v`; non-finite values (which JSON
+/// cannot represent) are emitted as `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 (always includes a decimal point or
+        // exponent, so the value re-parses as a float).
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Encode `(key, value)` pairs as a flat JSON object of numbers.
+pub fn object_u64(pairs: &[(&str, u64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str(&mut out, k);
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escapes() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn float_forms() {
+        let mut out = String::new();
+        push_f64(&mut out, 2.0);
+        out.push(' ');
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "2.0 null");
+    }
+
+    #[test]
+    fn u64_object() {
+        assert_eq!(object_u64(&[("a", 1), ("b", 2)]), "{\"a\":1,\"b\":2}");
+        assert_eq!(object_u64(&[]), "{}");
+    }
+}

@@ -1,0 +1,37 @@
+//! cfg-obs: observability layer for the CFG token tagger workspace.
+//!
+//! The design goal is *zero overhead when off*: every instrumented
+//! component holds a [`Metrics`] handle, which is a newtype over
+//! `Option<Arc<dyn MetricsSink>>`. When no sink is installed the handle
+//! is `None` and every recording method is a single branch on a local
+//! `Option` — no allocation, no atomics, no virtual dispatch. Hot loops
+//! that would otherwise pay even that branch per byte check
+//! [`Metrics::enabled`] once per buffer and batch their updates.
+//!
+//! Two sinks ship with the crate:
+//!
+//! * [`NoopSink`] — accepts and discards everything. Useful to verify
+//!   that the instrumented code path is behaviourally identical to the
+//!   un-instrumented one (see the overhead bench in `cfg-bench`).
+//! * [`StatsSink`] — lock-free counters (atomics), per-token fire
+//!   counters, power-of-two-bucket histograms, stage timings, and a
+//!   bounded trace ring buffer with a JSON-lines exporter.
+//!
+//! All JSON is hand-rolled ([`json`]); the crate has zero dependencies.
+
+#![forbid(unsafe_code)]
+
+mod histogram;
+pub mod json;
+mod metrics;
+mod report;
+mod sink;
+mod stats;
+mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use metrics::{Metrics, SpanGuard};
+pub use report::{CompileReport, StageTiming};
+pub use sink::{MetricsSink, NoopSink, Stat};
+pub use stats::{StatsSink, StatsSnapshot};
+pub use trace::{TraceEvent, Value};

@@ -1,0 +1,280 @@
+//! The recording sink: counters, token fires, histograms, timings, and
+//! a bounded trace ring buffer.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::json;
+use crate::sink::{MetricsSink, Stat};
+use crate::trace::{to_jsonl, TraceEvent};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default capacity of the trace ring buffer.
+const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// A sink that actually records.
+///
+/// Counters and token fires are plain relaxed atomics (lock-free);
+/// histograms, timings, and the trace ring buffer take a `Mutex` but
+/// sit on per-message or per-stage paths, never per-byte ones.
+#[derive(Debug)]
+pub struct StatsSink {
+    counters: [AtomicU64; Stat::COUNT],
+    token_fires: Vec<AtomicU64>,
+    histograms: Mutex<Vec<(&'static str, Histogram)>>,
+    timings: Mutex<Vec<(&'static str, u64)>>,
+    trace: Mutex<VecDeque<TraceEvent>>,
+    trace_capacity: usize,
+    trace_dropped: AtomicU64,
+}
+
+impl Default for StatsSink {
+    fn default() -> Self {
+        StatsSink::new()
+    }
+}
+
+impl StatsSink {
+    /// A sink with no per-token counters and the default trace capacity.
+    pub fn new() -> StatsSink {
+        StatsSink::with_tokens(0)
+    }
+
+    /// A sink tracking per-token fire counts for token indices
+    /// `0..tokens`; fires of out-of-range indices only bump the
+    /// aggregate counter.
+    pub fn with_tokens(tokens: usize) -> StatsSink {
+        StatsSink {
+            counters: [(); Stat::COUNT].map(|_| AtomicU64::new(0)),
+            token_fires: (0..tokens).map(|_| AtomicU64::new(0)).collect(),
+            histograms: Mutex::new(Vec::new()),
+            timings: Mutex::new(Vec::new()),
+            trace: Mutex::new(VecDeque::new()),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            trace_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the trace ring-buffer capacity (0 disables tracing).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> StatsSink {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Current value of one counter.
+    pub fn get(&self, stat: Stat) -> u64 {
+        self.counters[stat as usize].load(Ordering::Relaxed)
+    }
+
+    /// Current fire count of one token (0 if untracked).
+    pub fn token_fires(&self, index: u32) -> u64 {
+        self.token_fires.get(index as usize).map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Copy out the trace buffer (oldest first).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Encode the trace buffer as JSON lines.
+    pub fn trace_jsonl(&self) -> String {
+        to_jsonl(&self.trace_events())
+    }
+
+    /// Take a plain-data snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            counters: Stat::ALL.iter().map(|s| (s.name(), self.get(*s))).collect(),
+            token_fires: self.token_fires.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, h)| (*name, h.snapshot()))
+                .collect(),
+            timings: self.timings.lock().unwrap().clone(),
+            trace_dropped: self.trace_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricsSink for StatsSink {
+    fn add(&self, stat: Stat, n: u64) {
+        self.counters[stat as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn token_fire(&self, index: u32, n: u64) {
+        self.counters[Stat::EventsOut as usize].fetch_add(n, Ordering::Relaxed);
+        if let Some(c) = self.token_fires.get(index as usize) {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn observe(&self, hist: &'static str, value: u64) {
+        let mut hists = self.histograms.lock().unwrap();
+        if let Some((_, h)) = hists.iter().find(|(name, _)| *name == hist) {
+            h.record(value);
+        } else {
+            let h = Histogram::default();
+            h.record(value);
+            hists.push((hist, h));
+        }
+    }
+
+    fn time(&self, span: &'static str, nanos: u64) {
+        self.timings.lock().unwrap().push((span, nanos));
+    }
+
+    fn trace(&self, event: TraceEvent) {
+        if self.trace_capacity == 0 {
+            self.trace_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut buf = self.trace.lock().unwrap();
+        if buf.len() >= self.trace_capacity {
+            buf.pop_front();
+            self.trace_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+}
+
+/// Plain-data view of a [`StatsSink`], suitable for rendering.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// `(name, value)` for every [`Stat`], in index order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Fire count per token index.
+    pub token_fires: Vec<u64>,
+    /// Named histograms.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+    /// Recorded span timings `(name, nanos)`, in recording order.
+    pub timings: Vec<(&'static str, u64)>,
+    /// Events evicted from (or refused by) the trace ring buffer.
+    pub trace_dropped: u64,
+}
+
+impl StatsSnapshot {
+    /// Look up a counter by its [`Stat`] name.
+    pub fn counter(&self, stat: Stat) -> u64 {
+        self.counters.iter().find(|(name, _)| *name == stat.name()).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Encode the whole snapshot as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":");
+        out.push_str(&json::object_u64(
+            &self.counters.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+        ));
+        out.push_str(",\"token_fires\":[");
+        for (i, v) in self.token_fires.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push_str("],\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(&mut out, name);
+            out.push(':');
+            out.push_str(&h.to_json());
+        }
+        out.push_str("},\"timings\":[");
+        for (i, (name, nanos)) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"span\":");
+            json::push_str(&mut out, name);
+            out.push_str(&format!(",\"nanos\":{nanos}}}"));
+        }
+        out.push_str(&format!("],\"trace_dropped\":{}}}", self.trace_dropped));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = StatsSink::new();
+        s.add(Stat::BytesIn, 100);
+        s.add(Stat::BytesIn, 28);
+        s.add(Stat::Resyncs, 1);
+        assert_eq!(s.get(Stat::BytesIn), 128);
+        assert_eq!(s.get(Stat::Resyncs), 1);
+        assert_eq!(s.get(Stat::EventsOut), 0);
+    }
+
+    #[test]
+    fn token_fires_tracked_and_aggregated() {
+        let s = StatsSink::with_tokens(4);
+        s.token_fire(0, 2);
+        s.token_fire(3, 1);
+        s.token_fire(99, 5); // out of range: aggregate only
+        assert_eq!(s.token_fires(0), 2);
+        assert_eq!(s.token_fires(3), 1);
+        assert_eq!(s.token_fires(99), 0);
+        assert_eq!(s.get(Stat::EventsOut), 8);
+    }
+
+    #[test]
+    fn trace_ring_buffer_evicts_oldest() {
+        let s = StatsSink::new().with_trace_capacity(2);
+        s.trace(TraceEvent::new("a"));
+        s.trace(TraceEvent::new("b"));
+        s.trace(TraceEvent::new("c"));
+        let events = s.trace_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "b");
+        assert_eq!(events[1].kind, "c");
+        assert_eq!(s.snapshot().trace_dropped, 1);
+        assert_eq!(s.trace_jsonl().lines().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_json_is_complete() {
+        let s = StatsSink::with_tokens(2);
+        s.add(Stat::BytesIn, 7);
+        s.token_fire(1, 3);
+        s.observe("latency", 10);
+        s.time("compile", 1234);
+        let snap = s.snapshot();
+        assert_eq!(snap.counter(Stat::BytesIn), 7);
+        assert_eq!(snap.token_fires, vec![0, 3]);
+        let json = snap.to_json();
+        assert!(json.contains("\"bytes_in\":7"));
+        assert!(json.contains("\"token_fires\":[0,3]"));
+        assert!(json.contains("\"latency\""));
+        assert!(json.contains("\"span\":\"compile\",\"nanos\":1234"));
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let s = Arc::new(StatsSink::with_tokens(1));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.add(Stat::BytesIn, 1);
+                        s.token_fire(0, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.get(Stat::BytesIn), 4000);
+        assert_eq!(s.token_fires(0), 4000);
+        assert_eq!(s.get(Stat::EventsOut), 4000);
+    }
+}

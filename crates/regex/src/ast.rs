@@ -123,10 +123,8 @@ mod tests {
 
     #[test]
     fn alphabet_union() {
-        let a = Ast::Concat(vec![
-            Ast::Class(ByteSet::digits()),
-            Ast::Class(ByteSet::singleton(b'.')),
-        ]);
+        let a =
+            Ast::Concat(vec![Ast::Class(ByteSet::digits()), Ast::Class(ByteSet::singleton(b'.'))]);
         let alpha = a.alphabet();
         assert!(alpha.contains(b'5'));
         assert!(alpha.contains(b'.'));

@@ -94,7 +94,16 @@ impl Nfa {
             last_mask[p / 64] |= 1 << (p % 64);
         }
         let continuation = (0..n).map(|p| t.continuation_class(p)).collect();
-        Nfa { n, blocks, byte_mask, follow_mask, first_mask, last_mask, nullable: t.nullable, continuation }
+        Nfa {
+            n,
+            blocks,
+            byte_mask,
+            follow_mask,
+            first_mask,
+            last_mask,
+            nullable: t.nullable,
+            continuation,
+        }
     }
 
     /// Number of automaton positions.

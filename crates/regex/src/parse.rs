@@ -129,7 +129,11 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             branches.push(self.seq()?);
         }
-        Ok(if branches.len() == 1 { branches.pop().expect("one branch") } else { Ast::Alt(branches) })
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
     }
 
     fn seq(&mut self) -> Result<Ast, ParseError> {
@@ -274,11 +278,9 @@ impl<'a> Parser<'a> {
             b'[' => self.class(),
             b'.' => Ok(Ast::Class(ByteSet::dot())),
             b'\\' => Ok(Ast::Class(self.escape()?)),
-            b')' => Err(ParseError::Unexpected {
-                offset: self.pos - 1,
-                byte: b')',
-                context: "element",
-            }),
+            b')' => {
+                Err(ParseError::Unexpected { offset: self.pos - 1, byte: b')', context: "element" })
+            }
             b => Ok(Ast::Class(ByteSet::singleton(b))),
         }
     }

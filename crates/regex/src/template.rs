@@ -127,9 +127,7 @@ impl Template {
     /// of bytes that would *continue* a token after position `p` fired.
     /// The Figure 7 longest-match gate is `match(p) AND NOT decode(this)`.
     pub fn continuation_class(&self, p: usize) -> ByteSet {
-        self.follow[p]
-            .iter()
-            .fold(ByteSet::EMPTY, |acc, &q| acc.union(self.positions[q]))
+        self.follow[p].iter().fold(ByteSet::EMPTY, |acc, &q| acc.union(self.positions[q]))
     }
 
     /// True if some last position has a non-empty continuation, i.e. the

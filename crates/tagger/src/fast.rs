@@ -12,6 +12,7 @@ use crate::event::TagEvent;
 use crate::tagger::TaggerOptions;
 use cfg_grammar::{Grammar, TokenId};
 use cfg_hwgen::StartMode;
+use cfg_obs::{Metrics, Stat, TraceEvent};
 use cfg_regex::ByteSet;
 use std::sync::Arc;
 
@@ -73,17 +74,10 @@ impl FastTables {
             })
             .collect();
         let followers = (0..g.tokens().len())
-            .map(|u| {
-                analysis
-                    .follow_of(TokenId(u as u32))
-                    .iter()
-                    .map(|t| t.index())
-                    .collect()
-            })
+            .map(|u| analysis.follow_of(TokenId(u as u32)).iter().map(|t| t.index()).collect())
             .collect();
-        let start_tokens = (0..g.tokens().len())
-            .map(|t| analysis.start_set.contains(TokenId(t as u32)))
-            .collect();
+        let start_tokens =
+            (0..g.tokens().len()).map(|t| analysis.start_set.contains(TokenId(t as u32))).collect();
         FastTables {
             tokens,
             followers,
@@ -130,6 +124,17 @@ pub struct FastEngine {
     /// Index of the next byte to be processed (the pending one).
     cursor: usize,
     finished: bool,
+    /// Observability handle (default off: recording compiles away to a
+    /// per-call `Option` branch off the hot per-byte loop).
+    metrics: Metrics,
+    /// Cached `metrics.is_enabled()`: true only for a sink that really
+    /// records (a [`cfg_obs::NoopSink`] stays false). Gates the O(tokens)
+    /// per-byte liveness scan so a no-op sink costs the same as no sink.
+    live_stats: bool,
+    /// Was the engine dead after the last committed step? Maintained
+    /// only while an enabled sink is attached (used to count dead-state
+    /// *entries*).
+    was_dead: bool,
 }
 
 impl FastEngine {
@@ -150,10 +155,20 @@ impl FastEngine {
             pending: None,
             cursor: 0,
             finished: false,
+            metrics: Metrics::off(),
+            live_stats: false,
+            was_dead: false,
             tables,
         };
         e.reset();
         e
+    }
+
+    /// Attach an observability handle (builder style).
+    pub fn with_metrics(mut self, metrics: Metrics) -> FastEngine {
+        self.live_stats = metrics.is_enabled();
+        self.metrics = metrics;
+        self
     }
 
     /// Reset to the start-of-stream state.
@@ -171,6 +186,16 @@ impl FastEngine {
         self.pending = None;
         self.cursor = 0;
         self.finished = false;
+        self.was_dead = false;
+    }
+
+    /// Is the machine dead — no live positions, no armed enables, and no
+    /// enables set for the next byte? A dead machine emits no further
+    /// events until a §5.2 resync (or never, with recovery off).
+    pub fn is_dead(&self) -> bool {
+        !self.active_any.iter().any(|&a| a)
+            && !self.arm.iter().any(|&a| a)
+            && !self.set_now.iter().any(|&s| s)
     }
 
     /// Feed bytes; returns the events completed so far (an event is only
@@ -183,6 +208,8 @@ impl FastEngine {
                 self.step(prev, Some(b), &mut events);
             }
         }
+        // Batched off the per-byte loop: one branch per feed() call.
+        self.metrics.add(Stat::BytesIn, bytes.len() as u64);
         events
     }
 
@@ -275,6 +302,18 @@ impl FastEngine {
             if let Some(start) = token_match_start {
                 events.push(TagEvent { token: TokenId(t as u32), start, end: i + 1 });
                 matched.push(t);
+                // Gated on the cached flag: a disabled sink (NoopSink)
+                // discards these anyway, so skipping the virtual calls
+                // keeps the hot loop identical to the metrics-off path.
+                if self.live_stats {
+                    self.metrics.token_fire(t as u32, 1);
+                    self.metrics.trace(|| {
+                        TraceEvent::new("token_fire")
+                            .field("token", t as u32)
+                            .field("start", start)
+                            .field("end", i + 1)
+                    });
+                }
             }
 
             // Arm update: hold a pending enable across delimiter bytes.
@@ -294,6 +333,22 @@ impl FastEngine {
             }
         }
         self.prev_was_delim = is_delim;
+
+        // Liveness accounting (§5.2): only while an *enabled* sink is
+        // attached — the liveness scan is O(tokens) per byte and would
+        // tax both the metrics-off and the NoopSink paths.
+        if self.live_stats {
+            let alive = !self.is_dead();
+            if recover && alive {
+                self.metrics.add(Stat::Resyncs, 1);
+                self.metrics.trace(|| TraceEvent::new("resync").field("at", i));
+            }
+            if !alive && !self.was_dead {
+                self.metrics.add(Stat::DeadEntries, 1);
+                self.metrics.trace(|| TraceEvent::new("dead_entry").field("at", i));
+            }
+            self.was_dead = !alive;
+        }
     }
 
     /// Bytes processed so far (excluding the pending lookahead byte).
@@ -304,7 +359,7 @@ impl FastEngine {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::tagger::{TaggerOptions, TokenTagger};
     use cfg_grammar::builtin;
 
@@ -366,10 +421,7 @@ mod tests {
         let input = b"<l><i></i><i></i><i></i></l>";
         let events = t.tag_fast(input);
         let names: Vec<&str> = events.iter().map(|e| t.token_name(e.token)).collect();
-        assert_eq!(
-            names,
-            ["<l>", "<i>", "</i>", "<i>", "</i>", "<i>", "</i>", "</l>"]
-        );
+        assert_eq!(names, ["<l>", "<i>", "</i>", "<i>", "</i>", "<i>", "</i>", "</l>"]);
     }
 
     use cfg_grammar::Grammar;

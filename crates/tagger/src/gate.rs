@@ -11,6 +11,7 @@ use crate::event::RawMatch;
 use cfg_grammar::TokenId;
 use cfg_hwgen::GeneratedTagger;
 use cfg_netlist::{NetId, SimError, Simulator};
+use cfg_obs::{Metrics, Stat};
 
 /// Cycle-accurate engine over the generated netlist.
 #[derive(Debug)]
@@ -24,6 +25,8 @@ pub struct GateEngine {
     fed: usize,
     /// Whether the start pulse is still pending.
     start_pending: bool,
+    /// Observability handle (default off).
+    metrics: Metrics,
 }
 
 impl GateEngine {
@@ -37,7 +40,14 @@ impl GateEngine {
             flush_byte: hw.flush_byte(),
             fed: 0,
             start_pending: true,
+            metrics: Metrics::off(),
         })
+    }
+
+    /// Attach an observability handle (builder style).
+    pub fn with_metrics(mut self, metrics: Metrics) -> GateEngine {
+        self.metrics = metrics;
+        self
     }
 
     /// Reset for a fresh stream.
@@ -71,6 +81,7 @@ impl GateEngine {
         for (t, &net) in self.match_nets.iter().enumerate() {
             if self.sim.value(net) & 1 != 0 {
                 raw.push(RawMatch { token: TokenId(t as u32), end });
+                self.metrics.token_fire(t as u32, 1);
             }
         }
         Ok(())
@@ -84,6 +95,9 @@ impl GateEngine {
             self.fed += 1;
             self.clock(b, self.fed, &mut raw)?;
         }
+        // One cycle per byte: batch both counters off the clock loop.
+        self.metrics.add(Stat::BytesIn, bytes.len() as u64);
+        self.metrics.add(Stat::GateCycles, bytes.len() as u64);
         Ok(raw)
     }
 
@@ -94,6 +108,7 @@ impl GateEngine {
         for _ in 0..self.flush {
             self.clock(self.flush_byte, self.fed, &mut raw)?;
         }
+        self.metrics.add(Stat::GateCycles, self.flush as u64);
         Ok(raw)
     }
 
@@ -181,11 +196,7 @@ mod tests {
         let plain = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
         let remedied = TokenTagger::compile(
             &g,
-            TaggerOptions {
-                register_inputs: true,
-                max_reg_fanout: Some(4),
-                ..Default::default()
-            },
+            TaggerOptions { register_inputs: true, max_reg_fanout: Some(4), ..Default::default() },
         )
         .unwrap();
         assert!(remedied.hardware().match_latency > plain.hardware().match_latency);
@@ -224,11 +235,9 @@ mod tests {
         // the error."
         let g = builtin::if_then_else();
         let plain = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
-        let recovering = TokenTagger::compile(
-            &g,
-            TaggerOptions { error_recovery: true, ..Default::default() },
-        )
-        .unwrap();
+        let recovering =
+            TokenTagger::compile(&g, TaggerOptions { error_recovery: true, ..Default::default() })
+                .unwrap();
 
         let input = b"go ##garbage## stop";
         // Without recovery the machine stays dead after the error.
@@ -248,11 +257,9 @@ mod tests {
     fn error_recovery_gate_equals_fast_on_noisy_streams() {
         use rand::prelude::*;
         let g = builtin::if_then_else();
-        let t = TokenTagger::compile(
-            &g,
-            TaggerOptions { error_recovery: true, ..Default::default() },
-        )
-        .unwrap();
+        let t =
+            TokenTagger::compile(&g, TaggerOptions { error_recovery: true, ..Default::default() })
+                .unwrap();
         let mut rng = StdRng::seed_from_u64(77);
         for _ in 0..12 {
             let len = rng.random_range(0..30);
@@ -279,11 +286,7 @@ mod tests {
         )
         .unwrap();
         let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
-        for input in [
-            &b"x = 42"[..],
-            b"speed = 9000 ; limit = 55",
-            b"a=1;b=2;c=3",
-        ] {
+        for input in [&b"x = 42"[..], b"speed = 9000 ; limit = 55", b"a=1;b=2;c=3"] {
             let fast = t.tag_fast(input);
             let gate = t.tag_gate(input).unwrap();
             assert_eq!(fast, gate, "input {:?}", String::from_utf8_lossy(input));

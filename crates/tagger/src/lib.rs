@@ -47,5 +47,7 @@ pub use event::TagEvent;
 pub use fast::FastEngine;
 pub use gate::GateEngine;
 pub use pda::{PdaParser, PdaResult};
+pub use tagger::{
+    EncoderKind, StartMode, TaggerError, TaggerOptions, TaggerOptionsBuilder, TokenTagger,
+};
 pub use wide::WideTagger;
-pub use tagger::{EncoderKind, StartMode, TaggerError, TaggerOptions, TokenTagger};

@@ -17,6 +17,7 @@
 
 use crate::event::TagEvent;
 use cfg_grammar::{Grammar, Symbol, TokenId};
+use cfg_obs::{Metrics, Stat};
 use cfg_regex::Nfa;
 use std::collections::HashMap;
 
@@ -34,22 +35,12 @@ enum Prov {
     /// Seeded or predicted: no history.
     Root,
     /// Advanced over a terminal.
-    Scanned {
-        from: (Item, u32),
-        token: TokenId,
-        start: u32,
-        end: u32,
-    },
+    Scanned { from: (Item, u32), token: TokenId, start: u32, end: u32 },
     /// Advanced over a completed nonterminal.
-    Completed {
-        from: (Item, u32),
-        child: (Item, u32),
-    },
+    Completed { from: (Item, u32), child: (Item, u32) },
     /// Advanced over a nullable nonterminal that derived ε (the
     /// Aycock–Horspool magic completion; contributes no events).
-    CompletedNull {
-        from: (Item, u32),
-    },
+    CompletedNull { from: (Item, u32) },
 }
 
 /// Result of an exact parse.
@@ -68,6 +59,7 @@ pub struct PdaParser {
     grammar: Grammar,
     nfas: Vec<Nfa>,
     nullable: Vec<bool>,
+    metrics: Metrics,
 }
 
 impl PdaParser {
@@ -77,7 +69,14 @@ impl PdaParser {
             nullable: g.analyze().nullable,
             grammar: g.clone(),
             nfas: g.tokens().iter().map(|t| t.pattern.nfa().clone()).collect(),
+            metrics: Metrics::off(),
         }
+    }
+
+    /// Attach an observability handle (builder style).
+    pub fn with_metrics(mut self, metrics: Metrics) -> PdaParser {
+        self.metrics = metrics;
+        self
     }
 
     /// The grammar.
@@ -88,6 +87,7 @@ impl PdaParser {
     /// Exact-parse a byte input. Delimiters may surround and separate
     /// tokens freely, as in the hardware's lexical scanner.
     pub fn parse(&self, input: &[u8]) -> PdaResult {
+        let _span = self.metrics.span("pda_parse");
         let g = &self.grammar;
         let n = input.len();
         let delim = g.delimiters();
@@ -98,10 +98,10 @@ impl PdaParser {
         let mut worklists: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
 
         let add = |chart: &mut Vec<HashMap<Item, Prov>>,
-                       worklists: &mut Vec<Vec<Item>>,
-                       pos: usize,
-                       item: Item,
-                       prov: Prov| {
+                   worklists: &mut Vec<Vec<Item>>,
+                   pos: usize,
+                   item: Item,
+                   prov: Prov| {
             if let std::collections::hash_map::Entry::Vacant(e) = chart[pos].entry(item) {
                 e.insert(prov);
                 worklists[pos].push(item);
@@ -228,8 +228,12 @@ impl PdaParser {
         }
 
         let Some((item, pos)) = accept_at else {
+            self.metrics.add(Stat::BytesIn, n as u64);
+            self.metrics.add(Stat::ParseRejects, 1);
             return PdaResult { accepted: false, events: Vec::new() };
         };
+        self.metrics.add(Stat::BytesIn, n as u64);
+        self.metrics.add(Stat::ParseAccepts, 1);
 
         // Reconstruct one derivation's terminal events.
         let mut events = Vec::new();
@@ -304,8 +308,7 @@ mod tests {
             let tagged = tagger.tag_fast(input);
             let pda_spans: Vec<(usize, usize)> =
                 r.events.iter().map(|e| (e.start, e.end)).collect();
-            let tag_spans: Vec<(usize, usize)> =
-                tagged.iter().map(|e| (e.start, e.end)).collect();
+            let tag_spans: Vec<(usize, usize)> = tagged.iter().map(|e| (e.start, e.end)).collect();
             assert_eq!(pda_spans, tag_spans, "{:?}", String::from_utf8_lossy(input));
         }
     }

@@ -6,15 +6,20 @@ use crate::gate::GateEngine;
 use cfg_grammar::{transform, Context, Grammar, TokenId};
 use cfg_hwgen::{generate, GenError, GeneratedTagger, GeneratorOptions};
 use cfg_netlist::SimError;
+use cfg_obs::{CompileReport, Metrics, Stat};
 use cfg_regex::Nfa;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 pub use cfg_hwgen::generate::EncoderKind;
 pub use cfg_hwgen::StartMode;
 
 /// Compilation options.
-#[derive(Debug, Clone, Copy)]
+///
+/// Construct with [`TaggerOptions::builder`] (preferred — stable across
+/// field additions) or struct update from `Default`.
+#[derive(Debug, Clone)]
 pub struct TaggerOptions {
     /// Start-token enabling (§3.3). Default: [`StartMode::AtStart`].
     pub start_mode: StartMode,
@@ -34,6 +39,10 @@ pub struct TaggerOptions {
     /// §5.2 error recovery: resync at the next token boundary after
     /// non-conforming input instead of staying dead.
     pub error_recovery: bool,
+    /// Observability handle shared with every engine compiled from these
+    /// options. Default: [`Metrics::off`] — the engines then skip all
+    /// recording (the zero-overhead-when-off contract).
+    pub metrics: Metrics,
 }
 
 impl Default for TaggerOptions {
@@ -46,7 +55,77 @@ impl Default for TaggerOptions {
             max_reg_fanout: None,
             register_inputs: false,
             error_recovery: false,
+            metrics: Metrics::off(),
         }
+    }
+}
+
+impl TaggerOptions {
+    /// Start building options from the defaults.
+    pub fn builder() -> TaggerOptionsBuilder {
+        TaggerOptionsBuilder { opts: TaggerOptions::default() }
+    }
+}
+
+/// Builder for [`TaggerOptions`]; call-site-stable across future field
+/// additions. Created by [`TaggerOptions::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct TaggerOptionsBuilder {
+    opts: TaggerOptions,
+}
+
+impl TaggerOptionsBuilder {
+    /// Start-token enabling (§3.3).
+    pub fn start_mode(mut self, mode: StartMode) -> Self {
+        self.opts.start_mode = mode;
+        self
+    }
+
+    /// Toggle the §3.2 multi-context token duplication.
+    pub fn duplicate_contexts(mut self, on: bool) -> Self {
+        self.opts.duplicate_contexts = on;
+        self
+    }
+
+    /// Disable the Figure 7 longest-match lookahead (ablation).
+    pub fn disable_longest_match(mut self, off: bool) -> Self {
+        self.opts.disable_longest_match = off;
+        self
+    }
+
+    /// Index encoder for the generated circuit.
+    pub fn encoder(mut self, kind: EncoderKind) -> Self {
+        self.opts.encoder = kind;
+        self
+    }
+
+    /// Register-fanout cap (§4.3 replication remedy).
+    pub fn max_reg_fanout(mut self, cap: Option<usize>) -> Self {
+        self.opts.max_reg_fanout = cap;
+        self
+    }
+
+    /// Register the data pads (§4.3 register-tree remedy).
+    pub fn register_inputs(mut self, on: bool) -> Self {
+        self.opts.register_inputs = on;
+        self
+    }
+
+    /// §5.2 error recovery (resync at token boundaries).
+    pub fn error_recovery(mut self, on: bool) -> Self {
+        self.opts.error_recovery = on;
+        self
+    }
+
+    /// Observability handle for the compile pipeline and all engines.
+    pub fn metrics(mut self, metrics: Metrics) -> Self {
+        self.opts.metrics = metrics;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> TaggerOptions {
+        self.opts
     }
 }
 
@@ -97,16 +176,31 @@ pub struct TokenTagger {
     /// match ends.
     reverse_nfas: Arc<Vec<Nfa>>,
     opts: TaggerOptions,
+    report: CompileReport,
 }
 
 impl TokenTagger {
     /// Compile a grammar into a tagger.
+    ///
+    /// Every pipeline stage is wall-clock timed into the
+    /// [`CompileReport`] available via [`TokenTagger::report`]; when the
+    /// options carry live metrics, the same timings are forwarded to the
+    /// sink as `compile/<stage>` spans.
     pub fn compile(g: &Grammar, opts: TaggerOptions) -> Result<TokenTagger, TaggerError> {
+        let mut report = CompileReport::default();
+        let mut mark = Instant::now();
+        let stage = |report: &mut CompileReport, mark: &mut Instant, name: &str| {
+            report.stage(name, mark.elapsed().as_nanos() as u64);
+            *mark = Instant::now();
+        };
+
         let grammar = if opts.duplicate_contexts {
             transform::duplicate_multi_context_tokens(g)
         } else {
             g.clone()
         };
+        stage(&mut report, &mut mark, "token_duplication");
+
         let gen_opts = GeneratorOptions {
             start_mode: opts.start_mode,
             disable_longest_match: opts.disable_longest_match,
@@ -116,15 +210,46 @@ impl TokenTagger {
             error_recovery: opts.error_recovery,
         };
         let hw = generate(&grammar, &gen_opts)?;
+        for (name, nanos) in &hw.stage_nanos {
+            report.stage(format!("hwgen_{name}"), *nanos);
+        }
+        mark = Instant::now();
+
         let tables = Arc::new(FastTables::build(&grammar, &opts));
-        let reverse_nfas = Arc::new(
+        stage(&mut report, &mut mark, "fast_tables");
+
+        let reverse_nfas: Arc<Vec<Nfa>> = Arc::new(
             grammar
                 .tokens()
                 .iter()
                 .map(|t| Nfa::from_template(&t.pattern.template().reversed()))
                 .collect(),
         );
-        Ok(TokenTagger { grammar, hw, tables, reverse_nfas, opts })
+        stage(&mut report, &mut mark, "reverse_nfas");
+
+        report.count("tokens", grammar.tokens().len() as u64);
+        report.count("pattern_bytes", hw.pattern_bytes as u64);
+        report.count("decoder_classes", hw.decoder_classes as u64);
+        report.count("match_latency", hw.match_latency);
+        report.count("encoder_latency", hw.encoder_latency);
+        if opts.metrics.is_on() {
+            for s in &report.stages {
+                // Leak-free &'static names are not available for the
+                // dynamic stage labels; use the sink's trace channel.
+                opts.metrics.trace(|| {
+                    cfg_obs::TraceEvent::new("compile_stage")
+                        .field("stage", s.stage.as_str())
+                        .field("nanos", s.nanos)
+                });
+            }
+            opts.metrics.time("compile_total", report.total_nanos());
+        }
+        Ok(TokenTagger { grammar, hw, tables, reverse_nfas, opts, report })
+    }
+
+    /// The structured compile-pipeline report (stage timings + counts).
+    pub fn report(&self) -> &CompileReport {
+        &self.report
     }
 
     /// The compiled grammar (post-duplication).
@@ -153,14 +278,16 @@ impl TokenTagger {
         self.grammar.tokens()[t.index()].context.as_ref()
     }
 
-    /// A fresh streaming functional engine.
+    /// A fresh streaming functional engine (instrumented with the
+    /// compile options' metrics handle).
     pub fn fast_engine(&self) -> FastEngine {
-        FastEngine::new(Arc::clone(&self.tables))
+        FastEngine::new(Arc::clone(&self.tables)).with_metrics(self.opts.metrics.clone())
     }
 
-    /// A fresh cycle-accurate gate-level engine.
+    /// A fresh cycle-accurate gate-level engine (instrumented with the
+    /// compile options' metrics handle).
     pub fn gate_engine(&self) -> Result<GateEngine, TaggerError> {
-        Ok(GateEngine::new(&self.hw)?)
+        Ok(GateEngine::new(&self.hw)?.with_metrics(self.opts.metrics.clone()))
     }
 
     /// Tag a complete input with the functional engine.
@@ -177,6 +304,25 @@ impl TokenTagger {
         let mut engine = self.gate_engine()?;
         let raw = engine.run(input)?;
         Ok(self.resolve_spans(input, &raw))
+    }
+
+    /// Tag with both engines and cross-check: returns the fast engine's
+    /// events and bumps [`Stat::GateFastDivergence`] (plus a trace
+    /// event) whenever the gate-level engine disagrees — the online
+    /// version of the property the test suite pins.
+    pub fn tag_verified(&self, input: &[u8]) -> Result<Vec<TagEvent>, TaggerError> {
+        let fast = self.tag_fast(input);
+        let gate = self.tag_gate(input)?;
+        if fast != gate {
+            self.opts.metrics.add(Stat::GateFastDivergence, 1);
+            self.opts.metrics.trace(|| {
+                cfg_obs::TraceEvent::new("gate_fast_divergence")
+                    .field("bytes", input.len())
+                    .field("fast_events", fast.len())
+                    .field("gate_events", gate.len())
+            });
+        }
+        Ok(fast)
     }
 
     /// Convert raw hardware matches (token + end) into spanned events by
@@ -279,6 +425,120 @@ mod tests {
         assert!(t.tag_fast(b"hello world").is_empty());
         assert!(t.tag_fast(b"then go").is_empty());
         assert!(t.tag_fast(b"").is_empty());
+    }
+
+    #[test]
+    fn builder_mirrors_struct_update() {
+        let built = TaggerOptions::builder()
+            .start_mode(StartMode::Always)
+            .duplicate_contexts(false)
+            .error_recovery(true)
+            .build();
+        assert_eq!(built.start_mode, StartMode::Always);
+        assert!(!built.duplicate_contexts);
+        assert!(built.error_recovery);
+        // Untouched fields keep their defaults.
+        let d = TaggerOptions::default();
+        assert_eq!(built.encoder, d.encoder);
+        assert_eq!(built.max_reg_fanout, d.max_reg_fanout);
+        assert!(!built.metrics.is_on());
+    }
+
+    #[test]
+    fn compile_report_covers_the_pipeline() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let r = t.report();
+        let stages: Vec<&str> = r.stages.iter().map(|s| s.stage.as_str()).collect();
+        for expected in [
+            "token_duplication",
+            "hwgen_analysis",
+            "hwgen_tokenizers",
+            "hwgen_control",
+            "hwgen_encoder",
+            "hwgen_netlist_finish",
+            "fast_tables",
+            "reverse_nfas",
+        ] {
+            assert!(stages.contains(&expected), "missing stage {expected}: {stages:?}");
+        }
+        assert_eq!(r.get_count("tokens"), Some(7));
+        assert!(r.get_count("pattern_bytes").unwrap() > 0);
+        assert!(r.to_json().contains("\"stage\":\"fast_tables\""));
+    }
+
+    #[test]
+    fn metrics_record_fires_and_bytes() {
+        use cfg_obs::{Metrics, Stat, StatsSink};
+        let g = builtin::if_then_else();
+        let sink = std::sync::Arc::new(StatsSink::with_tokens(16));
+        let opts = TaggerOptions::builder().metrics(Metrics::new(sink.clone())).build();
+        let t = TokenTagger::compile(&g, opts).unwrap();
+        let input = b"if false then stop else go";
+        let events = t.tag_fast(input);
+        assert_eq!(events.len(), 6);
+        assert_eq!(sink.get(Stat::EventsOut), 6);
+        assert_eq!(sink.get(Stat::BytesIn), input.len() as u64);
+        // Per-token attribution sums to the total.
+        let total: u64 = (0..16).map(|i| sink.token_fires(i)).sum();
+        assert_eq!(total, 6);
+        // The compile pipeline reported its total via the sink too.
+        let snap = sink.snapshot();
+        assert!(snap.timings.iter().any(|(name, _)| *name == "compile_total"));
+    }
+
+    #[test]
+    fn metrics_count_dead_entries_and_resyncs() {
+        use cfg_obs::{Metrics, Stat, StatsSink};
+        let g = builtin::if_then_else();
+
+        // Without recovery: garbage drives the machine dead exactly once.
+        let sink = std::sync::Arc::new(StatsSink::new());
+        let opts = TaggerOptions::builder().metrics(Metrics::new(sink.clone())).build();
+        let t = TokenTagger::compile(&g, opts).unwrap();
+        assert!(t.tag_fast(b"zzz zzz go").is_empty());
+        assert_eq!(sink.get(Stat::DeadEntries), 1);
+        assert_eq!(sink.get(Stat::Resyncs), 0);
+
+        // With recovery: the engine resyncs at the boundary and tags go.
+        let sink = std::sync::Arc::new(StatsSink::new());
+        let opts = TaggerOptions::builder()
+            .error_recovery(true)
+            .metrics(Metrics::new(sink.clone()))
+            .build();
+        let t = TokenTagger::compile(&g, opts).unwrap();
+        let events = t.tag_fast(b"zzz go");
+        assert_eq!(events.len(), 1);
+        assert!(sink.get(Stat::Resyncs) >= 1);
+    }
+
+    #[test]
+    fn engine_reports_dead_state() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let mut e = t.fast_engine();
+        assert!(!e.is_dead(), "start tokens are enabled at stream start");
+        e.feed(b"zzzz ");
+        let _ = e.finish();
+        assert!(e.is_dead());
+
+        let mut e = t.fast_engine();
+        e.feed(b"if true then go else stop");
+        let _ = e.finish();
+        assert!(!e.is_dead());
+    }
+
+    #[test]
+    fn tag_verified_agrees_and_counts_nothing() {
+        use cfg_obs::{Metrics, Stat, StatsSink};
+        let g = builtin::if_then_else();
+        let sink = std::sync::Arc::new(StatsSink::new());
+        let opts = TaggerOptions::builder().metrics(Metrics::new(sink.clone())).build();
+        let t = TokenTagger::compile(&g, opts).unwrap();
+        let events = t.tag_verified(b"if true then go else stop").unwrap();
+        assert_eq!(events.len(), 6);
+        assert_eq!(sink.get(Stat::GateFastDivergence), 0);
+        assert!(sink.get(Stat::GateCycles) > 0, "gate engine cycles recorded");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::tagger::{TaggerError, TaggerOptions};
 use cfg_grammar::{transform, Grammar, TokenId};
 use cfg_hwgen::{generate_wide, GeneratedWideTagger};
 use cfg_netlist::{NetId, Simulator};
+use cfg_obs::{Metrics, Stat};
 use cfg_regex::Nfa;
 
 /// A compiled W-bytes-per-cycle tagger.
@@ -19,6 +20,7 @@ pub struct WideTagger {
     grammar: Grammar,
     hw: GeneratedWideTagger,
     reverse_nfas: Vec<Nfa>,
+    metrics: Metrics,
 }
 
 impl WideTagger {
@@ -41,7 +43,7 @@ impl WideTagger {
             .iter()
             .map(|t| Nfa::from_template(&t.pattern.template().reversed()))
             .collect();
-        Ok(WideTagger { grammar, hw, reverse_nfas })
+        Ok(WideTagger { grammar, hw, reverse_nfas, metrics: opts.metrics })
     }
 
     /// The compiled grammar.
@@ -75,8 +77,7 @@ impl WideTagger {
             for lane in 0..w {
                 let byte = input.get(s * w + lane).copied().unwrap_or(self.hw.flush_byte);
                 for bit in 0..8 {
-                    inputs[lane * 8 + bit] =
-                        if byte & (1 << bit) != 0 { u64::MAX } else { 0 };
+                    inputs[lane * 8 + bit] = if byte & (1 << bit) != 0 { u64::MAX } else { 0 };
                 }
             }
             inputs[8 * w] = if s == 0 { u64::MAX } else { 0 };
@@ -103,6 +104,11 @@ impl WideTagger {
             }
         }
         raw.sort_by_key(|m| (m.end, m.token.0));
+        self.metrics.add(Stat::BytesIn, input.len() as u64);
+        self.metrics.add(Stat::GateCycles, cycles as u64);
+        for m in &raw {
+            self.metrics.token_fire(m.token.0, 1);
+        }
         Ok(raw)
     }
 
@@ -113,8 +119,7 @@ impl WideTagger {
         Ok(raw
             .iter()
             .filter_map(|m| {
-                let len =
-                    self.reverse_nfas[m.token.index()].find_longest_rev(input, m.end)?;
+                let len = self.reverse_nfas[m.token.index()].find_longest_rev(input, m.end)?;
                 Some(TagEvent { token: m.token, start: m.end - len, end: m.end })
             })
             .collect())
@@ -134,12 +139,7 @@ mod tests {
         for &input in inputs {
             let fast = byte_tagger.tag_fast(input);
             let w = wide.tag(input).unwrap();
-            assert_eq!(
-                fast,
-                w,
-                "W={lanes} input {:?}",
-                String::from_utf8_lossy(input)
-            );
+            assert_eq!(fast, w, "W={lanes} input {:?}", String::from_utf8_lossy(input));
         }
     }
 

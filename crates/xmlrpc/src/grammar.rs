@@ -70,10 +70,7 @@ mod tests {
         // grammar counts 10 named regex tokens + the tag/char literals.
         let g = xmlrpc_grammar();
         let n = g.tokens().len();
-        assert!(
-            (40..=48).contains(&n),
-            "expected ≈45 tokens as in the paper, got {n}"
-        );
+        assert!((40..=48).contains(&n), "expected ≈45 tokens as in the paper, got {n}");
     }
 
     #[test]
@@ -137,11 +134,7 @@ mod tests {
     fn cfg_baseline_check(g: &Grammar) {
         let a = g.analyze();
         for nt in 0..g.nonterminals().len() {
-            let prods: Vec<_> = g
-                .productions()
-                .iter()
-                .filter(|p| p.lhs.index() == nt)
-                .collect();
+            let prods: Vec<_> = g.productions().iter().filter(|p| p.lhs.index() == nt).collect();
             let mut seen = cfg_grammar::TokenSet::new(g.tokens().len());
             for p in prods {
                 let mut first = cfg_grammar::TokenSet::new(g.tokens().len());

@@ -10,6 +10,7 @@
 
 use crate::workload::{BANK_SERVICES, SHOP_SERVICES};
 use cfg_grammar::TokenId;
+use cfg_obs::{Metrics, Stat, TraceEvent};
 use cfg_tagger::{Backend, TagEvent, TokenTagger};
 
 /// Output ports of the switch.
@@ -38,9 +39,7 @@ impl RouterTables {
         let g = tagger.grammar();
         let idx = g.tokens().iter().position(|t| {
             t.name.starts_with("STRING")
-                && t.context
-                    .as_ref()
-                    .is_some_and(|c| c.production == "methodName")
+                && t.context.as_ref().is_some_and(|c| c.production == "methodName")
         })?;
         Some(RouterTables { method_string: TokenId(idx as u32) })
     }
@@ -57,12 +56,23 @@ pub struct Router {
     tables: RouterTables,
     /// Decisions in stream order (service name, port).
     pub decisions: Vec<(String, Port)>,
+    /// Byte offset (exclusive end of the deciding lexeme) at which the
+    /// first routing decision became available — the paper's selling
+    /// point is how early in the stream this lands.
+    pub first_decision_end: Option<usize>,
+    metrics: Metrics,
 }
 
 impl Router {
     /// New router over precomputed tables.
     pub fn new(tables: RouterTables) -> Router {
-        Router { tables, decisions: Vec::new() }
+        Router { tables, decisions: Vec::new(), first_decision_end: None, metrics: Metrics::off() }
+    }
+
+    /// Attach an observability handle (builder style).
+    pub fn with_metrics(mut self, metrics: Metrics) -> Router {
+        self.metrics = metrics;
+        self
     }
 
     /// Port for a service name.
@@ -77,10 +87,37 @@ impl Router {
     }
 
     /// Route one complete message; returns the selected port.
+    ///
+    /// Records per-port decision counters, the `route_latency_bytes`
+    /// histogram (bytes into the message at which the decision landed),
+    /// and [`Stat::MalformedRejected`] for messages yielding no
+    /// `methodName` at all — via the tagger's metrics handle.
     pub fn route(tagger: &TokenTagger, tables: &RouterTables, message: &[u8]) -> Port {
-        let mut r = Router::new(tables.clone());
+        let metrics = tagger.options().metrics.clone();
+        let mut r = Router::new(tables.clone()).with_metrics(metrics.clone());
         tagger.process(message, &mut r);
-        r.decisions.first().map(|(_, p)| *p).unwrap_or(Port::Unknown)
+        match r.decisions.first() {
+            Some((_, port)) => {
+                let stat = match port {
+                    Port::Bank => Stat::RouteBank,
+                    Port::Shop => Stat::RouteShop,
+                    Port::Unknown => Stat::RouteUnknown,
+                };
+                metrics.add(stat, 1);
+                if let Some(end) = r.first_decision_end {
+                    metrics.observe("route_latency_bytes", end as u64);
+                }
+                *port
+            }
+            None => {
+                // No methodName token fired: the stream does not conform
+                // to the XML-RPC grammar as far as routing is concerned.
+                metrics.add(Stat::MalformedRejected, 1);
+                metrics
+                    .trace(|| TraceEvent::new("malformed_rejected").field("bytes", message.len()));
+                Port::Unknown
+            }
+        }
     }
 }
 
@@ -89,6 +126,17 @@ impl Backend for Router {
         if event.token == self.tables.method_string {
             let service = String::from_utf8_lossy(event.lexeme(input)).into_owned();
             let port = Self::port_for(&service);
+            if self.first_decision_end.is_none() {
+                self.first_decision_end = Some(event.end);
+            }
+            if self.metrics.is_enabled() {
+                self.metrics.trace(|| {
+                    TraceEvent::new("route")
+                        .field("service", service.as_str())
+                        .field("port", format!("{port:?}"))
+                        .field("at", event.end)
+                });
+            }
             self.decisions.push((service, port));
         }
     }
@@ -167,6 +215,39 @@ mod tests {
                 String::from_utf8_lossy(&m.bytes)
             );
         }
+    }
+
+    #[test]
+    fn route_decisions_are_counted() {
+        use cfg_obs::{Metrics, Stat, StatsSink};
+        let sink = std::sync::Arc::new(StatsSink::new());
+        let t = TokenTagger::compile(
+            &xmlrpc_grammar(),
+            cfg_tagger::TaggerOptions::builder().metrics(Metrics::new(sink.clone())).build(),
+        )
+        .unwrap();
+        let tables = RouterTables::new(&t).unwrap();
+        let bank = b"<methodCall><methodName>deposit</methodName><params><param><i4>1</i4></param></params></methodCall>";
+        let shop = b"<methodCall><methodName>buy</methodName><params><param><i4>1</i4></param></params></methodCall>";
+        let junk = b"this is not xml-rpc at all";
+        assert_eq!(Router::route(&t, &tables, bank), Port::Bank);
+        assert_eq!(Router::route(&t, &tables, bank), Port::Bank);
+        assert_eq!(Router::route(&t, &tables, shop), Port::Shop);
+        assert_eq!(Router::route(&t, &tables, junk), Port::Unknown);
+        assert_eq!(sink.get(Stat::RouteBank), 2);
+        assert_eq!(sink.get(Stat::RouteShop), 1);
+        assert_eq!(sink.get(Stat::RouteUnknown), 0);
+        assert_eq!(sink.get(Stat::MalformedRejected), 1);
+        // The latency histogram observed one entry per routed message,
+        // each well before the end of the message.
+        let snap = sink.snapshot();
+        let (_, hist) = snap
+            .histograms
+            .iter()
+            .find(|(name, _)| *name == "route_latency_bytes")
+            .expect("route latency histogram recorded");
+        assert_eq!(hist.count, 3);
+        assert!((hist.max as usize) < bank.len());
     }
 
     #[test]

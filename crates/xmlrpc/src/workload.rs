@@ -216,10 +216,7 @@ mod tests {
             assert_eq!(a.message(MessageKind::Honest).bytes, b.message(MessageKind::Honest).bytes);
         }
         let mut c = WorkloadGenerator::new(2);
-        assert_ne!(
-            a.message(MessageKind::Honest).bytes,
-            c.message(MessageKind::Honest).bytes
-        );
+        assert_ne!(a.message(MessageKind::Honest).bytes, c.message(MessageKind::Honest).bytes);
     }
 
     #[test]

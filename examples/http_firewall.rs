@@ -33,17 +33,13 @@ fn main() {
     )
     .expect("grammar parses");
 
-    let tagger =
-        TokenTagger::compile(&grammar, TaggerOptions::default()).expect("tagger compiles");
+    let tagger = TokenTagger::compile(&grammar, TaggerOptions::default()).expect("tagger compiles");
 
     // The context-aware rule: block if the PATH lexeme contains /admin.
     let is_blocked = |input: &[u8]| -> bool {
         tagger.tag_fast(input).iter().any(|ev| {
             tagger.token_name(ev.token).starts_with("PATH")
-                && ev
-                    .lexeme(input)
-                    .windows(6)
-                    .any(|w| w == b"/admin")
+                && ev.lexeme(input).windows(6).any(|w| w == b"/admin")
         })
     };
 

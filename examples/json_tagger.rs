@@ -23,8 +23,7 @@ use cfg_token_tagger::tagger::{TaggerOptions, TokenTagger};
 
 fn main() {
     let grammar = builtin::json();
-    let tagger =
-        TokenTagger::compile(&grammar, TaggerOptions::default()).expect("tagger compiles");
+    let tagger = TokenTagger::compile(&grammar, TaggerOptions::default()).expect("tagger compiles");
 
     let doc = br#"{ "name": "widget", "price": 9.99, "tags": ["a", "b"], "stock": { "count": 42, "sold out": false } }"#;
     println!("document:\n  {}\n", String::from_utf8_lossy(doc));
@@ -36,11 +35,19 @@ fn main() {
         let ctx = tagger.context(ev.token).expect("contexts on");
         // Human-readable role from the grammatical context.
         let kind = if name.starts_with("STR") {
-            if ctx.production == "member" { "KEY" } else { "string" }
+            if ctx.production == "member" {
+                "KEY"
+            } else {
+                "string"
+            }
         } else if name.starts_with("NUM") {
             "number"
         } else if name.starts_with(',') {
-            if ctx.production == "member_tail" { "obj-comma" } else { "arr-comma" }
+            if ctx.production == "member_tail" {
+                "obj-comma"
+            } else {
+                "arr-comma"
+            }
         } else if name.starts_with("true") || name.starts_with("false") {
             "bool"
         } else if name.starts_with("null") {
@@ -63,10 +70,9 @@ fn main() {
         .windows(2)
         .filter(|w| {
             let is_member_str = tagger.token_name(w[0].token).starts_with("STR")
-                && tagger.context(w[0].token).map(|c| c.production.as_str())
-                    == Some("member");
-            let colon_confirms = tagger.token_name(w[1].token).starts_with(':')
-                && w[1].start >= w[0].end;
+                && tagger.context(w[0].token).map(|c| c.production.as_str()) == Some("member");
+            let colon_confirms =
+                tagger.token_name(w[1].token).starts_with(':') && w[1].start >= w[0].end;
             is_member_str && colon_confirms
         })
         .map(|w| String::from_utf8_lossy(w[0].lexeme(doc)).into_owned())

@@ -30,8 +30,7 @@ fn main() {
     )
     .expect("grammar parses");
 
-    let tagger =
-        TokenTagger::compile(&grammar, TaggerOptions::default()).expect("tagger compiles");
+    let tagger = TokenTagger::compile(&grammar, TaggerOptions::default()).expect("tagger compiles");
 
     for sentence in [
         &b"the students book a flight"[..],

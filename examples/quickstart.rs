@@ -37,8 +37,7 @@ fn main() {
     println!();
 
     // Compile to hardware and tag a sentence.
-    let tagger = TokenTagger::compile(&grammar, TaggerOptions::default())
-        .expect("tagger compiles");
+    let tagger = TokenTagger::compile(&grammar, TaggerOptions::default()).expect("tagger compiles");
     let hw = tagger.hardware();
     println!(
         "generated circuit: {} gates, {} flip-flops, {} decoder classes, {} pattern bytes",
@@ -61,10 +60,7 @@ fn main() {
             tagger.token_name(ev.token),
             ev.start,
             ev.end,
-            tagger
-                .context(ev.token)
-                .map(|c| c.to_string())
-                .unwrap_or_default()
+            tagger.context(ev.token).map(|c| c.to_string()).unwrap_or_default()
         );
     }
 

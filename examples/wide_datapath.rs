@@ -15,8 +15,7 @@ fn main() {
     let grammar = builtin::if_then_else();
     let input = b"if true then if false then go else stop else go";
 
-    let byte_tagger =
-        TokenTagger::compile(&grammar, TaggerOptions::default()).expect("compiles");
+    let byte_tagger = TokenTagger::compile(&grammar, TaggerOptions::default()).expect("compiles");
     let reference = byte_tagger.tag_fast(input);
     println!(
         "reference (byte-serial): {} events on {:?}",

@@ -22,8 +22,7 @@ fn main() {
         grammar.pattern_bytes()
     );
 
-    let tagger =
-        TokenTagger::compile(&grammar, TaggerOptions::default()).expect("tagger compiles");
+    let tagger = TokenTagger::compile(&grammar, TaggerOptions::default()).expect("tagger compiles");
     let tables = RouterTables::new(&tagger).expect("methodName STRING context exists");
     println!(
         "router key: compiled token #{} = {:?}",

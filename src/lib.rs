@@ -44,6 +44,7 @@ pub use cfg_fpga as fpga;
 pub use cfg_grammar as grammar;
 pub use cfg_hwgen as hwgen;
 pub use cfg_netlist as netlist;
+pub use cfg_obs as obs;
 pub use cfg_regex as regex;
 pub use cfg_tagger as tagger;
 pub use cfg_xmlrpc as xmlrpc;

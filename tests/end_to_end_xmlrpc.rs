@@ -9,8 +9,7 @@ use cfg_token_tagger::xmlrpc::{xmlrpc_grammar, Router, RouterTables};
 
 #[test]
 fn gate_and_fast_agree_on_xmlrpc_messages() {
-    let tagger =
-        TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default()).unwrap();
+    let tagger = TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default()).unwrap();
     let mut gen = WorkloadGenerator::new(501);
     for _ in 0..5 {
         let m = gen.message(MessageKind::Honest);
@@ -23,8 +22,7 @@ fn gate_and_fast_agree_on_xmlrpc_messages() {
 
 #[test]
 fn gate_and_fast_agree_on_adversarial_and_full_value_messages() {
-    let tagger =
-        TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default()).unwrap();
+    let tagger = TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default()).unwrap();
     let mut gen = WorkloadGenerator::new(502).with_full_values();
     for kind in [MessageKind::Honest, MessageKind::Adversarial] {
         let m = gen.message(kind);
@@ -61,10 +59,8 @@ fn tagger_token_sequence_matches_ll1_on_lexable_messages() {
         let msg: Vec<u8> = msg.iter().copied().filter(|b| !b.is_ascii_whitespace()).collect();
         let truth = ll1.parse(&msg).expect("lexable message conforms");
         let tagged = tagger.tag_fast(&msg);
-        let truth_spans: Vec<(usize, usize)> =
-            truth.iter().map(|t| (t.start, t.end)).collect();
-        let tagged_spans: Vec<(usize, usize)> =
-            tagged.iter().map(|e| (e.start, e.end)).collect();
+        let truth_spans: Vec<(usize, usize)> = truth.iter().map(|t| (t.start, t.end)).collect();
+        let tagged_spans: Vec<(usize, usize)> = tagged.iter().map(|e| (e.start, e.end)).collect();
         assert_eq!(tagged_spans, truth_spans, "{}", String::from_utf8_lossy(&msg));
     }
 
@@ -76,17 +72,14 @@ fn tagger_token_sequence_matches_ll1_on_lexable_messages() {
     assert!(ll1.parse(numeric).is_err(), "lexical ambiguity should break the classical pipeline");
     // …which the context-driven tagger tags completely.
     let events = tagger.tag_fast(numeric);
-    assert!(events
-        .iter()
-        .any(|e| tagger.token_name(e.token).starts_with("INT")));
+    assert!(events.iter().any(|e| tagger.token_name(e.token).starts_with("INT")));
 }
 
 #[test]
 fn router_decisions_survive_the_gate_level_path() {
     // Route decisions made from gate-level raw matches (spans resolved
     // in software) must equal the fast-engine decisions.
-    let tagger =
-        TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default()).unwrap();
+    let tagger = TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default()).unwrap();
     let tables = RouterTables::new(&tagger).unwrap();
     let mut gen = WorkloadGenerator::new(504);
     for kind in [MessageKind::Honest, MessageKind::Adversarial] {
@@ -98,9 +91,7 @@ fn router_decisions_survive_the_gate_level_path() {
         let gate_port = events
             .iter()
             .find(|e| e.token == tables.method_string_token())
-            .map(|e| {
-                Router::port_for(&String::from_utf8_lossy(e.lexeme(&m.bytes)))
-            })
+            .map(|e| Router::port_for(&String::from_utf8_lossy(e.lexeme(&m.bytes))))
             .unwrap_or(cfg_token_tagger::xmlrpc::Port::Unknown);
         assert_eq!(fast_port, gate_port);
         assert_eq!(fast_port, Router::port_for(&m.method));
@@ -111,8 +102,7 @@ fn router_decisions_survive_the_gate_level_path() {
 fn whitespace_between_tags_is_tolerated() {
     // Pretty-printed XML: delimiters between tokens, held by the arm
     // registers (§3.2).
-    let tagger =
-        TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default()).unwrap();
+    let tagger = TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default()).unwrap();
     let msg = b"<methodCall>\n  <methodName>withdraw</methodName>\n  <params>\n    <param>\n      <i4>250</i4>\n    </param>\n  </params>\n</methodCall>";
     let fast = tagger.tag_fast(msg);
     let gate = tagger.tag_gate(msg).unwrap();
@@ -129,11 +119,9 @@ fn error_recovery_enables_multi_message_streams() {
     // single start pulse: after each message the machine goes dead and
     // resyncs at the next token boundary.
     use cfg_token_tagger::tagger::TaggerOptions as TO;
-    let tagger = TokenTagger::compile(
-        &xmlrpc_grammar(),
-        TO { error_recovery: true, ..Default::default() },
-    )
-    .unwrap();
+    let tagger =
+        TokenTagger::compile(&xmlrpc_grammar(), TO { error_recovery: true, ..Default::default() })
+            .unwrap();
     let tables = RouterTables::new(&tagger).unwrap();
 
     let mut gen = WorkloadGenerator::new(909);
@@ -151,10 +139,8 @@ fn error_recovery_enables_multi_message_streams() {
 
     // The gate-level engine sees the same two methodName events.
     let gate = tagger.tag_gate(&stream).unwrap();
-    let method_events: Vec<_> = gate
-        .iter()
-        .filter(|e| e.token == tables.method_string_token())
-        .collect();
+    let method_events: Vec<_> =
+        gate.iter().filter(|e| e.token == tables.method_string_token()).collect();
     assert_eq!(method_events.len(), 2);
 
     // Without recovery, the second message is invisible.
@@ -182,8 +168,7 @@ fn stack_augmented_parser_handles_what_the_lexer_pipeline_cannot() {
         let m = gen.message(MessageKind::Honest);
         let r = pda.parse(&m.bytes);
         assert!(r.accepted, "{}", String::from_utf8_lossy(&m.bytes));
-        let pda_spans: Vec<(usize, usize)> =
-            r.events.iter().map(|e| (e.start, e.end)).collect();
+        let pda_spans: Vec<(usize, usize)> = r.events.iter().map(|e| (e.start, e.end)).collect();
         let tag_spans: Vec<(usize, usize)> =
             tagger.tag_fast(&m.bytes).iter().map(|e| (e.start, e.end)).collect();
         assert_eq!(pda_spans, tag_spans, "{}", String::from_utf8_lossy(&m.bytes));

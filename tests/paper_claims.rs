@@ -64,11 +64,9 @@ fn bandwidth_formula() {
 fn naive_encoder_is_the_critical_path() {
     let g = transform::duplicate_multi_context_tokens(&xmlrpc_grammar());
     let paper = generate(&g, &GeneratorOptions::default()).unwrap();
-    let naive = generate(
-        &g,
-        &GeneratorOptions { encoder: EncoderKind::Naive, ..Default::default() },
-    )
-    .unwrap();
+    let naive =
+        generate(&g, &GeneratorOptions { encoder: EncoderKind::Naive, ..Default::default() })
+            .unwrap();
     let m_paper = MappedNetlist::map(&paper.netlist);
     let m_naive = MappedNetlist::map(&naive.netlist);
     // The naive grant chain multiplies the logic depth…
@@ -77,10 +75,7 @@ fn naive_encoder_is_the_critical_path() {
     let d = Device::virtex4_lx200();
     let f_paper = d.analyze(&m_paper).freq_mhz;
     let f_naive = d.analyze(&m_naive).freq_mhz;
-    assert!(
-        f_naive * 2.0 < f_paper,
-        "naive {f_naive:.0} MHz vs pipelined {f_paper:.0} MHz"
-    );
+    assert!(f_naive * 2.0 < f_paper, "naive {f_naive:.0} MHz vs pipelined {f_paper:.0} MHz");
 }
 
 /// §3.4: "the critical path has maximum of (log n)-1 gate delays …
@@ -91,17 +86,12 @@ fn naive_encoder_is_the_critical_path() {
 fn pipelined_encoder_adds_no_logic_depth() {
     let g = transform::duplicate_multi_context_tokens(&xmlrpc_grammar());
     let with = generate(&g, &GeneratorOptions::default()).unwrap();
-    let without = generate(
-        &g,
-        &GeneratorOptions { encoder: EncoderKind::None, ..Default::default() },
-    )
-    .unwrap();
+    let without =
+        generate(&g, &GeneratorOptions { encoder: EncoderKind::None, ..Default::default() })
+            .unwrap();
     let d_with = MappedNetlist::map(&with.netlist).stats().depth;
     let d_without = MappedNetlist::map(&without.netlist).stats().depth;
-    assert_eq!(
-        d_with, d_without,
-        "the pipelined encoder must not appear on the critical path"
-    );
+    assert_eq!(d_with, d_without, "the pipelined encoder must not appear on the critical path");
 }
 
 /// §3.1 / Figure 2: the stackless machine accepts a *superset* of the
@@ -198,18 +188,10 @@ fn xmlrpc_grammar_render_roundtrip() {
     assert_eq!(g2.productions().len(), g.productions().len());
     assert_eq!(g2.pattern_bytes(), g.pattern_bytes());
     // Same start set after the round trip.
-    let s1: Vec<String> = g
-        .analyze()
-        .start_set
-        .iter()
-        .map(|t| g.token_name(t).to_owned())
-        .collect();
-    let s2: Vec<String> = g2
-        .analyze()
-        .start_set
-        .iter()
-        .map(|t| g2.token_name(t).to_owned())
-        .collect();
+    let s1: Vec<String> =
+        g.analyze().start_set.iter().map(|t| g.token_name(t).to_owned()).collect();
+    let s2: Vec<String> =
+        g2.analyze().start_set.iter().map(|t| g2.token_name(t).to_owned()).collect();
     assert_eq!(s1, s2);
 }
 

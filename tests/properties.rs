@@ -33,14 +33,7 @@ fn pattern_strategy() -> impl Strategy<Value = String> {
 
 fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(
-        prop_oneof![
-            Just(b'a'),
-            Just(b'b'),
-            Just(b'c'),
-            Just(b'0'),
-            Just(b'7'),
-            Just(b' '),
-        ],
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'0'), Just(b'7'), Just(b' '),],
         0..24,
     )
 }
@@ -129,11 +122,8 @@ proptest! {
 fn single_token_tagger(pat: &str) -> Option<TokenTagger> {
     let text = format!("TOK {pat}\n%%\ns: TOK;\n%%\n");
     let g = Grammar::parse(&text).ok()?;
-    TokenTagger::compile(
-        &g,
-        TaggerOptions { start_mode: StartMode::Always, ..Default::default() },
-    )
-    .ok()
+    TokenTagger::compile(&g, TaggerOptions { start_mode: StartMode::Always, ..Default::default() })
+        .ok()
 }
 
 proptest! {
@@ -430,5 +420,73 @@ proptest! {
         let fast = tagger.tag_fast(input.as_bytes());
         let w = wide.tag(input.as_bytes()).unwrap();
         prop_assert_eq!(fast, w, "W={} input {:?}", lanes, input);
+    }
+}
+
+// --------------------------------------------------------- observability
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The metrics layer never disagrees with the event stream: on
+    /// arbitrary XML-RPC workloads the [`StatsSink`] aggregate
+    /// token-fire counter equals the number of events the engine
+    /// returned, the per-token fire counts sum to the same total, and
+    /// `bytes_in` equals the stream length.
+    #[test]
+    fn event_count_equals_token_fire_counter(
+        seed in any::<u64>(),
+        messages in 1usize..5,
+        adversarial in any::<bool>(),
+    ) {
+        use cfg_token_tagger::obs::{Metrics, Stat, StatsSink};
+        use cfg_token_tagger::xmlrpc::{xmlrpc_grammar, MessageKind, WorkloadGenerator};
+        use std::sync::Arc;
+
+        let tagger = TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default()).unwrap();
+        let mut gen = WorkloadGenerator::new(seed);
+        let kind = if adversarial { MessageKind::Adversarial } else { MessageKind::Honest };
+        let mut input = Vec::new();
+        for _ in 0..messages {
+            input.extend_from_slice(&gen.message(kind).bytes);
+            input.push(b'\n');
+        }
+
+        let sink = Arc::new(StatsSink::with_tokens(tagger.grammar().tokens().len()));
+        let mut engine = tagger.fast_engine().with_metrics(Metrics::new(sink.clone()));
+        let mut events = engine.feed(&input);
+        events.extend(engine.finish());
+
+        prop_assert_eq!(sink.get(Stat::EventsOut), events.len() as u64);
+        let per_token: u64 = (0..tagger.grammar().tokens().len())
+            .map(|i| sink.token_fires(i as u32))
+            .sum();
+        prop_assert_eq!(per_token, events.len() as u64);
+        prop_assert_eq!(sink.get(Stat::BytesIn), input.len() as u64);
+    }
+}
+
+/// A [`NoopSink`] must be observationally free: the tagged event stream
+/// is byte-for-byte identical to the un-instrumented engine's, on
+/// conforming and junk streams alike.
+#[test]
+fn noop_sink_output_is_byte_identical() {
+    use cfg_token_tagger::obs::{Metrics, NoopSink};
+    use std::sync::Arc;
+
+    let g = builtin::if_then_else();
+    for recover in [false, true] {
+        let tagger = TokenTagger::compile(
+            &g,
+            TaggerOptions { error_recovery: recover, ..Default::default() },
+        )
+        .unwrap();
+        for input in [&b"if true then go else stop"[..], &b"zzz go ?? stop if"[..], &b""[..]] {
+            let plain = tagger.tag_fast(input);
+            let mut noop = tagger.fast_engine().with_metrics(Metrics::new(Arc::new(NoopSink)));
+            let mut traced = noop.feed(input);
+            traced.extend(noop.finish());
+            assert_eq!(plain, traced, "recover={recover} input={input:?}");
+        }
     }
 }

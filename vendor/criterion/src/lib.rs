@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the group/bench API subset the workspace's benches use and
+//! measures with plain wall-clock timing: adaptive warm-up to pick an
+//! iteration batch, then `sample_size` timed batches, reporting the
+//! median ns/iter (and derived throughput when one is set). No
+//! statistics beyond that, no plots, no baselines on disk.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier with a parameter, e.g. `generate/4`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name}");
+        BenchmarkGroup { _criterion: self, name, throughput: None, sample_size: 20 }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), None, 20, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set how many timed batches to take (min 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (reports are emitted eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure; call [`Bencher::iter`] with the body to time.
+#[derive(Debug)]
+pub struct Bencher {
+    batch: u64,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, running it in batches sized during warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: grow the batch until one batch costs >= 10 ms (or the
+        // batch is already very large for ultra-cheap bodies).
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(10) || batch >= 1 << 22 {
+                break;
+            }
+            batch *= 2;
+        }
+        self.batch = batch;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { batch: 1, sample_size, samples: Vec::with_capacity(sample_size) };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("{label:<44} (no samples: Bencher::iter never called)");
+        return;
+    }
+    let mut per_iter: Vec<f64> =
+        b.samples.iter().map(|d| d.as_nanos() as f64 / b.batch as f64).collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let mut line = format!("{label:<44} {median:>12.1} ns/iter");
+    if let Some(t) = throughput {
+        match t {
+            Throughput::Bytes(n) => {
+                let gib = n as f64 / median * 1e9 / (1024.0 * 1024.0 * 1024.0);
+                line.push_str(&format!("  {gib:>8.3} GiB/s"));
+            }
+            Throughput::Elements(n) => {
+                let meps = n as f64 / median * 1e9 / 1e6;
+                line.push_str(&format!("  {meps:>8.3} Melem/s"));
+            }
+        }
+    }
+    eprintln!("{line}");
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024)).sample_size(5);
+        let mut runs = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,528 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest's API that the workspace's property
+//! tests use: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! [`prop_oneof!`], [`Just`], `any::<T>()`, integer-range and
+//! `&str`-regex strategies, `prop::collection::vec`, tuple strategies,
+//! and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs verbatim (every
+//!   generated value is `Debug`-printed in the failure message instead).
+//! * **No persistence** — `.proptest-regressions` files are ignored.
+//! * The RNG stream differs, so case sequences differ from upstream;
+//!   tests must hold for *all* inputs anyway.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner types: configuration, RNG, and failure plumbing.
+pub mod test_runner {
+    use rand::prelude::*;
+
+    /// Per-block configuration (subset: case count only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config overriding only the case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure with message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => f.write_str(m),
+            }
+        }
+    }
+
+    /// Deterministic per-test RNG (name-seeded xoshiro via the vendored
+    /// `rand`).
+    #[derive(Debug)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seed from a test identifier and case index so every test gets
+        /// a stable, independent stream.
+        pub fn deterministic(name: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            TestRng(StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)))
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform draw below `n` (> 0).
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.0.random_range(0..n)
+        }
+    }
+}
+
+/// Strategies: value generators for property inputs.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<T: std::fmt::Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: std::fmt::Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V: std::fmt::Debug> Union<V> {
+        /// Build from the alternatives (nonempty).
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V: std::fmt::Debug> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+    }
+
+    /// `&str` regex strategies — minimal: `\PC{lo,hi}` (printable,
+    /// non-control chars of bounded length) plus a literal fallback.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_pc_bounds(self).unwrap_or((0, 16));
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| {
+                    // Mostly printable ASCII, sprinkled with multibyte
+                    // chars to stress byte-oriented parsers.
+                    match rng.below(12) {
+                        0 => 'é',
+                        1 => '∀',
+                        2 => '日',
+                        _ => (0x20 + rng.below(0x5f) as u8) as char,
+                    }
+                })
+                .collect()
+        }
+    }
+
+    /// Parse the `\PC{lo,hi}` form; `None` for anything else.
+    fn parse_pc_bounds(pat: &str) -> Option<(usize, usize)> {
+        let rest = pat.strip_prefix("\\PC{")?.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 != 0
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// An arbitrary value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Acceptable size arguments for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Vector-of-`element` strategy.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The conventional glob-import module.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced strategy modules (mirror of proptest's `prelude::prop`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property assertion; fails the current case (no panic) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// The property-test block macro. Each contained `fn` runs its body for
+/// `cases` random inputs drawn from the argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Internal: expand each test fn inside a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let test_id = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::deterministic(test_id, case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:\n{}",
+                        case + 1, config.cases, e, inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tri {
+        A,
+        B,
+        C,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_any(n in 3usize..9, x in any::<u16>(), signed in -5i32..5) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(u32::from(x) <= 0xFFFF);
+            prop_assert!((-5..5).contains(&signed));
+        }
+
+        #[test]
+        fn vec_and_oneof(
+            v in prop::collection::vec(prop_oneof![Just(Tri::A), Just(Tri::B), Just(Tri::C)], 0..8),
+            fixed in prop::collection::vec(any::<u8>(), 4),
+        ) {
+            prop_assert!(v.len() < 8);
+            prop_assert_eq!(fixed.len(), 4);
+        }
+
+        #[test]
+        fn map_and_tuples(s in (Just("x"), 1usize..4).prop_map(|(a, n)| a.repeat(n))) {
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert_ne!(s.as_str(), "");
+        }
+
+        #[test]
+        fn str_regex_strategy(s in "\\PC{0,24}") {
+            prop_assert!(s.chars().count() <= 24);
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = TestRng::deterministic("t", 1);
+        let mut b = TestRng::deterministic("t", 1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("t", 2);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(2))]
+            #[allow(dead_code)]
+            fn always_fails(x in 0usize..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("proptest case"), "msg: {msg}");
+        assert!(msg.contains("x ="), "msg: {msg}");
+    }
+}
