@@ -3,13 +3,15 @@
 #
 #   1. cargo fmt --check        -- repo is rustfmt-clean (see rustfmt.toml)
 #   2. cargo clippy -D warnings -- all targets, all crates (vendored stubs too)
-#   3. tier-1 verify            -- release build + root-package tests
-#   4. full workspace tests     -- every crate's suites
+#   3. dead-code hygiene        -- no #[allow(dead_code)] in the obs crates
+#   4. tier-1 verify            -- release build + root-package tests
+#   5. exporter integration     -- cfg-obs-http socket-level scrape tests
+#   6. full workspace tests     -- every crate's suites
 #
-# Then one NON-GATING step: the observability-overhead bench. Timing on
-# shared machines is too noisy to fail CI on, so its verdict is printed
-# (and written to bench_results/obs_overhead.json) but never changes the
-# exit code.
+# Then two NON-GATING steps: the observability-overhead bench and
+# bench_diff over bench_results/ histories. Timing on shared machines is
+# too noisy to fail CI on, so their verdicts are printed (bench_diff
+# flags >10% regressions) but never change the exit code.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -20,14 +22,26 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> no allow(dead_code) in crates/obs or crates/obs-http"
+if grep -rn "allow(dead_code)" crates/obs crates/obs-http --include='*.rs'; then
+    echo "ci.sh: allow(dead_code) is banned in the obs crates -- delete the code or wire it up" >&2
+    exit 1
+fi
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "==> exporter integration: cargo test -q -p cfg-obs-http"
+cargo test -q -p cfg-obs-http
 
 echo "==> full workspace tests"
 cargo test --workspace -q
 
 echo "==> obs overhead bench (non-gating)"
 cargo run -q --release -p cfg-bench --bin obs_overhead || true
+
+echo "==> bench_diff vs previous run (non-gating)"
+cargo run -q --release -p cfg-bench --bin bench_diff || true
 
 echo "==> ci.sh: all gating steps passed"

@@ -1,0 +1,187 @@
+//! Compares the two most recent rows of each `bench_results/*.json`
+//! JSONL history and prints per-metric deltas.
+//!
+//! Direction matters: `*_ns_per_byte` / `*_pct` metrics are
+//! lower-is-better, `*_per_sec` / `*_gbps` / `*_mbps` are
+//! higher-is-better; everything else is reported without a verdict. A
+//! regression worse than 10% on any directional metric makes the
+//! process exit non-zero — CI runs it **non-gating** (`|| true`), so
+//! the signal lands in the log without letting timing noise on shared
+//! machines break the build.
+//!
+//! Run: `cargo run -p cfg-bench --bin bench_diff --release`
+
+use cfg_obs::json::Json;
+
+/// Regression threshold (fractional): flag anything >10% worse.
+const THRESHOLD: f64 = 0.10;
+
+/// Which way a metric improves, keyed on naming convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+    Informational,
+}
+
+fn direction(key: &str) -> Direction {
+    if key.ends_with("_ns_per_byte") || key.ends_with("_overhead_pct") {
+        Direction::LowerIsBetter
+    } else if key.ends_with("_per_sec") || key.ends_with("_gbps") || key.ends_with("_mbps") {
+        Direction::HigherIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One compared metric.
+#[derive(Debug)]
+struct Delta {
+    key: String,
+    prev: f64,
+    cur: f64,
+    /// Fractional change in the *bad* direction (>0 = worse), `None`
+    /// for informational metrics or zero baselines.
+    regression: Option<f64>,
+}
+
+/// Compare the numeric fields of two JSONL rows (keys taken from the
+/// current row; missing-in-previous keys are skipped).
+fn compare_rows(prev: &Json, cur: &Json) -> Vec<Delta> {
+    let mut out = Vec::new();
+    let Some(members) = cur.as_object() else { return out };
+    for (key, value) in members {
+        let (Some(c), Some(p)) = (value.as_f64(), prev.get(key).and_then(Json::as_f64)) else {
+            continue;
+        };
+        // A fractional delta only means anything against a positive
+        // baseline (overhead-pct metrics can legitimately sit at ~0 or
+        // below; dividing by that yields garbage verdicts).
+        let regression = match direction(key) {
+            Direction::Informational => None,
+            _ if p <= 0.0 => None,
+            Direction::LowerIsBetter => Some((c - p) / p),
+            Direction::HigherIsBetter => Some((p - c) / p),
+        };
+        out.push(Delta { key: key.clone(), prev: p, cur: c, regression });
+    }
+    out
+}
+
+/// The last two non-empty lines of a JSONL body, parsed.
+fn last_two_rows(body: &str) -> Option<(Json, Json)> {
+    let mut rows = body.lines().filter(|l| !l.trim().is_empty()).rev();
+    let cur = Json::parse(rows.next()?).ok()?;
+    let prev = Json::parse(rows.next()?).ok()?;
+    Some((prev, cur))
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "bench_results".into());
+    let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+        Err(e) => {
+            println!("bench_diff: no {dir}/ ({e}); nothing to compare");
+            return;
+        }
+    };
+    entries.sort();
+    let mut regressed = false;
+    let mut compared_any = false;
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let Ok(body) = std::fs::read_to_string(&path) else { continue };
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_owned();
+        let Some((prev, cur)) = last_two_rows(&body) else {
+            println!("{name}: no history (need two JSONL rows); skipped");
+            continue;
+        };
+        let deltas = compare_rows(&prev, &cur);
+        if deltas.is_empty() {
+            println!("{name}: no shared numeric fields; skipped");
+            continue;
+        }
+        compared_any = true;
+        println!("{name}: latest vs previous");
+        for d in &deltas {
+            let pct = if d.prev != 0.0 { (d.cur - d.prev) / d.prev * 100.0 } else { 0.0 };
+            let verdict = match d.regression {
+                Some(r) if r > THRESHOLD => {
+                    regressed = true;
+                    "  << REGRESSION"
+                }
+                Some(r) if r < -THRESHOLD => "  (improved)",
+                Some(_) => "",
+                None => "  (info)",
+            };
+            println!("  {:<28} {:>14.4} -> {:>14.4}  {pct:+8.2}%{verdict}", d.key, d.prev, d.cur);
+        }
+    }
+    if !compared_any {
+        println!("bench_diff: no comparable histories in {dir}/");
+        return;
+    }
+    if regressed {
+        println!(
+            "bench_diff: regression over {:.0}% detected (non-gating in CI)",
+            THRESHOLD * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench_diff: no regression over {:.0}%", THRESHOLD * 100.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_follow_naming() {
+        assert_eq!(direction("off_ns_per_byte"), Direction::LowerIsBetter);
+        assert_eq!(direction("noop_overhead_pct"), Direction::LowerIsBetter);
+        assert_eq!(direction("msgs_per_sec"), Direction::HigherIsBetter);
+        assert_eq!(direction("bandwidth_gbps"), Direction::HigherIsBetter);
+        assert_eq!(direction("bytes"), Direction::Informational);
+    }
+
+    #[test]
+    fn compare_flags_regressions_both_ways() {
+        let prev =
+            Json::parse(r#"{"off_ns_per_byte":10.0,"msgs_per_sec":1000.0,"bytes":5}"#).unwrap();
+        // ns/byte up 20% (worse) and msgs/s down 20% (worse).
+        let cur =
+            Json::parse(r#"{"off_ns_per_byte":12.0,"msgs_per_sec":800.0,"bytes":9}"#).unwrap();
+        let deltas = compare_rows(&prev, &cur);
+        assert_eq!(deltas.len(), 3);
+        let by_key = |k: &str| deltas.iter().find(|d| d.key == k).unwrap();
+        assert!(by_key("off_ns_per_byte").regression.unwrap() > THRESHOLD);
+        assert!(by_key("msgs_per_sec").regression.unwrap() > THRESHOLD);
+        assert!(by_key("bytes").regression.is_none());
+        // Improvements come out negative.
+        let better =
+            Json::parse(r#"{"off_ns_per_byte":8.0,"msgs_per_sec":1500.0,"bytes":5}"#).unwrap();
+        for d in compare_rows(&prev, &better) {
+            assert!(d.regression.map(|r| r < 0.0).unwrap_or(true), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn non_positive_baselines_get_no_verdict() {
+        let prev = Json::parse(r#"{"noop_overhead_pct":-1.2,"x_per_sec":0.0}"#).unwrap();
+        let cur = Json::parse(r#"{"noop_overhead_pct":-22.9,"x_per_sec":10.0}"#).unwrap();
+        for d in compare_rows(&prev, &cur) {
+            assert!(d.regression.is_none(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn last_two_rows_needs_history() {
+        assert!(last_two_rows("{\"a\":1}\n").is_none());
+        assert!(last_two_rows("").is_none());
+        let (prev, cur) = last_two_rows("{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n").unwrap();
+        assert_eq!(prev.get("a").and_then(Json::as_u64), Some(2));
+        assert_eq!(cur.get("a").and_then(Json::as_u64), Some(3));
+    }
+}

@@ -79,8 +79,17 @@ fn main() {
             pct(noop),
             pct(stats),
         );
-        let _ = std::fs::write("bench_results/obs_overhead.json", json);
-        eprintln!("wrote bench_results/obs_overhead.json");
+        // Append, don't overwrite: the file is a JSONL history so
+        // `bench_diff` can compare the latest run against the previous.
+        use std::io::Write as _;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open("bench_results/obs_overhead.json")
+            .and_then(|mut f| f.write_all(json.as_bytes()));
+        if appended.is_ok() {
+            eprintln!("appended to bench_results/obs_overhead.json");
+        }
     }
     // Non-gating by design: timing noise on shared machines must not
     // break CI. The JSON carries the verdict for anyone who cares.

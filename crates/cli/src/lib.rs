@@ -9,29 +9,38 @@
 //! cfgtag vhdl   <grammar.y> [entity]             emit the generated VHDL
 //! cfgtag dot    <grammar.y>                      emit the circuit as Graphviz
 //! cfgtag report <grammar.y> [--scale N] [--json] LUT/timing report on both devices
+//! cfgtag serve  <grammar.y> [input] [opts]       long-running tagging + /metrics exporter
+//! cfgtag top    <host:port> [opts]               live terminal view over an exporter
 //! ```
 //!
 //! Options for `tag`: `--gate` (simulate the circuit instead of the fast
 //! engine), `--always` (scan at every alignment), `--recover` (§5.2
 //! error recovery), `--no-context` (skip token duplication), `--stats`
 //! (counter/timing report after the events), `--trace-out PATH` (write
-//! the structured event trace as JSON lines).
+//! the structured event trace as JSON lines), `--flight-out PATH`
+//! (post-mortem flight-recorder dump when the stream dies).
 //!
 //! `tag` always ends with a one-line summary (`N events, M bytes, R
-//! resyncs`) and exits with code 3 when the stream ends with the machine
-//! dead and error recovery off — scriptable non-conformance detection.
+//! resyncs`) on **stderr** — stdout carries only the event stream, so
+//! piping it stays clean — and exits with code 3 when the stream ends
+//! with the machine dead and error recovery off: scriptable
+//! non-conformance detection.
 //!
-//! All commands are plain functions over in-memory inputs so they are
-//! unit-testable without process spawning.
+//! All commands except [`serve`] and [`top`] (which own sockets and
+//! wall clocks by nature) are plain functions over in-memory inputs so
+//! they are unit-testable without process spawning.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod serve;
+pub mod top;
 
 use cfg_fpga::Device;
 use cfg_grammar::Grammar;
 use cfg_hwgen::vhdl::emit_vhdl;
 use cfg_netlist::MappedNetlist;
-use cfg_obs::{json, Metrics, Stat, StatsSink};
+use cfg_obs::{json, FlightRecorder, Metrics, MetricsSink, Stat, StatsSink, TeeSink};
 use cfg_tagger::{PdaParser, StartMode, TaggerOptions, TokenTagger};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -66,6 +75,9 @@ impl std::error::Error for CliError {}
 pub struct CliOutput {
     /// Text to print to stdout.
     pub text: String,
+    /// Text to print to stderr (summaries and diagnostics, so stdout
+    /// stays a clean pipeline of command output).
+    pub stderr: String,
     /// Process exit code (0 = clean; `tag` uses 3 for "stream ended
     /// dead without error recovery").
     pub code: i32,
@@ -75,7 +87,7 @@ pub struct CliOutput {
 
 impl From<String> for CliOutput {
     fn from(text: String) -> CliOutput {
-        CliOutput { text, code: 0, files: Vec::new() }
+        CliOutput { text, ..Default::default() }
     }
 }
 
@@ -94,6 +106,9 @@ pub struct TagFlags {
     pub stats: bool,
     /// Write the structured event trace (JSON lines) to this path.
     pub trace_out: Option<String>,
+    /// Write a flight-recorder dump (JSON lines) to this path when the
+    /// stream ends dead.
+    pub flight_out: Option<String>,
 }
 
 impl TagFlags {
@@ -114,6 +129,11 @@ impl TagFlags {
                     let path =
                         it.next().ok_or_else(|| CliError::new("--trace-out needs a path", 2))?;
                     f.trace_out = Some(path.clone());
+                }
+                "--flight-out" => {
+                    let path =
+                        it.next().ok_or_else(|| CliError::new("--flight-out needs a path", 2))?;
+                    f.flight_out = Some(path.clone());
                 }
                 other if other.starts_with("--") => {
                     return Err(CliError::new(format!("unknown flag {other}"), 2));
@@ -138,7 +158,7 @@ impl TagFlags {
     }
 }
 
-fn load_grammar(text: &str) -> Result<Grammar, CliError> {
+pub(crate) fn load_grammar(text: &str) -> Result<Grammar, CliError> {
     Grammar::parse(text).map_err(|e| CliError::new(format!("grammar error: {e}"), 1))
 }
 
@@ -169,18 +189,27 @@ pub fn cmd_check(grammar_text: &str) -> Result<String, CliError> {
 /// `cfgtag tag`: tag an input and render the events.
 ///
 /// Always attaches a [`StatsSink`] (process startup dwarfs its cost) so
-/// the trailing summary line — `N events, M bytes, R resyncs` — is
-/// available on every run. `--stats` renders the full counter/fire/
-/// compile report; `--trace-out PATH` returns the JSONL trace via
-/// [`CliOutput::files`]. When the stream ends with the machine dead and
-/// error recovery off, the exit code is 3.
+/// the trailing summary line — `N events, M bytes, R resyncs`, emitted
+/// on stderr so stdout stays pipeable — is available on every run.
+/// `--stats` renders the full counter/fire/compile report;
+/// `--trace-out PATH` returns the JSONL trace via [`CliOutput::files`];
+/// `--flight-out PATH` additionally records into a [`FlightRecorder`]
+/// and returns its post-mortem dump when the stream ends dead. When the
+/// stream ends with the machine dead and error recovery off, the exit
+/// code is 3.
 pub fn cmd_tag(grammar_text: &str, input: &[u8], flags: &TagFlags) -> Result<CliOutput, CliError> {
-    use cfg_obs::MetricsSink as _;
     let g = load_grammar(grammar_text)?;
     let tagger = TokenTagger::compile(&g, flags.options())
         .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
     let sink = Arc::new(StatsSink::with_tokens(tagger.grammar().tokens().len()));
-    let metrics = Metrics::new(sink.clone());
+    let flight = flags.flight_out.as_ref().map(|_| Arc::new(FlightRecorder::default()));
+    let metrics = match &flight {
+        Some(fr) => Metrics::new(Arc::new(TeeSink::new(vec![
+            sink.clone() as Arc<dyn MetricsSink>,
+            fr.clone() as Arc<dyn MetricsSink>,
+        ]))),
+        None => Metrics::new(sink.clone()),
+    };
     let (events, ended_dead) = if flags.gate {
         let mut engine = tagger
             .gate_engine()
@@ -246,20 +275,27 @@ pub fn cmd_tag(grammar_text: &str, input: &[u8], flags: &TagFlags) -> Result<Cli
         }
         files.push((path.clone(), jsonl));
     }
+    let mut stderr = String::new();
     let _ = writeln!(
-        out,
+        stderr,
         "{} events, {} bytes, {} resyncs",
         events.len(),
         sink.get(Stat::BytesIn),
         sink.get(Stat::Resyncs)
     );
     let code = if ended_dead && !flags.recover {
-        let _ = writeln!(out, "error: stream ended in a dead state (no recovery; exit 3)");
+        let _ = writeln!(stderr, "error: stream ended in a dead state (no recovery; exit 3)");
         3
     } else {
         0
     };
-    Ok(CliOutput { text: out, code, files })
+    if let (Some(fr), Some(path)) = (&flight, &flags.flight_out) {
+        if ended_dead {
+            let _ = writeln!(stderr, "flight recorder: {} events -> {path}", fr.len());
+            files.push((path.clone(), fr.dump_jsonl()));
+        }
+    }
+    Ok(CliOutput { text: out, stderr, code, files })
 }
 
 /// `cfgtag parse`: exact stack-augmented parse.
@@ -393,9 +429,18 @@ pub fn run(
     args: &[String],
     read_input: impl Fn(&str) -> Result<Vec<u8>, std::io::Error>,
 ) -> Result<CliOutput, CliError> {
-    let usage = "usage: cfgtag <check|tag|parse|vhdl|dot|report> <grammar-file> [args]\n\
+    let usage = "usage: cfgtag <check|tag|parse|vhdl|dot|report|serve|top> <grammar-file> [args]\n\
                  see crate docs for per-command options";
     let cmd = args.first().ok_or_else(|| CliError::new(usage, 2))?;
+    // `serve` and `top` own sockets, clocks and process lifetime, so
+    // they live outside this pure dispatcher; the binary intercepts
+    // them before calling `run` (see `serve::main_io`, `top::main_io`).
+    if cmd == "serve" || cmd == "top" {
+        return Err(CliError::new(
+            format!("{cmd} is handled by the cfgtag binary, not cfg_cli::run"),
+            2,
+        ));
+    }
     let grammar_path = args.get(1).ok_or_else(|| CliError::new(usage, 2))?;
     let grammar_text = read_input(grammar_path)
         .map_err(|e| CliError::new(format!("cannot read {grammar_path}: {e}"), 1))?;
@@ -483,7 +528,11 @@ mod tests {
         assert_eq!(fast.text, gate.text);
         assert_eq!(fast.code, 0);
         assert_eq!(gate.code, 0);
-        assert!(fast.text.contains("6 events, 25 bytes, 0 resyncs"));
+        assert!(fast.stderr.contains("6 events, 25 bytes, 0 resyncs"));
+        // The summary is a stderr-only diagnostic: stdout stays a clean
+        // pipeline of header + events.
+        assert!(!fast.text.contains("6 events, 25 bytes"));
+        assert!(fast.text.lines().all(|l| l.starts_with("token") || l.contains("  ")));
     }
 
     #[test]
@@ -529,12 +578,39 @@ mod tests {
     fn tag_dead_stream_without_recovery_is_code_3() {
         let dead = cmd_tag(ITE, b"zzz", &TagFlags::default()).unwrap();
         assert_eq!(dead.code, 3);
-        assert!(dead.text.contains("dead state"));
+        assert!(dead.stderr.contains("dead state"));
+        assert!(!dead.text.contains("dead state"));
         // With §5.2 recovery the machine resynchronises and exits clean.
         let rec =
             cmd_tag(ITE, b"zzz go", &TagFlags { recover: true, ..Default::default() }).unwrap();
-        assert_eq!(rec.code, 0, "{}", rec.text);
-        assert!(rec.text.lines().last().unwrap().contains("resyncs"));
+        assert_eq!(rec.code, 0, "{}", rec.stderr);
+        assert!(rec.stderr.lines().last().unwrap().contains("resyncs"));
+    }
+
+    #[test]
+    fn tag_flight_out_dumps_on_dead_stream_only() {
+        // A dead stream (exit 3) produces the post-mortem dump ...
+        let out = cmd_tag(
+            ITE,
+            b"go zzz",
+            &TagFlags { flight_out: Some("f.jsonl".into()), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(out.code, 3);
+        assert_eq!(out.files.len(), 1);
+        assert_eq!(out.files[0].0, "f.jsonl");
+        assert!(out.files[0].1.contains("\"kind\":\"dead_entry\""));
+        assert!(out.files[0].1.contains("\"seq\":"));
+        assert!(out.stderr.contains("flight recorder:"));
+        // ... a clean run does not.
+        let ok = cmd_tag(
+            ITE,
+            b"go",
+            &TagFlags { flight_out: Some("f.jsonl".into()), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(ok.code, 0);
+        assert!(ok.files.is_empty());
     }
 
     #[test]
@@ -599,7 +675,7 @@ mod tests {
         let argv = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
 
         assert!(run(&argv(&["check", "g"]), read).is_ok());
-        assert!(run(&argv(&["tag", "g"]), read).unwrap().text.contains("1 events"));
+        assert!(run(&argv(&["tag", "g"]), read).unwrap().stderr.contains("1 events"));
         assert!(run(&argv(&["parse", "g"]), read).unwrap().text.starts_with("ACCEPT"));
         assert!(run(&argv(&["vhdl", "g", "top"]), read).unwrap().text.contains("entity top"));
         assert!(run(&argv(&["report", "g", "--scale", "2"]), read).is_ok());
@@ -610,6 +686,11 @@ mod tests {
 
         assert_eq!(run(&argv(&[]), read).unwrap_err().code, 2);
         assert_eq!(run(&argv(&["bogus", "g"]), read).unwrap_err().code, 2);
+        // serve/top are binary-level commands; the pure dispatcher
+        // refuses them with a pointer rather than "unknown command".
+        let e = run(&argv(&["serve", "g"]), read).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.to_string().contains("cfgtag binary"));
         assert_eq!(run(&argv(&["check", "missing"]), read).unwrap_err().code, 1);
         assert_eq!(run(&argv(&["tag", "g", "--frobnicate"]), read).unwrap_err().code, 2);
         assert_eq!(run(&argv(&["report", "g", "--scale", "x"]), read).unwrap_err().code, 2);

@@ -1,9 +1,16 @@
-//! `cfgtag` binary entry point: thin shell over [`cfg_cli::run`].
+//! `cfgtag` binary entry point: thin shell over [`cfg_cli::run`], plus
+//! the two long-running modes (`serve`, `top`) that own sockets and the
+//! process lifetime and so bypass the pure dispatcher.
 
 use std::io::Read;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => std::process::exit(cfg_cli::serve::main_io(&args[1..])),
+        Some("top") => std::process::exit(cfg_cli::top::main_io(&args[1..])),
+        _ => {}
+    }
     let read_input = |path: &str| -> Result<Vec<u8>, std::io::Error> {
         if path == "-" {
             let mut buf = Vec::new();
@@ -16,6 +23,7 @@ fn main() {
     match cfg_cli::run(&args, read_input) {
         Ok(out) => {
             print!("{}", out.text);
+            eprint!("{}", out.stderr);
             for (path, contents) in &out.files {
                 if let Err(e) = std::fs::write(path, contents) {
                     eprintln!("cfgtag: cannot write {path}: {e}");

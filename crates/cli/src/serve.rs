@@ -1,0 +1,426 @@
+//! `cfgtag serve` — long-running tagging with a live telemetry service.
+//!
+//! Compiles a grammar, then feeds an input stream through the fast
+//! engine in chunks while a `cfg-obs-http` [`Exporter`] serves
+//! `/metrics`, `/healthz`, `/readyz` and `/report.json` from a shared
+//! [`SharedRegistry`] snapshot — scrapeable mid-stream, no pauses. A
+//! [`FlightRecorder`] can ride along (`--flight-out`) and is dumped
+//! post-mortem when the stream dies or ends.
+//!
+//! The streaming core ([`run_serve`]) takes any `Read` plus a status
+//! callback, so tests drive it with in-memory readers and capture the
+//! bound address without spawning processes; [`main_io`] is the thin
+//! process-level wrapper (files, stdin, stderr, exit codes).
+
+use crate::{load_grammar, CliError};
+use cfg_obs::{
+    FlightRecorder, Metrics, MetricsSink, SharedRegistry, Stat, StatsSink, TeeSink,
+    DEFAULT_FLIGHT_CAPACITY,
+};
+use cfg_obs_http::{Exporter, ServiceState};
+use cfg_tagger::{StartMode, TaggerOptions, TokenTagger};
+use std::io::Read;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Parsed `serve` options.
+#[derive(Debug, Clone)]
+pub struct ServeFlags {
+    /// Exporter TCP port on 127.0.0.1 (0 = ephemeral).
+    pub port: u16,
+    /// Enable §5.2 error recovery.
+    pub recover: bool,
+    /// Scan at every byte alignment.
+    pub always: bool,
+    /// Times to replay a file input (0 = forever; ignored for stdin).
+    pub loops: u64,
+    /// Write the flight-recorder dump here when the stream dies/ends.
+    pub flight_out: Option<String>,
+    /// Flight-recorder ring capacity in events.
+    pub flight_capacity: usize,
+    /// Feed chunk size in bytes.
+    pub chunk: usize,
+    /// Stop after roughly this many bytes (benchmarks and tests).
+    pub max_bytes: Option<u64>,
+}
+
+impl Default for ServeFlags {
+    fn default() -> ServeFlags {
+        ServeFlags {
+            port: 0,
+            recover: false,
+            always: false,
+            loops: 1,
+            flight_out: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            chunk: 64 * 1024,
+            max_bytes: None,
+        }
+    }
+}
+
+impl ServeFlags {
+    /// Parse the `serve` argument tail: flags in any position plus up
+    /// to two positionals (grammar path, then input path).
+    pub fn parse(args: &[String]) -> Result<(ServeFlags, Vec<String>), CliError> {
+        let mut f = ServeFlags::default();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        let num = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<u64, CliError> {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| CliError::new(format!("{flag} needs a number"), 2))
+        };
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--port" => f.port = num(&mut it, "--port")? as u16,
+                "--recover" => f.recover = true,
+                "--always" => f.always = true,
+                "--loop" => f.loops = num(&mut it, "--loop")?,
+                "--flight-out" => {
+                    let path =
+                        it.next().ok_or_else(|| CliError::new("--flight-out needs a path", 2))?;
+                    f.flight_out = Some(path.clone());
+                }
+                "--flight-capacity" => {
+                    f.flight_capacity = num(&mut it, "--flight-capacity")? as usize;
+                }
+                "--chunk" => f.chunk = (num(&mut it, "--chunk")? as usize).max(1),
+                "--max-bytes" => f.max_bytes = Some(num(&mut it, "--max-bytes")?),
+                other if other.starts_with("--") => {
+                    return Err(CliError::new(format!("unknown serve flag {other}"), 2));
+                }
+                path => positional.push(path.to_owned()),
+            }
+        }
+        if positional.len() > 2 {
+            return Err(CliError::new("serve takes a grammar and at most one input file", 2));
+        }
+        Ok((f, positional))
+    }
+
+    fn options(&self) -> TaggerOptions {
+        TaggerOptions {
+            start_mode: if self.always { StartMode::Always } else { StartMode::AtStart },
+            error_recovery: self.recover,
+            ..Default::default()
+        }
+    }
+}
+
+/// Final state of one [`run_serve`] stream.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Exit code (3 = stream died with error recovery off).
+    pub code: i32,
+    /// Total bytes fed.
+    pub bytes: u64,
+    /// Total tag events emitted.
+    pub events: u64,
+    /// §5.2 resynchronisations taken.
+    pub resyncs: u64,
+    /// `(path, jsonl)` flight dump to write, when `--flight-out` was
+    /// given (always produced at stream end: in serve mode the stream
+    /// *ending* is itself the post-mortem condition).
+    pub flight_dump: Option<(String, String)>,
+}
+
+/// Replay an in-memory buffer a fixed number of times (0 = forever) —
+/// turns one captured workload file into an endless stream.
+#[derive(Debug)]
+pub struct LoopReader {
+    data: Vec<u8>,
+    pos: usize,
+    remaining: Option<u64>,
+}
+
+impl LoopReader {
+    /// A reader yielding `data` end-to-end `loops` times (0 = forever).
+    pub fn new(data: Vec<u8>, loops: u64) -> LoopReader {
+        LoopReader { pos: 0, remaining: if loops == 0 { None } else { Some(loops) }, data }
+    }
+}
+
+impl Read for LoopReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.data.is_empty() || buf.is_empty() {
+            return Ok(0);
+        }
+        if self.pos >= self.data.len() {
+            match &mut self.remaining {
+                Some(n) if *n <= 1 => return Ok(0),
+                Some(n) => *n -= 1,
+                None => {}
+            }
+            self.pos = 0;
+        }
+        let n = buf.len().min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// The streaming core of `cfgtag serve`.
+///
+/// Compiles `grammar_text`, registers a [`StatsSink`] as `"engine"` in
+/// a fresh [`SharedRegistry`], binds the exporter on
+/// `127.0.0.1:{flags.port}`, then pulls `reader` through the fast
+/// engine in `flags.chunk`-byte chunks until EOF, death
+/// (without `--recover`), or `--max-bytes`. Per-chunk feed latency is
+/// observed into the `decision_latency_ns` histogram, so scrapes see
+/// live p50/p90/p99. `status` receives human-readable progress lines
+/// (the bound address first — tests parse it from there).
+pub fn run_serve(
+    grammar_text: &str,
+    mut reader: impl Read,
+    flags: &ServeFlags,
+    status: &mut dyn FnMut(&str),
+) -> Result<ServeOutcome, CliError> {
+    let g = load_grammar(grammar_text)?;
+    let tagger = TokenTagger::compile(&g, flags.options())
+        .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
+
+    let sink = Arc::new(StatsSink::with_tokens(tagger.grammar().tokens().len()));
+    let flight =
+        flags.flight_out.as_ref().map(|_| Arc::new(FlightRecorder::new(flags.flight_capacity)));
+    let metrics = match &flight {
+        Some(fr) => Metrics::new(Arc::new(TeeSink::new(vec![
+            sink.clone() as Arc<dyn MetricsSink>,
+            fr.clone() as Arc<dyn MetricsSink>,
+        ]))),
+        None => Metrics::new(sink.clone()),
+    };
+
+    let registry = Arc::new(SharedRegistry::new());
+    registry.register("engine", sink.clone());
+    let state = Arc::new(ServiceState::new());
+    let mut tokens = String::from("[");
+    for (i, tok) in tagger.grammar().tokens().iter().enumerate() {
+        if i > 0 {
+            tokens.push(',');
+        }
+        cfg_obs::json::push_str(&mut tokens, &tok.name);
+    }
+    tokens.push(']');
+    state.set_meta_json(format!(
+        "{{\"compile\":{},\"tokens\":{tokens}}}",
+        tagger.report().to_json()
+    ));
+    state.set_ready(true);
+
+    let exporter =
+        Exporter::bind(format!("127.0.0.1:{}", flags.port), registry.clone(), state.clone())
+            .map_err(|e| CliError::new(format!("cannot bind exporter: {e}"), 1))?;
+    status(&format!(
+        "serving http://{}/metrics (+ /healthz /readyz /report.json)",
+        exporter.local_addr()
+    ));
+
+    let mut engine = tagger.fast_engine().with_metrics(metrics);
+    let mut buf = vec![0u8; flags.chunk];
+    let mut bytes = 0u64;
+    let mut events = 0u64;
+    let mut code = 0;
+    loop {
+        let want = match flags.max_bytes {
+            Some(max) if bytes >= max => 0,
+            Some(max) => buf.len().min((max - bytes) as usize),
+            None => buf.len(),
+        };
+        if want == 0 {
+            events += engine.finish().len() as u64;
+            break;
+        }
+        let n = reader
+            .read(&mut buf[..want])
+            .map_err(|e| CliError::new(format!("read error: {e}"), 1))?;
+        if n == 0 {
+            events += engine.finish().len() as u64;
+            break;
+        }
+        let t0 = Instant::now();
+        events += engine.feed(&buf[..n]).len() as u64;
+        sink.observe("decision_latency_ns", t0.elapsed().as_nanos() as u64);
+        bytes += n as u64;
+        if engine.is_dead() && !flags.recover {
+            state.set_dead(true);
+            status("stream entered the dead state with recovery off; stopping (exit 3)");
+            code = 3;
+            break;
+        }
+    }
+    let resyncs = sink.get(Stat::Resyncs);
+    status(&format!("{events} events, {bytes} bytes, {resyncs} resyncs"));
+    let flight_dump = match (&flight, &flags.flight_out) {
+        (Some(fr), Some(path)) => {
+            status(&format!("flight recorder: {} events -> {path}", fr.len()));
+            Some((path.clone(), fr.dump_jsonl()))
+        }
+        _ => None,
+    };
+    exporter.stop();
+    Ok(ServeOutcome { code, bytes, events, resyncs, flight_dump })
+}
+
+/// Process-level `cfgtag serve`: files, stdin, stderr and exit codes.
+pub fn main_io(args: &[String]) -> i32 {
+    let (flags, positional) = match ServeFlags::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cfgtag serve: {e}");
+            return e.code;
+        }
+    };
+    let Some(grammar_path) = positional.first() else {
+        eprintln!("usage: cfgtag serve <grammar.y> [input] [--port N] [--loop N] [--recover] [--always] [--chunk N] [--max-bytes N] [--flight-out PATH] [--flight-capacity N]");
+        return 2;
+    };
+    let grammar_text = match std::fs::read_to_string(grammar_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cfgtag serve: cannot read {grammar_path}: {e}");
+            return 1;
+        }
+    };
+    let mut status = |line: &str| eprintln!("cfgtag serve: {line}");
+    let outcome = match positional.get(1).map(String::as_str).filter(|p| *p != "-") {
+        Some(path) => match std::fs::read(path) {
+            Ok(data) => {
+                run_serve(&grammar_text, LoopReader::new(data, flags.loops), &flags, &mut status)
+            }
+            Err(e) => {
+                eprintln!("cfgtag serve: cannot read {path}: {e}");
+                return 1;
+            }
+        },
+        None => run_serve(&grammar_text, std::io::stdin().lock(), &flags, &mut status),
+    };
+    match outcome {
+        Ok(out) => {
+            if let Some((path, jsonl)) = &out.flight_dump {
+                if let Err(e) = std::fs::write(path, jsonl) {
+                    eprintln!("cfgtag serve: cannot write {path}: {e}");
+                    return 1;
+                }
+            }
+            out.code
+        }
+        Err(e) => {
+            eprintln!("cfgtag serve: {e}");
+            e.code
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ITE: &str = r#"
+        %%
+        E: "if" C "then" E "else" E | "go" | "stop";
+        C: "true" | "false";
+        %%
+    "#;
+
+    fn argv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_values_and_positionals() {
+        let (f, pos) = ServeFlags::parse(&argv(&[
+            "g.y",
+            "in.xml",
+            "--port",
+            "9100",
+            "--loop",
+            "0",
+            "--recover",
+            "--chunk",
+            "4096",
+            "--flight-out",
+            "f.jsonl",
+            "--flight-capacity",
+            "512",
+            "--max-bytes",
+            "1000000",
+        ]))
+        .unwrap();
+        assert_eq!(pos, vec!["g.y".to_string(), "in.xml".to_string()]);
+        assert_eq!(f.port, 9100);
+        assert_eq!(f.loops, 0);
+        assert!(f.recover);
+        assert_eq!(f.chunk, 4096);
+        assert_eq!(f.flight_out.as_deref(), Some("f.jsonl"));
+        assert_eq!(f.flight_capacity, 512);
+        assert_eq!(f.max_bytes, Some(1_000_000));
+        assert_eq!(ServeFlags::parse(&argv(&["--port"])).unwrap_err().code, 2);
+        assert_eq!(ServeFlags::parse(&argv(&["--bogus"])).unwrap_err().code, 2);
+        assert_eq!(ServeFlags::parse(&argv(&["a", "b", "c"])).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn loop_reader_replays_and_terminates() {
+        let mut r = LoopReader::new(b"abc".to_vec(), 3);
+        let mut all = Vec::new();
+        r.read_to_end(&mut all).unwrap();
+        assert_eq!(all, b"abcabcabc");
+        // loops=0 means forever: pull more than one copy and stop.
+        let mut forever = LoopReader::new(b"xy".to_vec(), 0);
+        let mut buf = [0u8; 7];
+        let mut got = 0;
+        while got < buf.len() {
+            got += forever.read(&mut buf[got..]).unwrap();
+        }
+        assert_eq!(&buf, b"xyxyxyx");
+        // An empty buffer never spins.
+        assert_eq!(LoopReader::new(Vec::new(), 0).read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn serve_streams_and_reports_outcome() {
+        let input = LoopReader::new(b"if true then go else stop ".to_vec(), 50);
+        let flags = ServeFlags { recover: true, chunk: 16, ..Default::default() };
+        let mut lines = Vec::new();
+        let out = run_serve(ITE, input, &flags, &mut |l| lines.push(l.to_string())).unwrap();
+        assert_eq!(out.code, 0);
+        assert_eq!(out.bytes, 26 * 50);
+        // §5.2 recovery restarts the machine between repetitions, which
+        // costs some events near each boundary; the stream must still
+        // tag steadily across all 50 copies rather than die after one.
+        assert!(
+            out.events >= 100 && out.resyncs > 0,
+            "events: {} resyncs: {}",
+            out.events,
+            out.resyncs
+        );
+        assert!(lines[0].contains("http://127.0.0.1:"), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("resyncs")));
+        assert!(out.flight_dump.is_none());
+    }
+
+    #[test]
+    fn serve_dead_stream_exits_3_and_dumps_flight() {
+        let input = LoopReader::new(b"go zzzzz".to_vec(), 1);
+        let flags =
+            ServeFlags { flight_out: Some("dump.jsonl".into()), chunk: 4, ..Default::default() };
+        let out = run_serve(ITE, input, &flags, &mut |_| {}).unwrap();
+        assert_eq!(out.code, 3);
+        let (path, jsonl) = out.flight_dump.expect("flight dump");
+        assert_eq!(path, "dump.jsonl");
+        assert!(jsonl.contains("\"kind\":\"dead_entry\""), "{jsonl}");
+        assert!(jsonl.contains("\"seq\":"));
+    }
+
+    #[test]
+    fn serve_max_bytes_caps_the_stream() {
+        let input = LoopReader::new(b"go ".to_vec(), 0); // endless
+        let flags =
+            ServeFlags { recover: true, chunk: 8, max_bytes: Some(240), ..Default::default() };
+        let out = run_serve(ITE, input, &flags, &mut |_| {}).unwrap();
+        assert_eq!(out.code, 0);
+        assert_eq!(out.bytes, 240);
+    }
+}

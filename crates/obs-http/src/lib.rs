@@ -1,0 +1,448 @@
+//! # cfg-obs-http — the live telemetry exporter
+//!
+//! A dependency-free, blocking, single-threaded HTTP exporter over a
+//! [`SharedRegistry`]: point a Prometheus scraper (or `curl`, or
+//! `cfgtag top`) at a long-running tagger and watch it work. Endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition format: every
+//!   [`Stat`] counter per registered sink, per-token fire counters,
+//!   histograms with power-of-two `le` buckets plus p50/p90/p99
+//!   quantile gauges, and service gauges (`cfgtag_ready`,
+//!   `cfgtag_dead`, `cfgtag_sinks`).
+//! * `GET /healthz` — liveness: `200 ok` whenever the exporter thread
+//!   is serving.
+//! * `GET /readyz` — readiness: `200 ready` once the tagger is
+//!   compiled ([`ServiceState::set_ready`]) and the stream has not
+//!   entered the dead state, `503` otherwise.
+//! * `GET /report.json` — the merged [`RegistrySnapshot`] plus the
+//!   service metadata (compile report, token names) as one JSON object.
+//!
+//! The exporter runs on one `std::net::TcpListener` accept loop —
+//! serving a scrape costs a snapshot of lock-free counters, so the
+//! tagging hot path never blocks on the exporter (and pays nothing at
+//! all between scrapes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cfg_obs::{json, RegistrySnapshot, SharedRegistry, Stat};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Shared service-level state the endpoints report: readiness, the
+/// dead-stream flag, and pre-encoded metadata (compile report, token
+/// names) for `/report.json`.
+#[derive(Debug, Default)]
+pub struct ServiceState {
+    ready: AtomicBool,
+    dead: AtomicBool,
+    meta_json: Mutex<Option<String>>,
+}
+
+impl ServiceState {
+    /// Fresh state: not ready, not dead, no metadata.
+    pub fn new() -> ServiceState {
+        ServiceState::default()
+    }
+
+    /// Mark the tagger compiled (readiness gate).
+    pub fn set_ready(&self, ready: bool) {
+        self.ready.store(ready, Ordering::Relaxed);
+    }
+
+    /// Record whether the stream is in the dead state. A dead stream
+    /// drops `/readyz` to 503 so an orchestrator can recycle the
+    /// process.
+    pub fn set_dead(&self, dead: bool) {
+        self.dead.store(dead, Ordering::Relaxed);
+    }
+
+    /// Whether [`ServiceState::set_ready`] has been called with `true`.
+    pub fn ready(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+
+    /// Whether the stream was marked dead.
+    pub fn dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Install pre-encoded JSON metadata (must be one valid JSON value,
+    /// e.g. `{"compile":{...},"tokens":[...]}`) surfaced verbatim under
+    /// the `"meta"` key of `/report.json`.
+    pub fn set_meta_json(&self, meta: String) {
+        *self.meta_json.lock().unwrap() = Some(meta);
+    }
+
+    fn meta_json(&self) -> String {
+        self.meta_json.lock().unwrap().clone().unwrap_or_else(|| "{}".to_string())
+    }
+}
+
+/// Sanitize a histogram/label name into a Prometheus metric-name chunk.
+fn metric_chunk(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+/// Escape a label value per the Prometheus text format.
+fn label_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a [`RegistrySnapshot`] + [`ServiceState`] in the Prometheus
+/// text exposition format (version 0.0.4).
+pub fn render_prometheus(snap: &RegistrySnapshot, state: &ServiceState) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(4096);
+
+    let _ = writeln!(out, "# HELP cfgtag_ready Tagger compiled and stream not dead.");
+    let _ = writeln!(out, "# TYPE cfgtag_ready gauge");
+    let _ = writeln!(out, "cfgtag_ready {}", u8::from(state.ready() && !state.dead()));
+    let _ = writeln!(out, "# HELP cfgtag_dead Stream has entered the dead state.");
+    let _ = writeln!(out, "# TYPE cfgtag_dead gauge");
+    let _ = writeln!(out, "cfgtag_dead {}", u8::from(state.dead()));
+    let _ = writeln!(out, "# HELP cfgtag_sinks Registered stats sinks.");
+    let _ = writeln!(out, "# TYPE cfgtag_sinks gauge");
+    let _ = writeln!(out, "cfgtag_sinks {}", snap.parts.len());
+
+    // Counters: one series per (stat, sink); the merged value is the
+    // sum over sinks, which Prometheus computes itself.
+    for stat in Stat::ALL {
+        let name = format!("cfgtag_{}_total", stat.name());
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (sink, part) in &snap.parts {
+            let _ =
+                writeln!(out, "{name}{{sink=\"{}\"}} {}", label_escape(sink), part.counter(stat));
+        }
+    }
+
+    // Per-token fire counters, labelled by token index.
+    let _ = writeln!(out, "# TYPE cfgtag_token_fires_total counter");
+    for (sink, part) in &snap.parts {
+        for (index, fires) in part.token_fires.iter().enumerate() {
+            if *fires > 0 {
+                let _ = writeln!(
+                    out,
+                    "cfgtag_token_fires_total{{sink=\"{}\",token=\"{index}\"}} {fires}",
+                    label_escape(sink)
+                );
+            }
+        }
+    }
+
+    // Trace-ring drops.
+    let _ = writeln!(out, "# TYPE cfgtag_trace_dropped_total counter");
+    for (sink, part) in &snap.parts {
+        let _ = writeln!(
+            out,
+            "cfgtag_trace_dropped_total{{sink=\"{}\"}} {}",
+            label_escape(sink),
+            part.trace_dropped
+        );
+    }
+
+    // Histograms: merged across sinks, power-of-two buckets rendered as
+    // cumulative `le` series, plus p50/p90/p99 estimate gauges.
+    for (hname, hist) in &snap.merged.histograms {
+        let base = format!("cfgtag_{}", metric_chunk(hname));
+        let _ = writeln!(out, "# TYPE {base} histogram");
+        let mut cumulative = 0u64;
+        for (i, b) in hist.buckets.iter().enumerate() {
+            if *b == 0 {
+                continue;
+            }
+            cumulative += *b;
+            let le: u128 = 1u128 << (i + 1);
+            let _ = writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{base}_sum {}", hist.sum);
+        let _ = writeln!(out, "{base}_count {}", hist.count);
+        let _ = writeln!(out, "# TYPE {base}_quantile gauge");
+        for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            let _ = writeln!(out, "{base}_quantile{{quantile=\"{tag}\"}} {:.3}", hist.quantile(q));
+        }
+    }
+    out
+}
+
+/// Render the `/report.json` body.
+pub fn render_report(snap: &RegistrySnapshot, state: &ServiceState) -> String {
+    let mut out = String::from("{\"ready\":");
+    out.push_str(if state.ready() && !state.dead() { "true" } else { "false" });
+    out.push_str(",\"dead\":");
+    out.push_str(if state.dead() { "true" } else { "false" });
+    out.push_str(",\"meta\":");
+    out.push_str(&state.meta_json());
+    out.push_str(",\"stats\":");
+    out.push_str(&snap.to_json());
+    out.push_str("}\n");
+    out
+}
+
+/// One rendered HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+/// Route one request path to its response — the pure core of the
+/// exporter, also what the endpoint unit tests drive.
+pub fn respond(path: &str, registry: &SharedRegistry, state: &ServiceState) -> Response {
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: render_prometheus(&registry.snapshot(), state),
+        },
+        "/healthz" => Response { status: 200, content_type: "text/plain", body: "ok\n".into() },
+        "/readyz" => {
+            if state.ready() && !state.dead() {
+                Response { status: 200, content_type: "text/plain", body: "ready\n".into() }
+            } else {
+                let why = if state.dead() { "dead stream" } else { "not compiled" };
+                Response { status: 503, content_type: "text/plain", body: format!("{why}\n") }
+            }
+        }
+        "/report.json" => Response {
+            status: 200,
+            content_type: "application/json",
+            body: render_report(&registry.snapshot(), state),
+        },
+        "/" => {
+            let mut body = String::from("{\"endpoints\":[\"/metrics\",\"/healthz\",\"/readyz\",\"/report.json\"],\"sinks\":[");
+            for (i, name) in registry.names().iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                json::push_str(&mut body, name);
+            }
+            body.push_str("]}\n");
+            Response { status: 200, content_type: "application/json", body }
+        }
+        _ => Response { status: 404, content_type: "text/plain", body: "not found\n".into() },
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+fn serve_connection(stream: &mut TcpStream, registry: &SharedRegistry, state: &ServiceState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    // Read until the end of the request head; ignore any body (GETs).
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 16 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
+    let response = if method == "GET" {
+        respond(path, registry, state)
+    } else {
+        Response { status: 404, content_type: "text/plain", body: "GET only\n".into() }
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// A running exporter: one background thread accepting connections
+/// until [`Exporter::stop`] (or drop).
+#[derive(Debug)]
+pub struct Exporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Exporter {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving the registry + state on a background thread.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        registry: Arc<SharedRegistry>,
+        state: Arc<ServiceState>,
+    ) -> std::io::Result<Exporter> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cfgtag-exporter".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(mut stream) = conn {
+                        serve_connection(&mut stream, &registry, &state);
+                    }
+                }
+            })
+            .expect("spawn exporter thread");
+        Ok(Exporter { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (with the real port when an ephemeral one was
+    /// requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the exporter thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            // Unblock the accept loop with one throwaway connection.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Blocking HTTP GET against `addr` (e.g. `"127.0.0.1:9100"`),
+/// returning the response body. The client half of the exporter,
+/// shared by `cfgtag top` and the integration tests; speaks just
+/// enough HTTP/1.1 for our own server and any reasonable peer.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "no HTTP header split")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfg_obs::{MetricsSink, StatsSink};
+
+    fn registry_with_traffic() -> SharedRegistry {
+        let reg = SharedRegistry::new();
+        let engine = Arc::new(StatsSink::with_tokens(3));
+        engine.add(Stat::BytesIn, 1000);
+        engine.token_fire(2, 5);
+        engine.observe("decision_latency_ns", 700);
+        engine.observe("decision_latency_ns", 90);
+        reg.register("engine", engine);
+        reg
+    }
+
+    #[test]
+    fn prometheus_output_has_counters_histograms_and_quantiles() {
+        let reg = registry_with_traffic();
+        let state = ServiceState::new();
+        state.set_ready(true);
+        let text = render_prometheus(&reg.snapshot(), &state);
+        assert!(text.contains("cfgtag_ready 1"));
+        assert!(text.contains("cfgtag_bytes_in_total{sink=\"engine\"} 1000"));
+        assert!(text.contains("cfgtag_token_fires_total{sink=\"engine\",token=\"2\"} 5"));
+        assert!(text.contains("# TYPE cfgtag_decision_latency_ns histogram"));
+        assert!(text.contains("cfgtag_decision_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("cfgtag_decision_latency_ns_sum 790"));
+        assert!(text.contains("cfgtag_decision_latency_ns_quantile{quantile=\"0.99\"}"));
+        // Buckets are cumulative: the 90 lands in le=128, the 700 in
+        // le=1024.
+        assert!(text.contains("cfgtag_decision_latency_ns_bucket{le=\"128\"} 1"));
+        assert!(text.contains("cfgtag_decision_latency_ns_bucket{le=\"1024\"} 2"));
+    }
+
+    #[test]
+    fn readyz_tracks_ready_and_dead() {
+        let reg = SharedRegistry::new();
+        let state = ServiceState::new();
+        assert_eq!(respond("/readyz", &reg, &state).status, 503);
+        state.set_ready(true);
+        assert_eq!(respond("/readyz", &reg, &state).status, 200);
+        state.set_dead(true);
+        let r = respond("/readyz", &reg, &state);
+        assert_eq!(r.status, 503);
+        assert!(r.body.contains("dead"));
+        assert_eq!(respond("/healthz", &reg, &state).status, 200);
+        assert_eq!(respond("/nope", &reg, &state).status, 404);
+        assert_eq!(respond("/metrics?x=1", &reg, &state).status, 200);
+    }
+
+    #[test]
+    fn report_json_parses_and_carries_meta() {
+        let reg = registry_with_traffic();
+        let state = ServiceState::new();
+        state.set_ready(true);
+        state.set_meta_json("{\"tokens\":[\"a\",\"b\"]}".to_string());
+        let body = respond("/report.json", &reg, &state).body;
+        let v = json::Json::parse(&body).expect("report.json is valid JSON");
+        assert_eq!(v.get("ready").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("dead").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("meta").unwrap().get("tokens").unwrap().as_array().unwrap().len(), 2);
+        let merged = v.get("stats").unwrap().get("merged").unwrap();
+        assert_eq!(merged.get("counters").unwrap().get("bytes_in").unwrap().as_u64(), Some(1000));
+        assert!(v.get("stats").unwrap().get("sinks").unwrap().get("engine").is_some());
+    }
+
+    #[test]
+    fn index_lists_endpoints_and_sinks() {
+        let reg = registry_with_traffic();
+        let state = ServiceState::new();
+        let body = respond("/", &reg, &state).body;
+        let v = json::Json::parse(&body).unwrap();
+        assert!(v.get("endpoints").unwrap().as_array().unwrap().len() >= 4);
+        assert_eq!(v.get("sinks").unwrap().as_array().unwrap()[0].as_str(), Some("engine"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(metric_chunk("route-latency.bytes"), "route_latency_bytes");
+    }
+}

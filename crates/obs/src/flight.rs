@@ -1,0 +1,255 @@
+//! The flight recorder: a fixed-size ring of the most recent trace
+//! events and span timings, kept cheaply at all times and dumped only
+//! when something goes wrong (a stream entering the dead state, an
+//! exit-code-3 run). This captures the events *leading up to* a failure
+//! without paying for always-on trace persistence.
+
+use crate::json;
+use crate::sink::MetricsSink;
+use crate::trace::{TraceEvent, Value};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default ring capacity — comfortably above the 256 events a
+/// post-mortem needs to reconstruct the approach to a dead state.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// A bounded in-memory recorder of recent trace events and span
+/// timings.
+///
+/// Implements [`MetricsSink`], so it can be attached directly or fanned
+/// into alongside a [`crate::StatsSink`] via [`crate::TeeSink`].
+/// Counter and histogram updates are ignored (those live in the stats
+/// sink); trace events and span timings are stamped with a global
+/// sequence number and kept in one ring, oldest evicted first.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<(u64, TraceEvent)>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding up to `capacity` entries (0 disables it).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder { capacity, seq: AtomicU64::new(0), ring: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded (or capacity is 0).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries ever recorded (including evicted ones) — the
+    /// sequence number the next entry will carry.
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    fn push(&self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back((seq, event));
+    }
+
+    /// Copy out the ring, oldest first, each entry with its sequence
+    /// number.
+    pub fn events(&self) -> Vec<(u64, TraceEvent)> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Dump the ring as JSON lines — one `{"seq":N,...event}` object
+    /// per line, oldest first, trailing newline after the last (ready
+    /// to write to a `--flight-out` file).
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (seq, event) in self.events() {
+            out.push_str("{\"seq\":");
+            out.push_str(&seq.to_string());
+            out.push_str(",\"kind\":");
+            json::push_str(&mut out, event.kind);
+            for (k, v) in &event.fields {
+                out.push(',');
+                json::push_str(&mut out, k);
+                out.push(':');
+                match v {
+                    Value::U(x) => out.push_str(&x.to_string()),
+                    Value::I(x) => out.push_str(&x.to_string()),
+                    Value::F(x) => json::push_f64(&mut out, *x),
+                    Value::S(x) => json::push_str(&mut out, x),
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+impl MetricsSink for FlightRecorder {
+    fn time(&self, span: &'static str, nanos: u64) {
+        self.push(TraceEvent::new("span").field("name", span).field("nanos", nanos));
+    }
+
+    fn trace(&self, event: TraceEvent) {
+        self.push(event);
+    }
+}
+
+/// A sink that forwards every call to each of its children — the way to
+/// attach a [`FlightRecorder`] *and* a [`crate::StatsSink`] to the same
+/// engine through one [`crate::Metrics`] handle.
+pub struct TeeSink {
+    sinks: Vec<std::sync::Arc<dyn MetricsSink>>,
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeSink").field("sinks", &self.sinks.len()).finish()
+    }
+}
+
+impl TeeSink {
+    /// A tee over the given children, called in order.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn MetricsSink>>) -> TeeSink {
+        TeeSink { sinks }
+    }
+}
+
+impl MetricsSink for TeeSink {
+    fn add(&self, stat: crate::sink::Stat, n: u64) {
+        for s in &self.sinks {
+            s.add(stat, n);
+        }
+    }
+
+    fn token_fire(&self, index: u32, n: u64) {
+        for s in &self.sinks {
+            s.token_fire(index, n);
+        }
+    }
+
+    fn observe(&self, hist: &'static str, value: u64) {
+        for s in &self.sinks {
+            s.observe(hist, value);
+        }
+    }
+
+    fn time(&self, span: &'static str, nanos: u64) {
+        for s in &self.sinks {
+            s.time(span, nanos);
+        }
+    }
+
+    fn trace(&self, event: TraceEvent) {
+        match self.sinks.len() {
+            0 => {}
+            1 => self.sinks[0].trace(event),
+            _ => {
+                for s in &self.sinks[..self.sinks.len() - 1] {
+                    s.trace(event.clone());
+                }
+                self.sinks[self.sinks.len() - 1].trace(event);
+            }
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.is_enabled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{NoopSink, Stat};
+    use crate::stats::StatsSink;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_keeps_the_most_recent_entries() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.trace(TraceEvent::new("e").field("i", i));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.recorded(), 5);
+        let events = fr.events();
+        assert_eq!(events[0].0, 2, "oldest surviving entry is seq 2");
+        assert_eq!(events[2].0, 4);
+    }
+
+    #[test]
+    fn dump_is_jsonl_with_sequence_numbers() {
+        let fr = FlightRecorder::new(8);
+        fr.trace(TraceEvent::new("token_fire").field("token", 3u32));
+        fr.time("feed", 1234);
+        let dump = fr.dump_jsonl();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.starts_with("{\"seq\":0,\"kind\":\"token_fire\",\"token\":3}"));
+        assert!(dump.contains("{\"seq\":1,\"kind\":\"span\",\"name\":\"feed\",\"nanos\":1234}"));
+        assert!(dump.ends_with('\n'));
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let fr = FlightRecorder::new(0);
+        fr.trace(TraceEvent::new("e"));
+        assert!(fr.is_empty());
+        assert_eq!(fr.recorded(), 0);
+        assert_eq!(fr.dump_jsonl(), "");
+    }
+
+    #[test]
+    fn default_capacity_covers_a_256_event_post_mortem() {
+        let fr = FlightRecorder::default();
+        assert!(fr.capacity() >= 256);
+        for i in 0..2000u64 {
+            fr.trace(TraceEvent::new("e").field("i", i));
+        }
+        assert_eq!(fr.len(), DEFAULT_FLIGHT_CAPACITY);
+        assert!(fr.dump_jsonl().lines().count() >= 256);
+    }
+
+    #[test]
+    fn tee_forwards_to_all_children() {
+        let stats = Arc::new(StatsSink::with_tokens(2));
+        let flight = Arc::new(FlightRecorder::new(8));
+        let tee = TeeSink::new(vec![Arc::clone(&stats) as _, Arc::clone(&flight) as _]);
+        tee.add(Stat::BytesIn, 9);
+        tee.token_fire(1, 2);
+        tee.observe("h", 5);
+        tee.time("span", 7);
+        tee.trace(TraceEvent::new("e"));
+        assert_eq!(stats.get(Stat::BytesIn), 9);
+        assert_eq!(stats.token_fires(1), 2);
+        assert_eq!(stats.trace_events().len(), 1);
+        // The flight recorder keeps the span and the trace event only.
+        assert_eq!(flight.len(), 2);
+        assert!(tee.is_enabled());
+        assert!(!TeeSink::new(vec![Arc::new(NoopSink) as _]).is_enabled());
+        assert!(!TeeSink::new(Vec::new()).is_enabled());
+    }
+}

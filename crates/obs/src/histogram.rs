@@ -54,6 +54,29 @@ impl Histogram {
             max: self.max.load(Ordering::Relaxed),
         }
     }
+
+    /// Fold another histogram's observations into this one.
+    ///
+    /// Bucket-wise atomic adds; both histograms may keep recording while
+    /// the merge runs (the result is then merely consistent-enough, like
+    /// [`Histogram::snapshot`]).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v > 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Estimated value at quantile `q` (`0.0 ..= 1.0`); see
+    /// [`HistogramSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
 }
 
 /// Plain-data view of a [`Histogram`].
@@ -77,6 +100,54 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Fold another snapshot's observations into this one.
+    ///
+    /// Bucket-wise addition; `count`/`sum` accumulate and `max` takes
+    /// the larger. The snapshots may have different bucket vector
+    /// lengths (e.g. one came from an older encoding) — the result is
+    /// sized to the longer of the two.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimated value at quantile `q` (`0.0 ..= 1.0`).
+    ///
+    /// Walks the power-of-two buckets to the one containing the rank
+    /// `q * count`, then interpolates linearly inside it (the bucket's
+    /// upper edge is clamped to the observed `max`, so a single-bucket
+    /// histogram cannot report a value above anything it ever saw).
+    /// Returns `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0.0f64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let width = b as f64;
+            if seen + width >= rank {
+                let lo = if i == 0 { 0.0 } else { (1u128 << i) as f64 };
+                let hi = if i >= 63 { self.max as f64 } else { (1u128 << (i + 1)) as f64 };
+                let hi = hi.min(self.max as f64).max(lo);
+                let frac = ((rank - seen) / width).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+            seen += width;
+        }
+        self.max as f64
     }
 
     /// Upper bound (exclusive) of the bucket containing quantile `q`
@@ -163,5 +234,98 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.quantile_bound(0.5), 0);
         assert!(s.to_json().contains("\"buckets\":{}"));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_single_bucket_interpolates_within_it() {
+        // All observations land in bucket 2 ([4, 8)); the estimate must
+        // stay inside the bucket and never exceed the observed max.
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.record(5);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!((4.0..=5.0).contains(&v), "q={q} -> {v}");
+        }
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.quantile(0.0), 4.0);
+    }
+
+    #[test]
+    fn quantile_saturated_top_bucket() {
+        // u64::MAX saturates into bucket 63, whose open upper edge is
+        // clamped to the observed max instead of overflowing 2^64.
+        let h = Histogram::default();
+        for _ in 0..4 {
+            h.record(u64::MAX);
+        }
+        h.record(1);
+        let s = h.snapshot();
+        let p99 = s.quantile(0.99);
+        assert!(p99 >= (1u128 << 63) as f64 && p99 <= u64::MAX as f64, "p99={p99}");
+        assert_eq!(s.quantile(1.0), u64::MAX as f64);
+        assert!(s.quantile(0.05) <= 1.0);
+    }
+
+    #[test]
+    fn quantile_spread_is_monotone() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 4, 8, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut prev = -1.0f64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!(v >= prev, "quantiles must be monotone: q={q} -> {v} < {prev}");
+            prev = v;
+        }
+        assert_eq!(s.quantile(1.0), 10_000.0);
+    }
+
+    #[test]
+    fn merge_accumulates_both_histograms() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+        }
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 315);
+        assert_eq!(s.max, 200);
+        // Merging an empty histogram changes nothing.
+        a.merge(&Histogram::default());
+        assert_eq!(a.snapshot(), s);
+    }
+
+    #[test]
+    fn snapshot_merge_handles_empty_and_size_mismatch() {
+        let a = Histogram::default();
+        a.record(7);
+        let mut snap = a.snapshot();
+        // Merging an all-zero snapshot with a shorter bucket vector.
+        let empty = HistogramSnapshot { buckets: vec![0; 4], count: 0, sum: 0, max: 0 };
+        snap.merge(&empty);
+        assert_eq!(snap.count, 1);
+        // Merging into an empty snapshot resizes to the longer vector.
+        let mut acc = HistogramSnapshot { buckets: Vec::new(), count: 0, sum: 0, max: 0 };
+        acc.merge(&snap);
+        assert_eq!(acc, snap);
+        assert_eq!(acc.quantile(1.0), 7.0);
     }
 }

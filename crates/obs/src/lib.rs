@@ -8,7 +8,7 @@
 //! that would otherwise pay even that branch per byte check
 //! [`Metrics::enabled`] once per buffer and batch their updates.
 //!
-//! Two sinks ship with the crate:
+//! Four sinks ship with the crate:
 //!
 //! * [`NoopSink`] — accepts and discards everything. Useful to verify
 //!   that the instrumented code path is behaviourally identical to the
@@ -16,21 +16,36 @@
 //! * [`StatsSink`] — lock-free counters (atomics), per-token fire
 //!   counters, power-of-two-bucket histograms, stage timings, and a
 //!   bounded trace ring buffer with a JSON-lines exporter.
+//! * [`FlightRecorder`] — a fixed-size ring of recent trace events and
+//!   span timings, dumped post-mortem when a stream dies.
+//! * [`TeeSink`] — fans one [`Metrics`] handle out to several sinks
+//!   (typically a [`StatsSink`] plus a [`FlightRecorder`]).
 //!
-//! All JSON is hand-rolled ([`json`]); the crate has zero dependencies.
+//! For *live* observability, [`SharedRegistry`] names the process's
+//! [`StatsSink`]s and produces merged point-in-time [`RegistrySnapshot`]s
+//! (with histogram quantiles and snapshot diffing for rate computation)
+//! that the `cfg-obs-http` exporter serves over HTTP while engines keep
+//! streaming.
+//!
+//! All JSON is hand-rolled, both directions ([`json`]); the crate has
+//! zero dependencies.
 
 #![forbid(unsafe_code)]
 
+mod flight;
 mod histogram;
 pub mod json;
 mod metrics;
+mod registry;
 mod report;
 mod sink;
 mod stats;
 mod trace;
 
+pub use flight::{FlightRecorder, TeeSink, DEFAULT_FLIGHT_CAPACITY};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Metrics, SpanGuard};
+pub use registry::{RegistrySnapshot, SharedRegistry};
 pub use report::{CompileReport, StageTiming};
 pub use sink::{MetricsSink, NoopSink, Stat};
 pub use stats::{StatsSink, StatsSnapshot};

@@ -1,0 +1,222 @@
+//! The shared sink registry: one place where every instrumented
+//! component (engine, router, worker) registers its [`StatsSink`] so a
+//! live exporter can produce merged, point-in-time views of the whole
+//! process while the hot paths keep recording.
+//!
+//! Registration is cheap and happens once per component; snapshotting
+//! walks the registered sinks' lock-free counters, so it can run on an
+//! exporter thread at any moment without pausing an engine mid-stream.
+
+use crate::json;
+use crate::stats::{StatsSink, StatsSnapshot};
+use std::sync::{Arc, Mutex};
+
+/// A registry of named [`StatsSink`]s.
+///
+/// Names identify the component ("engine", "router", "worker-3"); a
+/// re-registration under an existing name replaces the previous sink
+/// (the idiom for a restarted worker). Clone the `Arc<SharedRegistry>`
+/// freely — all clones see the same sinks.
+#[derive(Debug, Default)]
+pub struct SharedRegistry {
+    sinks: Mutex<Vec<(String, Arc<StatsSink>)>>,
+}
+
+impl SharedRegistry {
+    /// An empty registry.
+    pub fn new() -> SharedRegistry {
+        SharedRegistry::default()
+    }
+
+    /// Register (or replace) the sink recorded under `name`.
+    pub fn register(&self, name: impl Into<String>, sink: Arc<StatsSink>) {
+        let name = name.into();
+        let mut sinks = self.sinks.lock().unwrap();
+        if let Some((_, slot)) = sinks.iter_mut().find(|(n, _)| *n == name) {
+            *slot = sink;
+        } else {
+            sinks.push((name, sink));
+        }
+    }
+
+    /// The sink registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<StatsSink>> {
+        self.sinks.lock().unwrap().iter().find(|(n, _)| n == name).map(|(_, s)| Arc::clone(s))
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.sinks.lock().unwrap().iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Number of registered sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.lock().unwrap().len()
+    }
+
+    /// Whether no sink is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time snapshot of every registered sink plus their
+    /// merged view. Engines may keep recording while this runs; each
+    /// per-sink snapshot is consistent-enough (relaxed atomic loads),
+    /// and the merged view is the fold of exactly those snapshots.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let parts: Vec<(String, StatsSnapshot)> =
+            self.sinks.lock().unwrap().iter().map(|(n, s)| (n.clone(), s.snapshot())).collect();
+        let mut merged = StatsSnapshot::empty();
+        for (_, snap) in &parts {
+            merged.merge(snap);
+        }
+        RegistrySnapshot { parts, merged }
+    }
+}
+
+/// Plain-data view of a whole [`SharedRegistry`] at one instant.
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// `(name, snapshot)` per registered sink, in registration order.
+    pub parts: Vec<(String, StatsSnapshot)>,
+    /// The fold of all parts (see [`StatsSnapshot::merge`]).
+    pub merged: StatsSnapshot,
+}
+
+impl RegistrySnapshot {
+    /// The change since an `earlier` registry snapshot: parts diff by
+    /// name (a part with no earlier counterpart passes through whole),
+    /// and the merged view diffs against the earlier merged view.
+    pub fn diff(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
+        let parts = self
+            .parts
+            .iter()
+            .map(|(name, snap)| {
+                let d = match earlier.parts.iter().find(|(n, _)| n == name) {
+                    Some((_, e)) => snap.diff(e),
+                    None => snap.clone(),
+                };
+                (name.clone(), d)
+            })
+            .collect();
+        RegistrySnapshot { parts, merged: self.merged.diff(&earlier.merged) }
+    }
+
+    /// Encode as one JSON object:
+    /// `{"merged":{...},"sinks":{"name":{...},...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"merged\":");
+        out.push_str(&self.merged.to_json());
+        out.push_str(",\"sinks\":{");
+        for (i, (name, snap)) in self.parts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(&mut out, name);
+            out.push(':');
+            out.push_str(&snap.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{MetricsSink, Stat};
+
+    #[test]
+    fn merged_snapshot_folds_all_sinks() {
+        let reg = SharedRegistry::new();
+        let engine = Arc::new(StatsSink::with_tokens(2));
+        let router = Arc::new(StatsSink::new());
+        reg.register("engine", Arc::clone(&engine));
+        reg.register("router", Arc::clone(&router));
+        engine.add(Stat::BytesIn, 100);
+        engine.token_fire(1, 4);
+        router.add(Stat::RouteBank, 3);
+        router.observe("route_latency_bytes", 32);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.parts.len(), 2);
+        assert_eq!(snap.merged.counter(Stat::BytesIn), 100);
+        assert_eq!(snap.merged.counter(Stat::RouteBank), 3);
+        assert_eq!(snap.merged.counter(Stat::EventsOut), 4);
+        assert_eq!(snap.merged.token_fires, vec![0, 4]);
+        assert_eq!(snap.merged.histogram("route_latency_bytes").unwrap().count, 1);
+
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"merged\":"));
+        assert!(json.contains("\"engine\":{"));
+        assert!(json.contains("\"router\":{"));
+    }
+
+    #[test]
+    fn snapshot_while_recording_is_consistent_enough() {
+        let reg = Arc::new(SharedRegistry::new());
+        let sink = Arc::new(StatsSink::new());
+        reg.register("engine", Arc::clone(&sink));
+        let writer = {
+            let sink = Arc::clone(&sink);
+            std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    sink.add(Stat::BytesIn, 1);
+                }
+            })
+        };
+        // Mid-stream snapshots must be monotone (counters only grow).
+        let mut last = 0;
+        for _ in 0..50 {
+            let v = reg.snapshot().merged.counter(Stat::BytesIn);
+            assert!(v >= last, "counter went backwards: {v} < {last}");
+            last = v;
+        }
+        writer.join().unwrap();
+        assert_eq!(reg.snapshot().merged.counter(Stat::BytesIn), 20_000);
+    }
+
+    #[test]
+    fn reregistration_replaces_and_diff_rates() {
+        let reg = SharedRegistry::new();
+        let s1 = Arc::new(StatsSink::new());
+        reg.register("w", Arc::clone(&s1));
+        s1.add(Stat::BytesIn, 10);
+        let t0 = reg.snapshot();
+        s1.add(Stat::BytesIn, 40);
+        let t1 = reg.snapshot();
+        let d = t1.diff(&t0);
+        assert_eq!(d.merged.counter(Stat::BytesIn), 40);
+        assert_eq!(d.parts[0].1.counter(Stat::BytesIn), 40);
+
+        // Replacement under the same name: the registry keeps one sink.
+        let s2 = Arc::new(StatsSink::new());
+        reg.register("w", Arc::clone(&s2));
+        assert_eq!(reg.len(), 1);
+        s2.add(Stat::BytesIn, 5);
+        // The restarted worker's counter restarted too; diff saturates
+        // instead of wrapping.
+        let t2 = reg.snapshot();
+        assert_eq!(t2.diff(&t1).merged.counter(Stat::BytesIn), 0);
+        assert_eq!(reg.get("w").unwrap().get(Stat::BytesIn), 5);
+        assert!(reg.get("missing").is_none());
+        assert_eq!(reg.names(), vec!["w".to_string()]);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn new_part_passes_through_diff() {
+        let reg = SharedRegistry::new();
+        let a = Arc::new(StatsSink::new());
+        reg.register("a", Arc::clone(&a));
+        a.add(Stat::BytesIn, 1);
+        let t0 = reg.snapshot();
+        let b = Arc::new(StatsSink::new());
+        reg.register("b", Arc::clone(&b));
+        b.add(Stat::BytesIn, 7);
+        let t1 = reg.snapshot();
+        let d = t1.diff(&t0);
+        let part_b = d.parts.iter().find(|(n, _)| n == "b").unwrap();
+        assert_eq!(part_b.1.counter(Stat::BytesIn), 7);
+    }
+}

@@ -156,9 +156,106 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// An all-zero snapshot covering every [`Stat`] — the identity
+    /// element for [`StatsSnapshot::merge`].
+    pub fn empty() -> StatsSnapshot {
+        StatsSnapshot {
+            counters: Stat::ALL.iter().map(|s| (s.name(), 0)).collect(),
+            token_fires: Vec::new(),
+            histograms: Vec::new(),
+            timings: Vec::new(),
+            trace_dropped: 0,
+        }
+    }
+
     /// Look up a counter by its [`Stat`] name.
     pub fn counter(&self, stat: Stat) -> u64 {
         self.counters.iter().find(|(name, _)| *name == stat.name()).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// Fold another snapshot into this one: counters and per-token
+    /// fires add element-wise (the fire vector grows to the longer of
+    /// the two), histograms merge by name, timings concatenate, and
+    /// `trace_dropped` accumulates. Point-in-time merged views over
+    /// many sinks are built by folding from [`StatsSnapshot::empty`].
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        for (name, v) in &other.counters {
+            if let Some((_, mine)) = self.counters.iter_mut().find(|(n, _)| n == name) {
+                *mine += *v;
+            } else {
+                self.counters.push((name, *v));
+            }
+        }
+        if other.token_fires.len() > self.token_fires.len() {
+            self.token_fires.resize(other.token_fires.len(), 0);
+        }
+        for (mine, theirs) in self.token_fires.iter_mut().zip(other.token_fires.iter()) {
+            *mine += *theirs;
+        }
+        for (name, h) in &other.histograms {
+            if let Some((_, mine)) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+                mine.merge(h);
+            } else {
+                self.histograms.push((name, h.clone()));
+            }
+        }
+        self.timings.extend_from_slice(&other.timings);
+        self.trace_dropped += other.trace_dropped;
+    }
+
+    /// The change since an `earlier` snapshot of the same sink(s):
+    /// counters, fires and histogram buckets subtract (saturating, so a
+    /// sink restart shows as zero rather than wrapping), and only span
+    /// timings recorded after the earlier snapshot are kept. Feeding
+    /// the result's counters and an elapsed wall-clock interval into a
+    /// divide is how `cfgtag top` turns two scrapes into live rates.
+    pub fn diff(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let at = |name: &str, set: &[(&'static str, u64)]| {
+            set.iter().find(|(n, _)| *n == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        StatsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, v)| (*name, v.saturating_sub(at(name, &earlier.counters))))
+                .collect(),
+            token_fires: self
+                .token_fires
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v.saturating_sub(earlier.token_fires.get(i).copied().unwrap_or(0)))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    let d = match earlier.histogram(name) {
+                        Some(e) => HistogramSnapshot {
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .enumerate()
+                                .map(|(i, b)| {
+                                    b.saturating_sub(e.buckets.get(i).copied().unwrap_or(0))
+                                })
+                                .collect(),
+                            count: h.count.saturating_sub(e.count),
+                            sum: h.sum.saturating_sub(e.sum),
+                            max: h.max,
+                        },
+                        None => h.clone(),
+                    };
+                    (*name, d)
+                })
+                .collect(),
+            timings: self.timings.get(earlier.timings.len()..).unwrap_or(&[]).to_vec(),
+            trace_dropped: self.trace_dropped.saturating_sub(earlier.trace_dropped),
+        }
     }
 
     /// Encode the whole snapshot as one JSON object.
@@ -253,6 +350,55 @@ mod tests {
         assert!(json.contains("\"token_fires\":[0,3]"));
         assert!(json.contains("\"latency\""));
         assert!(json.contains("\"span\":\"compile\",\"nanos\":1234"));
+    }
+
+    #[test]
+    fn snapshot_merge_folds_counters_fires_and_histograms() {
+        let a = StatsSink::with_tokens(2);
+        a.add(Stat::BytesIn, 10);
+        a.token_fire(0, 1);
+        a.observe("lat", 4);
+        let b = StatsSink::with_tokens(3);
+        b.add(Stat::BytesIn, 5);
+        b.add(Stat::Resyncs, 2);
+        b.token_fire(2, 7);
+        b.observe("lat", 8);
+        b.observe("other", 1);
+        let mut m = StatsSnapshot::empty();
+        m.merge(&a.snapshot());
+        m.merge(&b.snapshot());
+        assert_eq!(m.counter(Stat::BytesIn), 15);
+        assert_eq!(m.counter(Stat::Resyncs), 2);
+        assert_eq!(m.token_fires, vec![1, 0, 7]);
+        assert_eq!(m.histogram("lat").unwrap().count, 2);
+        assert_eq!(m.histogram("lat").unwrap().sum, 12);
+        assert_eq!(m.histogram("other").unwrap().count, 1);
+        assert!(m.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_diff_yields_deltas() {
+        let s = StatsSink::with_tokens(1);
+        s.add(Stat::BytesIn, 100);
+        s.token_fire(0, 3);
+        s.observe("lat", 2);
+        s.time("feed", 10);
+        let t0 = s.snapshot();
+        s.add(Stat::BytesIn, 50);
+        s.token_fire(0, 1);
+        s.observe("lat", 4);
+        s.time("feed", 20);
+        let t1 = s.snapshot();
+        let d = t1.diff(&t0);
+        assert_eq!(d.counter(Stat::BytesIn), 50);
+        assert_eq!(d.token_fires, vec![1]);
+        assert_eq!(d.histogram("lat").unwrap().count, 1);
+        assert_eq!(d.histogram("lat").unwrap().sum, 4);
+        assert_eq!(d.timings, vec![("feed", 20)]);
+        // Diffing against a later snapshot saturates to zero.
+        let z = t0.diff(&t1);
+        assert_eq!(z.counter(Stat::BytesIn), 0);
+        assert_eq!(z.token_fires, vec![0]);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`fpga`] — VirtexE/Virtex-4 device models and static timing.
 //! * [`baseline`] — naive DPI matcher, Aho–Corasick, software lexer, LL(1).
 //! * [`xmlrpc`] — the XML-RPC grammar, workload generator and router.
+//! * [`obs`] — zero-overhead-when-off metrics, traces, and the shared
+//!   snapshot registry / flight recorder behind live telemetry.
+//! * [`obs_http`] — dependency-free `/metrics` (Prometheus), health
+//!   probe, and `/report.json` exporter over the registry.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@ pub use cfg_grammar as grammar;
 pub use cfg_hwgen as hwgen;
 pub use cfg_netlist as netlist;
 pub use cfg_obs as obs;
+pub use cfg_obs_http as obs_http;
 pub use cfg_regex as regex;
 pub use cfg_tagger as tagger;
 pub use cfg_xmlrpc as xmlrpc;
