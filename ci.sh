@@ -6,7 +6,9 @@
 #   3. dead-code hygiene        -- no #[allow(dead_code)] in the obs crates
 #   4. tier-1 verify            -- release build + root-package tests
 #   5. exporter integration     -- cfg-obs-http socket-level scrape tests
-#   6. full workspace tests     -- every crate's suites
+#   6. probe layer & scope      -- engine probe counters, scope CLI, and
+#                                  the serve->scope->trigger round trip
+#   7. full workspace tests     -- every crate's suites
 #
 # Then two NON-GATING steps: the observability-overhead bench and
 # bench_diff over bench_results/ histories. Timing on shared machines is
@@ -34,6 +36,15 @@ cargo test -q
 
 echo "==> exporter integration: cargo test -q -p cfg-obs-http"
 cargo test -q -p cfg-obs-http
+
+echo "==> probe layer: cfg-obs probe/trigger, cfg-tagger probes, scope CLI"
+cargo test -q -p cfg-obs probe
+cargo test -q -p cfg-obs trigger
+cargo test -q -p cfg-tagger probes
+cargo test -q -p cfg-cli scope
+
+echo "==> circuit scope round trip: cargo test -q --test circuit_scope"
+cargo test -q --test circuit_scope
 
 echo "==> full workspace tests"
 cargo test --workspace -q

@@ -9,11 +9,16 @@
 //! * **off** — `Metrics::off()` (the default),
 //! * **noop** — a live sink whose methods do nothing ([`NoopSink`]),
 //! * **stats** — the full counter sink ([`StatsSink`]),
+//! * **probes-off** — `NoopSink` plus a *disabled* circuit
+//!   `ProbeBank` attached (`with_probes` caches the off state, so the
+//!   per-byte probe scans must vanish),
+//! * **probes-on** — the same bank enabled (context: the real cost of
+//!   live per-element circuit counters),
 //!
 //! and reports each as ns/byte plus the percentage overhead versus
-//! *off*. The PR's acceptance target is noop overhead **< 2%**; the
-//! check is printed but never fails the process (timing on shared CI
-//! boxes is too noisy to gate on).
+//! *off*. The PR's acceptance targets are noop **and probes-off**
+//! overhead **< 2%**; the checks are printed but never fail the
+//! process (timing on shared CI boxes is too noisy to gate on).
 //!
 //! Run: `cargo run -p cfg-bench --bin obs_overhead --release`
 
@@ -25,10 +30,19 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Best-of-`reps` wall time for one full-stream feed, in ns/byte.
-fn bench_feed(tagger: &TokenTagger, input: &[u8], metrics: &Metrics, reps: usize) -> f64 {
+fn bench_feed(
+    tagger: &TokenTagger,
+    input: &[u8],
+    metrics: &Metrics,
+    probes: Option<&std::sync::Arc<cfg_tagger::TaggerProbes>>,
+    reps: usize,
+) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let mut engine = tagger.fast_engine().with_metrics(metrics.clone());
+        if let Some(p) = probes {
+            engine = engine.with_probes(p.clone());
+        }
         let t0 = Instant::now();
         let events = engine.feed(input);
         let dt = t0.elapsed().as_nanos() as f64;
@@ -55,29 +69,50 @@ fn main() {
 
     let reps = 7;
     // Warm-up pass (page in the tables, settle the clocks).
-    bench_feed(&tagger, &input, &Metrics::off(), 2);
+    bench_feed(&tagger, &input, &Metrics::off(), None, 2);
 
-    let off = bench_feed(&tagger, &input, &Metrics::off(), reps);
-    let noop = bench_feed(&tagger, &input, &Metrics::new(Arc::new(NoopSink)), reps);
-    let stats = bench_feed(&tagger, &input, &Metrics::new(Arc::new(StatsSink::new())), reps);
+    let off = bench_feed(&tagger, &input, &Metrics::off(), None, reps);
+    let noop = bench_feed(&tagger, &input, &Metrics::new(Arc::new(NoopSink)), None, reps);
+    let stats = bench_feed(&tagger, &input, &Metrics::new(Arc::new(StatsSink::new())), None, reps);
+
+    // Circuit probes: a disabled bank must be as free as no bank (the
+    // engine caches the off state at attach time); an enabled one pays
+    // one relaxed fetch_add per element activity.
+    let dark = tagger.probes();
+    dark.bank().set_enabled(false);
+    let noop_metrics = Metrics::new(Arc::new(NoopSink));
+    let probes_off = bench_feed(&tagger, &input, &noop_metrics, Some(&dark), reps);
+    let lit = tagger.probes();
+    let probes_on = bench_feed(&tagger, &input, &noop_metrics, Some(&lit), reps);
 
     let pct = |x: f64| (x - off) / off * 100.0;
     println!("obs overhead on FastEngine::feed ({} bytes, best of {reps})", input.len());
-    println!("  off   : {off:>7.3} ns/byte");
-    println!("  noop  : {noop:>7.3} ns/byte  ({:+.2}% vs off)", pct(noop));
-    println!("  stats : {stats:>7.3} ns/byte  ({:+.2}% vs off)", pct(stats));
+    println!("  off        : {off:>7.3} ns/byte");
+    println!("  noop       : {noop:>7.3} ns/byte  ({:+.2}% vs off)", pct(noop));
+    println!("  stats      : {stats:>7.3} ns/byte  ({:+.2}% vs off)", pct(stats));
+    println!("  probes-off : {probes_off:>7.3} ns/byte  ({:+.2}% vs off)", pct(probes_off));
+    println!("  probes-on  : {probes_on:>7.3} ns/byte  ({:+.2}% vs off)", pct(probes_on));
     let ok = pct(noop) < 2.0;
     println!("check: noop overhead < 2%: {}", if ok { "OK" } else { "FAIL (non-gating)" });
+    let probes_ok = pct(probes_off) < 2.0;
+    println!(
+        "check: probes-off overhead < 2%: {}",
+        if probes_ok { "OK" } else { "FAIL (non-gating)" }
+    );
 
     if std::fs::create_dir_all("bench_results").is_ok() {
         let json = format!(
             "{{\"bytes\": {}, \"reps\": {reps}, \"off_ns_per_byte\": {off:.4}, \
              \"noop_ns_per_byte\": {noop:.4}, \"stats_ns_per_byte\": {stats:.4}, \
+             \"probes_off_ns_per_byte\": {probes_off:.4}, \
+             \"probes_on_ns_per_byte\": {probes_on:.4}, \
              \"noop_overhead_pct\": {:.3}, \"stats_overhead_pct\": {:.3}, \
-             \"noop_under_2pct\": {ok}}}\n",
+             \"probes_off_overhead_pct\": {:.3}, \
+             \"noop_under_2pct\": {ok}, \"probes_off_under_2pct\": {probes_ok}}}\n",
             input.len(),
             pct(noop),
             pct(stats),
+            pct(probes_off),
         );
         // Append, don't overwrite: the file is a JSONL history so
         // `bench_diff` can compare the latest run against the previous.

@@ -11,6 +11,7 @@
 //! cfgtag report <grammar.y> [--scale N] [--json] LUT/timing report on both devices
 //! cfgtag serve  <grammar.y> [input] [opts]       long-running tagging + /metrics exporter
 //! cfgtag top    <host:port> [opts]               live terminal view over an exporter
+//! cfgtag scope  <host:port> [opts]               circuit-level probe view + triggered capture
 //! ```
 //!
 //! Options for `tag`: `--gate` (simulate the circuit instead of the fast
@@ -26,13 +27,14 @@
 //! with the machine dead and error recovery off: scriptable
 //! non-conformance detection.
 //!
-//! All commands except [`serve`] and [`top`] (which own sockets and
-//! wall clocks by nature) are plain functions over in-memory inputs so
-//! they are unit-testable without process spawning.
+//! All commands except [`serve`], [`top`] and [`scope`] (which own
+//! sockets and wall clocks by nature) are plain functions over
+//! in-memory inputs so they are unit-testable without process spawning.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scope;
 pub mod serve;
 pub mod top;
 
@@ -429,13 +431,15 @@ pub fn run(
     args: &[String],
     read_input: impl Fn(&str) -> Result<Vec<u8>, std::io::Error>,
 ) -> Result<CliOutput, CliError> {
-    let usage = "usage: cfgtag <check|tag|parse|vhdl|dot|report|serve|top> <grammar-file> [args]\n\
+    let usage =
+        "usage: cfgtag <check|tag|parse|vhdl|dot|report|serve|top|scope> <grammar-file> [args]\n\
                  see crate docs for per-command options";
     let cmd = args.first().ok_or_else(|| CliError::new(usage, 2))?;
-    // `serve` and `top` own sockets, clocks and process lifetime, so
-    // they live outside this pure dispatcher; the binary intercepts
-    // them before calling `run` (see `serve::main_io`, `top::main_io`).
-    if cmd == "serve" || cmd == "top" {
+    // `serve`, `top` and `scope` own sockets, clocks and process
+    // lifetime, so they live outside this pure dispatcher; the binary
+    // intercepts them before calling `run` (see the `main_io` in
+    // `serve`, `top`, `scope`).
+    if cmd == "serve" || cmd == "top" || cmd == "scope" {
         return Err(CliError::new(
             format!("{cmd} is handled by the cfgtag binary, not cfg_cli::run"),
             2,
@@ -686,11 +690,14 @@ mod tests {
 
         assert_eq!(run(&argv(&[]), read).unwrap_err().code, 2);
         assert_eq!(run(&argv(&["bogus", "g"]), read).unwrap_err().code, 2);
-        // serve/top are binary-level commands; the pure dispatcher
-        // refuses them with a pointer rather than "unknown command".
-        let e = run(&argv(&["serve", "g"]), read).unwrap_err();
-        assert_eq!(e.code, 2);
-        assert!(e.to_string().contains("cfgtag binary"));
+        // serve/top/scope are binary-level commands; the pure
+        // dispatcher refuses them with a pointer rather than "unknown
+        // command".
+        for cmd in ["serve", "top", "scope"] {
+            let e = run(&argv(&[cmd, "g"]), read).unwrap_err();
+            assert_eq!(e.code, 2);
+            assert!(e.to_string().contains("cfgtag binary"));
+        }
         assert_eq!(run(&argv(&["check", "missing"]), read).unwrap_err().code, 1);
         assert_eq!(run(&argv(&["tag", "g", "--frobnicate"]), read).unwrap_err().code, 2);
         assert_eq!(run(&argv(&["report", "g", "--scale", "x"]), read).unwrap_err().code, 2);

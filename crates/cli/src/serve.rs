@@ -7,6 +7,12 @@
 //! [`FlightRecorder`] can ride along (`--flight-out`) and is dumped
 //! post-mortem when the stream dies or ends.
 //!
+//! The probe layer rides along too: the compiled tagger's
+//! [`cfg_tagger::TaggerProbes`] bank backs `/circuit.json` and
+//! `/probes.json`, and a [`TriggerHub`] teed into the engine's metrics
+//! handle backs `/trigger` + `/capture.jsonl` — `cfgtag scope` is the
+//! terminal client for all four.
+//!
 //! The streaming core ([`run_serve`]) takes any `Read` plus a status
 //! callback, so tests drive it with in-memory readers and capture the
 //! bound address without spawning processes; [`main_io`] is the thin
@@ -14,7 +20,7 @@
 
 use crate::{load_grammar, CliError};
 use cfg_obs::{
-    FlightRecorder, Metrics, MetricsSink, SharedRegistry, Stat, StatsSink, TeeSink,
+    FlightRecorder, Metrics, MetricsSink, SharedRegistry, Stat, StatsSink, TeeSink, TriggerHub,
     DEFAULT_FLIGHT_CAPACITY,
 };
 use cfg_obs_http::{Exporter, ServiceState};
@@ -181,43 +187,53 @@ pub fn run_serve(
     let tagger = TokenTagger::compile(&g, flags.options())
         .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
 
+    let token_names: Vec<String> =
+        tagger.grammar().tokens().iter().map(|t| t.name.clone()).collect();
     let sink = Arc::new(StatsSink::with_tokens(tagger.grammar().tokens().len()));
     let flight =
         flags.flight_out.as_ref().map(|_| Arc::new(FlightRecorder::new(flags.flight_capacity)));
-    let metrics = match &flight {
-        Some(fr) => Metrics::new(Arc::new(TeeSink::new(vec![
-            sink.clone() as Arc<dyn MetricsSink>,
-            fr.clone() as Arc<dyn MetricsSink>,
-        ]))),
-        None => Metrics::new(sink.clone()),
-    };
+    // The trigger hub listens on the same trace stream as the stats
+    // sink, so an armed `/trigger` sees every token_fire / follow_edge
+    // / dead_entry event the engine emits.
+    let hub = Arc::new(TriggerHub::new(token_names.clone()));
+    let mut sinks: Vec<Arc<dyn MetricsSink>> =
+        vec![sink.clone(), hub.clone() as Arc<dyn MetricsSink>];
+    if let Some(fr) = &flight {
+        sinks.push(fr.clone());
+    }
+    let metrics = Metrics::new(Arc::new(TeeSink::new(sinks)));
+    let probes = tagger.probes();
 
     let registry = Arc::new(SharedRegistry::new());
     registry.register("engine", sink.clone());
     let state = Arc::new(ServiceState::new());
     let mut tokens = String::from("[");
-    for (i, tok) in tagger.grammar().tokens().iter().enumerate() {
+    for (i, name) in token_names.iter().enumerate() {
         if i > 0 {
             tokens.push(',');
         }
-        cfg_obs::json::push_str(&mut tokens, &tok.name);
+        cfg_obs::json::push_str(&mut tokens, name);
     }
     tokens.push(']');
     state.set_meta_json(format!(
         "{{\"compile\":{},\"tokens\":{tokens}}}",
         tagger.report().to_json()
     ));
+    state.set_circuit_json(tagger.circuit_json());
+    state.set_probe_bank(probes.bank_arc());
+    state.set_trigger_hub(hub);
+    state.set_token_names(token_names);
     state.set_ready(true);
 
     let exporter =
         Exporter::bind(format!("127.0.0.1:{}", flags.port), registry.clone(), state.clone())
             .map_err(|e| CliError::new(format!("cannot bind exporter: {e}"), 1))?;
     status(&format!(
-        "serving http://{}/metrics (+ /healthz /readyz /report.json)",
+        "serving http://{}/metrics (+ /healthz /readyz /report.json /circuit.json /probes.json /trigger /capture.jsonl)",
         exporter.local_addr()
     ));
 
-    let mut engine = tagger.fast_engine().with_metrics(metrics);
+    let mut engine = tagger.fast_engine().with_metrics(metrics).with_probes(probes);
     let mut buf = vec![0u8; flags.chunk];
     let mut bytes = 0u64;
     let mut events = 0u64;

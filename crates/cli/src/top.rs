@@ -22,12 +22,21 @@ pub struct TopFlags {
     pub iterations: Option<u64>,
     /// How many token rows to show.
     pub top_k: usize,
+    /// Consecutive fetch failures tolerated (with backoff) before
+    /// giving up.
+    pub retries: u32,
 }
 
 impl Default for TopFlags {
     fn default() -> TopFlags {
-        TopFlags { interval_ms: 1000, iterations: None, top_k: 8 }
+        TopFlags { interval_ms: 1000, iterations: None, top_k: 8, retries: 3 }
     }
+}
+
+/// Backoff before retry `attempt` (1-based): 200 ms doubling per
+/// attempt, capped at 3.2 s.
+pub fn backoff_ms(attempt: u32) -> u64 {
+    200u64 << attempt.saturating_sub(1).min(4)
 }
 
 impl TopFlags {
@@ -48,6 +57,7 @@ impl TopFlags {
                 "--iterations" => f.iterations = Some(num(&mut it, "--iterations")?),
                 "--once" => f.iterations = Some(1),
                 "--top" => f.top_k = num(&mut it, "--top")? as usize,
+                "--retries" => f.retries = num(&mut it, "--retries")? as u32,
                 other if other.starts_with("--") => {
                     return Err(CliError::new(format!("unknown top flag {other}"), 2));
                 }
@@ -58,7 +68,7 @@ impl TopFlags {
                 }
             }
         }
-        let addr = addr.ok_or_else(|| CliError::new("usage: cfgtag top <host:port> [--interval-ms N] [--iterations N] [--once] [--top K]", 2))?;
+        let addr = addr.ok_or_else(|| CliError::new("usage: cfgtag top <host:port> [--interval-ms N] [--iterations N] [--once] [--top K] [--retries N]", 2))?;
         Ok((addr, f))
     }
 }
@@ -230,11 +240,24 @@ pub fn main_io(args: &[String]) -> i32 {
                 }
             },
             Err(e) => {
+                // A refused or unreachable exporter usually means serve
+                // hasn't bound yet (or just restarted): back off and
+                // retry instead of failing on the first miss.
                 failures += 1;
-                eprintln!("cfgtag top: cannot fetch http://{addr}/report.json: {e}");
-                if prev.is_none() || failures >= 5 {
+                if failures > flags.retries {
+                    eprintln!("cfgtag top: cannot fetch http://{addr}/report.json: {e}");
+                    eprintln!(
+                        "cfgtag top: giving up after {failures} attempts — is `cfgtag serve` running on {addr}?"
+                    );
                     return 1;
                 }
+                let wait = backoff_ms(failures);
+                eprintln!(
+                    "cfgtag top: {addr} not responding ({e}); retry {failures}/{} in {wait} ms",
+                    flags.retries
+                );
+                std::thread::sleep(std::time::Duration::from_millis(wait));
+                continue;
             }
         }
         polls += 1;
@@ -284,9 +307,22 @@ mod tests {
         assert_eq!(addr, "127.0.0.1:9100");
         assert_eq!(f.interval_ms, 250);
         assert_eq!(f.iterations, Some(1));
+        assert_eq!(f.retries, 3);
+        let (_, f) = TopFlags::parse(&argv(&["x:1", "--retries", "0"])).unwrap();
+        assert_eq!(f.retries, 0);
         assert_eq!(TopFlags::parse(&argv(&[])).unwrap_err().code, 2);
         assert_eq!(TopFlags::parse(&argv(&["a", "b"])).unwrap_err().code, 2);
         assert_eq!(TopFlags::parse(&argv(&["a", "--top"])).unwrap_err().code, 2);
+        assert_eq!(TopFlags::parse(&argv(&["a", "--retries"])).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff_ms(1), 200);
+        assert_eq!(backoff_ms(2), 400);
+        assert_eq!(backoff_ms(3), 800);
+        assert_eq!(backoff_ms(5), 3200);
+        assert_eq!(backoff_ms(50), 3200);
     }
 
     #[test]

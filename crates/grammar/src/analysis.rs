@@ -227,6 +227,21 @@ impl Analysis {
         &self.first[n.index()]
     }
 
+    /// Every FOLLOW enable edge as a `(from, to)` token pair — the
+    /// Figures 8–11 wiring flattened to an edge list, ordered by `from`
+    /// then ascending `to` (the same order each token's
+    /// [`Analysis::follow_of`] set iterates, so downstream per-token
+    /// edge tables stay index-parallel).
+    pub fn follow_edges(&self) -> Vec<(TokenId, TokenId)> {
+        let mut edges = Vec::new();
+        for (u, set) in self.follow_t.iter().enumerate() {
+            for t in set.iter() {
+                edges.push((TokenId(u as u32), t));
+            }
+        }
+        edges
+    }
+
     /// Render the Figure 10 table for documentation/tests.
     pub fn follow_table(&self, g: &Grammar) -> String {
         let mut out = String::from("token           | follow set\n");

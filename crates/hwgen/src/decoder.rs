@@ -65,6 +65,9 @@ pub struct DecoderBank {
     pub data_bits: Vec<NetId>,
     /// Registered decoder output per distinct class, keyed by the set.
     registered: HashMap<ByteSet, NetId>,
+    /// Registered classes in creation order (HashMap iteration is
+    /// nondeterministic; topology export needs a stable order).
+    order: Vec<ByteSet>,
     /// Raw (combinational) decoder output per distinct class.
     raw: HashMap<ByteSet, NetId>,
     /// Hash-consed block comparators.
@@ -84,6 +87,7 @@ impl DecoderBank {
         DecoderBank {
             data_bits,
             registered: HashMap::new(),
+            order: Vec::new(),
             raw: HashMap::new(),
             blocks: HashMap::new(),
         }
@@ -110,6 +114,7 @@ impl DecoderBank {
         DecoderBank {
             data_bits,
             registered: HashMap::new(),
+            order: Vec::new(),
             raw: HashMap::new(),
             blocks: HashMap::new(),
         }
@@ -164,12 +169,19 @@ impl DecoderBank {
         let reg = b.reg(raw, None, false);
         b.name(reg, &format!("decq_{}", sanitize(&set.describe())));
         self.registered.insert(set, reg);
+        self.order.push(set);
         reg
     }
 
     /// Number of distinct registered classes built so far.
     pub fn class_count(&self) -> usize {
         self.registered.len()
+    }
+
+    /// The registered classes with their output nets, in creation
+    /// order — the stable enumeration the circuit topology exports.
+    pub fn registered_classes(&self) -> Vec<(ByteSet, NetId)> {
+        self.order.iter().map(|set| (*set, self.registered[set])).collect()
     }
 
     /// Number of distinct block comparators built so far.

@@ -105,6 +105,9 @@ pub struct TokenHw {
     pub code: usize,
     /// Pattern positions (= pipeline registers = pattern bytes).
     pub positions: usize,
+    /// The pipeline position register nets, in pattern order (one per
+    /// position — the nets a circuit probe watches for stage heat).
+    pub position_nets: Vec<NetId>,
 }
 
 /// The generated circuit plus the metadata needed to drive it.
@@ -128,6 +131,9 @@ pub struct GeneratedTagger {
     pub pattern_bytes: usize,
     /// Number of distinct registered class decoders.
     pub decoder_classes: usize,
+    /// The registered decoder classes with their output nets, in
+    /// creation order (the stable enumeration `circuit.json` exports).
+    pub decoders: Vec<(cfg_regex::ByteSet, NetId)>,
     /// The grammar's delimiter class (drivers flush with one of these).
     pub delimiters: cfg_regex::ByteSet,
     /// Wall-clock nanoseconds per generation phase, in execution order
@@ -262,10 +268,12 @@ pub fn generate(g: &Grammar, opts: &GeneratorOptions) -> Result<GeneratedTagger,
             match_raw: sk.nets.match_raw,
             code: if opts.encoder == EncoderKind::None { 0 } else { slots.codes[t] },
             positions: tok.pattern.pattern_bytes(),
+            position_nets: sk.nets.positions.clone(),
         })
         .collect();
 
     let decoder_classes = bank.class_count();
+    let decoders = bank.registered_classes();
     let mut netlist = b.finish();
     if let Some(cap) = opts.max_reg_fanout {
         let (replicated, _added) = cfg_netlist::replicate_high_fanout_regs(&netlist, cap);
@@ -285,6 +293,7 @@ pub fn generate(g: &Grammar, opts: &GeneratorOptions) -> Result<GeneratedTagger,
         slots,
         pattern_bytes: g.pattern_bytes(),
         decoder_classes,
+        decoders,
         delimiters: delim,
         stage_nanos,
     })

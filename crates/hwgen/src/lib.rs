@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod circuit;
 pub mod control;
 pub mod decoder;
 pub mod encoder;
@@ -44,5 +45,6 @@ pub mod tokenizer;
 pub mod vhdl;
 pub mod wide;
 
+pub use circuit::CircuitTopology;
 pub use generate::{generate, GenError, GeneratedTagger, GeneratorOptions, StartMode, TokenHw};
 pub use wide::{generate_wide, GeneratedWideTagger, WideTokenHw};

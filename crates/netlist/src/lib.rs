@@ -34,7 +34,7 @@ pub mod transform;
 pub mod vcd;
 
 pub use builder::NetlistBuilder;
-pub use dot::to_dot;
+pub use dot::{heat_color, to_dot, to_dot_with_heat};
 pub use ir::{Net, NetId, Netlist, Op};
 pub use sim::{SimError, Simulator};
 pub use stats::NetlistStats;

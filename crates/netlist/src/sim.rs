@@ -72,6 +72,8 @@ pub struct Simulator {
     inputs: Vec<u32>,
     outputs: Vec<(String, u32)>,
     cycle: u64,
+    watches: Vec<u32>,
+    watch_counts: Vec<u64>,
 }
 
 impl Simulator {
@@ -146,6 +148,8 @@ impl Simulator {
             inputs: nl.inputs().iter().map(|i| i.0).collect(),
             outputs: nl.outputs().iter().map(|(s, i)| (s.clone(), i.0)).collect(),
             cycle: 0,
+            watches: Vec::new(),
+            watch_counts: Vec::new(),
         };
         // Constants are fixed once.
         for (i, net) in nl.nets().iter().enumerate() {
@@ -166,7 +170,32 @@ impl Simulator {
         for r in &self.regs {
             self.values[r.out as usize] = if r.init { u64::MAX } else { 0 };
         }
+        for c in &mut self.watch_counts {
+            *c = 0;
+        }
         self.cycle = 0;
+    }
+
+    /// Watch a net: after every [`Simulator::step`] the watch's counter
+    /// is incremented when the net is high on parallel stream 0. This
+    /// is the circuit-probe hook — an embedded-logic-analyzer tap on an
+    /// arbitrary internal net. Returns the watch index; counters reset
+    /// with [`Simulator::reset`].
+    pub fn watch(&mut self, id: NetId) -> usize {
+        self.watches.push(id.0);
+        self.watch_counts.push(0);
+        self.watches.len() - 1
+    }
+
+    /// Cycles (since construction/reset) on which the watched net was
+    /// high on stream 0.
+    pub fn watch_count(&self, idx: usize) -> u64 {
+        self.watch_counts[idx]
+    }
+
+    /// Number of registered watches.
+    pub fn watch_len(&self) -> usize {
+        self.watches.len()
     }
 
     /// Advance one clock cycle: apply `inputs` (one u64 per declared
@@ -229,6 +258,9 @@ impl Simulator {
             .collect();
         for (r, v) in self.regs.iter().zip(next) {
             self.values[r.out as usize] = v;
+        }
+        for (w, count) in self.watches.iter().zip(&mut self.watch_counts) {
+            *count += self.values[*w as usize] & 1;
         }
         self.cycle += 1;
         Ok(())
@@ -433,6 +465,28 @@ mod tests {
         sim.step(&[0b01]).unwrap();
         assert!(sim.value_bit(nl.inputs()[0]));
         assert_eq!(sim.input_count(), 1);
+    }
+
+    #[test]
+    fn watches_count_stream_zero_high_cycles() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let q = b.reg(a, None, false);
+        b.output("q", q);
+        let nl = b.finish();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let w = sim.watch(nl.outputs()[0].1);
+        assert_eq!(sim.watch_len(), 1);
+        for v in [1u64, 0, 1] {
+            sim.step(&[v]).unwrap();
+        }
+        // Post-step register values were 1, 0, 1 → two high cycles.
+        assert_eq!(sim.watch_count(w), 2);
+        // Stream 1 activity is invisible to a watch.
+        sim.step(&[0b10]).unwrap();
+        assert_eq!(sim.watch_count(w), 2);
+        sim.reset();
+        assert_eq!(sim.watch_count(w), 0);
     }
 
     #[test]

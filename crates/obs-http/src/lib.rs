@@ -16,6 +16,19 @@
 //!   entered the dead state, `503` otherwise.
 //! * `GET /report.json` — the merged [`RegistrySnapshot`] plus the
 //!   service metadata (compile report, token names) as one JSON object.
+//! * `GET /circuit.json` — the named topology of the synthesized
+//!   circuit ([`ServiceState::set_circuit_json`]): decoders, tokenizer
+//!   stages, FOLLOW enable edges, and the encoder, each carrying a
+//!   stable probe id.
+//! * `GET /probes.json` — live per-element activity from the attached
+//!   [`cfg_obs::ProbeBank`]; probe order matches `/circuit.json` 1:1.
+//! * `GET /trigger?cond=token:go&pre=32&post=32` — arm an ILA-style
+//!   capture ([`cfg_obs::TriggerHub`]); conditions are `token:<name>`,
+//!   `edge:<from>-><to>`, or `dead`.
+//! * `GET /capture.jsonl` — the captured pre/post trace window as
+//!   JSON lines once the trigger has fired (`503` while pending,
+//!   `404` with no trigger armed; `?flush=1` force-completes a
+//!   partial post window).
 //!
 //! The exporter runs on one `std::net::TcpListener` accept loop —
 //! serving a scrape costs a snapshot of lock-free counters, so the
@@ -25,7 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cfg_obs::{json, RegistrySnapshot, SharedRegistry, Stat};
+use cfg_obs::{json, ProbeBank, RegistrySnapshot, SharedRegistry, Stat, TriggerHub};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -40,6 +53,10 @@ pub struct ServiceState {
     ready: AtomicBool,
     dead: AtomicBool,
     meta_json: Mutex<Option<String>>,
+    circuit_json: Mutex<Option<String>>,
+    probe_bank: Mutex<Option<Arc<ProbeBank>>>,
+    trigger_hub: Mutex<Option<Arc<TriggerHub>>>,
+    token_names: Mutex<Vec<String>>,
 }
 
 impl ServiceState {
@@ -79,6 +96,45 @@ impl ServiceState {
 
     fn meta_json(&self) -> String {
         self.meta_json.lock().unwrap().clone().unwrap_or_else(|| "{}".to_string())
+    }
+
+    /// Install the pre-encoded circuit topology served at
+    /// `/circuit.json` (one valid JSON value; probe ids must match the
+    /// attached probe bank's order).
+    pub fn set_circuit_json(&self, circuit: String) {
+        *self.circuit_json.lock().unwrap() = Some(circuit);
+    }
+
+    /// Attach the live probe bank served at `/probes.json`.
+    pub fn set_probe_bank(&self, bank: Arc<ProbeBank>) {
+        *self.probe_bank.lock().unwrap() = Some(bank);
+    }
+
+    /// Attach the trigger hub behind `/trigger` and `/capture.jsonl`.
+    pub fn set_trigger_hub(&self, hub: Arc<TriggerHub>) {
+        *self.trigger_hub.lock().unwrap() = Some(hub);
+    }
+
+    /// Install token names: `/metrics` labels per-token fire counters
+    /// with `name="..."` (escaped — names are user grammar text).
+    pub fn set_token_names(&self, names: Vec<String>) {
+        *self.token_names.lock().unwrap() = names;
+    }
+
+    fn circuit_json(&self) -> Option<String> {
+        self.circuit_json.lock().unwrap().clone()
+    }
+
+    fn probe_bank(&self) -> Option<Arc<ProbeBank>> {
+        self.probe_bank.lock().unwrap().clone()
+    }
+
+    fn trigger_hub(&self) -> Option<Arc<TriggerHub>> {
+        self.trigger_hub.lock().unwrap().clone()
+    }
+
+    fn token_names(&self) -> Vec<String> {
+        self.token_names.lock().unwrap().clone()
     }
 }
 
@@ -128,16 +184,37 @@ pub fn render_prometheus(snap: &RegistrySnapshot, state: &ServiceState) -> Strin
         }
     }
 
-    // Per-token fire counters, labelled by token index.
+    // Per-token fire counters, labelled by token index — and by name
+    // when the service knows them. Token names come straight out of the
+    // user's grammar (quoted literals may hold anything), so the name
+    // label always passes through `label_escape`.
+    let names = state.token_names();
     let _ = writeln!(out, "# TYPE cfgtag_token_fires_total counter");
     for (sink, part) in &snap.parts {
         for (index, fires) in part.token_fires.iter().enumerate() {
             if *fires > 0 {
+                let name_label = match names.get(index) {
+                    Some(name) => format!(",name=\"{}\"", label_escape(name)),
+                    None => String::new(),
+                };
                 let _ = writeln!(
                     out,
-                    "cfgtag_token_fires_total{{sink=\"{}\",token=\"{index}\"}} {fires}",
+                    "cfgtag_token_fires_total{{sink=\"{}\",token=\"{index}\"{name_label}}} {fires}",
                     label_escape(sink)
                 );
+            }
+        }
+    }
+
+    // Circuit-element probes, labelled by probe id. Ids embed class
+    // descriptions (`dec/[\t-\r ]`) and token names — escape always.
+    if let Some(bank) = state.probe_bank() {
+        let _ = writeln!(out, "# TYPE cfgtag_probe_total counter");
+        for (i, id) in bank.ids().iter().enumerate() {
+            let count = bank.count(i as u32);
+            if count > 0 {
+                let _ =
+                    writeln!(out, "cfgtag_probe_total{{probe=\"{}\"}} {count}", label_escape(id));
             }
         }
     }
@@ -203,10 +280,117 @@ pub struct Response {
     pub body: String,
 }
 
+/// Decode `%XX` escapes and `+` in one query-string component.
+fn query_decode(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 3 <= bytes.len()
+                && raw.is_char_boundary(i + 1)
+                && raw.is_char_boundary(i + 3) =>
+            {
+                match u8::from_str_radix(&raw[i + 1..i + 3], 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Pull one `key=value` pair out of a query string (decoded).
+fn query_param(query: &str, key: &str) -> Option<String> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| query_decode(v))
+}
+
+fn respond_trigger(query: &str, state: &ServiceState) -> Response {
+    let Some(hub) = state.trigger_hub() else {
+        return Response {
+            status: 404,
+            content_type: "text/plain",
+            body: "no trigger hub attached\n".into(),
+        };
+    };
+    let Some(cond) = query_param(query, "cond") else {
+        return Response {
+            status: 400,
+            content_type: "text/plain",
+            body: "missing cond= (token:<name>, edge:<from>-><to>, dead)\n".into(),
+        };
+    };
+    let pre = query_param(query, "pre").and_then(|v| v.parse().ok()).unwrap_or(32usize);
+    let post = query_param(query, "post").and_then(|v| v.parse().ok()).unwrap_or(32usize);
+    match hub.arm(&cond, pre, post) {
+        Ok(_) => {
+            let mut body = String::from("{\"armed\":");
+            json::push_str(&mut body, &cond);
+            body.push_str(&format!(",\"pre\":{pre},\"post\":{post}}}\n"));
+            Response { status: 200, content_type: "application/json", body }
+        }
+        Err(e) => Response { status: 400, content_type: "text/plain", body: format!("{e}\n") },
+    }
+}
+
+fn respond_capture(query: &str, state: &ServiceState) -> Response {
+    let Some(hub) = state.trigger_hub() else {
+        return Response {
+            status: 404,
+            content_type: "text/plain",
+            body: "no trigger hub attached\n".into(),
+        };
+    };
+    if query_param(query, "flush").is_some() {
+        hub.flush();
+    }
+    let Some(trigger) = hub.active() else {
+        return Response {
+            status: 404,
+            content_type: "text/plain",
+            body: "no trigger armed\n".into(),
+        };
+    };
+    match trigger.capture_jsonl() {
+        Some(jsonl) => Response { status: 200, content_type: "application/jsonl", body: jsonl },
+        None => Response {
+            status: 503,
+            content_type: "text/plain",
+            body: if trigger.fired() {
+                "capture in progress (post window filling)\n".into()
+            } else {
+                "armed, waiting for trigger\n".into()
+            },
+        },
+    }
+}
+
 /// Route one request path to its response — the pure core of the
 /// exporter, also what the endpoint unit tests drive.
 pub fn respond(path: &str, registry: &SharedRegistry, state: &ServiceState) -> Response {
-    let path = path.split('?').next().unwrap_or(path);
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     match path {
         "/metrics" => Response {
             status: 200,
@@ -227,8 +411,30 @@ pub fn respond(path: &str, registry: &SharedRegistry, state: &ServiceState) -> R
             content_type: "application/json",
             body: render_report(&registry.snapshot(), state),
         },
+        "/circuit.json" => match state.circuit_json() {
+            Some(body) => Response { status: 200, content_type: "application/json", body },
+            None => Response {
+                status: 404,
+                content_type: "text/plain",
+                body: "no circuit loaded\n".into(),
+            },
+        },
+        "/probes.json" => match state.probe_bank() {
+            Some(bank) => {
+                let mut body = bank.to_json();
+                body.push('\n');
+                Response { status: 200, content_type: "application/json", body }
+            }
+            None => Response {
+                status: 404,
+                content_type: "text/plain",
+                body: "no probe bank attached\n".into(),
+            },
+        },
+        "/trigger" => respond_trigger(query, state),
+        "/capture.jsonl" => respond_capture(query, state),
         "/" => {
-            let mut body = String::from("{\"endpoints\":[\"/metrics\",\"/healthz\",\"/readyz\",\"/report.json\"],\"sinks\":[");
+            let mut body = String::from("{\"endpoints\":[\"/metrics\",\"/healthz\",\"/readyz\",\"/report.json\",\"/circuit.json\",\"/probes.json\",\"/trigger\",\"/capture.jsonl\"],\"sinks\":[");
             for (i, name) in registry.names().iter().enumerate() {
                 if i > 0 {
                     body.push(',');
@@ -351,6 +557,13 @@ impl Drop for Exporter {
 /// shared by `cfgtag top` and the integration tests; speaks just
 /// enough HTTP/1.1 for our own server and any reasonable peer.
 pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    http_get_status(addr, path).map(|(_, body)| body)
+}
+
+/// Like [`http_get`] but also returns the HTTP status code — for
+/// endpoints where the status carries state (`/capture.jsonl` answers
+/// `503` while a capture is pending).
+pub fn http_get_status(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
@@ -358,7 +571,13 @@ pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
     match raw.split_once("\r\n\r\n") {
-        Some((_, body)) => Ok(body.to_string()),
+        Some((head, body)) => {
+            let status =
+                head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "no HTTP status")
+                })?;
+            Ok((status, body.to_string()))
+        }
         None => Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "no HTTP header split")),
     }
 }
@@ -444,5 +663,96 @@ mod tests {
     fn label_escaping() {
         assert_eq!(label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(metric_chunk("route-latency.bytes"), "route_latency_bytes");
+    }
+
+    #[test]
+    fn token_name_labels_are_escaped() {
+        // Token names are user grammar text — a hostile name must come
+        // out as a valid (escaped) Prometheus label value.
+        let reg = registry_with_traffic();
+        let state = ServiceState::new();
+        state.set_token_names(vec!["x".into(), "y".into(), "a\"b\\c\nd".into()]);
+        let text = render_prometheus(&reg.snapshot(), &state);
+        assert!(text.contains(
+            "cfgtag_token_fires_total{sink=\"engine\",token=\"2\",name=\"a\\\"b\\\\c\\nd\"} 5"
+        ));
+    }
+
+    #[test]
+    fn probe_series_escape_ids_and_skip_zeros() {
+        let reg = SharedRegistry::new();
+        let state = ServiceState::new();
+        let bank = Arc::new(ProbeBank::new(vec!["dec/[\\t-\\r ]".into(), "tok/go/fire".into()]));
+        bank.hit(0, 7);
+        state.set_probe_bank(Arc::clone(&bank));
+        let text = render_prometheus(&reg.snapshot(), &state);
+        // Literal backslashes in the class description double on the way
+        // out; zero-count probes are elided.
+        assert!(text.contains("cfgtag_probe_total{probe=\"dec/[\\\\t-\\\\r ]\"} 7"));
+        assert!(!text.contains("tok/go/fire"));
+    }
+
+    #[test]
+    fn circuit_and_probe_endpoints() {
+        let reg = SharedRegistry::new();
+        let state = ServiceState::new();
+        assert_eq!(respond("/circuit.json", &reg, &state).status, 404);
+        assert_eq!(respond("/probes.json", &reg, &state).status, 404);
+
+        state.set_circuit_json("{\"decoders\":[]}".into());
+        let bank = Arc::new(ProbeBank::new(vec!["tok/go/fire".into()]));
+        bank.hit(0, 3);
+        state.set_probe_bank(bank);
+
+        let c = respond("/circuit.json", &reg, &state);
+        assert_eq!((c.status, c.content_type), (200, "application/json"));
+        assert_eq!(c.body, "{\"decoders\":[]}");
+        let p = respond("/probes.json", &reg, &state);
+        assert_eq!(p.status, 200);
+        let v = json::Json::parse(&p.body).unwrap();
+        let probes = v.get("probes").unwrap().as_array().unwrap();
+        assert_eq!(probes[0].get("id").unwrap().as_str(), Some("tok/go/fire"));
+        assert_eq!(probes[0].get("count").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn trigger_arm_and_capture_flow() {
+        use cfg_obs::TraceEvent;
+        let reg = SharedRegistry::new();
+        let state = ServiceState::new();
+        assert_eq!(respond("/trigger?cond=dead", &reg, &state).status, 404);
+        assert_eq!(respond("/capture.jsonl", &reg, &state).status, 404);
+
+        let hub = Arc::new(TriggerHub::new(vec!["if".into(), "go".into()]));
+        state.set_trigger_hub(Arc::clone(&hub));
+        assert_eq!(respond("/capture.jsonl", &reg, &state).status, 404);
+        assert_eq!(respond("/trigger", &reg, &state).status, 400);
+        let bad = respond("/trigger?cond=token:nope", &reg, &state);
+        assert_eq!(bad.status, 400);
+        assert!(bad.body.contains("nope"));
+
+        let armed = respond("/trigger?cond=token:go&pre=1&post=1", &reg, &state);
+        assert_eq!(armed.status, 200);
+        assert!(armed.body.contains("\"armed\":\"token:go\""));
+        assert_eq!(respond("/capture.jsonl", &reg, &state).status, 503);
+
+        hub.trace(TraceEvent::new("token_fire").field("token", 0u32));
+        hub.trace(TraceEvent::new("token_fire").field("token", 1u32));
+        assert_eq!(respond("/capture.jsonl", &reg, &state).status, 503);
+        // Force-complete the half-filled post window.
+        let cap = respond("/capture.jsonl?flush=1", &reg, &state);
+        assert_eq!(cap.status, 200);
+        let lines: Vec<&str> = cap.body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"token\":1"));
+    }
+
+    #[test]
+    fn query_decoding() {
+        assert_eq!(query_decode("token%3Ago"), "token:go");
+        assert_eq!(query_decode("edge:if-%3Etrue"), "edge:if->true");
+        assert_eq!(query_decode("a+b%zz"), "a b%zz");
+        assert_eq!(query_param("cond=dead&pre=4", "pre").as_deref(), Some("4"));
+        assert_eq!(query_param("cond=dead", "post"), None);
     }
 }

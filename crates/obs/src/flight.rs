@@ -63,9 +63,9 @@ impl FlightRecorder {
         self.seq.load(Ordering::Relaxed)
     }
 
-    fn push(&self, event: TraceEvent) {
+    fn push(&self, event: TraceEvent) -> u64 {
         if self.capacity == 0 {
-            return;
+            return 0;
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut ring = self.ring.lock().unwrap();
@@ -73,6 +73,15 @@ impl FlightRecorder {
             ring.pop_front();
         }
         ring.push_back((seq, event));
+        seq
+    }
+
+    /// Record an event directly (outside the [`MetricsSink`] path) and
+    /// return the sequence number it was stamped with. The trigger
+    /// engine uses this to correlate a fired condition with its place
+    /// in the ring.
+    pub fn record(&self, event: TraceEvent) -> u64 {
+        self.push(event)
     }
 
     /// Copy out the ring, oldest first, each entry with its sequence
@@ -87,25 +96,31 @@ impl FlightRecorder {
     pub fn dump_jsonl(&self) -> String {
         let mut out = String::new();
         for (seq, event) in self.events() {
-            out.push_str("{\"seq\":");
-            out.push_str(&seq.to_string());
-            out.push_str(",\"kind\":");
-            json::push_str(&mut out, event.kind);
-            for (k, v) in &event.fields {
-                out.push(',');
-                json::push_str(&mut out, k);
-                out.push(':');
-                match v {
-                    Value::U(x) => out.push_str(&x.to_string()),
-                    Value::I(x) => out.push_str(&x.to_string()),
-                    Value::F(x) => json::push_f64(&mut out, *x),
-                    Value::S(x) => json::push_str(&mut out, x),
-                }
-            }
-            out.push_str("}\n");
+            push_seq_line(&mut out, seq, &event);
         }
         out
     }
+}
+
+/// Append one `{"seq":N,...event}\n` line — the shared line shape for
+/// flight dumps and trigger captures.
+pub(crate) fn push_seq_line(out: &mut String, seq: u64, event: &TraceEvent) {
+    out.push_str("{\"seq\":");
+    out.push_str(&seq.to_string());
+    out.push_str(",\"kind\":");
+    json::push_str(out, event.kind);
+    for (k, v) in &event.fields {
+        out.push(',');
+        json::push_str(out, k);
+        out.push(':');
+        match v {
+            Value::U(x) => out.push_str(&x.to_string()),
+            Value::I(x) => out.push_str(&x.to_string()),
+            Value::F(x) => json::push_f64(out, *x),
+            Value::S(x) => json::push_str(out, x),
+        }
+    }
+    out.push_str("}\n");
 }
 
 impl MetricsSink for FlightRecorder {

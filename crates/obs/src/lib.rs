@@ -27,6 +27,14 @@
 //! that the `cfg-obs-http` exporter serves over HTTP while engines keep
 //! streaming.
 //!
+//! Below the engine counters sits the *circuit* view: a [`ProbeBank`]
+//! holds one dense atomic counter per synthesized circuit element
+//! (decoder, tokenizer stage, FOLLOW edge), addressed by the stable
+//! probe ids minted in `circuit.json`, and a [`TriggerHub`] arms
+//! ILA-style captures ([`TriggerCondition`]) that freeze a pre/post
+//! window of trace events around a token fire, a FOLLOW-edge
+//! traversal, or a dead stream.
+//!
 //! All JSON is hand-rolled, both directions ([`json`]); the crate has
 //! zero dependencies.
 
@@ -36,17 +44,21 @@ mod flight;
 mod histogram;
 pub mod json;
 mod metrics;
+mod probe;
 mod registry;
 mod report;
 mod sink;
 mod stats;
 mod trace;
+mod trigger;
 
 pub use flight::{FlightRecorder, TeeSink, DEFAULT_FLIGHT_CAPACITY};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Metrics, SpanGuard};
+pub use probe::ProbeBank;
 pub use registry::{RegistrySnapshot, SharedRegistry};
 pub use report::{CompileReport, StageTiming};
 pub use sink::{MetricsSink, NoopSink, Stat};
 pub use stats::{StatsSink, StatsSnapshot};
 pub use trace::{TraceEvent, Value};
+pub use trigger::{Trigger, TriggerCondition, TriggerHub};

@@ -205,6 +205,70 @@ mod tests {
     }
 
     #[test]
+    fn empty_sink_merge_leaves_histograms_intact() {
+        // A freshly-registered sink with no observations must be a
+        // no-op in the merged histogram view, not a zeroing fold.
+        let reg = SharedRegistry::new();
+        let busy = Arc::new(StatsSink::new());
+        reg.register("busy", Arc::clone(&busy));
+        busy.observe("route_latency_bytes", 100);
+        busy.observe("route_latency_bytes", 900);
+        reg.register("idle", Arc::new(StatsSink::new()));
+
+        let merged = reg.snapshot().merged;
+        let h = merged.histogram("route_latency_bytes").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1000);
+        assert_eq!(h.max, 900);
+        // Merge symmetry: fold the busy part into an empty snapshot by
+        // hand and compare against the registry's fold.
+        let snap = reg.snapshot();
+        let mut by_hand = crate::StatsSnapshot::empty();
+        for (_, part) in &snap.parts {
+            by_hand.merge(part);
+        }
+        assert_eq!(by_hand.histogram("route_latency_bytes"), Some(h));
+    }
+
+    #[test]
+    fn single_sample_quantiles_report_that_sample() {
+        let reg = SharedRegistry::new();
+        let sink = Arc::new(StatsSink::new());
+        reg.register("engine", Arc::clone(&sink));
+        sink.observe("decision_latency_ns", 700);
+        let h = reg.snapshot().merged.histogram("decision_latency_ns").unwrap().clone();
+        assert_eq!(h.count, 1);
+        // Every quantile of a one-sample distribution lands in that
+        // sample's bucket: within the power-of-two bracket around 700.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((512.0..=1024.0).contains(&v), "q={q} gave {v}");
+        }
+    }
+
+    #[test]
+    fn max_and_sum_survive_multi_sink_merges() {
+        let reg = SharedRegistry::new();
+        let a = Arc::new(StatsSink::new());
+        let b = Arc::new(StatsSink::new());
+        let c = Arc::new(StatsSink::new());
+        reg.register("a", Arc::clone(&a));
+        reg.register("b", Arc::clone(&b));
+        reg.register("c", Arc::clone(&c));
+        a.observe("chunk_bytes", 10);
+        a.observe("chunk_bytes", 20);
+        b.observe("chunk_bytes", 5000);
+        c.observe("chunk_bytes", 3);
+
+        let h = reg.snapshot().merged.histogram("chunk_bytes").unwrap().clone();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 10 + 20 + 5000 + 3);
+        // max is the max over sinks, not the last-merged sink's max.
+        assert_eq!(h.max, 5000);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
     fn new_part_passes_through_diff() {
         let reg = SharedRegistry::new();
         let a = Arc::new(StatsSink::new());

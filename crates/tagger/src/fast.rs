@@ -9,6 +9,7 @@
 //! engine is the hardware-fidelity reference.
 
 use crate::event::TagEvent;
+use crate::probes::TaggerProbes;
 use crate::tagger::TaggerOptions;
 use cfg_grammar::{Grammar, TokenId};
 use cfg_hwgen::StartMode;
@@ -135,6 +136,11 @@ pub struct FastEngine {
     /// only while an enabled sink is attached (used to count dead-state
     /// *entries*).
     was_dead: bool,
+    /// Circuit probes (decoder/stage/fire/edge counters), if attached.
+    probes: Option<Arc<TaggerProbes>>,
+    /// Cached `probes.bank().is_enabled()` at attach time — same
+    /// contract as `live_stats`: a disabled bank costs nothing per byte.
+    live_probes: bool,
 }
 
 impl FastEngine {
@@ -158,6 +164,8 @@ impl FastEngine {
             metrics: Metrics::off(),
             live_stats: false,
             was_dead: false,
+            probes: None,
+            live_probes: false,
             tables,
         };
         e.reset();
@@ -168,6 +176,14 @@ impl FastEngine {
     pub fn with_metrics(mut self, metrics: Metrics) -> FastEngine {
         self.live_stats = metrics.is_enabled();
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach circuit probes (builder style). A disabled bank is cached
+    /// as off and the per-byte probe scans are skipped entirely.
+    pub fn with_probes(mut self, probes: Arc<TaggerProbes>) -> FastEngine {
+        self.live_probes = probes.bank().is_enabled();
+        self.probes = Some(probes);
         self
     }
 
@@ -238,6 +254,19 @@ impl FastEngine {
         let is_delim = tables.delim.contains(byte);
         let mut matched: Vec<usize> = Vec::new();
 
+        // Decoder-hit probes: the registered decoder for every class
+        // containing this byte asserts — the software mirror of the
+        // Figure 4/5 decode wires. Gated like all probe work.
+        if self.live_probes {
+            if let Some(pr) = &self.probes {
+                for (set, idx) in &pr.decoders {
+                    if set.contains(byte) {
+                        pr.bank().hit(*idx, 1);
+                    }
+                }
+            }
+        }
+
         // §5.2 error recovery: if the machine is dead (nothing active,
         // nothing armed) and the previous byte was a delimiter, re-enable
         // the start tokens — mirrors the hardware's NOR-based resync.
@@ -299,6 +328,19 @@ impl FastEngine {
                 }
             }
             self.next_any[t] = any_fired;
+            // Stage-activity probes: one hit per position register that
+            // goes active this byte (the pipeline heat of Figure 6).
+            if self.live_probes && any_fired {
+                if let Some(pr) = &self.probes {
+                    for (p, &on) in next_active.iter().enumerate() {
+                        if on {
+                            if let Some(&idx) = pr.stages[t].get(p) {
+                                pr.bank().hit(idx, 1);
+                            }
+                        }
+                    }
+                }
+            }
             if let Some(start) = token_match_start {
                 events.push(TagEvent { token: TokenId(t as u32), start, end: i + 1 });
                 matched.push(t);
@@ -314,6 +356,11 @@ impl FastEngine {
                             .field("end", i + 1)
                     });
                 }
+                if self.live_probes {
+                    if let Some(pr) = &self.probes {
+                        pr.bank().hit(pr.fire[t], 1);
+                    }
+                }
             }
 
             // Arm update: hold a pending enable across delimiter bytes.
@@ -328,8 +375,21 @@ impl FastEngine {
         // Enables for the next byte come from this byte's matches.
         self.set_now.iter_mut().for_each(|s| *s = false);
         for &u in &matched {
-            for &f in &tables.followers[u] {
+            for (k, &f) in tables.followers[u].iter().enumerate() {
                 self.set_now[f] = true;
+                // A fire propagating an enable pulse down a FOLLOW wire
+                // is the edge activation the probes and triggers watch.
+                if self.live_probes {
+                    if let Some(pr) = &self.probes {
+                        if let Some(&idx) = pr.edges[u].get(k) {
+                            pr.bank().hit(idx, 1);
+                        }
+                    }
+                }
+                if self.live_stats {
+                    self.metrics
+                        .trace(|| TraceEvent::new("follow_edge").field("from", u).field("to", f));
+                }
             }
         }
         self.prev_was_delim = is_delim;

@@ -8,10 +8,12 @@
 //! [`crate::TokenTagger::resolve_spans`].
 
 use crate::event::RawMatch;
+use crate::probes::TaggerProbes;
 use cfg_grammar::TokenId;
 use cfg_hwgen::GeneratedTagger;
 use cfg_netlist::{NetId, SimError, Simulator};
 use cfg_obs::{Metrics, Stat};
+use std::sync::Arc;
 
 /// Cycle-accurate engine over the generated netlist.
 #[derive(Debug)]
@@ -27,6 +29,16 @@ pub struct GateEngine {
     start_pending: bool,
     /// Observability handle (default off).
     metrics: Metrics,
+    /// Circuit probes, if attached. Decoder and stage activity comes
+    /// from simulator watches on the real nets; fires and FOLLOW edges
+    /// are counted at the match-line read.
+    probes: Option<Arc<TaggerProbes>>,
+    /// Cached `probes.bank().is_enabled()` at attach time.
+    live_probes: bool,
+    /// Probe index per registered simulator watch.
+    watch_probe: Vec<u32>,
+    /// Watch counts already drained into the bank.
+    watch_prev: Vec<u64>,
 }
 
 impl GateEngine {
@@ -41,6 +53,10 @@ impl GateEngine {
             fed: 0,
             start_pending: true,
             metrics: Metrics::off(),
+            probes: None,
+            live_probes: false,
+            watch_probe: Vec::new(),
+            watch_prev: Vec::new(),
         })
     }
 
@@ -50,11 +66,48 @@ impl GateEngine {
         self
     }
 
+    /// Attach circuit probes (builder style): registers a simulator
+    /// watch on every decoder output and tokenizer position register —
+    /// the embedded-logic-analyzer taps — unless the bank is disabled,
+    /// in which case the simulator runs untapped.
+    pub fn with_probes(mut self, probes: Arc<TaggerProbes>) -> GateEngine {
+        self.live_probes = probes.bank().is_enabled();
+        if self.live_probes {
+            for (net, probe) in probes.watch_nets() {
+                self.sim.watch(net);
+                self.watch_probe.push(probe);
+            }
+            self.watch_prev = vec![0; self.watch_probe.len()];
+        }
+        self.probes = Some(probes);
+        self
+    }
+
     /// Reset for a fresh stream.
     pub fn reset(&mut self) {
         self.sim.reset();
         self.fed = 0;
         self.start_pending = true;
+        // reset() clears the simulator's watch counters too.
+        self.watch_prev.iter_mut().for_each(|p| *p = 0);
+    }
+
+    /// Move any new watch activity into the probe bank (batched off the
+    /// per-cycle loop, like the stat counters).
+    fn drain_watches(&mut self) {
+        if !self.live_probes {
+            return;
+        }
+        if let Some(pr) = &self.probes {
+            for (i, &probe) in self.watch_probe.iter().enumerate() {
+                let now = self.sim.watch_count(i);
+                let delta = now - self.watch_prev[i];
+                if delta > 0 {
+                    pr.bank().hit(probe, delta);
+                }
+                self.watch_prev[i] = now;
+            }
+        }
     }
 
     /// Clock one byte through the circuit and collect any in-bounds
@@ -82,6 +135,17 @@ impl GateEngine {
             if self.sim.value(net) & 1 != 0 {
                 raw.push(RawMatch { token: TokenId(t as u32), end });
                 self.metrics.token_fire(t as u32, 1);
+                if self.live_probes {
+                    if let Some(pr) = &self.probes {
+                        pr.bank().hit(pr.fire[t], 1);
+                        // The match line drives every FOLLOW enable
+                        // wire out of this token: one edge activation
+                        // each (same semantics as the fast engine).
+                        for &e in &pr.edges[t] {
+                            pr.bank().hit(e, 1);
+                        }
+                    }
+                }
             }
         }
         Ok(())
@@ -98,6 +162,7 @@ impl GateEngine {
         // One cycle per byte: batch both counters off the clock loop.
         self.metrics.add(Stat::BytesIn, bytes.len() as u64);
         self.metrics.add(Stat::GateCycles, bytes.len() as u64);
+        self.drain_watches();
         Ok(raw)
     }
 
@@ -109,6 +174,7 @@ impl GateEngine {
             self.clock(self.flush_byte, self.fed, &mut raw)?;
         }
         self.metrics.add(Stat::GateCycles, self.flush as u64);
+        self.drain_watches();
         Ok(raw)
     }
 

@@ -39,6 +39,7 @@ pub mod event;
 pub mod fast;
 pub mod gate;
 pub mod pda;
+pub mod probes;
 pub mod tagger;
 pub mod wide;
 
@@ -47,6 +48,7 @@ pub use event::TagEvent;
 pub use fast::FastEngine;
 pub use gate::GateEngine;
 pub use pda::{PdaParser, PdaResult};
+pub use probes::TaggerProbes;
 pub use tagger::{
     EncoderKind, StartMode, TaggerError, TaggerOptions, TaggerOptionsBuilder, TokenTagger,
 };

@@ -16,10 +16,12 @@
 //! cross-checked on conforming inputs.
 
 use crate::event::TagEvent;
+use crate::probes::TaggerProbes;
 use cfg_grammar::{Grammar, Symbol, TokenId};
 use cfg_obs::{Metrics, Stat};
 use cfg_regex::Nfa;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An Earley item: production, dot position, origin chart index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +62,8 @@ pub struct PdaParser {
     nfas: Vec<Nfa>,
     nullable: Vec<bool>,
     metrics: Metrics,
+    probes: Option<Arc<TaggerProbes>>,
+    live_probes: bool,
 }
 
 impl PdaParser {
@@ -70,12 +74,23 @@ impl PdaParser {
             grammar: g.clone(),
             nfas: g.tokens().iter().map(|t| t.pattern.nfa().clone()).collect(),
             metrics: Metrics::off(),
+            probes: None,
+            live_probes: false,
         }
     }
 
     /// Attach an observability handle (builder style).
     pub fn with_metrics(mut self, metrics: Metrics) -> PdaParser {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach a probe layer (builder style). The Earley parser records
+    /// token fires for the accepted derivation — a software reference
+    /// trace to hold against the circuit's own fire counts.
+    pub fn with_probes(mut self, probes: Arc<TaggerProbes>) -> PdaParser {
+        self.live_probes = probes.bank().is_enabled();
+        self.probes = Some(probes);
         self
     }
 
@@ -239,6 +254,13 @@ impl PdaParser {
         let mut events = Vec::new();
         self.collect_events(&chart, item, pos as u32, &mut events);
         events.sort_by_key(|e| (e.start, e.end));
+        if self.live_probes {
+            if let Some(pr) = &self.probes {
+                for e in &events {
+                    pr.bank().hit(pr.fire[e.token.index()], 1);
+                }
+            }
+        }
         PdaResult { accepted: true, events }
     }
 

@@ -278,6 +278,20 @@ impl TokenTagger {
         self.grammar.tokens()[t.index()].context.as_ref()
     }
 
+    /// Build a fresh probe layer for this tagger: the named circuit
+    /// topology plus a live [`crate::probes::TaggerProbes`] bank whose
+    /// dense indices mirror the topology's probe ids. Share the returned
+    /// `Arc` between engines (via their `with_probes` builders) and any
+    /// exporter that serves `/probes.json`.
+    pub fn probes(&self) -> Arc<crate::probes::TaggerProbes> {
+        Arc::new(crate::probes::TaggerProbes::build(&self.grammar, &self.hw))
+    }
+
+    /// The `/circuit.json` topology payload for the generated circuit.
+    pub fn circuit_json(&self) -> String {
+        cfg_hwgen::CircuitTopology::build(&self.grammar, &self.hw).to_json()
+    }
+
     /// A fresh streaming functional engine (instrumented with the
     /// compile options' metrics handle).
     pub fn fast_engine(&self) -> FastEngine {
