@@ -8,12 +8,15 @@
 #   5. exporter integration     -- cfg-obs-http socket-level scrape tests
 #   6. probe layer & scope      -- engine probe counters, scope CLI, and
 #                                  the serve->scope->trigger round trip
-#   7. full workspace tests     -- every crate's suites
+#   7. bit-parallel kernel      -- bitset engine tests, shard pool, and
+#                                  the three-engine agreement property
+#   8. full workspace tests     -- every crate's suites
 #
-# Then two NON-GATING steps: the observability-overhead bench and
-# bench_diff over bench_results/ histories. Timing on shared machines is
-# too noisy to fail CI on, so their verdicts are printed (bench_diff
-# flags >10% regressions) but never change the exit code.
+# Then three NON-GATING steps: the observability-overhead bench, the
+# engine-throughput bench, and bench_diff over bench_results/ histories.
+# Timing on shared machines is too noisy to fail CI on, so their
+# verdicts are printed (bench_diff flags >10% regressions) but never
+# change the exit code.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -46,11 +49,19 @@ cargo test -q -p cfg-cli scope
 echo "==> circuit scope round trip: cargo test -q --test circuit_scope"
 cargo test -q --test circuit_scope
 
+echo "==> bit-parallel kernel: bitset tables/engine, shard pool, engine agreement"
+cargo test -q -p cfg-tagger bitset
+cargo test -q -p cfg-tagger shard
+cargo test -q --test properties bitset_equals_scalar_and_gate
+
 echo "==> full workspace tests"
 cargo test --workspace -q
 
 echo "==> obs overhead bench (non-gating)"
 cargo run -q --release -p cfg-bench --bin obs_overhead || true
+
+echo "==> engine throughput bench (non-gating)"
+cargo run -q --release -p cfg-bench --bin fast_throughput || true
 
 echo "==> bench_diff vs previous run (non-gating)"
 cargo run -q --release -p cfg-bench --bin bench_diff || true

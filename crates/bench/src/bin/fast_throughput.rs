@@ -1,0 +1,109 @@
+//! Head-to-head throughput of the two software engines: the scalar
+//! reference ([`cfg_tagger::ScalarEngine`]) versus the bit-parallel
+//! kernel ([`cfg_tagger::BitEngine`], the engine behind
+//! `TokenTagger::fast_engine`).
+//!
+//! Both tag the same ~4 MB honest XML-RPC stream (the workload
+//! `obs_overhead` uses, so ns/byte rows are comparable across the two
+//! histories), dark sinks attached — this measures the kernels, not the
+//! observability layer. Each configuration runs one unrecorded warm-up
+//! rep then `reps` timed reps; the **median** ns/byte is reported along
+//! with the worst rep-to-rep spread, and the two engines' event counts
+//! are cross-checked so a "fast" kernel that drops matches can never
+//! post a number.
+//!
+//! Appends a JSONL row to `bench_results/fast_throughput.json`
+//! (`*_ns_per_byte` lower-is-better, `*_gbps` higher-is-better — the
+//! `bench_diff` conventions).
+//!
+//! Run: `cargo run -p cfg-bench --bin fast_throughput --release`
+
+use cfg_tagger::{TaggerOptions, TokenTagger};
+use cfg_xmlrpc::workload::{MessageKind, WorkloadGenerator};
+use cfg_xmlrpc::xmlrpc_grammar;
+use std::time::Instant;
+
+/// Median ns/byte over `reps` timed runs of `run` (one warm-up rep
+/// first), plus the `(max - min) / median` spread in percent.
+fn bench(input_len: usize, reps: usize, mut run: impl FnMut() -> usize) -> (f64, f64, usize) {
+    let mut samples = Vec::with_capacity(reps);
+    let mut events = 0usize;
+    for rep in 0..reps + 1 {
+        let t0 = Instant::now();
+        events = std::hint::black_box(run());
+        let dt = t0.elapsed().as_nanos() as f64;
+        if rep > 0 {
+            samples.push(dt / input_len as f64);
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let spread = (samples[samples.len() - 1] - samples[0]) / median * 100.0;
+    (median, spread, events)
+}
+
+fn main() {
+    let reps = std::env::args()
+        .position(|a| a == "--reps")
+        .and_then(|i| std::env::args().nth(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7usize);
+
+    let tagger = TokenTagger::compile(&xmlrpc_grammar(), TaggerOptions::default())
+        .expect("XML-RPC grammar compiles");
+
+    // The obs_overhead workload: ~4 MB of honest traffic.
+    let mut gen = WorkloadGenerator::new(42);
+    let mut input = Vec::new();
+    while input.len() < 4 << 20 {
+        input.extend_from_slice(&gen.message(MessageKind::Honest).bytes);
+        input.push(b'\n');
+    }
+
+    let (scalar, scalar_spread, scalar_events) = bench(input.len(), reps, || {
+        let mut e = tagger.scalar_engine();
+        let mut n = e.feed(&input).len();
+        n += e.finish().len();
+        n
+    });
+    let (bit, bit_spread, bit_events) = bench(input.len(), reps, || {
+        let mut e = tagger.fast_engine();
+        let mut n = e.feed(&input).len();
+        n += e.finish().len();
+        n
+    });
+    assert_eq!(scalar_events, bit_events, "engines disagree on event count");
+
+    let speedup = scalar / bit;
+    let bit_gbps = 1.0 / bit;
+    let spread_pct = scalar_spread.max(bit_spread);
+    println!(
+        "fast_throughput ({} bytes, {} positions in {} words, median of {reps})",
+        input.len(),
+        tagger.bit_tables().position_count(),
+        tagger.bit_tables().mask_words()
+    );
+    println!("  scalar : {scalar:>8.3} ns/byte");
+    println!("  bitset : {bit:>8.3} ns/byte  ({speedup:.1}x, {bit_gbps:.3} GB/s)");
+    println!("  events : {bit_events} (identical across engines)");
+    println!("  worst rep-to-rep spread: {spread_pct:.1}%");
+
+    if std::fs::create_dir_all("bench_results").is_ok() {
+        use std::io::Write as _;
+        let row = format!(
+            "{{\"bytes\": {}, \"reps\": {reps}, \"events\": {bit_events}, \
+             \"scalar_ns_per_byte\": {scalar:.4}, \"bit_ns_per_byte\": {bit:.4}, \
+             \"speedup\": {speedup:.2}, \"bit_gbps\": {bit_gbps:.4}, \
+             \"spread_pct\": {spread_pct:.2}}}\n",
+            input.len()
+        );
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open("bench_results/fast_throughput.json")
+            .and_then(|mut f| f.write_all(row.as_bytes()));
+        if appended.is_ok() {
+            eprintln!("appended to bench_results/fast_throughput.json");
+        }
+    }
+}

@@ -29,16 +29,21 @@ use cfg_xmlrpc::xmlrpc_grammar;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Best-of-`reps` wall time for one full-stream feed, in ns/byte.
+/// Median-of-`reps` wall time for one full-stream feed, in ns/byte,
+/// plus the rep-to-rep spread `(max - min) / median` as a percentage.
+/// One unrecorded warm-up rep precedes the timed ones, so cold caches
+/// and lazy page-ins never land in a sample; the median (not the best)
+/// is reported because single fast outliers are as misleading as slow
+/// ones when the quantity of interest is a *difference* of runs.
 fn bench_feed(
     tagger: &TokenTagger,
     input: &[u8],
     metrics: &Metrics,
     probes: Option<&std::sync::Arc<cfg_tagger::TaggerProbes>>,
     reps: usize,
-) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
+) -> (f64, f64) {
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..reps + 1 {
         let mut engine = tagger.fast_engine().with_metrics(metrics.clone());
         if let Some(p) = probes {
             engine = engine.with_probes(p.clone());
@@ -49,9 +54,14 @@ fn bench_feed(
         // Keep the events alive past the clock stop so the compiler
         // cannot discard the work.
         std::hint::black_box(&events);
-        best = best.min(dt / input.len() as f64);
+        if rep > 0 {
+            samples.push(dt / input.len() as f64);
+        }
     }
-    best
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let spread = (samples[samples.len() - 1] - samples[0]) / median * 100.0;
+    (median, spread)
 }
 
 fn main() {
@@ -71,9 +81,11 @@ fn main() {
     // Warm-up pass (page in the tables, settle the clocks).
     bench_feed(&tagger, &input, &Metrics::off(), None, 2);
 
-    let off = bench_feed(&tagger, &input, &Metrics::off(), None, reps);
-    let noop = bench_feed(&tagger, &input, &Metrics::new(Arc::new(NoopSink)), None, reps);
-    let stats = bench_feed(&tagger, &input, &Metrics::new(Arc::new(StatsSink::new())), None, reps);
+    let (off, off_spread) = bench_feed(&tagger, &input, &Metrics::off(), None, reps);
+    let (noop, noop_spread) =
+        bench_feed(&tagger, &input, &Metrics::new(Arc::new(NoopSink)), None, reps);
+    let (stats, stats_spread) =
+        bench_feed(&tagger, &input, &Metrics::new(Arc::new(StatsSink::new())), None, reps);
 
     // Circuit probes: a disabled bank must be as free as no bank (the
     // engine caches the off state at attach time); an enabled one pays
@@ -81,17 +93,27 @@ fn main() {
     let dark = tagger.probes();
     dark.bank().set_enabled(false);
     let noop_metrics = Metrics::new(Arc::new(NoopSink));
-    let probes_off = bench_feed(&tagger, &input, &noop_metrics, Some(&dark), reps);
+    let (probes_off, probes_off_spread) =
+        bench_feed(&tagger, &input, &noop_metrics, Some(&dark), reps);
     let lit = tagger.probes();
-    let probes_on = bench_feed(&tagger, &input, &noop_metrics, Some(&lit), reps);
+    let (probes_on, probes_on_spread) =
+        bench_feed(&tagger, &input, &noop_metrics, Some(&lit), reps);
+
+    // A noisy box produces noisy overhead numbers no matter how the
+    // arithmetic is done; publish the worst rep-to-rep spread so a
+    // reader (and bench_diff) can judge how much to trust this row.
+    let spread_pct = [off_spread, noop_spread, stats_spread, probes_off_spread, probes_on_spread]
+        .into_iter()
+        .fold(0.0f64, f64::max);
 
     let pct = |x: f64| (x - off) / off * 100.0;
-    println!("obs overhead on FastEngine::feed ({} bytes, best of {reps})", input.len());
+    println!("obs overhead on FastEngine::feed ({} bytes, median of {reps})", input.len());
     println!("  off        : {off:>7.3} ns/byte");
     println!("  noop       : {noop:>7.3} ns/byte  ({:+.2}% vs off)", pct(noop));
     println!("  stats      : {stats:>7.3} ns/byte  ({:+.2}% vs off)", pct(stats));
     println!("  probes-off : {probes_off:>7.3} ns/byte  ({:+.2}% vs off)", pct(probes_off));
     println!("  probes-on  : {probes_on:>7.3} ns/byte  ({:+.2}% vs off)", pct(probes_on));
+    println!("  worst rep-to-rep spread: {spread_pct:.1}%");
     let ok = pct(noop) < 2.0;
     println!("check: noop overhead < 2%: {}", if ok { "OK" } else { "FAIL (non-gating)" });
     let probes_ok = pct(probes_off) < 2.0;
@@ -107,7 +129,7 @@ fn main() {
              \"probes_off_ns_per_byte\": {probes_off:.4}, \
              \"probes_on_ns_per_byte\": {probes_on:.4}, \
              \"noop_overhead_pct\": {:.3}, \"stats_overhead_pct\": {:.3}, \
-             \"probes_off_overhead_pct\": {:.3}, \
+             \"probes_off_overhead_pct\": {:.3}, \"spread_pct\": {spread_pct:.2}, \
              \"noop_under_2pct\": {ok}, \"probes_off_under_2pct\": {probes_ok}}}\n",
             input.len(),
             pct(noop),

@@ -8,12 +8,20 @@
 //! appends a JSONL row to `bench_results/router_loop.json` for
 //! `bench_diff`.
 //!
+//! With `--shards N` (default 4) the same batch is routed a second time
+//! through a [`ShardPool`] — per-shard sinks registered as `shard0…`
+//! next to the single-stream `router` sink — and the JSONL row gains
+//! `shards`, `single_msgs_per_sec` and `shard_speedup` fields. On a
+//! single hardware core the pool cannot beat the inline loop (the
+//! workers time-slice one CPU), so `shard_speedup` measures dispatch
+//! overhead there and parallel scaling on real multi-core hosts.
+//!
 //! Run: `cargo run -p cfg-bench --bin router_loop --release -- \
-//!        [--messages N] [--port N] [--adversarial-pct N] [--linger-ms N]`
+//!        [--messages N] [--port N] [--adversarial-pct N] [--linger-ms N] [--shards N]`
 
 use cfg_obs::{Metrics, SharedRegistry, Stat, StatsSink};
 use cfg_obs_http::{Exporter, ServiceState};
-use cfg_tagger::{TaggerOptions, TokenTagger};
+use cfg_tagger::{ShardPool, TaggerOptions, TokenTagger};
 use cfg_xmlrpc::router::{Router, RouterTables};
 use cfg_xmlrpc::workload::WorkloadGenerator;
 use cfg_xmlrpc::xmlrpc_grammar;
@@ -36,6 +44,7 @@ fn main() {
     // How long to keep serving /metrics after the workload finishes —
     // lets a human (or `cfgtag top`) look at the final state.
     let linger_ms = arg("--linger-ms", 0);
+    let shards = arg("--shards", 4).max(1) as usize;
 
     let grammar = xmlrpc_grammar();
     let sink = Arc::new(StatsSink::with_tokens(grammar.tokens().len() * 2));
@@ -72,7 +81,7 @@ fn main() {
     );
     println!(
         "router_loop: {messages} msgs, {bytes} bytes in {secs:.3}s — \
-         {msgs_per_sec:.0} msgs/s, {mbytes_per_sec:.1} MB/s"
+         {msgs_per_sec:.0} msgs/s, {mbytes_per_sec:.1} MB/s (single stream)"
     );
     println!("  routed: bank={bank} shop={shop} unknown={unknown} malformed={malformed}");
     if let Some(h) = sink.snapshot().histogram("route_latency_bytes") {
@@ -84,11 +93,37 @@ fn main() {
         );
     }
 
+    // Second pass: the same batch through a shard pool, per-shard sinks
+    // alongside the single-stream sink in the same registry.
+    let pool_tables = tables.clone();
+    let pool = ShardPool::with_handler(&tagger, shards, move |t, msg| {
+        Router::route(t, &pool_tables, msg);
+    });
+    pool.register(&registry, "shard");
+    let t1 = Instant::now();
+    for msg in &batch {
+        pool.submit(msg.bytes.clone());
+    }
+    let report = pool.join();
+    let shard_secs = t1.elapsed().as_secs_f64().max(1e-9);
+    let shard_msgs_per_sec = report.messages as f64 / shard_secs;
+    let shard_mbytes_per_sec = bytes as f64 / shard_secs / 1e6;
+    let shard_speedup = shard_msgs_per_sec / msgs_per_sec;
+    println!(
+        "  sharded:  {} msgs in {shard_secs:.3}s over {shards} shards — \
+         {shard_msgs_per_sec:.0} msgs/s, {shard_mbytes_per_sec:.1} MB/s \
+         ({shard_speedup:.2}x vs single stream)",
+        report.messages
+    );
+    println!("  per-shard messages: {:?}", report.per_shard);
+
     if std::fs::create_dir_all("bench_results").is_ok() {
         use std::io::Write as _;
         let row = format!(
             "{{\"messages\": {messages}, \"bytes\": {bytes}, \"secs\": {secs:.4}, \
              \"msgs_per_sec\": {msgs_per_sec:.1}, \"mbytes_per_sec\": {mbytes_per_sec:.3}, \
+             \"shards\": {shards}, \"shard_msgs_per_sec\": {shard_msgs_per_sec:.1}, \
+             \"shard_speedup\": {shard_speedup:.3}, \
              \"bank\": {bank}, \"shop\": {shop}, \"unknown\": {unknown}, \
              \"malformed\": {malformed}}}\n"
         );

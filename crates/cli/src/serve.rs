@@ -24,7 +24,7 @@ use cfg_obs::{
     DEFAULT_FLIGHT_CAPACITY,
 };
 use cfg_obs_http::{Exporter, ServiceState};
-use cfg_tagger::{StartMode, TaggerOptions, TokenTagger};
+use cfg_tagger::{ShardPool, StartMode, TaggerOptions, TokenTagger};
 use std::io::Read;
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,6 +48,8 @@ pub struct ServeFlags {
     pub chunk: usize,
     /// Stop after roughly this many bytes (benchmarks and tests).
     pub max_bytes: Option<u64>,
+    /// Worker shards for line-delimited fan-out (1 = single stream).
+    pub shards: usize,
 }
 
 impl Default for ServeFlags {
@@ -61,6 +63,7 @@ impl Default for ServeFlags {
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             chunk: 64 * 1024,
             max_bytes: None,
+            shards: 1,
         }
     }
 }
@@ -93,6 +96,7 @@ impl ServeFlags {
                 }
                 "--chunk" => f.chunk = (num(&mut it, "--chunk")? as usize).max(1),
                 "--max-bytes" => f.max_bytes = Some(num(&mut it, "--max-bytes")?),
+                "--shards" => f.shards = (num(&mut it, "--shards")? as usize).max(1),
                 other if other.starts_with("--") => {
                     return Err(CliError::new(format!("unknown serve flag {other}"), 2));
                 }
@@ -233,6 +237,61 @@ pub fn run_serve(
         exporter.local_addr()
     ));
 
+    // Sharded mode: treat the stream as line-delimited messages and fan
+    // them out over a worker pool, each shard tagging with its own
+    // engine and sink (merged by the registry, so `/metrics` and
+    // `cfgtag top` see the fused totals). The flight recorder, probe
+    // bank and trigger hub stay idle here — they instrument the single
+    // shared engine, which sharded mode never runs.
+    if flags.shards > 1 {
+        status(&format!(
+            "sharded: {} workers, line-delimited fan-out (flight/probes/trigger idle)",
+            flags.shards
+        ));
+        let pool = ShardPool::new(&tagger, flags.shards);
+        pool.register(&registry, "shard");
+        let mut buf = vec![0u8; flags.chunk];
+        let mut carry: Vec<u8> = Vec::new();
+        let mut bytes = 0u64;
+        loop {
+            let want = match flags.max_bytes {
+                Some(max) if bytes >= max => 0,
+                Some(max) => buf.len().min((max - bytes) as usize),
+                None => buf.len(),
+            };
+            if want == 0 {
+                break;
+            }
+            let n = reader
+                .read(&mut buf[..want])
+                .map_err(|e| CliError::new(format!("read error: {e}"), 1))?;
+            if n == 0 {
+                break;
+            }
+            bytes += n as u64;
+            let mut rest = &buf[..n];
+            while let Some(p) = rest.iter().position(|&b| b == b'\n') {
+                carry.extend_from_slice(&rest[..p]);
+                rest = &rest[p + 1..];
+                if !carry.is_empty() {
+                    pool.submit(std::mem::take(&mut carry));
+                }
+            }
+            carry.extend_from_slice(rest);
+        }
+        if !carry.is_empty() {
+            pool.submit(carry);
+        }
+        let report = pool.join();
+        let merged = registry.snapshot().merged;
+        let events = merged.counter(Stat::EventsOut);
+        let resyncs = merged.counter(Stat::Resyncs);
+        status(&format!("{} messages over {} shards", report.messages, flags.shards));
+        status(&format!("{events} events, {bytes} bytes, {resyncs} resyncs"));
+        exporter.stop();
+        return Ok(ServeOutcome { code: 0, bytes, events, resyncs, flight_dump: None });
+    }
+
     let mut engine = tagger.fast_engine().with_metrics(metrics).with_probes(probes);
     let mut buf = vec![0u8; flags.chunk];
     let mut bytes = 0u64;
@@ -289,7 +348,7 @@ pub fn main_io(args: &[String]) -> i32 {
         }
     };
     let Some(grammar_path) = positional.first() else {
-        eprintln!("usage: cfgtag serve <grammar.y> [input] [--port N] [--loop N] [--recover] [--always] [--chunk N] [--max-bytes N] [--flight-out PATH] [--flight-capacity N]");
+        eprintln!("usage: cfgtag serve <grammar.y> [input] [--port N] [--loop N] [--recover] [--always] [--chunk N] [--max-bytes N] [--shards N] [--flight-out PATH] [--flight-capacity N]");
         return 2;
     };
     let grammar_text = match std::fs::read_to_string(grammar_path) {
@@ -362,6 +421,8 @@ mod tests {
             "512",
             "--max-bytes",
             "1000000",
+            "--shards",
+            "4",
         ]))
         .unwrap();
         assert_eq!(pos, vec!["g.y".to_string(), "in.xml".to_string()]);
@@ -372,6 +433,7 @@ mod tests {
         assert_eq!(f.flight_out.as_deref(), Some("f.jsonl"));
         assert_eq!(f.flight_capacity, 512);
         assert_eq!(f.max_bytes, Some(1_000_000));
+        assert_eq!(f.shards, 4);
         assert_eq!(ServeFlags::parse(&argv(&["--port"])).unwrap_err().code, 2);
         assert_eq!(ServeFlags::parse(&argv(&["--bogus"])).unwrap_err().code, 2);
         assert_eq!(ServeFlags::parse(&argv(&["a", "b", "c"])).unwrap_err().code, 2);
@@ -428,6 +490,20 @@ mod tests {
         assert_eq!(path, "dump.jsonl");
         assert!(jsonl.contains("\"kind\":\"dead_entry\""), "{jsonl}");
         assert!(jsonl.contains("\"seq\":"));
+    }
+
+    #[test]
+    fn serve_sharded_fans_out_lines() {
+        let input = LoopReader::new(b"if true then go else stop\n".to_vec(), 20);
+        let flags = ServeFlags { shards: 2, chunk: 16, ..Default::default() };
+        let mut lines = Vec::new();
+        let out = run_serve(ITE, input, &flags, &mut |l| lines.push(l.to_string())).unwrap();
+        assert_eq!(out.code, 0);
+        assert_eq!(out.bytes, 26 * 20);
+        // Every line is an independent message: 6 tags each, no carry of
+        // dead state between messages (so no --recover needed).
+        assert_eq!(out.events, 6 * 20);
+        assert!(lines.iter().any(|l| l.contains("20 messages over 2 shards")), "{lines:?}");
     }
 
     #[test]

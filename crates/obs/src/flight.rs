@@ -194,6 +194,10 @@ impl MetricsSink for TeeSink {
     fn is_enabled(&self) -> bool {
         self.sinks.iter().any(|s| s.is_enabled())
     }
+
+    fn wants_trace(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_trace())
+    }
 }
 
 #[cfg(test)]

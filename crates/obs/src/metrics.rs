@@ -84,11 +84,14 @@ impl Metrics {
     }
 
     /// Append a trace event. The closure only runs when a sink is
-    /// installed, so callers never build events that would be dropped.
+    /// installed *and* it keeps traces ([`MetricsSink::wants_trace`]),
+    /// so callers never build events that would be dropped.
     #[inline]
     pub fn trace(&self, build: impl FnOnce() -> TraceEvent) {
         if let Some(s) = &self.sink {
-            s.trace(build());
+            if s.wants_trace() {
+                s.trace(build());
+            }
         }
     }
 
@@ -167,6 +170,19 @@ mod tests {
         let snap = sink.snapshot();
         assert_eq!(snap.timings.len(), 1);
         assert_eq!(snap.timings[0].0, "work");
+    }
+
+    #[test]
+    fn traceless_sink_skips_the_build_closure() {
+        let sink = Arc::new(StatsSink::new().with_trace_capacity(0));
+        let m = Metrics::new(sink.clone());
+        let mut built = false;
+        m.trace(|| {
+            built = true;
+            TraceEvent::new("never")
+        });
+        assert!(!built, "zero-capacity ring must not build trace events");
+        assert_eq!(sink.snapshot().trace_dropped, 0, "nothing offered, nothing dropped");
     }
 
     #[test]

@@ -105,6 +105,16 @@ pub trait MetricsSink: Send + Sync {
     fn is_enabled(&self) -> bool {
         true
     }
+
+    /// Whether [`MetricsSink::trace`] events would actually be kept.
+    ///
+    /// [`crate::Metrics::trace`] consults this before running its build
+    /// closure, so a sink that discards traces (a zero-capacity ring, a
+    /// tee with no tracing children) never pays the event allocation.
+    /// Calling `trace` directly still behaves as each sink documents.
+    fn wants_trace(&self) -> bool {
+        true
+    }
 }
 
 /// A sink that accepts everything and records nothing.
@@ -117,6 +127,10 @@ pub struct NoopSink;
 
 impl MetricsSink for NoopSink {
     fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn wants_trace(&self) -> bool {
         false
     }
 }

@@ -126,6 +126,10 @@ impl MetricsSink for StatsSink {
         self.timings.lock().unwrap().push((span, nanos));
     }
 
+    fn wants_trace(&self) -> bool {
+        self.trace_capacity > 0
+    }
+
     fn trace(&self, event: TraceEvent) {
         if self.trace_capacity == 0 {
             self.trace_dropped.fetch_add(1, Ordering::Relaxed);

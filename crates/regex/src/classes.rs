@@ -174,6 +174,15 @@ impl ByteSet {
         (0..=255u8).filter(move |&b| self.contains(b))
     }
 
+    /// The raw 256-bit membership bitmap as four `u64` words, word `k`
+    /// covering bytes `64k..64k+63` (bit `b & 63` within the word). This
+    /// is the decoder's truth table exported for bit-parallel kernels:
+    /// a byte-class decode ROM is just these words rearranged so that
+    /// one *byte* indexes a mask over *positions*.
+    pub fn as_words(&self) -> [u64; 4] {
+        self.bits
+    }
+
     /// The single member, if the set is a singleton.
     pub fn as_singleton(&self) -> Option<u8> {
         if self.len() == 1 {

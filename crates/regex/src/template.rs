@@ -38,6 +38,21 @@ pub struct Template {
     pub nullable: bool,
 }
 
+/// Transpose per-position byte classes into a 256-row position-mask ROM.
+fn rom_of(classes: &[ByteSet]) -> Vec<u64> {
+    let words = classes.len().div_ceil(64);
+    let mut rom = vec![0u64; 256 * words];
+    for (p, class) in classes.iter().enumerate() {
+        let bits = class.as_words();
+        for b in 0..256usize {
+            if bits[b >> 6] & (1u64 << (b & 63)) != 0 {
+                rom[b * words + (p >> 6)] |= 1u64 << (p & 63);
+            }
+        }
+    }
+    rom
+}
+
 /// first/last/nullable of a subexpression during construction.
 struct Facts {
     nullable: bool,
@@ -140,6 +155,30 @@ impl Template {
     /// Union of all byte classes used by the pattern.
     pub fn alphabet(&self) -> ByteSet {
         self.positions.iter().fold(ByteSet::EMPTY, |acc, s| acc.union(*s))
+    }
+
+    /// Number of `u64` words needed to hold one position bitmask.
+    pub fn mask_words(&self) -> usize {
+        self.positions.len().div_ceil(64)
+    }
+
+    /// The byte→positions decode ROM: 256 rows of [`Template::mask_words`]
+    /// words, row `b` holding bit `p` iff `positions[p]` contains byte
+    /// `b`. This transposes the per-position decoder truth tables
+    /// ([`ByteSet::as_words`]) into the lookup a bit-parallel scanner
+    /// performs per input byte — the software analogue of the paper's
+    /// §3.2 character decoders, evaluated for all positions at once.
+    pub fn decode_rom(&self) -> Vec<u64> {
+        rom_of(&self.positions)
+    }
+
+    /// The continuation ROM: same layout as [`Template::decode_rom`],
+    /// but row `b` holds bit `p` iff byte `b` *extends* a match ending
+    /// at position `p` (the Figure 7 longest-match lookahead class).
+    pub fn continuation_rom(&self) -> Vec<u64> {
+        let classes: Vec<ByteSet> =
+            (0..self.positions.len()).map(|p| self.continuation_class(p)).collect();
+        rom_of(&classes)
     }
 
     /// The reversed automaton: recognises the mirror language. `first`
@@ -274,6 +313,33 @@ mod tests {
             // Double reversal is the identity.
             assert_eq!(rev.reversed(), t, "{pattern}");
         }
+    }
+
+    #[test]
+    fn decode_rom_transposes_position_classes() {
+        let t = template(r"[+-]?[0-9]+\.[0-9]+");
+        let words = t.mask_words();
+        assert_eq!(words, 1);
+        let rom = t.decode_rom();
+        assert_eq!(rom.len(), 256 * words);
+        for b in 0..=255u8 {
+            for (p, class) in t.positions.iter().enumerate() {
+                let bit = rom[b as usize * words + (p >> 6)] >> (p & 63) & 1;
+                assert_eq!(bit == 1, class.contains(b), "byte {b} position {p}");
+            }
+        }
+        // Row '5' lights both digit positions; row '.' only the dot.
+        assert_eq!(rom[b'5' as usize], 0b1010);
+        assert_eq!(rom[b'.' as usize], 0b0100);
+    }
+
+    #[test]
+    fn continuation_rom_mirrors_continuation_classes() {
+        let t = template("a+");
+        let rom = t.continuation_rom();
+        // After the single position, only 'a' extends the run.
+        assert_eq!(rom[b'a' as usize], 0b1);
+        assert_eq!(rom[b'b' as usize], 0);
     }
 
     #[test]

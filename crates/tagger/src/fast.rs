@@ -1,12 +1,15 @@
-//! The fast functional engine — a software mirror of the circuit.
+//! The scalar functional engine — a software mirror of the circuit.
 //!
-//! [`FastEngine`] simulates the generated structure at token/position
+//! [`ScalarEngine`] simulates the generated structure at token/position
 //! granularity: one boolean per Glushkov position instead of one
 //! flip-flop, the FOLLOW wiring as follower lists instead of OR gates,
 //! and the arm registers as booleans. It produces *identical events* to
 //! the gate-level engine (property-tested) while running orders of
-//! magnitude faster — this is the engine applications use; the gate
-//! engine is the hardware-fidelity reference.
+//! magnitude faster. Since the bit-parallel kernel landed
+//! ([`crate::BitEngine`], the engine applications use via
+//! [`crate::TokenTagger::fast_engine`]), this scalar walk is the
+//! *readable reference* between the gate level and the bitset level:
+//! the three are property-tested to agree event-for-event.
 
 use crate::event::TagEvent;
 use crate::probes::TaggerProbes;
@@ -96,11 +99,11 @@ impl FastTables {
     }
 }
 
-/// Streaming functional engine. Create via
-/// [`crate::TokenTagger::fast_engine`]; feed byte slices, then call
-/// [`FastEngine::finish`] to drain the final lookahead byte.
+/// Streaming scalar engine. Create via
+/// [`crate::TokenTagger::scalar_engine`]; feed byte slices, then call
+/// [`ScalarEngine::finish`] to drain the final lookahead byte.
 #[derive(Debug)]
-pub struct FastEngine {
+pub struct ScalarEngine {
     tables: Arc<FastTables>,
     /// Active flag per position per token. Valid only when
     /// `active_any[t]` is set — skipped tokens keep stale buffers.
@@ -143,12 +146,12 @@ pub struct FastEngine {
     live_probes: bool,
 }
 
-impl FastEngine {
+impl ScalarEngine {
     /// New engine over shared tables.
-    pub fn new(tables: Arc<FastTables>) -> FastEngine {
+    pub fn new(tables: Arc<FastTables>) -> ScalarEngine {
         let shapes: Vec<usize> = tables.tokens.iter().map(|t| t.classes.len()).collect();
         let n = tables.token_count();
-        let mut e = FastEngine {
+        let mut e = ScalarEngine {
             active: shapes.iter().map(|&k| vec![false; k]).collect(),
             starts: shapes.iter().map(|&k| vec![0; k]).collect(),
             active_any: vec![false; n],
@@ -173,7 +176,7 @@ impl FastEngine {
     }
 
     /// Attach an observability handle (builder style).
-    pub fn with_metrics(mut self, metrics: Metrics) -> FastEngine {
+    pub fn with_metrics(mut self, metrics: Metrics) -> ScalarEngine {
         self.live_stats = metrics.is_enabled();
         self.metrics = metrics;
         self
@@ -181,7 +184,7 @@ impl FastEngine {
 
     /// Attach circuit probes (builder style). A disabled bank is cached
     /// as off and the per-byte probe scans are skipped entirely.
-    pub fn with_probes(mut self, probes: Arc<TaggerProbes>) -> FastEngine {
+    pub fn with_probes(mut self, probes: Arc<TaggerProbes>) -> ScalarEngine {
         self.live_probes = probes.bank().is_enabled();
         self.probes = Some(probes);
         self
@@ -219,9 +222,11 @@ impl FastEngine {
     pub fn feed(&mut self, bytes: &[u8]) -> Vec<TagEvent> {
         assert!(!self.finished, "feed after finish; call reset first");
         let mut events = Vec::new();
+        // One refcount bump per feed() call — not one per input byte.
+        let tables = Arc::clone(&self.tables);
         for &b in bytes {
             if let Some(prev) = self.pending.replace(b) {
-                self.step(prev, Some(b), &mut events);
+                self.step(&tables, prev, Some(b), &mut events);
             }
         }
         // Batched off the per-byte loop: one branch per feed() call.
@@ -238,19 +243,25 @@ impl FastEngine {
     /// the gate-level engine observes.
     pub fn finish(&mut self) -> Vec<TagEvent> {
         let mut events = Vec::new();
+        let tables = Arc::clone(&self.tables);
         if let Some(prev) = self.pending.take() {
-            let flush = self.tables.delim.iter().next().unwrap_or(b' ');
-            self.step(prev, Some(flush), &mut events);
+            let flush = tables.delim.iter().next().unwrap_or(b' ');
+            self.step(&tables, prev, Some(flush), &mut events);
         }
         self.finished = true;
         events
     }
 
     /// Process one byte with its lookahead; `self.cursor` indexes it.
-    fn step(&mut self, byte: u8, next: Option<u8>, events: &mut Vec<TagEvent>) {
+    fn step(
+        &mut self,
+        tables: &FastTables,
+        byte: u8,
+        next: Option<u8>,
+        events: &mut Vec<TagEvent>,
+    ) {
         let i = self.cursor;
         self.cursor += 1;
-        let tables = Arc::clone(&self.tables);
         let is_delim = tables.delim.contains(byte);
         let mut matched: Vec<usize> = Vec::new();
 
@@ -430,9 +441,10 @@ mod tests {
         let input = b"if true then go else stop";
         let batch = t.tag_fast(input);
 
-        // Feed in awkward chunk sizes.
+        // Feed in awkward chunk sizes — scalar streaming must equal the
+        // bit-parallel batch (`tag_fast` runs the bitset kernel).
         for chunk in [1usize, 2, 3, 7] {
-            let mut e = t.fast_engine();
+            let mut e = t.scalar_engine();
             let mut events = Vec::new();
             for c in input.chunks(chunk) {
                 events.extend(e.feed(c));
@@ -446,7 +458,7 @@ mod tests {
     fn reset_allows_reuse() {
         let g = builtin::if_then_else();
         let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
-        let mut e = t.fast_engine();
+        let mut e = t.scalar_engine();
         let mut ev1 = e.feed(b"go");
         ev1.extend(e.finish());
         e.reset();
@@ -461,7 +473,7 @@ mod tests {
     fn feed_after_finish_panics() {
         let g = builtin::if_then_else();
         let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
-        let mut e = t.fast_engine();
+        let mut e = t.scalar_engine();
         let _ = e.finish();
         let _ = e.feed(b"go");
     }

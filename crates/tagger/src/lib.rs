@@ -4,15 +4,20 @@
 //! grammar into a streaming engine that tags each token occurrence with
 //! its **grammatical context** at wire speed.
 //!
-//! Two engines execute the *same* generated structure:
+//! Three engines execute the *same* generated structure:
 //!
 //! * [`GateEngine`] — drives the generated gate-level netlist cycle by
 //!   cycle through `cfg-netlist`'s simulator: the circuit itself decides
 //!   which token fires when (our stand-in for the FPGA).
-//! * [`FastEngine`] — a functional mirror of that circuit at
-//!   token/position granularity, hundreds of times faster; property
-//!   tests assert the two agree event-for-event (the repo's substitute
-//!   for hardware/software co-verification).
+//! * [`ScalarEngine`] — a functional mirror of that circuit at
+//!   token/position granularity, hundreds of times faster; the readable
+//!   reference the other software engines are checked against.
+//! * [`BitEngine`] — the bit-parallel production kernel: all Glushkov
+//!   positions packed into `u64` bitset words and decoded through a
+//!   256-entry byte-class ROM, so one instruction advances 64 circuit
+//!   stages at once. Property tests assert all three agree
+//!   event-for-event (the repo's substitute for hardware/software
+//!   co-verification).
 //!
 //! ```
 //! use cfg_grammar::Grammar;
@@ -35,18 +40,30 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod bitset;
 pub mod event;
 pub mod fast;
 pub mod gate;
 pub mod pda;
 pub mod probes;
+pub mod shard;
 pub mod tagger;
 pub mod wide;
 
 pub use backend::{Backend, CollectBackend, CountingBackend};
+pub use bitset::{BitEngine, BitTables};
 pub use event::TagEvent;
-pub use fast::FastEngine;
+pub use fast::ScalarEngine;
 pub use gate::GateEngine;
+pub use shard::{ShardPool, ShardReport};
+
+/// The default streaming engine behind [`TokenTagger::fast_engine`].
+///
+/// Historically this was the scalar functional mirror; the bit-parallel
+/// kernel now owns the name so downstream code keeps compiling while
+/// getting the fast path. Use [`ScalarEngine`] explicitly when you want
+/// the readable reference implementation.
+pub type FastEngine = BitEngine;
 pub use pda::{PdaParser, PdaResult};
 pub use probes::TaggerProbes;
 pub use tagger::{

@@ -1,0 +1,228 @@
+//! Sharded parallel streaming — a fixed pool of worker threads, each
+//! owning a private clone of a compiled [`TokenTagger`] plus its own
+//! [`StatsSink`], fed over bounded channels.
+//!
+//! This is the software analogue of replicating the paper's tagger
+//! circuit: the compiled tables ([`crate::BitTables`], netlist, …) are
+//! shared `Arc`s, so a shard costs only an engine's worth of mutable
+//! state. Messages are dispatched round-robin (or by session affinity
+//! via [`ShardPool::submit_to`]), and per-shard statistics merge through
+//! [`SharedRegistry`] exactly like any other sink — `cfgtag top` and the
+//! `/metrics` exporter see one fused view.
+//!
+//! ```
+//! use cfg_grammar::builtin;
+//! use cfg_tagger::{ShardPool, TaggerOptions, TokenTagger};
+//!
+//! let t = TokenTagger::compile(&builtin::if_then_else(), TaggerOptions::default()).unwrap();
+//! let pool = ShardPool::new(&t, 2);
+//! for _ in 0..10 {
+//!     pool.submit(b"if true then go else stop".to_vec());
+//! }
+//! assert_eq!(pool.join().messages, 10);
+//! ```
+
+use crate::tagger::TokenTagger;
+use cfg_obs::{Metrics, SharedRegistry, StatsSink};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How many in-flight messages a shard's channel buffers before
+/// `submit` applies backpressure by blocking.
+const SHARD_QUEUE_DEPTH: usize = 256;
+
+/// The per-message handler shared by every worker in a pool.
+type ShardHandler = Arc<dyn Fn(&TokenTagger, &[u8]) + Send + Sync>;
+
+/// What the pool did, returned by [`ShardPool::join`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Total messages processed across all shards.
+    pub messages: u64,
+    /// Messages processed by each shard, in shard order.
+    pub per_shard: Vec<u64>,
+}
+
+/// A fixed pool of tagging workers over one compiled grammar.
+pub struct ShardPool {
+    txs: Vec<SyncSender<Vec<u8>>>,
+    handles: Vec<JoinHandle<u64>>,
+    sinks: Vec<Arc<StatsSink>>,
+    next: AtomicUsize,
+}
+
+impl ShardPool {
+    /// Spawn `shards` workers (clamped to at least one), each tagging
+    /// submitted messages end-to-end with a fresh streaming engine and
+    /// discarding the events — the throughput-measurement default.
+    pub fn new(tagger: &TokenTagger, shards: usize) -> ShardPool {
+        ShardPool::with_handler(tagger, shards, |t, msg| {
+            let mut engine = t.fast_engine();
+            let _ = engine.feed(msg);
+            let _ = engine.finish();
+        })
+    }
+
+    /// Spawn `shards` workers running a custom per-message handler. The
+    /// handler's tagger clone carries a shard-private [`StatsSink`], so
+    /// anything it records (including via engines created from it) lands
+    /// in that shard's statistics.
+    pub fn with_handler<F>(tagger: &TokenTagger, shards: usize, handler: F) -> ShardPool
+    where
+        F: Fn(&TokenTagger, &[u8]) + Send + Sync + 'static,
+    {
+        let shards = shards.max(1);
+        let handler: ShardHandler = Arc::new(handler);
+        let tokens = tagger.grammar().tokens().len();
+        let mut txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        let mut sinks = Vec::with_capacity(shards);
+        for i in 0..shards {
+            // Shard sinks keep counters and per-token fires but no trace
+            // ring: shard mode is the throughput path, and event-level
+            // introspection (flight recorder, triggered capture) is
+            // documented as idle there. Engines see `wants_trace()` =
+            // false and skip building trace events entirely.
+            let sink = Arc::new(StatsSink::with_tokens(tokens).with_trace_capacity(0));
+            let shard_tagger = tagger.clone().with_metrics(Metrics::new(sink.clone()));
+            let (tx, rx) = sync_channel::<Vec<u8>>(SHARD_QUEUE_DEPTH);
+            let run = Arc::clone(&handler);
+            let handle = std::thread::Builder::new()
+                .name(format!("cfgtag-shard{i}"))
+                .spawn(move || {
+                    let mut count = 0u64;
+                    while let Ok(msg) = rx.recv() {
+                        run(&shard_tagger, &msg);
+                        count += 1;
+                    }
+                    count
+                })
+                .expect("spawn shard worker");
+            txs.push(tx);
+            handles.push(handle);
+            sinks.push(sink);
+        }
+        ShardPool { txs, handles, sinks, next: AtomicUsize::new(0) }
+    }
+
+    /// Number of shards in the pool.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Dispatch a message round-robin. Blocks when the chosen shard's
+    /// queue is full (bounded-channel backpressure).
+    pub fn submit(&self, msg: Vec<u8>) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.txs.len();
+        self.txs[i].send(msg).expect("shard worker exited early");
+    }
+
+    /// Dispatch with session affinity: the same `session` key always
+    /// lands on the same shard, preserving per-stream message order.
+    pub fn submit_to(&self, session: u64, msg: Vec<u8>) {
+        let i = (session % self.txs.len() as u64) as usize;
+        self.txs[i].send(msg).expect("shard worker exited early");
+    }
+
+    /// The per-shard statistics sinks, in shard order.
+    pub fn sinks(&self) -> &[Arc<StatsSink>] {
+        &self.sinks
+    }
+
+    /// Register every shard sink as `<prefix>0`, `<prefix>1`, … so the
+    /// registry's merged snapshot fuses all shards.
+    pub fn register(&self, registry: &SharedRegistry, prefix: &str) {
+        for (i, sink) in self.sinks.iter().enumerate() {
+            registry.register(format!("{prefix}{i}"), Arc::clone(sink));
+        }
+    }
+
+    /// Close the queues, wait for every worker to drain, and report the
+    /// per-shard message counts.
+    pub fn join(self) -> ShardReport {
+        drop(self.txs);
+        let per_shard: Vec<u64> =
+            self.handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect();
+        ShardReport { messages: per_shard.iter().sum(), per_shard }
+    }
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool").field("shards", &self.txs.len()).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tagger::TaggerOptions;
+    use cfg_grammar::builtin;
+    use cfg_obs::Stat;
+
+    fn tagger() -> TokenTagger {
+        TokenTagger::compile(&builtin::if_then_else(), TaggerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn round_robin_spreads_and_counts() {
+        let pool = ShardPool::new(&tagger(), 3);
+        assert_eq!(pool.shards(), 3);
+        for _ in 0..9 {
+            pool.submit(b"if true then go else stop".to_vec());
+        }
+        let report = pool.join();
+        assert_eq!(report.messages, 9);
+        assert_eq!(report.per_shard, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn per_shard_sinks_merge_through_registry() {
+        let t = tagger();
+        let msg = b"if true then go else stop";
+        let pool = ShardPool::new(&t, 2);
+        let registry = SharedRegistry::new();
+        pool.register(&registry, "shard");
+        assert_eq!(registry.names(), vec!["shard0".to_owned(), "shard1".to_owned()]);
+        for _ in 0..4 {
+            pool.submit(msg.to_vec());
+        }
+        let sinks: Vec<_> = pool.sinks().to_vec();
+        pool.join();
+        let merged = registry.snapshot();
+        assert_eq!(merged.merged.counter(Stat::BytesIn), 4 * msg.len() as u64);
+        for sink in &sinks {
+            assert_eq!(sink.get(Stat::BytesIn), 2 * msg.len() as u64);
+        }
+    }
+
+    #[test]
+    fn session_affinity_pins_a_stream() {
+        let pool = ShardPool::new(&tagger(), 4);
+        for _ in 0..8 {
+            pool.submit_to(7, b"go".to_vec());
+        }
+        let report = pool.join();
+        assert_eq!(report.per_shard.iter().filter(|&&n| n > 0).count(), 1);
+        assert_eq!(report.messages, 8);
+    }
+
+    #[test]
+    fn custom_handler_sees_shard_local_tagger() {
+        let t = tagger();
+        let pool = ShardPool::with_handler(&t, 2, |t, msg| {
+            // Tag through the shard tagger so its sink records fires.
+            let _ = t.tag_fast(msg);
+        });
+        pool.submit(b"if true then go else stop".to_vec());
+        pool.submit(b"stop".to_vec());
+        let total_fires: u64 = {
+            let sinks: Vec<_> = pool.sinks().to_vec();
+            pool.join();
+            sinks.iter().map(|s| s.get(Stat::EventsOut)).sum()
+        };
+        assert_eq!(total_fires, 7);
+    }
+}

@@ -1,7 +1,8 @@
 //! The [`TokenTagger`]: compile once, tag many streams.
 
+use crate::bitset::{BitEngine, BitTables};
 use crate::event::{RawMatch, TagEvent};
-use crate::fast::{FastEngine, FastTables};
+use crate::fast::{FastTables, ScalarEngine};
 use crate::gate::GateEngine;
 use cfg_grammar::{transform, Context, Grammar, TokenId};
 use cfg_hwgen::{generate, GenError, GeneratedTagger, GeneratorOptions};
@@ -172,6 +173,7 @@ pub struct TokenTagger {
     grammar: Grammar,
     hw: GeneratedTagger,
     tables: Arc<FastTables>,
+    bit_tables: Arc<BitTables>,
     /// Reversed-automaton NFAs per token, for span recovery from gate
     /// match ends.
     reverse_nfas: Arc<Vec<Nfa>>,
@@ -218,6 +220,9 @@ impl TokenTagger {
         let tables = Arc::new(FastTables::build(&grammar, &opts));
         stage(&mut report, &mut mark, "fast_tables");
 
+        let bit_tables = Arc::new(BitTables::build(&grammar, &opts));
+        stage(&mut report, &mut mark, "bit_tables");
+
         let reverse_nfas: Arc<Vec<Nfa>> = Arc::new(
             grammar
                 .tokens()
@@ -228,6 +233,8 @@ impl TokenTagger {
         stage(&mut report, &mut mark, "reverse_nfas");
 
         report.count("tokens", grammar.tokens().len() as u64);
+        report.count("positions", bit_tables.position_count() as u64);
+        report.count("bitset_words", bit_tables.mask_words() as u64);
         report.count("pattern_bytes", hw.pattern_bytes as u64);
         report.count("decoder_classes", hw.decoder_classes as u64);
         report.count("match_latency", hw.match_latency);
@@ -244,7 +251,16 @@ impl TokenTagger {
             }
             opts.metrics.time("compile_total", report.total_nanos());
         }
-        Ok(TokenTagger { grammar, hw, tables, reverse_nfas, opts, report })
+        Ok(TokenTagger { grammar, hw, tables, bit_tables, reverse_nfas, opts, report })
+    }
+
+    /// Swap the observability handle (builder style): every engine
+    /// subsequently created from this tagger records into `metrics`.
+    /// Cheap — the compiled tables stay shared — so per-shard clones of
+    /// one tagger each carry their own sink (see [`crate::ShardPool`]).
+    pub fn with_metrics(mut self, metrics: Metrics) -> TokenTagger {
+        self.opts.metrics = metrics;
+        self
     }
 
     /// The structured compile-pipeline report (stage timings + counts).
@@ -292,10 +308,21 @@ impl TokenTagger {
         cfg_hwgen::CircuitTopology::build(&self.grammar, &self.hw).to_json()
     }
 
-    /// A fresh streaming functional engine (instrumented with the
-    /// compile options' metrics handle).
-    pub fn fast_engine(&self) -> FastEngine {
-        FastEngine::new(Arc::clone(&self.tables)).with_metrics(self.opts.metrics.clone())
+    /// A fresh streaming functional engine — the bit-parallel kernel —
+    /// instrumented with the compile options' metrics handle.
+    pub fn fast_engine(&self) -> BitEngine {
+        BitEngine::new(Arc::clone(&self.bit_tables)).with_metrics(self.opts.metrics.clone())
+    }
+
+    /// A fresh scalar reference engine (one boolean per position; the
+    /// readable mirror the bitset kernel is property-tested against).
+    pub fn scalar_engine(&self) -> ScalarEngine {
+        ScalarEngine::new(Arc::clone(&self.tables)).with_metrics(self.opts.metrics.clone())
+    }
+
+    /// The shared bit-parallel tables (decode ROM + packed masks).
+    pub fn bit_tables(&self) -> &Arc<BitTables> {
+        &self.bit_tables
     }
 
     /// A fresh cycle-accurate gate-level engine (instrumented with the

@@ -172,6 +172,57 @@ proptest! {
     }
 }
 
+// ------------------------------------- three engines, one event stream
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The bit-parallel kernel, the scalar reference and the simulated
+    /// circuit produce byte-identical event streams on random patterns,
+    /// random inputs, every start-mode/recovery combination, and every
+    /// chunk split of the stream — the full hardware/software
+    /// co-verification triangle.
+    #[test]
+    fn bitset_equals_scalar_and_gate(
+        pat in pattern_strategy(),
+        input in input_strategy(),
+        always in any::<bool>(),
+        recover in any::<bool>(),
+    ) {
+        let text = format!("TOK {pat}\n%%\ns: TOK;\n%%\n");
+        let Ok(g) = Grammar::parse(&text) else { return Ok(()) };
+        let opts = TaggerOptions {
+            start_mode: if always { StartMode::Always } else { StartMode::AtStart },
+            error_recovery: recover,
+            ..Default::default()
+        };
+        // Patterns the generator rejects (e.g. first byte class overlaps
+        // the delimiters) are skipped, as in the gate test above.
+        let Ok(tagger) = TokenTagger::compile(&g, opts) else { return Ok(()) };
+
+        let mut scalar = tagger.scalar_engine();
+        let mut expect = scalar.feed(&input);
+        expect.extend(scalar.finish());
+
+        // Bit kernel: batch, then every chunk split (1/2/3/7) — the
+        // lookahead carry across feed() boundaries must be seamless.
+        let batch = tagger.tag_fast(&input);
+        prop_assert_eq!(&batch, &expect, "batch: pattern {} input {:?}", pat, input);
+        for chunk in [1usize, 2, 3, 7] {
+            let mut e = tagger.fast_engine();
+            let mut got = Vec::new();
+            for c in input.chunks(chunk) {
+                got.extend(e.feed(c));
+            }
+            got.extend(e.finish());
+            prop_assert_eq!(&got, &expect, "chunk {}: pattern {} input {:?}", chunk, pat, input);
+        }
+
+        let gate = tagger.tag_gate(&input).unwrap();
+        prop_assert_eq!(&gate, &expect, "gate: pattern {} input {:?}", pat, input);
+    }
+}
+
 // -------------------------------------------------- tagger vs LL(1)
 
 proptest! {
