@@ -10,13 +10,16 @@
 #                                  the serve->scope->trigger round trip
 #   7. bit-parallel kernel      -- bitset engine tests, shard pool, and
 #                                  the three-engine agreement property
-#   8. full workspace tests     -- every crate's suites
+#   8. ingest server            -- cfg-server unit + integration tests,
+#                                  the Engine trait suite, and the
+#                                  fault-injection chaos test
+#   9. full workspace tests     -- every crate's suites
 #
-# Then three NON-GATING steps: the observability-overhead bench, the
-# engine-throughput bench, and bench_diff over bench_results/ histories.
-# Timing on shared machines is too noisy to fail CI on, so their
-# verdicts are printed (bench_diff flags >10% regressions) but never
-# change the exit code.
+# Then four NON-GATING steps: the observability-overhead bench, the
+# engine-throughput bench, the ingest-server loop bench, and bench_diff
+# over bench_results/ histories. Timing on shared machines is too noisy
+# to fail CI on, so their verdicts are printed (bench_diff flags >10%
+# regressions) but never change the exit code.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -54,6 +57,11 @@ cargo test -q -p cfg-tagger bitset
 cargo test -q -p cfg-tagger shard
 cargo test -q --test properties bitset_equals_scalar_and_gate
 
+echo "==> ingest server: cfg-server suites, Engine trait, chaos test"
+cargo test -q -p cfg-server
+cargo test -q -p cfg-tagger engine
+cargo test -q --test chaos_server
+
 echo "==> full workspace tests"
 cargo test --workspace -q
 
@@ -62,6 +70,9 @@ cargo run -q --release -p cfg-bench --bin obs_overhead || true
 
 echo "==> engine throughput bench (non-gating)"
 cargo run -q --release -p cfg-bench --bin fast_throughput || true
+
+echo "==> ingest server loop bench (non-gating)"
+cargo run -q --release -p cfg-bench --bin server_loop || true
 
 echo "==> bench_diff vs previous run (non-gating)"
 cargo run -q --release -p cfg-bench --bin bench_diff || true

@@ -102,7 +102,7 @@ fn main() {
     pool.register(&registry, "shard");
     let t1 = Instant::now();
     for msg in &batch {
-        pool.submit(msg.bytes.clone());
+        pool.submit_wait(msg.bytes.clone());
     }
     let report = pool.join();
     let shard_secs = t1.elapsed().as_secs_f64().max(1e-9);

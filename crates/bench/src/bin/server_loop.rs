@@ -1,0 +1,121 @@
+//! The ingest server under a pipelined client fleet.
+//!
+//! Starts a [`cfg_server::IngestServer`] over the XML-RPC grammar and
+//! drives a fixed batch of workload messages through several
+//! concurrent client sessions, each keeping up to `--window` frames in
+//! flight (remaining replies drained at `Close`). Reports the
+//! serving-layer numbers the chaos test asserts qualitatively:
+//! accepted msgs/s and the shed ratio of the bounded queues — raise
+//! `--window` (or shrink `--queue-depth`) to push the pool into
+//! overload and watch the ratio climb. Appends a JSONL row to
+//! `bench_results/server_loop.json` — non-gating, like every timing
+//! bench here.
+//!
+//! Run: `cargo run -p cfg-bench --bin server_loop --release -- \
+//!        [--messages N] [--clients N] [--shards N] [--queue-depth N] [--window N]`
+
+use cfg_server::{Client, IngestServer, Reply, ServerConfig};
+use cfg_tagger::{TaggerOptions, TokenTagger};
+use cfg_xmlrpc::workload::WorkloadGenerator;
+use cfg_xmlrpc::xmlrpc_grammar;
+use std::time::Instant;
+
+fn arg(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let messages = arg("--messages", 8_000) as usize;
+    let clients = (arg("--clients", 4) as usize).max(1);
+    let shards = (arg("--shards", 4) as usize).max(1);
+    let queue_depth = (arg("--queue-depth", 32) as usize).max(1);
+    let window = (arg("--window", 8) as usize).max(1);
+
+    let grammar = xmlrpc_grammar();
+    let tagger =
+        TokenTagger::compile(&grammar, TaggerOptions::default()).expect("XML-RPC grammar compiles");
+    let config =
+        ServerConfig { shards, queue_depth, max_sessions: clients + 1, ..ServerConfig::default() };
+    let server = IngestServer::start(&tagger, "127.0.0.1:0", config).expect("bind ingest server");
+    let addr = server.local_addr();
+    eprintln!("server_loop: ingest on {addr} ({shards} shards, queue depth {queue_depth})");
+
+    let mut gen = WorkloadGenerator::new(7);
+    let batch = gen.batch(messages, 0.0);
+    let per_client = messages.div_ceil(clients);
+    let chunks: Vec<Vec<Vec<u8>>> =
+        batch.chunks(per_client).map(|c| c.iter().map(|m| m.bytes.clone()).collect()).collect();
+    let bytes: u64 = batch.iter().map(|m| m.bytes.len() as u64).sum();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = chunks
+        .into_iter()
+        .map(|msgs| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let (mut acks, mut busys) = (0usize, 0usize);
+                let mut count = |reply: &Reply| match reply {
+                    Reply::Acked { .. } => acks += 1,
+                    Reply::Busy { .. } => busys += 1,
+                    other => panic!("server_loop client got {other:?}"),
+                };
+                let mut in_flight = 0usize;
+                for m in &msgs {
+                    client.send(m).expect("send");
+                    in_flight += 1;
+                    if in_flight >= window {
+                        count(&client.recv().expect("recv"));
+                        in_flight -= 1;
+                    }
+                }
+                for reply in client.close().expect("close") {
+                    count(&reply);
+                }
+                (acks, busys)
+            })
+        })
+        .collect();
+    let (mut acks, mut busys) = (0usize, 0usize);
+    for h in handles {
+        let (a, b) = h.join().expect("client thread");
+        acks += a;
+        busys += b;
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let report = server.shutdown();
+
+    let accepted_per_sec = acks as f64 / secs;
+    let shed_ratio = busys as f64 / (acks + busys).max(1) as f64;
+    println!(
+        "server_loop: {messages} msgs ({bytes} bytes) from {clients} clients in {secs:.3}s — \
+         {accepted_per_sec:.0} accepted msgs/s, shed ratio {shed_ratio:.3}"
+    );
+    println!(
+        "  acked={acks} shed={busys} sessions={} pool messages={} restarts={}",
+        report.sessions_served, report.shard.messages, report.shard.restarts
+    );
+
+    if std::fs::create_dir_all("bench_results").is_ok() {
+        use std::io::Write as _;
+        let row = format!(
+            "{{\"messages\": {messages}, \"bytes\": {bytes}, \"clients\": {clients}, \
+             \"shards\": {shards}, \"queue_depth\": {queue_depth}, \"window\": {window}, \
+             \"secs\": {secs:.4}, \
+             \"accepted_msgs_per_sec\": {accepted_per_sec:.1}, \"shed_ratio\": {shed_ratio:.4}, \
+             \"acked\": {acks}, \"shed\": {busys}}}\n"
+        );
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open("bench_results/server_loop.json")
+            .and_then(|mut f| f.write_all(row.as_bytes()));
+        if appended.is_ok() {
+            eprintln!("appended to bench_results/server_loop.json");
+        }
+    }
+}

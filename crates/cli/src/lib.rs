@@ -14,8 +14,9 @@
 //! cfgtag scope  <host:port> [opts]               circuit-level probe view + triggered capture
 //! ```
 //!
-//! Options for `tag`: `--gate` (simulate the circuit instead of the fast
-//! engine), `--always` (scan at every alignment), `--recover` (§5.2
+//! Options for `tag`: `--engine {bit,scalar,gate}` (which engine tags
+//! the stream; `--gate` is the legacy alias for `--engine gate`),
+//! `--always` (scan at every alignment), `--recover` (§5.2
 //! error recovery), `--no-context` (skip token duplication), `--stats`
 //! (counter/timing report after the events), `--trace-out PATH` (write
 //! the structured event trace as JSON lines), `--flight-out PATH`
@@ -43,7 +44,7 @@ use cfg_grammar::Grammar;
 use cfg_hwgen::vhdl::emit_vhdl;
 use cfg_netlist::MappedNetlist;
 use cfg_obs::{json, FlightRecorder, Metrics, MetricsSink, Stat, StatsSink, TeeSink};
-use cfg_tagger::{PdaParser, StartMode, TaggerOptions, TokenTagger};
+use cfg_tagger::{EngineKind, PdaParser, StartMode, TaggerOptions, TokenTagger};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -69,6 +70,21 @@ impl std::fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+/// **The** exit-code mapping: every [`cfg_tagger::Error`] becomes a
+/// process exit code here and nowhere else. Usage errors are code 2
+/// (constructed directly at the parse sites); everything the engine
+/// stack can raise is code 1, except a dead stream, which keeps its
+/// long-standing scriptable code 3.
+impl From<cfg_tagger::Error> for CliError {
+    fn from(e: cfg_tagger::Error) -> CliError {
+        let code = match &e {
+            cfg_tagger::Error::DeadStream => 3,
+            _ => 1,
+        };
+        CliError::new(e.to_string(), code)
+    }
+}
 
 /// A command's successful result: text for stdout, an exit code, and
 /// side-channel files for the caller to write (the library itself never
@@ -96,8 +112,9 @@ impl From<String> for CliOutput {
 /// Parsed `tag` options.
 #[derive(Debug, Default, Clone)]
 pub struct TagFlags {
-    /// Use the gate-level engine.
-    pub gate: bool,
+    /// Which engine tags the stream (`--engine bit|scalar|gate`;
+    /// `--gate` is the legacy alias for `--engine gate`).
+    pub engine: EngineKind,
     /// Scan at every byte alignment.
     pub always: bool,
     /// Enable §5.2 error recovery.
@@ -122,7 +139,12 @@ impl TagFlags {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
-                "--gate" => f.gate = true,
+                "--engine" => {
+                    let name =
+                        it.next().ok_or_else(|| CliError::new("--engine needs a name", 2))?;
+                    f.engine = name.parse().map_err(|e: String| CliError::new(e, 2))?;
+                }
+                "--gate" => f.engine = EngineKind::Gate,
                 "--always" => f.always = true,
                 "--recover" => f.recover = true,
                 "--no-context" => f.no_context = true,
@@ -161,7 +183,7 @@ impl TagFlags {
 }
 
 pub(crate) fn load_grammar(text: &str) -> Result<Grammar, CliError> {
-    Grammar::parse(text).map_err(|e| CliError::new(format!("grammar error: {e}"), 1))
+    Grammar::parse(text).map_err(|e| CliError::from(cfg_tagger::Error::from(e)))
 }
 
 /// `cfgtag check`: summary, warnings and the FOLLOW table.
@@ -201,8 +223,7 @@ pub fn cmd_check(grammar_text: &str) -> Result<String, CliError> {
 /// code is 3.
 pub fn cmd_tag(grammar_text: &str, input: &[u8], flags: &TagFlags) -> Result<CliOutput, CliError> {
     let g = load_grammar(grammar_text)?;
-    let tagger = TokenTagger::compile(&g, flags.options())
-        .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
+    let tagger = TokenTagger::compile(&g, flags.options()).map_err(CliError::from)?;
     let sink = Arc::new(StatsSink::with_tokens(tagger.grammar().tokens().len()));
     let flight = flags.flight_out.as_ref().map(|_| Arc::new(FlightRecorder::default()));
     let metrics = match &flight {
@@ -212,31 +233,14 @@ pub fn cmd_tag(grammar_text: &str, input: &[u8], flags: &TagFlags) -> Result<Cli
         ]))),
         None => Metrics::new(sink.clone()),
     };
-    let (events, ended_dead) = if flags.gate {
-        let mut engine = tagger
-            .gate_engine()
-            .map_err(|e| CliError::new(format!("simulation error: {e}"), 1))?
-            .with_metrics(metrics);
-        let raw =
-            engine.run(input).map_err(|e| CliError::new(format!("simulation error: {e}"), 1))?;
-        let events = tagger.resolve_spans(input, &raw);
-        // Liveness (dead-state / resync) is tracked by the functional
-        // mirror; replay it on a side sink and fold the liveness
-        // counters in without double-counting bytes or events.
-        let probe_sink = Arc::new(StatsSink::new());
-        let mut probe = tagger.fast_engine().with_metrics(Metrics::new(probe_sink.clone()));
-        probe.feed(input);
-        probe.finish();
-        sink.add(Stat::Resyncs, probe_sink.get(Stat::Resyncs));
-        sink.add(Stat::DeadEntries, probe_sink.get(Stat::DeadEntries));
-        (events, probe.is_dead())
-    } else {
-        let mut engine = tagger.fast_engine().with_metrics(metrics);
-        let mut events = engine.feed(input);
-        events.extend(engine.finish());
-        let dead = engine.is_dead();
-        (events, dead)
-    };
+    // One construction path for all three engines: the trait object
+    // from [`TokenTagger::engine`]. The gate kind arrives pre-wrapped
+    // in a `GateStream` (span recovery + functional liveness mirror).
+    let tagger = tagger.with_metrics(metrics);
+    let mut engine = tagger.engine(flags.engine).map_err(CliError::from)?;
+    let mut events = engine.feed(input).map_err(CliError::from)?;
+    events.extend(engine.finish().map_err(CliError::from)?);
+    let ended_dead = engine.is_dead();
     let mut out = String::new();
     let _ = writeln!(out, "{:<20} {:>6} {:>6}  lexeme / context", "token", "start", "end");
     for ev in &events {
@@ -328,16 +332,14 @@ pub fn cmd_parse(grammar_text: &str, input: &[u8]) -> Result<String, CliError> {
 /// `cfgtag vhdl`: emit the generated circuit as VHDL.
 pub fn cmd_vhdl(grammar_text: &str, entity: &str) -> Result<String, CliError> {
     let g = load_grammar(grammar_text)?;
-    let tagger = TokenTagger::compile(&g, TaggerOptions::default())
-        .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
+    let tagger = TokenTagger::compile(&g, TaggerOptions::default()).map_err(CliError::from)?;
     Ok(emit_vhdl(&tagger.hardware().netlist, entity))
 }
 
 /// `cfgtag dot`: emit the circuit as Graphviz.
 pub fn cmd_dot(grammar_text: &str) -> Result<String, CliError> {
     let g = load_grammar(grammar_text)?;
-    let tagger = TokenTagger::compile(&g, TaggerOptions::default())
-        .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
+    let tagger = TokenTagger::compile(&g, TaggerOptions::default()).map_err(CliError::from)?;
     Ok(cfg_netlist::to_dot(&tagger.hardware().netlist, "tagger"))
 }
 
@@ -352,7 +354,7 @@ pub fn cmd_report(grammar_text: &str, scale: usize, json: bool) -> Result<String
     let g = cfg_grammar::transform::duplicate_multi_context_tokens(&g);
     let tagger =
         TokenTagger::compile(&g, TaggerOptions { duplicate_contexts: false, ..Default::default() })
-            .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
+            .map_err(CliError::from)?;
     let hw = tagger.hardware();
     let mapped = MappedNetlist::map(&hw.netlist);
     let stats = mapped.stats();
@@ -525,13 +527,16 @@ mod tests {
     }
 
     #[test]
-    fn tag_fast_and_gate_agree() {
+    fn tag_all_engines_agree() {
         let input = b"if true then go else stop";
         let fast = cmd_tag(ITE, input, &TagFlags::default()).unwrap();
-        let gate = cmd_tag(ITE, input, &TagFlags { gate: true, ..Default::default() }).unwrap();
-        assert_eq!(fast.text, gate.text);
+        for kind in [EngineKind::Scalar, EngineKind::Gate] {
+            let other =
+                cmd_tag(ITE, input, &TagFlags { engine: kind, ..Default::default() }).unwrap();
+            assert_eq!(fast.text, other.text, "engine {kind}");
+            assert_eq!(other.code, 0, "engine {kind}");
+        }
         assert_eq!(fast.code, 0);
-        assert_eq!(gate.code, 0);
         assert!(fast.stderr.contains("6 events, 25 bytes, 0 resyncs"));
         // The summary is a stderr-only diagnostic: stdout stays a clean
         // pipeline of header + events.
@@ -623,10 +628,40 @@ mod tests {
         let (f, input) =
             TagFlags::parse(&argv(&["--stats", "in.xml", "--trace-out", "t.jsonl"])).unwrap();
         assert!(f.stats);
+        assert_eq!(f.engine, EngineKind::Bit, "bit is the default engine");
         assert_eq!(f.trace_out.as_deref(), Some("t.jsonl"));
         assert_eq!(input.as_deref(), Some("in.xml"));
         assert_eq!(TagFlags::parse(&argv(&["--trace-out"])).unwrap_err().code, 2);
         assert_eq!(TagFlags::parse(&argv(&["a", "b"])).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn tag_flag_parse_selects_engines() {
+        let argv = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        for (args, want) in [
+            (vec!["--engine", "bit"], EngineKind::Bit),
+            (vec!["--engine", "scalar"], EngineKind::Scalar),
+            (vec!["--engine", "gate"], EngineKind::Gate),
+            (vec!["--gate"], EngineKind::Gate),
+        ] {
+            let (f, _) = TagFlags::parse(&argv(&args)).unwrap();
+            assert_eq!(f.engine, want, "{args:?}");
+        }
+        assert_eq!(TagFlags::parse(&argv(&["--engine"])).unwrap_err().code, 2);
+        let bad = TagFlags::parse(&argv(&["--engine", "quantum"])).unwrap_err();
+        assert_eq!(bad.code, 2);
+        assert!(bad.to_string().contains("quantum"));
+    }
+
+    #[test]
+    fn tagger_errors_map_to_exit_codes_in_one_place() {
+        assert_eq!(CliError::from(cfg_tagger::Error::DeadStream).code, 3);
+        let io = cfg_tagger::Error::from(std::io::Error::other("boom"));
+        assert_eq!(CliError::from(io).code, 1);
+        let g = cfg_tagger::Error::from(Grammar::parse("not a grammar").unwrap_err());
+        let e = CliError::from(g);
+        assert_eq!(e.code, 1);
+        assert!(e.to_string().contains("grammar error"));
     }
 
     #[test]

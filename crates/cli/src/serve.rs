@@ -24,10 +24,11 @@ use cfg_obs::{
     DEFAULT_FLIGHT_CAPACITY,
 };
 use cfg_obs_http::{Exporter, ServiceState};
-use cfg_tagger::{ShardPool, StartMode, TaggerOptions, TokenTagger};
+use cfg_server::{IngestServer, ServerConfig, ServerReport};
+use cfg_tagger::{EngineKind, ShardPool, StartMode, TaggerOptions, TokenTagger};
 use std::io::Read;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Parsed `serve` options.
 #[derive(Debug, Clone)]
@@ -50,6 +51,20 @@ pub struct ServeFlags {
     pub max_bytes: Option<u64>,
     /// Worker shards for line-delimited fan-out (1 = single stream).
     pub shards: usize,
+    /// `--listen ADDR`: run the multi-session TCP ingest server on this
+    /// address instead of streaming a local input.
+    pub listen: Option<String>,
+    /// `--engine`: which engine tags frames in listen mode.
+    pub engine: EngineKind,
+    /// `--max-sessions`: concurrent-session cap in listen mode.
+    pub max_sessions: usize,
+    /// `--idle-timeout-ms`: janitor eviction threshold in listen mode.
+    pub idle_timeout_ms: u64,
+    /// `--queue-depth`: bounded shard-queue depth in listen mode.
+    pub queue_depth: usize,
+    /// `--panic-token`: chaos-harness worker-panic trigger (listen
+    /// mode; never set in production).
+    pub panic_token: Option<String>,
 }
 
 impl Default for ServeFlags {
@@ -64,6 +79,12 @@ impl Default for ServeFlags {
             chunk: 64 * 1024,
             max_bytes: None,
             shards: 1,
+            listen: None,
+            engine: EngineKind::Bit,
+            max_sessions: 64,
+            idle_timeout_ms: 30_000,
+            queue_depth: 64,
+            panic_token: None,
         }
     }
 }
@@ -97,6 +118,28 @@ impl ServeFlags {
                 "--chunk" => f.chunk = (num(&mut it, "--chunk")? as usize).max(1),
                 "--max-bytes" => f.max_bytes = Some(num(&mut it, "--max-bytes")?),
                 "--shards" => f.shards = (num(&mut it, "--shards")? as usize).max(1),
+                "--listen" => {
+                    let addr =
+                        it.next().ok_or_else(|| CliError::new("--listen needs an address", 2))?;
+                    f.listen = Some(addr.clone());
+                }
+                "--engine" => {
+                    let name =
+                        it.next().ok_or_else(|| CliError::new("--engine needs a name", 2))?;
+                    f.engine = name.parse().map_err(|e: String| CliError::new(e, 2))?;
+                }
+                "--max-sessions" => {
+                    f.max_sessions = (num(&mut it, "--max-sessions")? as usize).max(1);
+                }
+                "--idle-timeout-ms" => f.idle_timeout_ms = num(&mut it, "--idle-timeout-ms")?,
+                "--queue-depth" => {
+                    f.queue_depth = (num(&mut it, "--queue-depth")? as usize).max(1);
+                }
+                "--panic-token" => {
+                    let token =
+                        it.next().ok_or_else(|| CliError::new("--panic-token needs a value", 2))?;
+                    f.panic_token = Some(token.clone());
+                }
                 other if other.starts_with("--") => {
                     return Err(CliError::new(format!("unknown serve flag {other}"), 2));
                 }
@@ -188,8 +231,7 @@ pub fn run_serve(
     status: &mut dyn FnMut(&str),
 ) -> Result<ServeOutcome, CliError> {
     let g = load_grammar(grammar_text)?;
-    let tagger = TokenTagger::compile(&g, flags.options())
-        .map_err(|e| CliError::new(format!("compile error: {e}"), 1))?;
+    let tagger = TokenTagger::compile(&g, flags.options()).map_err(CliError::from)?;
 
     let token_names: Vec<String> =
         tagger.grammar().tokens().iter().map(|t| t.name.clone()).collect();
@@ -274,13 +316,13 @@ pub fn run_serve(
                 carry.extend_from_slice(&rest[..p]);
                 rest = &rest[p + 1..];
                 if !carry.is_empty() {
-                    pool.submit(std::mem::take(&mut carry));
+                    pool.submit_wait(std::mem::take(&mut carry));
                 }
             }
             carry.extend_from_slice(rest);
         }
         if !carry.is_empty() {
-            pool.submit(carry);
+            pool.submit_wait(carry);
         }
         let report = pool.join();
         let merged = registry.snapshot().merged;
@@ -338,6 +380,72 @@ pub fn run_serve(
     Ok(ServeOutcome { code, bytes, events, resyncs, flight_dump })
 }
 
+/// The listen-mode core of `cfgtag serve --listen`.
+///
+/// Compiles `grammar_text`, starts an [`IngestServer`] on the
+/// `--listen` address (sharded workers, bounded queues, session cap,
+/// idle janitor — see `cfg-server`), binds the `/metrics` exporter on
+/// `127.0.0.1:{flags.port}` over the same registry, then idles until
+/// `should_stop` returns true. Shutdown drains every session before the
+/// report is returned. `status` receives the two bound addresses first,
+/// so tests (and humans) can find them.
+pub fn run_listen(
+    grammar_text: &str,
+    flags: &ServeFlags,
+    status: &mut dyn FnMut(&str),
+    should_stop: &dyn Fn() -> bool,
+) -> Result<ServerReport, CliError> {
+    let addr = flags.listen.as_deref().expect("run_listen requires --listen");
+    let g = load_grammar(grammar_text)?;
+    let tagger = TokenTagger::compile(&g, flags.options()).map_err(CliError::from)?;
+
+    let registry = Arc::new(SharedRegistry::new());
+    let state = Arc::new(ServiceState::new());
+    let config = ServerConfig {
+        shards: flags.shards,
+        queue_depth: flags.queue_depth,
+        max_sessions: flags.max_sessions,
+        idle_timeout: Duration::from_millis(flags.idle_timeout_ms.max(1)),
+        engine: flags.engine,
+        panic_token: flags.panic_token.as_ref().map(|t| t.as_bytes().to_vec()),
+        registry: Some(Arc::clone(&registry)),
+        state: Some(Arc::clone(&state)),
+        ..ServerConfig::default()
+    };
+    let server = IngestServer::start(&tagger, addr, config)
+        .map_err(|e| CliError::new(format!("cannot bind {addr}: {e}"), 1))?;
+    let exporter =
+        Exporter::bind(format!("127.0.0.1:{}", flags.port), registry.clone(), state.clone())
+            .map_err(|e| CliError::new(format!("cannot bind exporter: {e}"), 1))?;
+    status(&format!(
+        "ingest on {} ({} shards, {} engine, {} max sessions, {}ms idle timeout)",
+        server.local_addr(),
+        flags.shards,
+        flags.engine,
+        flags.max_sessions,
+        flags.idle_timeout_ms
+    ));
+    status(&format!(
+        "serving http://{}/metrics (+ /healthz /readyz /report.json)",
+        exporter.local_addr()
+    ));
+
+    while !should_stop() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let report = server.shutdown();
+    exporter.stop();
+    status(&format!(
+        "{} sessions served, {} evicted, {} frames shed, {} messages, {} worker restarts",
+        report.sessions_served,
+        report.evicted,
+        report.shed,
+        report.shard.messages,
+        report.shard.restarts
+    ));
+    Ok(report)
+}
+
 /// Process-level `cfgtag serve`: files, stdin, stderr and exit codes.
 pub fn main_io(args: &[String]) -> i32 {
     let (flags, positional) = match ServeFlags::parse(args) {
@@ -348,7 +456,12 @@ pub fn main_io(args: &[String]) -> i32 {
         }
     };
     let Some(grammar_path) = positional.first() else {
-        eprintln!("usage: cfgtag serve <grammar.y> [input] [--port N] [--loop N] [--recover] [--always] [--chunk N] [--max-bytes N] [--shards N] [--flight-out PATH] [--flight-capacity N]");
+        eprintln!(
+            "usage: cfgtag serve <grammar.y> [input] [--port N] [--loop N] [--recover] [--always] \
+             [--chunk N] [--max-bytes N] [--shards N] [--flight-out PATH] [--flight-capacity N]\n\
+             \x20      cfgtag serve <grammar.y> --listen ADDR [--engine bit|scalar|gate] \
+             [--max-sessions N] [--idle-timeout-ms N] [--queue-depth N] [--panic-token S]"
+        );
         return 2;
     };
     let grammar_text = match std::fs::read_to_string(grammar_path) {
@@ -359,6 +472,29 @@ pub fn main_io(args: &[String]) -> i32 {
         }
     };
     let mut status = |line: &str| eprintln!("cfgtag serve: {line}");
+    if flags.listen.is_some() {
+        // Listen mode: run the ingest server until stdin reaches EOF
+        // (the conventional supervised-process stop signal) or the
+        // process is killed.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_writer = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin().lock();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            stop_writer.store(true, Ordering::SeqCst);
+        });
+        status("listen mode: close stdin (or kill the process) to stop");
+        return match run_listen(&grammar_text, &flags, &mut status, &|| stop.load(Ordering::SeqCst))
+        {
+            Ok(_) => 0,
+            Err(e) => {
+                eprintln!("cfgtag serve: {e}");
+                e.code
+            }
+        };
+    }
     let outcome = match positional.get(1).map(String::as_str).filter(|p| *p != "-") {
         Some(path) => match std::fs::read(path) {
             Ok(data) => {
@@ -504,6 +640,72 @@ mod tests {
         // dead state between messages (so no --recover needed).
         assert_eq!(out.events, 6 * 20);
         assert!(lines.iter().any(|l| l.contains("20 messages over 2 shards")), "{lines:?}");
+    }
+
+    #[test]
+    fn listen_flags_parse() {
+        let (f, _) = ServeFlags::parse(&argv(&[
+            "g.y",
+            "--listen",
+            "127.0.0.1:0",
+            "--engine",
+            "scalar",
+            "--max-sessions",
+            "8",
+            "--idle-timeout-ms",
+            "250",
+            "--queue-depth",
+            "16",
+            "--panic-token",
+            "POISON",
+        ]))
+        .unwrap();
+        assert_eq!(f.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(f.engine, EngineKind::Scalar);
+        assert_eq!(f.max_sessions, 8);
+        assert_eq!(f.idle_timeout_ms, 250);
+        assert_eq!(f.queue_depth, 16);
+        assert_eq!(f.panic_token.as_deref(), Some("POISON"));
+        assert_eq!(ServeFlags::parse(&argv(&["--listen"])).unwrap_err().code, 2);
+        assert_eq!(ServeFlags::parse(&argv(&["--engine", "quantum"])).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn listen_mode_serves_ingest_sessions() {
+        use cfg_server::{Client, Reply};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::mpsc;
+
+        let flags =
+            ServeFlags { listen: Some("127.0.0.1:0".into()), shards: 2, ..Default::default() };
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<String>();
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut status = move |l: &str| {
+                let _ = tx.send(l.to_string());
+            };
+            run_listen(ITE, &flags, &mut status, &|| thread_stop.load(Ordering::SeqCst))
+        });
+        // First status line carries the bound ingest address.
+        let first = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        let addr = first
+            .strip_prefix("ingest on ")
+            .and_then(|r| r.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unexpected status line: {first}"))
+            .to_string();
+
+        let mut client = Client::connect(&addr).unwrap();
+        match client.request(b"if true then go else stop").unwrap() {
+            Reply::Acked { events, .. } => assert_eq!(events.len(), 6),
+            other => panic!("expected ack, got {other:?}"),
+        }
+        client.close().unwrap();
+
+        stop.store(true, Ordering::SeqCst);
+        let report = handle.join().unwrap().unwrap();
+        assert_eq!(report.sessions_served, 1);
+        assert!(report.shard.messages >= 1);
     }
 
     #[test]

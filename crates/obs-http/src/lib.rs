@@ -52,6 +52,7 @@ use std::time::Duration;
 pub struct ServiceState {
     ready: AtomicBool,
     dead: AtomicBool,
+    overloaded: AtomicBool,
     meta_json: Mutex<Option<String>>,
     circuit_json: Mutex<Option<String>>,
     probe_bank: Mutex<Option<Arc<ProbeBank>>>,
@@ -77,6 +78,14 @@ impl ServiceState {
         self.dead.store(dead, Ordering::Relaxed);
     }
 
+    /// Record whether the serving layer is currently shedding load
+    /// (e.g. the ingest server's shard queues are full). An overloaded
+    /// service drops `/readyz` to 503 so load balancers stop routing
+    /// new sessions to it, without marking the process unhealthy.
+    pub fn set_overloaded(&self, overloaded: bool) {
+        self.overloaded.store(overloaded, Ordering::Relaxed);
+    }
+
     /// Whether [`ServiceState::set_ready`] has been called with `true`.
     pub fn ready(&self) -> bool {
         self.ready.load(Ordering::Relaxed)
@@ -85,6 +94,11 @@ impl ServiceState {
     /// Whether the stream was marked dead.
     pub fn dead(&self) -> bool {
         self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Whether the serving layer reported itself shedding load.
+    pub fn overloaded(&self) -> bool {
+        self.overloaded.load(Ordering::Relaxed)
     }
 
     /// Install pre-encoded JSON metadata (must be one valid JSON value,
@@ -169,6 +183,9 @@ pub fn render_prometheus(snap: &RegistrySnapshot, state: &ServiceState) -> Strin
     let _ = writeln!(out, "# HELP cfgtag_dead Stream has entered the dead state.");
     let _ = writeln!(out, "# TYPE cfgtag_dead gauge");
     let _ = writeln!(out, "cfgtag_dead {}", u8::from(state.dead()));
+    let _ = writeln!(out, "# HELP cfgtag_overloaded Serving layer is currently shedding load.");
+    let _ = writeln!(out, "# TYPE cfgtag_overloaded gauge");
+    let _ = writeln!(out, "cfgtag_overloaded {}", u8::from(state.overloaded()));
     let _ = writeln!(out, "# HELP cfgtag_sinks Registered stats sinks.");
     let _ = writeln!(out, "# TYPE cfgtag_sinks gauge");
     let _ = writeln!(out, "cfgtag_sinks {}", snap.parts.len());
@@ -261,6 +278,8 @@ pub fn render_report(snap: &RegistrySnapshot, state: &ServiceState) -> String {
     out.push_str(if state.ready() && !state.dead() { "true" } else { "false" });
     out.push_str(",\"dead\":");
     out.push_str(if state.dead() { "true" } else { "false" });
+    out.push_str(",\"overloaded\":");
+    out.push_str(if state.overloaded() { "true" } else { "false" });
     out.push_str(",\"meta\":");
     out.push_str(&state.meta_json());
     out.push_str(",\"stats\":");
@@ -399,10 +418,16 @@ pub fn respond(path: &str, registry: &SharedRegistry, state: &ServiceState) -> R
         },
         "/healthz" => Response { status: 200, content_type: "text/plain", body: "ok\n".into() },
         "/readyz" => {
-            if state.ready() && !state.dead() {
+            if state.ready() && !state.dead() && !state.overloaded() {
                 Response { status: 200, content_type: "text/plain", body: "ready\n".into() }
             } else {
-                let why = if state.dead() { "dead stream" } else { "not compiled" };
+                let why = if state.dead() {
+                    "dead stream"
+                } else if !state.ready() {
+                    "not compiled"
+                } else {
+                    "overloaded"
+                };
                 Response { status: 503, content_type: "text/plain", body: format!("{why}\n") }
             }
         }
@@ -629,6 +654,16 @@ mod tests {
         assert_eq!(r.status, 503);
         assert!(r.body.contains("dead"));
         assert_eq!(respond("/healthz", &reg, &state).status, 200);
+        state.set_dead(false);
+        state.set_overloaded(true);
+        let r = respond("/readyz", &reg, &state);
+        assert_eq!(r.status, 503);
+        assert!(r.body.contains("overloaded"));
+        let metrics = respond("/metrics", &reg, &state).body;
+        assert!(metrics.contains("cfgtag_overloaded 1"));
+        state.set_overloaded(false);
+        assert_eq!(respond("/readyz", &reg, &state).status, 200);
+        assert!(respond("/metrics", &reg, &state).body.contains("cfgtag_overloaded 0"));
         assert_eq!(respond("/nope", &reg, &state).status, 404);
         assert_eq!(respond("/metrics?x=1", &reg, &state).status, 200);
     }

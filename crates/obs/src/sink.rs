@@ -38,11 +38,18 @@ pub enum Stat {
     RouteUnknown,
     /// Streams rejected as malformed by the router front-end.
     MalformedRejected,
+    /// Supervised shard workers restarted after catching a panic.
+    WorkerRestarts,
+    /// Messages (or connections) shed with an explicit BUSY instead of
+    /// blocking — the ingest server's overload valve.
+    LoadShed,
+    /// Sessions evicted by the ingest server's idle-timeout janitor.
+    SessionsEvicted,
 }
 
 impl Stat {
     /// Number of variants (sizes the counter array in `StatsSink`).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 15;
 
     /// All variants, in index order.
     pub const ALL: [Stat; Stat::COUNT] = [
@@ -58,6 +65,9 @@ impl Stat {
         Stat::RouteShop,
         Stat::RouteUnknown,
         Stat::MalformedRejected,
+        Stat::WorkerRestarts,
+        Stat::LoadShed,
+        Stat::SessionsEvicted,
     ];
 
     /// Stable snake_case name used in JSON output.
@@ -75,6 +85,9 @@ impl Stat {
             Stat::RouteShop => "route_shop",
             Stat::RouteUnknown => "route_unknown",
             Stat::MalformedRejected => "malformed_rejected",
+            Stat::WorkerRestarts => "worker_restarts",
+            Stat::LoadShed => "load_shed",
+            Stat::SessionsEvicted => "sessions_evicted",
         }
     }
 }

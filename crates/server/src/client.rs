@@ -1,0 +1,140 @@
+//! A well-behaved client for the ingest protocol — the reference
+//! implementation the CLI, the benches and the integration tests use.
+
+use crate::frame::{self, Frame, FrameKind};
+use cfg_tagger::{Error, TagEvent};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One server reply, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// The frame with this sequence number was fully tagged; here are
+    /// its events.
+    Acked {
+        /// Sequence number of the acknowledged `Data` frame.
+        seq: u32,
+        /// The tag events the server computed for it.
+        events: Vec<TagEvent>,
+    },
+    /// The frame with this sequence number was load-shed (`None` when
+    /// the server refused the whole session at the cap).
+    Busy {
+        /// Sequence number of the shed frame, if the payload named one.
+        seq: Option<u32>,
+    },
+    /// The server reported a failure (worker panic, protocol
+    /// violation, eviction).
+    Rejected {
+        /// The server's reason text.
+        reason: String,
+    },
+    /// The session is over.
+    Bye,
+}
+
+/// A blocking protocol client over one TCP session.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_seq: u32,
+}
+
+impl Client {
+    /// Connect to an ingest server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, next_seq: 0 })
+    }
+
+    /// Send one `Data` frame; returns the sequence number it will be
+    /// acked (or shed) under.
+    pub fn send(&mut self, payload: &[u8]) -> Result<u32, Error> {
+        frame::write_frame(&mut self.stream, FrameKind::Data, payload)?;
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        Ok(seq)
+    }
+
+    /// Read one raw frame (treats EOF as a protocol error — the server
+    /// always says `Bye` first on a clean close).
+    pub fn recv_frame(&mut self) -> Result<Frame, Error> {
+        match frame::read_frame(&mut self.stream)? {
+            Some(frame) => Ok(frame),
+            None => Err(Error::Protocol("server closed the connection without Bye".into())),
+        }
+    }
+
+    /// Read and decode one reply.
+    pub fn recv(&mut self) -> Result<Reply, Error> {
+        decode_reply(&self.recv_frame()?)
+    }
+
+    /// Send one message and block for its reply (assumes no other
+    /// frames are in flight on this session).
+    pub fn request(&mut self, payload: &[u8]) -> Result<Reply, Error> {
+        self.send(payload)?;
+        self.recv()
+    }
+
+    /// Close cleanly: send `Close`, then collect every outstanding
+    /// reply until the server's `Bye` (the server drains accepted
+    /// frames first, so late acks all land here).
+    pub fn close(mut self) -> Result<Vec<Reply>, Error> {
+        frame::write_frame(&mut self.stream, FrameKind::Close, b"")?;
+        let mut replies = Vec::new();
+        loop {
+            match self.recv()? {
+                Reply::Bye => return Ok(replies),
+                reply => replies.push(reply),
+            }
+        }
+    }
+}
+
+/// Decode a server frame into a [`Reply`].
+pub fn decode_reply(frame: &Frame) -> Result<Reply, Error> {
+    match frame.kind {
+        FrameKind::Ack => {
+            if frame.payload.len() < 4 {
+                return Err(Error::Protocol("ack payload shorter than its seq prefix".into()));
+            }
+            let seq = u32::from_le_bytes(frame.payload[..4].try_into().expect("4 bytes"));
+            Ok(Reply::Acked { seq, events: frame::decode_events(&frame.payload[4..])? })
+        }
+        FrameKind::Busy => {
+            let seq = (frame.payload.len() == 4)
+                .then(|| u32::from_le_bytes(frame.payload[..4].try_into().expect("4 bytes")));
+            Ok(Reply::Busy { seq })
+        }
+        FrameKind::Err => {
+            Ok(Reply::Rejected { reason: String::from_utf8_lossy(&frame.payload).into_owned() })
+        }
+        FrameKind::Bye => Ok(Reply::Bye),
+        kind => Err(Error::Protocol(format!("unexpected server frame {kind:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_each_reply_kind() {
+        let ack = Frame { kind: FrameKind::Ack, payload: 3u32.to_le_bytes().to_vec() };
+        assert_eq!(decode_reply(&ack).unwrap(), Reply::Acked { seq: 3, events: vec![] });
+        let busy = Frame { kind: FrameKind::Busy, payload: 9u32.to_le_bytes().to_vec() };
+        assert_eq!(decode_reply(&busy).unwrap(), Reply::Busy { seq: Some(9) });
+        let cap = Frame { kind: FrameKind::Busy, payload: b"max sessions".to_vec() };
+        assert_eq!(decode_reply(&cap).unwrap(), Reply::Busy { seq: None });
+        let err = Frame { kind: FrameKind::Err, payload: b"nope".to_vec() };
+        assert_eq!(decode_reply(&err).unwrap(), Reply::Rejected { reason: "nope".into() });
+        assert_eq!(
+            decode_reply(&Frame { kind: FrameKind::Bye, payload: vec![] }).unwrap(),
+            Reply::Bye
+        );
+        assert!(decode_reply(&Frame { kind: FrameKind::Data, payload: vec![] }).is_err());
+    }
+}

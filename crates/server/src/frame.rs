@@ -1,0 +1,265 @@
+//! The length-prefixed wire protocol spoken on an ingest connection.
+//!
+//! Every frame is `[kind: u8][len: u32 LE][payload: len bytes]` — five
+//! bytes of header, then the payload. The frame kinds split by
+//! direction:
+//!
+//! | byte | kind | direction | payload |
+//! |------|--------|-----------------|----------------------------------|
+//! | 0x01 | `Data` | client → server | one message to tag |
+//! | 0x02 | `Close`| client → server | empty — drain and say goodbye |
+//! | 0x81 | `Ack` | server → client | `[seq u32 LE][events…]` |
+//! | 0x82 | `Busy` | server → client | `[seq u32 LE]` of the shed frame |
+//! | 0x83 | `Err` | server → client | UTF-8 reason |
+//! | 0x84 | `Bye` | server → client | empty — connection is done |
+//!
+//! An `Ack` is sent only **after** the shard worker has fully tagged the
+//! message; its payload carries the resulting events (12 bytes each:
+//! token, start, end as `u32` LE), so a client can verify acknowledged
+//! work byte-for-byte. A frame longer than [`MAX_FRAME`] is a protocol
+//! violation and the connection is dropped — length prefixes must not
+//! become a memory-exhaustion vector.
+
+use cfg_tagger::{Error, TagEvent};
+use std::io::{Read, Write};
+
+/// Hard ceiling on a frame's payload length (1 MiB). Anything larger is
+/// rejected before allocation.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Bytes of frame header: one kind byte plus a `u32` LE length.
+pub const HEADER_LEN: usize = 5;
+
+/// Bytes one serialized [`TagEvent`] occupies in an `Ack` payload.
+pub const EVENT_LEN: usize = 12;
+
+/// The frame kinds of the ingest protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Client → server: one message to tag.
+    Data,
+    /// Client → server: finish this session cleanly.
+    Close,
+    /// Server → client: a message was tagged; payload holds its events.
+    Ack,
+    /// Server → client: a message was load-shed, payload names its seq.
+    Busy,
+    /// Server → client: something went wrong (reason in payload).
+    Err,
+    /// Server → client: goodbye, the session is over.
+    Bye,
+}
+
+impl FrameKind {
+    /// The wire byte for this kind.
+    pub fn byte(self) -> u8 {
+        match self {
+            FrameKind::Data => 0x01,
+            FrameKind::Close => 0x02,
+            FrameKind::Ack => 0x81,
+            FrameKind::Busy => 0x82,
+            FrameKind::Err => 0x83,
+            FrameKind::Bye => 0x84,
+        }
+    }
+
+    /// Decode a wire byte; `None` for unassigned values.
+    pub fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            0x01 => Some(FrameKind::Data),
+            0x02 => Some(FrameKind::Close),
+            0x81 => Some(FrameKind::Ack),
+            0x82 => Some(FrameKind::Busy),
+            0x83 => Some(FrameKind::Err),
+            0x84 => Some(FrameKind::Bye),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame means.
+    pub kind: FrameKind,
+    /// The raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Write one frame. A payload over [`MAX_FRAME`] is refused locally
+/// (`Error::Protocol`) — we never put a frame on the wire the peer must
+/// reject.
+pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> Result<(), Error> {
+    if payload.len() > MAX_FRAME {
+        return Err(Error::Protocol(format!(
+            "refusing to send {}-byte frame (max {MAX_FRAME})",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = kind.byte();
+    header[1..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean end-of-stream (EOF
+/// exactly on a frame boundary); EOF inside a frame, an unknown kind
+/// byte, or an oversized length are `Error::Protocol`; transport
+/// failures surface as `Error::Io`.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, Error> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(Error::Protocol(format!("truncated header ({got}/{HEADER_LEN} bytes)")))
+            }
+            Ok(n) => got += n,
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    let kind = FrameKind::from_byte(header[0])
+        .ok_or_else(|| Error::Protocol(format!("unknown frame kind 0x{:02x}", header[0])))?;
+    let len = u32::from_le_bytes(header[1..].try_into().expect("4 header bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(Error::Protocol(format!("{len}-byte frame exceeds max {MAX_FRAME}")));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(Error::Protocol(format!("truncated payload ({got}/{len} bytes)"))),
+            Ok(n) => got += n,
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    Ok(Some(Frame { kind, payload }))
+}
+
+/// Serialize tag events into an `Ack` payload body (after the seq
+/// prefix): `[token u32 LE][start u32 LE][end u32 LE]` per event.
+pub fn encode_events(events: &[TagEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * EVENT_LEN);
+    for e in events {
+        out.extend_from_slice(&e.token.0.to_le_bytes());
+        out.extend_from_slice(&(e.start as u32).to_le_bytes());
+        out.extend_from_slice(&(e.end as u32).to_le_bytes());
+    }
+    out
+}
+
+/// Decode an `Ack` payload body back into events.
+pub fn decode_events(payload: &[u8]) -> Result<Vec<TagEvent>, Error> {
+    if !payload.len().is_multiple_of(EVENT_LEN) {
+        return Err(Error::Protocol(format!(
+            "ack payload length {} is not a multiple of {EVENT_LEN}",
+            payload.len()
+        )));
+    }
+    let mut events = Vec::with_capacity(payload.len() / EVENT_LEN);
+    for chunk in payload.chunks_exact(EVENT_LEN) {
+        let word = |i: usize| {
+            u32::from_le_bytes(chunk[i * 4..i * 4 + 4].try_into().expect("4-byte field"))
+        };
+        events.push(TagEvent {
+            token: cfg_grammar::TokenId(word(0)),
+            start: word(1) as usize,
+            end: word(2) as usize,
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that hands out at most one byte per `read` call — the
+    /// worst-case TCP segmentation a frame parser must survive.
+    struct OneByte<R>(R);
+
+    impl<R: Read> Read for OneByte<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let take = buf.len().min(1);
+            self.0.read(&mut buf[..take])
+        }
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        for kind in [
+            FrameKind::Data,
+            FrameKind::Close,
+            FrameKind::Ack,
+            FrameKind::Busy,
+            FrameKind::Err,
+            FrameKind::Bye,
+        ] {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, kind, b"payload").unwrap();
+            assert_eq!(FrameKind::from_byte(kind.byte()), Some(kind));
+            let frame = read_frame(&mut Cursor::new(&wire)).unwrap().unwrap();
+            assert_eq!(frame, Frame { kind, payload: b"payload".to_vec() });
+        }
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Data, b"if true then go else stop").unwrap();
+        write_frame(&mut wire, FrameKind::Close, b"").unwrap();
+        let mut reader = OneByte(Cursor::new(&wire));
+        let first = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(first.kind, FrameKind::Data);
+        assert_eq!(first.payload, b"if true then go else stop");
+        let second = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(second, Frame { kind: FrameKind::Close, payload: vec![] });
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF after last frame");
+    }
+
+    #[test]
+    fn oversized_frames_rejected_both_ways() {
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, FrameKind::Data, &vec![0u8; MAX_FRAME + 1]).unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err}");
+        assert!(wire.is_empty(), "nothing hit the wire");
+
+        // A hostile length prefix must be rejected before allocation.
+        let mut hostile = vec![FrameKind::Data.byte()];
+        hostile.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&hostile)).unwrap_err();
+        assert!(err.to_string().contains("exceeds max"), "{err}");
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_protocol_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Data, b"hello").unwrap();
+        // Chop mid-payload and mid-header.
+        for cut in [wire.len() - 2, 3] {
+            let err = read_frame(&mut Cursor::new(&wire[..cut])).unwrap_err();
+            assert!(err.to_string().contains("truncated"), "cut {cut}: {err}");
+        }
+        let garbage = [0x7fu8, 0, 0, 0, 0];
+        let err = read_frame(&mut Cursor::new(&garbage[..])).unwrap_err();
+        assert!(err.to_string().contains("unknown frame kind"), "{err}");
+    }
+
+    #[test]
+    fn events_round_trip() {
+        use cfg_grammar::TokenId;
+        let events = vec![
+            TagEvent { token: TokenId(0), start: 0, end: 2 },
+            TagEvent { token: TokenId(7), start: 10, end: 14 },
+        ];
+        let wire = encode_events(&events);
+        assert_eq!(wire.len(), 2 * EVENT_LEN);
+        assert_eq!(decode_events(&wire).unwrap(), events);
+        assert!(decode_events(&wire[..EVENT_LEN - 1]).is_err());
+    }
+}

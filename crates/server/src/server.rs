@@ -1,0 +1,595 @@
+//! The supervised multi-session ingest server.
+//!
+//! One acceptor thread takes TCP connections; each connection becomes a
+//! session (with affinity to one shard of a [`ShardPool`]) served by its
+//! own reader thread speaking the [`crate::frame`] protocol. The moving
+//! parts:
+//!
+//! * **Backpressure**: shard queues are bounded; a full queue answers
+//!   `Busy` with the shed frame's sequence number instead of blocking
+//!   the reader ([`SubmitOutcome::Shed`] → [`Stat::LoadShed`], and the
+//!   attached [`ServiceState`] flips `overloaded` so `/readyz` tells
+//!   load balancers to back off).
+//! * **Supervision**: worker panics are caught by the pool, counted
+//!   under [`Stat::WorkerRestarts`], dumped via the attached
+//!   [`FlightRecorder`], answered with an `Err` frame naming the poison
+//!   frame's sequence, and the worker resumes after exponential backoff.
+//! * **Sessions**: an idle-timeout janitor sweeps silent connections in
+//!   least-recently-active order ([`Stat::SessionsEvicted`]); a
+//!   `max_sessions` cap refuses new connections with `Busy`.
+//! * **Acks are completions**: `Ack` is written only after the shard
+//!   worker fully tagged the message, and carries the events — a client
+//!   that received an `Ack` can never lose that work, and `Close` drains
+//!   every accepted frame before `Bye`.
+
+use crate::frame::{self, Frame, FrameKind};
+use crate::session::SessionTable;
+use cfg_obs::{FlightRecorder, MetricsSink, SharedRegistry, Stat, StatsSink, TraceEvent};
+use cfg_obs_http::ServiceState;
+use cfg_tagger::{
+    EngineKind, Error, PoolOptions, ShardPool, ShardReport, SubmitOutcome, TokenTagger,
+};
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the server is shaped; start from `ServerConfig::default()` and
+/// override fields.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Worker shards in the pool.
+    pub shards: usize,
+    /// Bounded queue depth per shard; a full queue sheds with `Busy`.
+    pub queue_depth: usize,
+    /// Hard cap on concurrent sessions; beyond it, connects get `Busy`.
+    pub max_sessions: usize,
+    /// A session silent for longer than this is evicted by the janitor.
+    pub idle_timeout: Duration,
+    /// Which engine the workers tag with.
+    pub engine: EngineKind,
+    /// First post-panic worker backoff (milliseconds).
+    pub backoff_base_ms: u64,
+    /// Worker backoff ceiling (milliseconds).
+    pub backoff_max_ms: u64,
+    /// Panic injection for the chaos harness: a worker panics when a
+    /// payload contains this byte string. `None` in production.
+    pub panic_token: Option<Vec<u8>>,
+    /// Register shard + server sinks here (as `shard0…`, `server`).
+    pub registry: Option<Arc<SharedRegistry>>,
+    /// Service state to keep in sync (`ready` on start, `overloaded`
+    /// while shedding).
+    pub state: Option<Arc<ServiceState>>,
+    /// Flight recorder: frames are traced into it and its ring is
+    /// dumped when a worker panics.
+    pub flight: Option<Arc<FlightRecorder>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            shards: 2,
+            queue_depth: 64,
+            max_sessions: 64,
+            idle_timeout: Duration::from_secs(30),
+            engine: EngineKind::Bit,
+            backoff_base_ms: 10,
+            backoff_max_ms: 500,
+            panic_token: None,
+            registry: None,
+            state: None,
+            flight: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("shards", &self.shards)
+            .field("queue_depth", &self.queue_depth)
+            .field("max_sessions", &self.max_sessions)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("engine", &self.engine)
+            .field("panic_token", &self.panic_token.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What the server did over its lifetime, from
+/// [`IngestServer::shutdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Sessions admitted (cap refusals not counted).
+    pub sessions_served: u64,
+    /// Sessions evicted by the idle janitor.
+    pub evicted: u64,
+    /// Data frames shed with `Busy` because a shard queue was full.
+    pub shed: u64,
+    /// The drained pool's report (messages per shard, worker restarts).
+    pub shard: ShardReport,
+}
+
+/// Everything the acceptor, janitor, reader and worker threads share.
+struct Shared {
+    pool: ShardPool,
+    table: Arc<SessionTable<TcpStream>>,
+    stop: AtomicBool,
+    server_sink: Arc<StatsSink>,
+    state: Option<Arc<ServiceState>>,
+    flight: Option<Arc<FlightRecorder>>,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    sessions_served: AtomicU64,
+    idle_timeout: Duration,
+}
+
+/// A running ingest server; shut it down with
+/// [`IngestServer::shutdown`] to drain and collect the report.
+pub struct IngestServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    janitor_handle: Option<JoinHandle<()>>,
+}
+
+/// Pool-message layout: `[session u64 LE][seq u32 LE][payload…]`.
+fn build_msg(session: u64, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(12 + payload.len());
+    msg.extend_from_slice(&session.to_le_bytes());
+    msg.extend_from_slice(&seq.to_le_bytes());
+    msg.extend_from_slice(payload);
+    msg
+}
+
+fn split_msg(msg: &[u8]) -> Option<(u64, u32, &[u8])> {
+    if msg.len() < 12 {
+        return None;
+    }
+    let session = u64::from_le_bytes(msg[..8].try_into().expect("8 bytes"));
+    let seq = u32::from_le_bytes(msg[8..12].try_into().expect("4 bytes"));
+    Some((session, seq, &msg[12..]))
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Write a frame to a session's shared writer, ignoring transport
+/// failures — the peer may already be gone, which the reader thread
+/// notices on its own.
+fn reply(writer: &Mutex<TcpStream>, kind: FrameKind, payload: &[u8]) {
+    let mut w = writer.lock().expect("session writer lock");
+    let _ = frame::write_frame(&mut *w, kind, payload);
+}
+
+impl IngestServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving sessions
+    /// over `tagger`.
+    pub fn start<A: ToSocketAddrs>(
+        tagger: &TokenTagger,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<IngestServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let table: Arc<SessionTable<TcpStream>> = Arc::new(SessionTable::new(config.max_sessions));
+
+        // The worker handler: tag the payload with a fresh engine, then
+        // ack with the events. The ack is written *by the worker*, after
+        // processing — that ordering is the no-lost-acks guarantee.
+        let handler_table = Arc::clone(&table);
+        let panic_token = config.panic_token.clone();
+        let engine_kind = config.engine;
+        let handler = move |t: &TokenTagger, msg: &[u8]| {
+            let Some((session, seq, payload)) = split_msg(msg) else { return };
+            if let Some(token) = &panic_token {
+                if contains(payload, token) {
+                    panic!("injected poison frame (session {session} seq {seq})");
+                }
+            }
+            let tagged: Result<Vec<_>, Error> = (|| {
+                let mut engine = t.engine(engine_kind)?;
+                let mut events = engine.feed(payload)?;
+                events.extend(engine.finish()?);
+                Ok(events)
+            })();
+            if let Some(writer) = handler_table.writer(session) {
+                match tagged {
+                    Ok(events) => {
+                        let mut ack = seq.to_le_bytes().to_vec();
+                        ack.extend_from_slice(&frame::encode_events(&events));
+                        reply(&writer, FrameKind::Ack, &ack);
+                    }
+                    Err(e) => {
+                        reply(&writer, FrameKind::Err, format!("seq {seq}: {e}").as_bytes());
+                    }
+                }
+            }
+            if let Some(pending) = handler_table.pending(session) {
+                pending.fetch_sub(1, Ordering::AcqRel);
+            }
+        };
+
+        // After a caught panic the poison frame was *not* processed:
+        // tell the client with an `Err` frame and release its drain
+        // counter so `Close` does not wait on it forever.
+        let hook_table = Arc::clone(&table);
+        let on_panic = move |_shard: usize, text: &str, msg: &[u8]| {
+            let Some((session, seq, _)) = split_msg(msg) else { return };
+            if let Some(writer) = hook_table.writer(session) {
+                reply(
+                    &writer,
+                    FrameKind::Err,
+                    format!("seq {seq}: worker panic: {text}").as_bytes(),
+                );
+            }
+            if let Some(pending) = hook_table.pending(session) {
+                pending.fetch_sub(1, Ordering::AcqRel);
+            }
+        };
+
+        let pool_opts = PoolOptions {
+            queue_depth: config.queue_depth,
+            backoff_base_ms: config.backoff_base_ms,
+            backoff_max_ms: config.backoff_max_ms,
+            flight: config.flight.clone(),
+            on_panic: Some(Arc::new(on_panic)),
+        };
+        let pool = ShardPool::with_options(tagger, config.shards, pool_opts, handler);
+
+        let server_sink = Arc::new(StatsSink::new().with_trace_capacity(0));
+        if let Some(registry) = &config.registry {
+            pool.register(registry, "shard");
+            registry.register("server".to_owned(), Arc::clone(&server_sink));
+        }
+        if let Some(state) = &config.state {
+            state.set_ready(true);
+        }
+
+        let shared = Arc::new(Shared {
+            pool,
+            table,
+            stop: AtomicBool::new(false),
+            server_sink,
+            state: config.state.clone(),
+            flight: config.flight.clone(),
+            conn_handles: Mutex::new(Vec::new()),
+            sessions_served: AtomicU64::new(0),
+            idle_timeout: config.idle_timeout,
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("cfgserve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn acceptor");
+
+        let janitor_shared = Arc::clone(&shared);
+        let janitor_handle = std::thread::Builder::new()
+            .name("cfgserve-janitor".into())
+            .spawn(move || janitor_loop(janitor_shared))
+            .expect("spawn janitor");
+
+        Ok(IngestServer {
+            addr,
+            shared,
+            accept_handle: Some(accept_handle),
+            janitor_handle: Some(janitor_handle),
+        })
+    }
+
+    /// The bound address (with the real port for `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live session count right now.
+    pub fn sessions(&self) -> usize {
+        self.shared.table.len()
+    }
+
+    /// Drain-style graceful shutdown: stop accepting, tell every
+    /// session goodbye, drain the shard queues, and report.
+    pub fn shutdown(mut self) -> ServerReport {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with one throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.janitor_handle.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.shared.conn_handles.lock().expect("handles lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+        let shared = Arc::into_inner(self.shared)
+            .expect("all server threads joined, shared state uniquely owned");
+        let evicted = shared.server_sink.get(Stat::SessionsEvicted);
+        let sessions_served = shared.sessions_served.load(Ordering::SeqCst);
+        let shed: u64 = shared.pool.sinks().iter().map(|s| s.get(Stat::LoadShed)).sum();
+        let shard = shared.pool.join();
+        ServerReport { sessions_served, evicted, shed, shard }
+    }
+}
+
+impl std::fmt::Debug for IngestServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestServer")
+            .field("addr", &self.addr)
+            .field("sessions", &self.shared.table.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let Ok(writer_stream) = stream.try_clone() else { continue };
+        match shared.table.open(writer_stream) {
+            Some((id, writer)) => {
+                shared.sessions_served.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("cfgserve-conn{id}"))
+                    .spawn(move || serve_conn(conn_shared, stream, id, writer))
+                    .expect("spawn session reader");
+                shared.conn_handles.lock().expect("handles lock").push(handle);
+            }
+            None => {
+                // At the cap: answer Busy and hang up. No session state
+                // is created, so nothing to clean.
+                let writer = Mutex::new(stream);
+                reply(&writer, FrameKind::Busy, b"max sessions");
+                let _ = writer.into_inner().expect("writer lock").shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+fn janitor_loop(shared: Arc<Shared>) {
+    let tick =
+        (shared.idle_timeout / 4).min(Duration::from_millis(25)).max(Duration::from_millis(1));
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        for (id, writer) in shared.table.evict_idle(shared.idle_timeout) {
+            shared.server_sink.add(Stat::SessionsEvicted, 1);
+            reply(&writer, FrameKind::Err, format!("session {id} idle timeout").as_bytes());
+            // Shut the transport down; the session's reader thread sees
+            // EOF and exits.
+            let _ = writer.lock().expect("session writer lock").shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// What one poll of the incremental frame reader produced.
+enum Poll {
+    Frame(Frame),
+    Pending,
+    Eof,
+}
+
+/// An incremental frame parser that survives read timeouts mid-frame —
+/// a slow-loris client dribbling one byte per second must cost the
+/// server only buffered bytes, never a blocked thread or lost partial
+/// frame.
+#[derive(Default)]
+struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    fn poll<R: Read>(&mut self, r: &mut R) -> Result<Poll, Error> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(frame) = self.try_parse()? {
+                return Ok(Poll::Frame(frame));
+            }
+            match r.read(&mut chunk) {
+                Ok(0) if self.buf.is_empty() => return Ok(Poll::Eof),
+                Ok(0) => {
+                    return Err(Error::Protocol(format!(
+                        "connection closed inside a frame ({} bytes buffered)",
+                        self.buf.len()
+                    )))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Poll::Pending)
+                }
+                Err(e) => return Err(Error::Io(e)),
+            }
+        }
+    }
+
+    fn try_parse(&mut self) -> Result<Option<Frame>, Error> {
+        if self.buf.len() < frame::HEADER_LEN {
+            return Ok(None);
+        }
+        let kind = FrameKind::from_byte(self.buf[0])
+            .ok_or_else(|| Error::Protocol(format!("unknown frame kind 0x{:02x}", self.buf[0])))?;
+        let len = u32::from_le_bytes(self.buf[1..5].try_into().expect("4 header bytes")) as usize;
+        if len > frame::MAX_FRAME {
+            return Err(Error::Protocol(format!(
+                "{len}-byte frame exceeds max {}",
+                frame::MAX_FRAME
+            )));
+        }
+        if self.buf.len() < frame::HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = self.buf[frame::HEADER_LEN..frame::HEADER_LEN + len].to_vec();
+        self.buf.drain(..frame::HEADER_LEN + len);
+        Ok(Some(Frame { kind, payload }))
+    }
+}
+
+fn serve_conn(shared: Arc<Shared>, mut stream: TcpStream, id: u64, writer: Arc<Mutex<TcpStream>>) {
+    // Short read timeout: the reader doubles as the stop-flag poller.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut reader = FrameReader::default();
+    let mut seq: u32 = 0;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            reply(&writer, FrameKind::Bye, b"");
+            break;
+        }
+        match reader.poll(&mut stream) {
+            Ok(Poll::Pending) => continue,
+            Ok(Poll::Eof) => break,
+            Ok(Poll::Frame(frame)) => match frame.kind {
+                FrameKind::Data => {
+                    shared.table.touch(id);
+                    if let Some(flight) = &shared.flight {
+                        flight.record(
+                            TraceEvent::new("ingest_frame")
+                                .field("session", id)
+                                .field("seq", seq)
+                                .field("bytes", frame.payload.len() as u64),
+                        );
+                    }
+                    let msg = build_msg(id, seq, &frame.payload);
+                    // Count the frame in-flight *before* submitting:
+                    // the worker's post-ack decrement must never land
+                    // on a counter we have not bumped yet.
+                    let pending = shared.table.pending(id);
+                    if let Some(pending) = &pending {
+                        pending.fetch_add(1, Ordering::AcqRel);
+                    }
+                    match shared.pool.submit_to(id, msg) {
+                        SubmitOutcome::Accepted => {
+                            if let Some(state) = &shared.state {
+                                state.set_overloaded(false);
+                            }
+                        }
+                        SubmitOutcome::Shed => {
+                            if let Some(pending) = &pending {
+                                pending.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            if let Some(state) = &shared.state {
+                                state.set_overloaded(true);
+                            }
+                            reply(&writer, FrameKind::Busy, &seq.to_le_bytes());
+                        }
+                        SubmitOutcome::Closed => {
+                            if let Some(pending) = &pending {
+                                pending.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            reply(&writer, FrameKind::Err, b"server shutting down");
+                            break;
+                        }
+                    }
+                    seq = seq.wrapping_add(1);
+                }
+                FrameKind::Close => {
+                    drain_session(&shared, id);
+                    reply(&writer, FrameKind::Bye, b"");
+                    break;
+                }
+                other => {
+                    shared.server_sink.add(Stat::MalformedRejected, 1);
+                    reply(
+                        &writer,
+                        FrameKind::Err,
+                        format!("unexpected client frame {other:?}").as_bytes(),
+                    );
+                    break;
+                }
+            },
+            Err(e) => {
+                if matches!(e, Error::Protocol(_)) {
+                    shared.server_sink.add(Stat::MalformedRejected, 1);
+                    reply(&writer, FrameKind::Err, e.to_string().as_bytes());
+                }
+                break;
+            }
+        }
+    }
+    shared.table.close(id);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Wait (bounded) until every accepted frame of `id` has been acked —
+/// the Close-before-Bye drain.
+fn drain_session(shared: &Shared, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while let Some(pending) = shared.table.pending(id) {
+        if pending.load(Ordering::Acquire) == 0 || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_layout_round_trips() {
+        let msg = build_msg(0xDEAD_BEEF_u64, 7, b"payload");
+        let (session, seq, payload) = split_msg(&msg).unwrap();
+        assert_eq!(session, 0xDEAD_BEEF_u64);
+        assert_eq!(seq, 7);
+        assert_eq!(payload, b"payload");
+        assert!(split_msg(&msg[..11]).is_none());
+    }
+
+    #[test]
+    fn contains_finds_needles() {
+        assert!(contains(b"xxPOISONxx", b"POISON"));
+        assert!(!contains(b"xxPOISONxx", b"venom"));
+        assert!(!contains(b"abc", b""), "empty needle never matches");
+    }
+
+    #[test]
+    fn frame_reader_handles_dribbled_bytes() {
+        let mut wire = Vec::new();
+        frame::write_frame(&mut wire, FrameKind::Data, b"hello").unwrap();
+        let mut reader = FrameReader::default();
+        // Feed one byte at a time through a cursor that yields
+        // WouldBlock between bytes, as a slow-loris socket would.
+        struct Dribble<'a> {
+            data: &'a [u8],
+            pos: usize,
+            ready: bool,
+        }
+        impl Read for Dribble<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if !self.ready {
+                    self.ready = true;
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                self.ready = false;
+                if self.pos >= self.data.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut src = Dribble { data: &wire, pos: 0, ready: false };
+        let mut polls = 0;
+        let frame = loop {
+            polls += 1;
+            match reader.poll(&mut src).unwrap() {
+                Poll::Frame(f) => break f,
+                Poll::Pending => continue,
+                Poll::Eof => panic!("hit EOF before the frame completed"),
+            }
+        };
+        assert_eq!(frame.payload, b"hello");
+        assert!(polls > wire.len(), "every byte cost at least one pending poll");
+        assert!(matches!(reader.poll(&mut src), Ok(Poll::Pending)));
+    }
+}

@@ -1,0 +1,181 @@
+//! Integration tests for the ingest server: live sockets, real shard
+//! workers, deterministic fault triggers.
+
+use cfg_grammar::builtin;
+use cfg_obs::{SharedRegistry, Stat};
+use cfg_obs_http::ServiceState;
+use cfg_server::{Client, FrameKind, IngestServer, Reply, ServerConfig};
+use cfg_tagger::{TaggerOptions, TokenTagger};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tagger() -> TokenTagger {
+    TokenTagger::compile(&builtin::if_then_else(), TaggerOptions::default()).unwrap()
+}
+
+#[test]
+fn acks_carry_the_events_and_close_drains() {
+    let t = tagger();
+    let server = IngestServer::start(&t, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let expected = t.tag_fast(b"if true then go else stop");
+    match client.request(b"if true then go else stop").unwrap() {
+        Reply::Acked { seq, events } => {
+            assert_eq!(seq, 0);
+            assert_eq!(events, expected);
+        }
+        other => panic!("expected ack, got {other:?}"),
+    }
+    // Burst without reading, then close: the drain guarantees every
+    // accepted frame is acked before Bye.
+    let mut client2 = Client::connect(addr).unwrap();
+    for _ in 0..16 {
+        client2.send(b"go stop go").unwrap();
+    }
+    let replies = client2.close().unwrap();
+    let acks = replies.iter().filter(|r| matches!(r, Reply::Acked { .. })).count();
+    let busys = replies.iter().filter(|r| matches!(r, Reply::Busy { .. })).count();
+    assert_eq!(acks + busys, 16, "every frame is answered exactly once: {replies:?}");
+    assert!(acks > 0);
+
+    client.close().unwrap();
+    let report = server.shutdown();
+    assert_eq!(report.sessions_served, 2);
+    assert!(report.shard.messages > acks as u64);
+}
+
+#[test]
+fn session_cap_refuses_with_busy() {
+    let t = tagger();
+    let config = ServerConfig { max_sessions: 1, ..ServerConfig::default() };
+    let server = IngestServer::start(&t, "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    let first = Client::connect(addr).unwrap();
+    // Give the acceptor a beat to register the first session.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut second = Client::connect(addr).unwrap();
+    match second.recv().unwrap() {
+        Reply::Busy { seq: None } => {}
+        other => panic!("expected cap-refusal busy, got {other:?}"),
+    }
+    drop(second);
+    first.close().unwrap();
+    let report = server.shutdown();
+    assert_eq!(report.sessions_served, 1);
+}
+
+#[test]
+fn idle_sessions_are_evicted_and_counted() {
+    let t = tagger();
+    let registry = Arc::new(SharedRegistry::new());
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(80),
+        registry: Some(Arc::clone(&registry)),
+        ..ServerConfig::default()
+    };
+    let server = IngestServer::start(&t, "127.0.0.1:0", config).unwrap();
+
+    let mut idler = Client::connect(server.local_addr()).unwrap();
+    assert!(matches!(idler.request(b"go").unwrap(), Reply::Acked { .. }));
+    // Stay silent past the timeout; the janitor must hang up on us.
+    let evicted = match idler.recv() {
+        Ok(Reply::Rejected { reason }) => reason.contains("idle timeout"),
+        Ok(other) => panic!("expected eviction notice, got {other:?}"),
+        // The janitor may shut the socket before our read starts.
+        Err(_) => true,
+    };
+    assert!(evicted);
+    let snap = registry.snapshot();
+    assert_eq!(snap.merged.counter(Stat::SessionsEvicted), 1);
+
+    let report = server.shutdown();
+    assert_eq!(report.evicted, 1);
+}
+
+#[test]
+fn worker_panics_answer_err_and_bump_restart_counter() {
+    let t = tagger();
+    let registry = Arc::new(SharedRegistry::new());
+    let config = ServerConfig {
+        shards: 1,
+        panic_token: Some(b"POISON".to_vec()),
+        backoff_base_ms: 1,
+        backoff_max_ms: 2,
+        registry: Some(Arc::clone(&registry)),
+        ..ServerConfig::default()
+    };
+    let server = IngestServer::start(&t, "127.0.0.1:0", config).unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    match client.request(b"go POISON go").unwrap() {
+        Reply::Rejected { reason } => {
+            assert!(reason.contains("seq 0"), "{reason}");
+            assert!(reason.contains("worker panic"), "{reason}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    // The worker survived: the next message is served normally.
+    match client.request(b"stop").unwrap() {
+        Reply::Acked { seq, events } => {
+            assert_eq!(seq, 1);
+            assert_eq!(events, t.tag_fast(b"stop"));
+        }
+        other => panic!("expected ack, got {other:?}"),
+    }
+    client.close().unwrap();
+    let report = server.shutdown();
+    assert_eq!(report.shard.restarts, 1);
+    assert_eq!(registry.snapshot().merged.counter(Stat::WorkerRestarts), 1);
+}
+
+#[test]
+fn overload_sheds_with_busy_and_flips_readiness() {
+    let t = tagger();
+    let state = Arc::new(ServiceState::new());
+    let config = ServerConfig {
+        shards: 1,
+        queue_depth: 1,
+        panic_token: Some(b"POISON".to_vec()),
+        // A long backoff after the injected panic keeps the single
+        // worker asleep while we flood the depth-1 queue.
+        backoff_base_ms: 300,
+        backoff_max_ms: 300,
+        state: Some(Arc::clone(&state)),
+        ..ServerConfig::default()
+    };
+    let server = IngestServer::start(&t, "127.0.0.1:0", config).unwrap();
+    assert!(state.ready());
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.send(b"POISON").unwrap();
+    // While the worker is in its post-panic backoff, flood the queue.
+    for _ in 0..8 {
+        client.send(b"go").unwrap();
+    }
+    let replies = client.close().unwrap();
+    let busys: Vec<_> = replies.iter().filter(|r| matches!(r, Reply::Busy { .. })).collect();
+    assert!(!busys.is_empty(), "flood against a sleeping worker must shed: {replies:?}");
+    let report = server.shutdown();
+    assert!(report.shed >= busys.len() as u64);
+    assert!(state.overloaded() || report.shed > 0);
+}
+
+#[test]
+fn protocol_violations_get_err_frames() {
+    use std::io::Write;
+    let t = tagger();
+    let server = IngestServer::start(&t, "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    // An unknown kind byte must be answered with Err and a hangup.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(&[0x7f, 0, 0, 0, 0]).unwrap();
+    let frame = cfg_server::frame::read_frame(&mut raw).unwrap().unwrap();
+    assert_eq!(frame.kind, FrameKind::Err);
+    assert!(String::from_utf8_lossy(&frame.payload).contains("unknown frame kind"));
+
+    server.shutdown();
+}

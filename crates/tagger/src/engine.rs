@@ -1,0 +1,295 @@
+//! The unified streaming-engine API.
+//!
+//! Three engines execute the same compiled structure — the bit-parallel
+//! kernel ([`BitEngine`]), the scalar reference ([`ScalarEngine`]) and
+//! the simulated circuit ([`crate::GateEngine`]) — but they grew three
+//! bespoke constructor/driver surfaces. This module folds them behind
+//! one object-safe [`Engine`] trait (`feed` / `finish` / `is_dead`) and
+//! one constructor, [`crate::TokenTagger::engine`], selected by
+//! [`EngineKind`]:
+//!
+//! ```
+//! use cfg_grammar::builtin;
+//! use cfg_tagger::{EngineKind, TaggerOptions, TokenTagger};
+//!
+//! let t = TokenTagger::compile(&builtin::if_then_else(), TaggerOptions::default()).unwrap();
+//! for kind in EngineKind::ALL {
+//!     let mut e = t.engine(kind).unwrap();
+//!     let mut events = e.feed(b"if true then go else stop").unwrap();
+//!     events.extend(e.finish().unwrap());
+//!     assert_eq!(events.len(), 6, "{kind}");
+//!     assert!(!e.is_dead());
+//! }
+//! ```
+//!
+//! `feed`/`finish` return `Result` because the gate-level engine can
+//! fail in the simulator; the software engines always return `Ok`.
+
+use crate::bitset::BitEngine;
+use crate::error::Error;
+use crate::event::TagEvent;
+use crate::fast::ScalarEngine;
+use crate::gate::GateEngine;
+use cfg_obs::{Metrics, Stat, StatsSink};
+use cfg_regex::Nfa;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// A streaming token-tagging engine over one compiled grammar.
+///
+/// Object-safe: [`crate::TokenTagger::engine`] hands out
+/// `Box<dyn Engine>` so callers select the implementation at runtime
+/// (e.g. `cfgtag tag --engine gate`).
+pub trait Engine: Send {
+    /// Feed a chunk of the stream; returns the events completed so far.
+    fn feed(&mut self, bytes: &[u8]) -> Result<Vec<TagEvent>, Error>;
+
+    /// End the stream (flush lookahead / pipeline) and return the final
+    /// events. The engine is exhausted afterwards.
+    fn finish(&mut self) -> Result<Vec<TagEvent>, Error>;
+
+    /// Is the machine dead — no live state, so no further events can
+    /// fire until a §5.2 resync (or never, with recovery off)?
+    fn is_dead(&self) -> bool;
+}
+
+impl Engine for BitEngine {
+    fn feed(&mut self, bytes: &[u8]) -> Result<Vec<TagEvent>, Error> {
+        Ok(BitEngine::feed(self, bytes))
+    }
+
+    fn finish(&mut self) -> Result<Vec<TagEvent>, Error> {
+        Ok(BitEngine::finish(self))
+    }
+
+    fn is_dead(&self) -> bool {
+        BitEngine::is_dead(self)
+    }
+}
+
+impl Engine for ScalarEngine {
+    fn feed(&mut self, bytes: &[u8]) -> Result<Vec<TagEvent>, Error> {
+        Ok(ScalarEngine::feed(self, bytes))
+    }
+
+    fn finish(&mut self) -> Result<Vec<TagEvent>, Error> {
+        Ok(ScalarEngine::finish(self))
+    }
+
+    fn is_dead(&self) -> bool {
+        ScalarEngine::is_dead(self)
+    }
+}
+
+/// Which engine [`crate::TokenTagger::engine`] should construct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The bit-parallel production kernel ([`BitEngine`]) — the
+    /// default.
+    #[default]
+    Bit,
+    /// The scalar reference mirror ([`ScalarEngine`]).
+    Scalar,
+    /// The generated circuit, simulated cycle by cycle and wrapped in
+    /// a [`GateStream`] for span recovery and liveness.
+    Gate,
+}
+
+impl EngineKind {
+    /// All kinds, for exhaustive cross-engine tests.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Bit, EngineKind::Scalar, EngineKind::Gate];
+
+    /// The stable CLI name (`bit` / `scalar` / `gate`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Bit => "bit",
+            EngineKind::Scalar => "scalar",
+            EngineKind::Gate => "gate",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "bit" => Ok(EngineKind::Bit),
+            "scalar" => Ok(EngineKind::Scalar),
+            "gate" => Ok(EngineKind::Gate),
+            other => Err(format!("unknown engine {other:?} (expected bit, scalar or gate)")),
+        }
+    }
+}
+
+/// The gate-level engine adapted to the streaming [`Engine`] API.
+///
+/// The circuit only asserts match *ends*; spans are recovered in
+/// software by running each token's reversed automaton backwards over
+/// the stream seen so far (§3.4), which is why this wrapper buffers the
+/// input. Liveness (`is_dead`, §5.2 resync counting) is not observable
+/// on the match lines either, so a metrics-dark [`BitEngine`] mirror is
+/// fed in lockstep — the same functional-mirror trick `cfgtag tag
+/// --gate` always used, now packaged behind the trait. At `finish` the
+/// mirror's `resyncs` / `dead_entries` counters are folded into the
+/// engine's metrics handle so observability matches the software path.
+pub struct GateStream {
+    gate: GateEngine,
+    mirror: BitEngine,
+    mirror_sink: Arc<StatsSink>,
+    reverse_nfas: Arc<Vec<Nfa>>,
+    buf: Vec<u8>,
+    metrics: Metrics,
+}
+
+impl GateStream {
+    pub(crate) fn new(
+        gate: GateEngine,
+        mirror: BitEngine,
+        mirror_sink: Arc<StatsSink>,
+        reverse_nfas: Arc<Vec<Nfa>>,
+        metrics: Metrics,
+    ) -> GateStream {
+        GateStream { gate, mirror, mirror_sink, reverse_nfas, buf: Vec::new(), metrics }
+    }
+
+    fn resolve(&self, raw: &[crate::event::RawMatch]) -> Vec<TagEvent> {
+        raw.iter()
+            .filter_map(|m| {
+                let len = self.reverse_nfas[m.token.index()].find_longest_rev(&self.buf, m.end)?;
+                Some(TagEvent { token: m.token, start: m.end - len, end: m.end })
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for GateStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GateStream").field("buffered", &self.buf.len()).finish_non_exhaustive()
+    }
+}
+
+impl Engine for GateStream {
+    fn feed(&mut self, bytes: &[u8]) -> Result<Vec<TagEvent>, Error> {
+        self.buf.extend_from_slice(bytes);
+        let _ = self.mirror.feed(bytes);
+        let raw = self.gate.feed(bytes)?;
+        Ok(self.resolve(&raw))
+    }
+
+    fn finish(&mut self) -> Result<Vec<TagEvent>, Error> {
+        let _ = self.mirror.finish();
+        let raw = self.gate.finish()?;
+        // Liveness counters come from the functional mirror; fold them
+        // in without double-counting bytes or events (the mirror's sink
+        // is private and otherwise discarded).
+        self.metrics.add(Stat::Resyncs, self.mirror_sink.get(Stat::Resyncs));
+        self.metrics.add(Stat::DeadEntries, self.mirror_sink.get(Stat::DeadEntries));
+        Ok(self.resolve(&raw))
+    }
+
+    fn is_dead(&self) -> bool {
+        self.mirror.is_dead()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tagger::{TaggerOptions, TokenTagger};
+    use cfg_grammar::builtin;
+
+    fn tagger(opts: TaggerOptions) -> TokenTagger {
+        TokenTagger::compile(&builtin::if_then_else(), opts).unwrap()
+    }
+
+    #[test]
+    fn kind_round_trips_names() {
+        for kind in EngineKind::ALL {
+            assert_eq!(kind.name().parse::<EngineKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("fpga".parse::<EngineKind>().is_err());
+    }
+
+    #[test]
+    fn all_kinds_agree_through_the_trait() {
+        let t = tagger(TaggerOptions::default());
+        let input = b"if true then go else stop";
+        let expect = t.tag_fast(input);
+        assert_eq!(expect.len(), 6);
+        for kind in EngineKind::ALL {
+            let mut e = t.engine(kind).unwrap();
+            let mut events = e.feed(input).unwrap();
+            events.extend(e.finish().unwrap());
+            assert_eq!(events, expect, "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn chunked_feeds_match_batch_for_every_kind() {
+        let t = tagger(TaggerOptions::default());
+        let input = b"if false then stop else go";
+        let expect = t.tag_fast(&input[..]);
+        for kind in EngineKind::ALL {
+            for chunk in [1usize, 3, 5] {
+                let mut e = t.engine(kind).unwrap();
+                let mut events = Vec::new();
+                for c in input.chunks(chunk) {
+                    events.extend(e.feed(c).unwrap());
+                }
+                events.extend(e.finish().unwrap());
+                assert_eq!(events, expect, "kind {kind} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_dead_reported_uniformly() {
+        let t = tagger(TaggerOptions::default());
+        for kind in EngineKind::ALL {
+            let mut e = t.engine(kind).unwrap();
+            assert!(!e.is_dead(), "fresh {kind} engine is live");
+            e.feed(b"zzzz ").unwrap();
+            e.finish().unwrap();
+            assert!(e.is_dead(), "kind {kind} should be dead after garbage");
+        }
+    }
+
+    #[test]
+    fn gate_stream_folds_liveness_counters() {
+        use cfg_obs::{Metrics, Stat, StatsSink};
+        use std::sync::Arc;
+        let sink = Arc::new(StatsSink::new());
+        let opts = TaggerOptions::builder().metrics(Metrics::new(sink.clone())).build();
+        let t = tagger(opts);
+        let mut e = t.engine(EngineKind::Gate).unwrap();
+        e.feed(b"go zzz").unwrap();
+        e.finish().unwrap();
+        assert!(e.is_dead());
+        assert_eq!(sink.get(Stat::DeadEntries), 1);
+        // Bytes are counted once (by the gate engine, not the mirror).
+        assert_eq!(sink.get(Stat::BytesIn), 6);
+    }
+
+    #[test]
+    fn deprecated_wrappers_equal_trait_path() {
+        let t = tagger(TaggerOptions::default());
+        let input = b"if true then go else stop";
+        let mut via_kind = t.engine(EngineKind::Bit).unwrap();
+        let mut events = via_kind.feed(input).unwrap();
+        events.extend(via_kind.finish().unwrap());
+        assert_eq!(events, t.tag_fast(input));
+        let mut gate = t.engine(EngineKind::Gate).unwrap();
+        let mut gevents = gate.feed(input).unwrap();
+        gevents.extend(gate.finish().unwrap());
+        assert_eq!(gevents, t.tag_gate(input).unwrap());
+    }
+}

@@ -41,6 +41,8 @@
 
 pub mod backend;
 pub mod bitset;
+pub mod engine;
+pub mod error;
 pub mod event;
 pub mod fast;
 pub mod gate;
@@ -52,10 +54,12 @@ pub mod wide;
 
 pub use backend::{Backend, CollectBackend, CountingBackend};
 pub use bitset::{BitEngine, BitTables};
+pub use engine::{Engine, EngineKind, GateStream};
+pub use error::Error;
 pub use event::TagEvent;
 pub use fast::ScalarEngine;
 pub use gate::GateEngine;
-pub use shard::{ShardPool, ShardReport};
+pub use shard::{PoolOptions, ShardPool, ShardReport, SubmitOutcome};
 
 /// The default streaming engine behind [`TokenTagger::fast_engine`].
 ///

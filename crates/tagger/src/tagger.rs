@@ -5,11 +5,9 @@ use crate::event::{RawMatch, TagEvent};
 use crate::fast::{FastTables, ScalarEngine};
 use crate::gate::GateEngine;
 use cfg_grammar::{transform, Context, Grammar, TokenId};
-use cfg_hwgen::{generate, GenError, GeneratedTagger, GeneratorOptions};
-use cfg_netlist::SimError;
-use cfg_obs::{CompileReport, Metrics, Stat};
+use cfg_hwgen::{generate, GeneratedTagger, GeneratorOptions};
+use cfg_obs::{CompileReport, Metrics, Stat, StatsSink};
 use cfg_regex::Nfa;
-use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -130,38 +128,13 @@ impl TaggerOptionsBuilder {
     }
 }
 
-/// Compilation and execution errors.
-#[derive(Debug)]
-pub enum TaggerError {
-    /// Hardware generation failed.
-    Generate(GenError),
-    /// The gate-level simulator rejected the netlist (internal bug if it
-    /// ever happens — generated circuits are loop-free by construction).
-    Sim(SimError),
-}
-
-impl fmt::Display for TaggerError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TaggerError::Generate(e) => write!(f, "hardware generation failed: {e}"),
-            TaggerError::Sim(e) => write!(f, "simulation failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for TaggerError {}
-
-impl From<GenError> for TaggerError {
-    fn from(e: GenError) -> Self {
-        TaggerError::Generate(e)
-    }
-}
-
-impl From<SimError> for TaggerError {
-    fn from(e: SimError) -> Self {
-        TaggerError::Sim(e)
-    }
-}
+/// The historical name of [`crate::Error`].
+///
+/// **Deprecated name** — kept as a thin alias so existing call sites
+/// keep compiling; new code should spell it [`crate::Error`]. The
+/// unified enum carries the same `Generate` / `Sim` variants this type
+/// always had, plus the streaming/serving failure modes.
+pub type TaggerError = crate::error::Error;
 
 /// A compiled streaming token tagger.
 ///
@@ -331,7 +304,43 @@ impl TokenTagger {
         Ok(GateEngine::new(&self.hw)?.with_metrics(self.opts.metrics.clone()))
     }
 
+    /// A fresh streaming engine of the requested kind, behind the
+    /// unified [`crate::Engine`] trait — the one constructor the CLI,
+    /// the shard pool and the ingest server all use. Every engine is
+    /// instrumented with the compile options' metrics handle; the gate
+    /// kind is wrapped in a [`crate::GateStream`] for span recovery and
+    /// liveness.
+    pub fn engine(
+        &self,
+        kind: crate::EngineKind,
+    ) -> Result<Box<dyn crate::Engine>, crate::error::Error> {
+        Ok(match kind {
+            crate::EngineKind::Bit => Box::new(self.fast_engine()),
+            crate::EngineKind::Scalar => Box::new(self.scalar_engine()),
+            crate::EngineKind::Gate => {
+                let gate = GateEngine::new(&self.hw)?.with_metrics(self.opts.metrics.clone());
+                // The liveness mirror records into a private sink so
+                // bytes/events are not double-counted; GateStream folds
+                // only the liveness counters back at finish().
+                let mirror_sink = Arc::new(StatsSink::new().with_trace_capacity(0));
+                let mirror = BitEngine::new(Arc::clone(&self.bit_tables))
+                    .with_metrics(Metrics::new(mirror_sink.clone()));
+                Box::new(crate::engine::GateStream::new(
+                    gate,
+                    mirror,
+                    mirror_sink,
+                    Arc::clone(&self.reverse_nfas),
+                    self.opts.metrics.clone(),
+                ))
+            }
+        })
+    }
+
     /// Tag a complete input with the functional engine.
+    ///
+    /// **Deprecated-style convenience** — a thin wrapper over the
+    /// [`crate::Engine`] path (`engine(EngineKind::Bit)`); prefer that
+    /// for new code, which also gives you streaming and `is_dead`.
     pub fn tag_fast(&self, input: &[u8]) -> Vec<TagEvent> {
         let mut engine = self.fast_engine();
         let mut events = engine.feed(input);

@@ -21,6 +21,8 @@
 //!   snapshot registry / flight recorder behind live telemetry.
 //! * [`obs_http`] — dependency-free `/metrics` (Prometheus), health
 //!   probe, and `/report.json` exporter over the registry.
+//! * [`server`] — the supervised multi-session TCP ingest server and
+//!   its deterministic fault-injection harness.
 //!
 //! ## Quickstart
 //!
@@ -51,5 +53,6 @@ pub use cfg_netlist as netlist;
 pub use cfg_obs as obs;
 pub use cfg_obs_http as obs_http;
 pub use cfg_regex as regex;
+pub use cfg_server as server;
 pub use cfg_tagger as tagger;
 pub use cfg_xmlrpc as xmlrpc;

@@ -181,7 +181,9 @@ proptest! {
     /// circuit produce byte-identical event streams on random patterns,
     /// random inputs, every start-mode/recovery combination, and every
     /// chunk split of the stream — the full hardware/software
-    /// co-verification triangle.
+    /// co-verification triangle. Every engine is built through the
+    /// unified [`EngineKind`] constructor, so this also pins the trait
+    /// path to the bespoke constructors' behaviour.
     #[test]
     fn bitset_equals_scalar_and_gate(
         pat in pattern_strategy(),
@@ -189,6 +191,8 @@ proptest! {
         always in any::<bool>(),
         recover in any::<bool>(),
     ) {
+        use cfg_token_tagger::tagger::EngineKind;
+
         let text = format!("TOK {pat}\n%%\ns: TOK;\n%%\n");
         let Ok(g) = Grammar::parse(&text) else { return Ok(()) };
         let opts = TaggerOptions {
@@ -200,25 +204,27 @@ proptest! {
         // the delimiters) are skipped, as in the gate test above.
         let Ok(tagger) = TokenTagger::compile(&g, opts) else { return Ok(()) };
 
-        let mut scalar = tagger.scalar_engine();
-        let mut expect = scalar.feed(&input);
-        expect.extend(scalar.finish());
+        let mut scalar = tagger.engine(EngineKind::Scalar).unwrap();
+        let mut expect = scalar.feed(&input).unwrap();
+        expect.extend(scalar.finish().unwrap());
 
         // Bit kernel: batch, then every chunk split (1/2/3/7) — the
         // lookahead carry across feed() boundaries must be seamless.
         let batch = tagger.tag_fast(&input);
         prop_assert_eq!(&batch, &expect, "batch: pattern {} input {:?}", pat, input);
         for chunk in [1usize, 2, 3, 7] {
-            let mut e = tagger.fast_engine();
+            let mut e = tagger.engine(EngineKind::Bit).unwrap();
             let mut got = Vec::new();
             for c in input.chunks(chunk) {
-                got.extend(e.feed(c));
+                got.extend(e.feed(c).unwrap());
             }
-            got.extend(e.finish());
+            got.extend(e.finish().unwrap());
             prop_assert_eq!(&got, &expect, "chunk {}: pattern {} input {:?}", chunk, pat, input);
         }
 
-        let gate = tagger.tag_gate(&input).unwrap();
+        let mut gate_engine = tagger.engine(EngineKind::Gate).unwrap();
+        let mut gate = gate_engine.feed(&input).unwrap();
+        gate.extend(gate_engine.finish().unwrap());
         prop_assert_eq!(&gate, &expect, "gate: pattern {} input {:?}", pat, input);
     }
 }
