@@ -13,13 +13,16 @@
 #   8. ingest server            -- cfg-server unit + integration tests,
 #                                  the Engine trait suite, and the
 #                                  fault-injection chaos test
-#   9. full workspace tests     -- every crate's suites
+#   9. span tracing & SLO       -- cfg-obs span/SLO suites, the slo CLI,
+#                                  and the end-to-end span_trace test
+#  10. full workspace tests     -- every crate's suites
 #
-# Then four NON-GATING steps: the observability-overhead bench, the
-# engine-throughput bench, the ingest-server loop bench, and bench_diff
-# over bench_results/ histories. Timing on shared machines is too noisy
-# to fail CI on, so their verdicts are printed (bench_diff flags >10%
-# regressions) but never change the exit code.
+# Then four NON-GATING steps: the observability-overhead bench (engine
+# path + traced-server path), the engine-throughput bench, the
+# ingest-server loop bench (with the stage-attribution table), and
+# bench_diff over bench_results/ histories. Timing on shared machines
+# is too noisy to fail CI on, so their verdicts are printed (bench_diff
+# flags >10% regressions) but never change the exit code.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -61,6 +64,12 @@ echo "==> ingest server: cfg-server suites, Engine trait, chaos test"
 cargo test -q -p cfg-server
 cargo test -q -p cfg-tagger engine
 cargo test -q --test chaos_server
+
+echo "==> span tracing & SLO: cfg-obs span/slo, slo CLI, end-to-end trace test"
+cargo test -q -p cfg-obs span
+cargo test -q -p cfg-obs slo
+cargo test -q -p cfg-cli slo
+cargo test -q --test span_trace
 
 echo "==> full workspace tests"
 cargo test --workspace -q

@@ -1,7 +1,7 @@
 //! Compares the two most recent rows of each `bench_results/*.json`
 //! JSONL history and prints per-metric deltas.
 //!
-//! Direction matters: `*_ns_per_byte` / `*_pct` metrics are
+//! Direction matters: `*_ns_per_byte` / `*_pct` / `*_us` metrics are
 //! lower-is-better, `*_per_sec` / `*_gbps` / `*_mbps` are
 //! higher-is-better; everything else is reported without a verdict. A
 //! regression worse than 10% on any directional metric makes the
@@ -25,7 +25,7 @@ enum Direction {
 }
 
 fn direction(key: &str) -> Direction {
-    if key.ends_with("_ns_per_byte") || key.ends_with("_overhead_pct") {
+    if key.ends_with("_ns_per_byte") || key.ends_with("_overhead_pct") || key.ends_with("_us") {
         Direction::LowerIsBetter
     } else if key.ends_with("_per_sec") || key.ends_with("_gbps") || key.ends_with("_mbps") {
         Direction::HigherIsBetter
@@ -143,7 +143,33 @@ mod tests {
         assert_eq!(direction("noop_overhead_pct"), Direction::LowerIsBetter);
         assert_eq!(direction("msgs_per_sec"), Direction::HigherIsBetter);
         assert_eq!(direction("bandwidth_gbps"), Direction::HigherIsBetter);
+        assert_eq!(direction("e2e_p50_us"), Direction::LowerIsBetter);
+        assert_eq!(direction("queue_wait_p50_us"), Direction::LowerIsBetter);
         assert_eq!(direction("bytes"), Direction::Informational);
+    }
+
+    #[test]
+    fn rows_predating_the_latency_fields_still_compare() {
+        // A server_loop history from before per-stage quantiles were
+        // recorded: the previous row lacks every `_us` key. The shared
+        // fields still diff; the new ones are silently skipped rather
+        // than erroring or inventing a zero baseline.
+        let prev = Json::parse(r#"{"accepted_msgs_per_sec":700.0,"shed_ratio":0.1,"acked":8000}"#)
+            .unwrap();
+        let cur = Json::parse(
+            r#"{"accepted_msgs_per_sec":720.0,"shed_ratio":0.1,"acked":8000,
+                "e2e_p50_us":147.6,"queue_wait_p50_us":120.1,"stage_sum_vs_e2e_pct":93.5}"#,
+        )
+        .unwrap();
+        let deltas = compare_rows(&prev, &cur);
+        let keys: Vec<&str> = deltas.iter().map(|d| d.key.as_str()).collect();
+        assert!(keys.contains(&"accepted_msgs_per_sec"));
+        assert!(!keys.iter().any(|k| k.ends_with("_us") || k.ends_with("_pct")), "{keys:?}");
+        // And once two traced rows exist, the quantiles are directional.
+        let cur2 = Json::parse(r#"{"e2e_p50_us":170.0,"queue_wait_p50_us":121.0}"#).unwrap();
+        let traced = compare_rows(&cur, &cur2);
+        let e2e = traced.iter().find(|d| d.key == "e2e_p50_us").unwrap();
+        assert!(e2e.regression.unwrap() > THRESHOLD);
     }
 
     #[test]

@@ -20,9 +20,18 @@
 //! overhead **< 2%**; the checks are printed but never fail the
 //! process (timing on shared CI boxes is too noisy to gate on).
 //!
+//! A second section applies the same discipline to the **serving
+//! path**: a live in-process [`IngestServer`] driven by one synchronous
+//! client, once with `trace: None` (the span code is a never-taken
+//! branch per frame) and once with full tracing (`sample_every: 1` —
+//! every frame stamped through all seven stages and folded into the
+//! SLO histograms). The measured tracing overhead per round-trip must
+//! stay **< 2%** — also printed, also non-gating.
+//!
 //! Run: `cargo run -p cfg-bench --bin obs_overhead --release`
 
 use cfg_obs::{Metrics, NoopSink, StatsSink};
+use cfg_server::{Client, IngestServer, Reply, ServerConfig, TraceConfig};
 use cfg_tagger::{TaggerOptions, TokenTagger};
 use cfg_xmlrpc::workload::{MessageKind, WorkloadGenerator};
 use cfg_xmlrpc::xmlrpc_grammar;
@@ -62,6 +71,37 @@ fn bench_feed(
     let median = samples[samples.len() / 2];
     let spread = (samples[samples.len() - 1] - samples[0]) / median * 100.0;
     (median, spread)
+}
+
+/// Median synchronous-request round-trip over a live server, in µs
+/// per message (one warm-up rep, same medianing as [`bench_feed`]).
+fn bench_server(
+    tagger: &TokenTagger,
+    batch: &[Vec<u8>],
+    trace: Option<TraceConfig>,
+    reps: usize,
+) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..reps + 1 {
+        let config = ServerConfig { shards: 2, trace: trace.clone(), ..ServerConfig::default() };
+        let server = IngestServer::start(tagger, "127.0.0.1:0", config).expect("bind server");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let t0 = Instant::now();
+        for msg in batch {
+            match client.request(msg).expect("request") {
+                Reply::Acked { .. } | Reply::Busy { .. } => {}
+                other => panic!("obs_overhead client got {other:?}"),
+            }
+        }
+        let dt = t0.elapsed().as_nanos() as f64;
+        client.close().expect("close");
+        server.shutdown();
+        if rep > 0 {
+            samples.push(dt / batch.len() as f64 / 1e3);
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
 fn main() {
@@ -122,6 +162,30 @@ fn main() {
         if probes_ok { "OK" } else { "FAIL (non-gating)" }
     );
 
+    // The serving path: synchronous TCP round-trips with the span
+    // machinery off (`trace: None` — one never-taken branch per frame)
+    // versus fully on (every frame stamped and folded into the SLO
+    // histograms). The frame is socket-dominated, so the handful of
+    // monotonic-clock reads tracing adds must disappear into it.
+    let server_reps = 9;
+    let server_batch: Vec<Vec<u8>> = gen.batch(1500, 0.0).into_iter().map(|m| m.bytes).collect();
+    let server_off = bench_server(&tagger, &server_batch, None, server_reps);
+    let server_traced = bench_server(
+        &tagger,
+        &server_batch,
+        Some(TraceConfig { sample_every: 1, ..TraceConfig::default() }),
+        server_reps,
+    );
+    let trace_pct = (server_traced - server_off) / server_off * 100.0;
+    println!("server path ({} sync round-trips, median of {server_reps}):", server_batch.len());
+    println!("  trace off  : {server_off:>8.2} us/msg");
+    println!("  trace on   : {server_traced:>8.2} us/msg  ({trace_pct:+.2}% vs off)");
+    let trace_ok = trace_pct < 2.0;
+    println!(
+        "check: server tracing overhead < 2%: {}",
+        if trace_ok { "OK" } else { "FAIL (non-gating)" }
+    );
+
     if std::fs::create_dir_all("bench_results").is_ok() {
         let json = format!(
             "{{\"bytes\": {}, \"reps\": {reps}, \"off_ns_per_byte\": {off:.4}, \
@@ -130,7 +194,11 @@ fn main() {
              \"probes_on_ns_per_byte\": {probes_on:.4}, \
              \"noop_overhead_pct\": {:.3}, \"stats_overhead_pct\": {:.3}, \
              \"probes_off_overhead_pct\": {:.3}, \"spread_pct\": {spread_pct:.2}, \
-             \"noop_under_2pct\": {ok}, \"probes_off_under_2pct\": {probes_ok}}}\n",
+             \"noop_under_2pct\": {ok}, \"probes_off_under_2pct\": {probes_ok}, \
+             \"server_off_msg_us\": {server_off:.2}, \
+             \"server_traced_msg_us\": {server_traced:.2}, \
+             \"server_trace_overhead_pct\": {trace_pct:.3}, \
+             \"server_trace_under_2pct\": {trace_ok}}}\n",
             input.len(),
             pct(noop),
             pct(stats),

@@ -7,17 +7,30 @@
 //! serving-layer numbers the chaos test asserts qualitatively:
 //! accepted msgs/s and the shed ratio of the bounded queues — raise
 //! `--window` (or shrink `--queue-depth`) to push the pool into
-//! overload and watch the ratio climb. Appends a JSONL row to
-//! `bench_results/server_loop.json` — non-gating, like every timing
+//! overload and watch the ratio climb.
+//!
+//! With tracing on (`--trace-sample`, default 1) every acked frame is
+//! decomposed into stage latencies and the run ends with the
+//! **attribution table**: per-stage p50/p99/p99.9 plus each stage's
+//! share of the end-to-end p50 — the direct answer to "where do the
+//! TCP-path microseconds go vs. the in-process router". The same
+//! quantiles are scraped live from `/slo.json` mid-run and
+//! cross-checked against the server's own tracker. Appends a JSONL row
+//! to `bench_results/server_loop.json` — non-gating, like every timing
 //! bench here.
 //!
 //! Run: `cargo run -p cfg-bench --bin server_loop --release -- \
-//!        [--messages N] [--clients N] [--shards N] [--queue-depth N] [--window N]`
+//!        [--messages N] [--clients N] [--shards N] [--queue-depth N] \
+//!        [--window N] [--trace-sample N] [--slo-ms X]`
 
-use cfg_server::{Client, IngestServer, Reply, ServerConfig};
+use cfg_obs::json::Json;
+use cfg_obs::{SharedRegistry, SloSnapshot, Stage};
+use cfg_obs_http::{http_get, Exporter, ServiceState};
+use cfg_server::{Client, IngestServer, Reply, ServerConfig, TraceConfig};
 use cfg_tagger::{TaggerOptions, TokenTagger};
 use cfg_xmlrpc::workload::WorkloadGenerator;
 use cfg_xmlrpc::xmlrpc_grammar;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn arg(name: &str, default: u64) -> u64 {
@@ -29,21 +42,80 @@ fn arg(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// Render the stage-attribution table from an SLO snapshot: one row
+/// per serving stage with quantiles and the share of the end-to-end
+/// p50 that stage accounts for.
+fn attribution_table(snap: &SloSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let e2e_p50 = snap.e2e.p50.max(1);
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>10} {:>10} {:>10} {:>8}",
+        "stage", "p50_us", "p99_us", "p999_us", "of e2e"
+    );
+    for (name, row) in &snap.stages {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10.1} {:>10.1} {:>10.1} {:>7.1}%",
+            name,
+            us(row.p50),
+            us(row.p99),
+            us(row.p999),
+            row.p50 as f64 / e2e_p50 as f64 * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>10.1} {:>10.1} {:>10.1} {:>8}",
+        "e2e",
+        us(snap.e2e.p50),
+        us(snap.e2e.p99),
+        us(snap.e2e.p999),
+        "100.0%"
+    );
+    out
+}
+
 fn main() {
     let messages = arg("--messages", 8_000) as usize;
     let clients = (arg("--clients", 4) as usize).max(1);
     let shards = (arg("--shards", 4) as usize).max(1);
     let queue_depth = (arg("--queue-depth", 32) as usize).max(1);
     let window = (arg("--window", 8) as usize).max(1);
+    let trace_sample = arg("--trace-sample", 1);
+    let slo_ms = arg("--slo-ms", 50).max(1);
 
     let grammar = xmlrpc_grammar();
     let tagger =
         TokenTagger::compile(&grammar, TaggerOptions::default()).expect("XML-RPC grammar compiles");
-    let config =
-        ServerConfig { shards, queue_depth, max_sessions: clients + 1, ..ServerConfig::default() };
+    let registry = Arc::new(SharedRegistry::new());
+    let state = Arc::new(ServiceState::new());
+    let config = ServerConfig {
+        shards,
+        queue_depth,
+        max_sessions: clients + 1,
+        registry: Some(Arc::clone(&registry)),
+        state: Some(Arc::clone(&state)),
+        trace: (trace_sample > 0).then(|| TraceConfig {
+            sample_every: trace_sample,
+            slo_ms,
+            ..TraceConfig::default()
+        }),
+        ..ServerConfig::default()
+    };
     let server = IngestServer::start(&tagger, "127.0.0.1:0", config).expect("bind ingest server");
     let addr = server.local_addr();
-    eprintln!("server_loop: ingest on {addr} ({shards} shards, queue depth {queue_depth})");
+    let exporter = Exporter::bind("127.0.0.1:0", registry, state).expect("bind exporter");
+    let metrics_addr = exporter.local_addr().to_string();
+    eprintln!(
+        "server_loop: ingest on {addr} ({shards} shards, queue depth {queue_depth}, \
+         trace 1-in-{trace_sample}, SLO {slo_ms}ms)"
+    );
 
     let mut gen = WorkloadGenerator::new(7);
     let batch = gen.batch(messages, 0.0);
@@ -87,7 +159,25 @@ fn main() {
         busys += b;
     }
     let secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Scrape the SLO view while the server is still up — the same
+    // numbers an operator's `cfgtag slo` poll would see — and
+    // cross-check against the tracker the server holds directly.
+    let traced = server.slo_tracker().map(|tracker| {
+        let live = http_get(&metrics_addr, "/slo.json").expect("scrape /slo.json");
+        let live = Json::parse(&live).expect("parse /slo.json");
+        let snap = tracker.snapshot();
+        let live_total = live.get("total").and_then(Json::as_u64).unwrap_or(0);
+        assert!(
+            live_total >= snap.total.saturating_sub(window as u64 * clients as u64)
+                && live_total <= snap.total,
+            "/slo.json diverged from the in-process tracker: {live_total} vs {}",
+            snap.total
+        );
+        snap
+    });
     let report = server.shutdown();
+    exporter.stop();
 
     let accepted_per_sec = acks as f64 / secs;
     let shed_ratio = busys as f64 / (acks + busys).max(1) as f64;
@@ -100,6 +190,48 @@ fn main() {
         report.sessions_served, report.shard.messages, report.shard.restarts
     );
 
+    // The per-stage latency fields appended to the JSONL row (empty
+    // when tracing is off — bench_diff skips keys a row lacks).
+    let mut trace_fields = String::new();
+    if let Some(snap) = &traced {
+        println!("  stage attribution over {} acked frames:", snap.e2e.count);
+        print!("{}", attribution_table(snap));
+        let stage_p50 = |stage: Stage| {
+            snap.stages
+                .iter()
+                .find(|(n, _)| *n == stage.name())
+                .map(|(_, row)| row.p50)
+                .unwrap_or(0)
+        };
+        // Telescoping stamps make stage durations sum exactly to the
+        // end-to-end per span; the p50s are each computed over the
+        // whole run, so their sum tracking the e2e p50 (within ~10%)
+        // is the sanity check that attribution is not dropping time.
+        let stage_sum_p50: u64 = Stage::ALL.iter().map(|s| stage_p50(*s)).sum();
+        let sum_vs_e2e = stage_sum_p50 as f64 / snap.e2e.p50.max(1) as f64 * 100.0;
+        println!(
+            "  stage p50 sum {:.1}us vs e2e p50 {:.1}us ({sum_vs_e2e:.1}%)",
+            us(stage_sum_p50),
+            us(snap.e2e.p50)
+        );
+        trace_fields = format!(
+            ", \"trace_sample\": {trace_sample}, \"slo_ms\": {slo_ms}, \
+             \"breaches\": {}, \
+             \"e2e_p50_us\": {:.2}, \"e2e_p99_us\": {:.2}, \"e2e_p999_us\": {:.2}, \
+             \"queue_wait_p50_us\": {:.2}, \"engine_p50_us\": {:.2}, \
+             \"ack_write_p50_us\": {:.2}, \
+             \"stage_sum_p50_us\": {:.2}, \"stage_sum_vs_e2e_pct\": {sum_vs_e2e:.1}",
+            snap.breaches,
+            us(snap.e2e.p50),
+            us(snap.e2e.p99),
+            us(snap.e2e.p999),
+            us(stage_p50(Stage::QueueWait)),
+            us(stage_p50(Stage::Engine)),
+            us(stage_p50(Stage::AckWrite)),
+            us(stage_sum_p50),
+        );
+    }
+
     if std::fs::create_dir_all("bench_results").is_ok() {
         use std::io::Write as _;
         let row = format!(
@@ -107,7 +239,7 @@ fn main() {
              \"shards\": {shards}, \"queue_depth\": {queue_depth}, \"window\": {window}, \
              \"secs\": {secs:.4}, \
              \"accepted_msgs_per_sec\": {accepted_per_sec:.1}, \"shed_ratio\": {shed_ratio:.4}, \
-             \"acked\": {acks}, \"shed\": {busys}}}\n"
+             \"acked\": {acks}, \"shed\": {busys}{trace_fields}}}\n"
         );
         let appended = std::fs::OpenOptions::new()
             .create(true)

@@ -1,6 +1,6 @@
 //! `cfgtag` binary entry point: thin shell over [`cfg_cli::run`], plus
-//! the long-running modes (`serve`, `top`, `scope`) that own sockets
-//! and the process lifetime and so bypass the pure dispatcher.
+//! the long-running modes (`serve`, `top`, `scope`, `slo`) that own
+//! sockets and the process lifetime and so bypass the pure dispatcher.
 
 use std::io::Read;
 
@@ -10,6 +10,7 @@ fn main() {
         Some("serve") => std::process::exit(cfg_cli::serve::main_io(&args[1..])),
         Some("top") => std::process::exit(cfg_cli::top::main_io(&args[1..])),
         Some("scope") => std::process::exit(cfg_cli::scope::main_io(&args[1..])),
+        Some("slo") => std::process::exit(cfg_cli::slo::main_io(&args[1..])),
         _ => {}
     }
     let read_input = |path: &str| -> Result<Vec<u8>, std::io::Error> {

@@ -24,7 +24,7 @@ use cfg_obs::{
     DEFAULT_FLIGHT_CAPACITY,
 };
 use cfg_obs_http::{Exporter, ServiceState};
-use cfg_server::{IngestServer, ServerConfig, ServerReport};
+use cfg_server::{IngestServer, ServerConfig, ServerReport, TraceConfig};
 use cfg_tagger::{EngineKind, ShardPool, StartMode, TaggerOptions, TokenTagger};
 use std::io::Read;
 use std::sync::Arc;
@@ -65,6 +65,11 @@ pub struct ServeFlags {
     /// `--panic-token`: chaos-harness worker-panic trigger (listen
     /// mode; never set in production).
     pub panic_token: Option<String>,
+    /// `--trace-sample N`: trace every frame and retain 1-in-N spans
+    /// in `/spans.jsonl` (listen mode; 0 = tracing off).
+    pub trace_sample: u64,
+    /// `--slo-ms X`: end-to-end latency objective for `/slo.json`.
+    pub slo_ms: u64,
 }
 
 impl Default for ServeFlags {
@@ -85,6 +90,8 @@ impl Default for ServeFlags {
             idle_timeout_ms: 30_000,
             queue_depth: 64,
             panic_token: None,
+            trace_sample: 0,
+            slo_ms: 50,
         }
     }
 }
@@ -140,6 +147,8 @@ impl ServeFlags {
                         it.next().ok_or_else(|| CliError::new("--panic-token needs a value", 2))?;
                     f.panic_token = Some(token.clone());
                 }
+                "--trace-sample" => f.trace_sample = num(&mut it, "--trace-sample")?,
+                "--slo-ms" => f.slo_ms = num(&mut it, "--slo-ms")?.max(1),
                 other if other.starts_with("--") => {
                     return Err(CliError::new(format!("unknown serve flag {other}"), 2));
                 }
@@ -410,6 +419,11 @@ pub fn run_listen(
         panic_token: flags.panic_token.as_ref().map(|t| t.as_bytes().to_vec()),
         registry: Some(Arc::clone(&registry)),
         state: Some(Arc::clone(&state)),
+        trace: (flags.trace_sample > 0).then(|| TraceConfig {
+            sample_every: flags.trace_sample,
+            slo_ms: flags.slo_ms,
+            ..TraceConfig::default()
+        }),
         ..ServerConfig::default()
     };
     let server = IngestServer::start(&tagger, addr, config)
@@ -425,8 +439,9 @@ pub fn run_listen(
         flags.max_sessions,
         flags.idle_timeout_ms
     ));
+    let trace_endpoints = if flags.trace_sample > 0 { " /slo.json /spans.jsonl" } else { "" };
     status(&format!(
-        "serving http://{}/metrics (+ /healthz /readyz /report.json)",
+        "serving http://{}/metrics (+ /healthz /readyz /report.json{trace_endpoints})",
         exporter.local_addr()
     ));
 
@@ -460,7 +475,8 @@ pub fn main_io(args: &[String]) -> i32 {
             "usage: cfgtag serve <grammar.y> [input] [--port N] [--loop N] [--recover] [--always] \
              [--chunk N] [--max-bytes N] [--shards N] [--flight-out PATH] [--flight-capacity N]\n\
              \x20      cfgtag serve <grammar.y> --listen ADDR [--engine bit|scalar|gate] \
-             [--max-sessions N] [--idle-timeout-ms N] [--queue-depth N] [--panic-token S]"
+             [--max-sessions N] [--idle-timeout-ms N] [--queue-depth N] [--panic-token S] \
+             [--trace-sample N] [--slo-ms X]"
         );
         return 2;
     };
@@ -658,6 +674,10 @@ mod tests {
             "16",
             "--panic-token",
             "POISON",
+            "--trace-sample",
+            "4",
+            "--slo-ms",
+            "25",
         ]))
         .unwrap();
         assert_eq!(f.listen.as_deref(), Some("127.0.0.1:0"));
@@ -666,8 +686,15 @@ mod tests {
         assert_eq!(f.idle_timeout_ms, 250);
         assert_eq!(f.queue_depth, 16);
         assert_eq!(f.panic_token.as_deref(), Some("POISON"));
+        assert_eq!(f.trace_sample, 4);
+        assert_eq!(f.slo_ms, 25);
+        // Tracing defaults to off.
+        let (defaults, _) = ServeFlags::parse(&argv(&["g.y"])).unwrap();
+        assert_eq!(defaults.trace_sample, 0);
+        assert_eq!(defaults.slo_ms, 50);
         assert_eq!(ServeFlags::parse(&argv(&["--listen"])).unwrap_err().code, 2);
         assert_eq!(ServeFlags::parse(&argv(&["--engine", "quantum"])).unwrap_err().code, 2);
+        assert_eq!(ServeFlags::parse(&argv(&["--trace-sample"])).unwrap_err().code, 2);
     }
 
     #[test]
@@ -676,8 +703,12 @@ mod tests {
         use std::sync::atomic::{AtomicBool, Ordering};
         use std::sync::mpsc;
 
-        let flags =
-            ServeFlags { listen: Some("127.0.0.1:0".into()), shards: 2, ..Default::default() };
+        let flags = ServeFlags {
+            listen: Some("127.0.0.1:0".into()),
+            shards: 2,
+            trace_sample: 1,
+            ..Default::default()
+        };
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel::<String>();
         let thread_stop = Arc::clone(&stop);
@@ -687,12 +718,21 @@ mod tests {
             };
             run_listen(ITE, &flags, &mut status, &|| thread_stop.load(Ordering::SeqCst))
         });
-        // First status line carries the bound ingest address.
+        // First status line carries the bound ingest address, the
+        // second the exporter address.
         let first = rx.recv_timeout(Duration::from_secs(10)).unwrap();
         let addr = first
             .strip_prefix("ingest on ")
             .and_then(|r| r.split_whitespace().next())
             .unwrap_or_else(|| panic!("unexpected status line: {first}"))
+            .to_string();
+        let second = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(second.contains("/slo.json"), "traced listen must advertise SLO: {second}");
+        let metrics_addr = second
+            .split("http://")
+            .nth(1)
+            .and_then(|r| r.split('/').next())
+            .unwrap_or_else(|| panic!("unexpected status line: {second}"))
             .to_string();
 
         let mut client = Client::connect(&addr).unwrap();
@@ -701,6 +741,21 @@ mod tests {
             other => panic!("expected ack, got {other:?}"),
         }
         client.close().unwrap();
+
+        // The SLO pipeline is live mid-run: /slo.json decodes through
+        // the `cfgtag slo` parser and has folded in the acked frame.
+        let mut live = crate::slo::SloSample::default();
+        for _ in 0..200 {
+            let body = cfg_obs_http::http_get(&metrics_addr, "/slo.json").unwrap();
+            live = crate::slo::parse_slo(&body).unwrap();
+            if live.total >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(live.total, 1, "SLO tracker never saw the acked frame");
+        assert_eq!(live.objective_ms, 50.0);
+        assert!(live.stages.iter().any(|(n, r)| n == "engine" && r.count == 1));
 
         stop.store(true, Ordering::SeqCst);
         let report = handle.join().unwrap().unwrap();

@@ -1,0 +1,373 @@
+//! `cfgtag slo` — a live SLO dashboard over a traced ingest server.
+//!
+//! Polls `/slo.json` on a `cfgtag serve --listen --trace-sample` (or
+//! `server_loop`) exporter and renders the latency objective, error
+//! budget, and a per-stage waterfall: p50/p90/p99/p99.9 per serving
+//! stage plus each stage's share of the end-to-end p50, so queue-wait
+//! vs. engine vs. ack-write attribution is readable at a glance. Burn
+//! rate comes from diffing two consecutive polls, so everything except
+//! the socket-and-sleep loop in [`main_io`] is pure and unit-testable
+//! ([`parse_slo`], [`render`]).
+
+use crate::top::backoff_ms;
+use crate::CliError;
+use cfg_obs::json::Json;
+use std::fmt::Write as _;
+
+/// Parsed `slo` options.
+#[derive(Debug, Clone)]
+pub struct SloFlags {
+    /// Poll interval in milliseconds.
+    pub interval_ms: u64,
+    /// Stop after this many polls (`None` = until interrupted).
+    pub iterations: Option<u64>,
+    /// Consecutive fetch failures tolerated (with backoff) before
+    /// giving up.
+    pub retries: u32,
+}
+
+impl Default for SloFlags {
+    fn default() -> SloFlags {
+        SloFlags { interval_ms: 1000, iterations: None, retries: 3 }
+    }
+}
+
+impl SloFlags {
+    /// Parse the `slo` argument tail: one `host:port` positional plus
+    /// flags in any position.
+    pub fn parse(args: &[String]) -> Result<(String, SloFlags), CliError> {
+        let mut f = SloFlags::default();
+        let mut addr: Option<String> = None;
+        let mut it = args.iter();
+        let num = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<u64, CliError> {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| CliError::new(format!("{flag} needs a number"), 2))
+        };
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--interval-ms" => f.interval_ms = num(&mut it, "--interval-ms")?.max(1),
+                "--iterations" => f.iterations = Some(num(&mut it, "--iterations")?),
+                "--once" => f.iterations = Some(1),
+                "--retries" => f.retries = num(&mut it, "--retries")? as u32,
+                other if other.starts_with("--") => {
+                    return Err(CliError::new(format!("unknown slo flag {other}"), 2));
+                }
+                a => {
+                    if addr.replace(a.to_owned()).is_some() {
+                        return Err(CliError::new("slo takes exactly one host:port", 2));
+                    }
+                }
+            }
+        }
+        let addr = addr.ok_or_else(|| {
+            CliError::new(
+                "usage: cfgtag slo <host:port> [--interval-ms N] [--iterations N] [--once] [--retries N]",
+                2,
+            )
+        })?;
+        Ok((addr, f))
+    }
+}
+
+/// Latency quantiles for one stage (or end-to-end), in nanoseconds.
+#[derive(Debug, Clone, Default)]
+pub struct StageRow {
+    /// Observations folded into this row.
+    pub count: u64,
+    /// p50 / p90 / p99 / p99.9 in nanoseconds.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+/// One decoded `/slo.json` sample.
+#[derive(Debug, Clone, Default)]
+pub struct SloSample {
+    /// Latency objective in milliseconds.
+    pub objective_ms: f64,
+    /// Objective target fraction (e.g. 0.99).
+    pub target: f64,
+    /// Frames observed since the server started.
+    pub total: u64,
+    /// Frames over the objective.
+    pub breaches: u64,
+    /// Lifetime error-budget consumption (1.0 = budget gone).
+    pub budget_consumed: f64,
+    /// End-to-end quantiles.
+    pub e2e: StageRow,
+    /// Per-stage quantiles, in pipeline order.
+    pub stages: Vec<(String, StageRow)>,
+}
+
+fn decode_row(v: &Json) -> StageRow {
+    let ns = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+    StageRow {
+        count: ns("count"),
+        p50: ns("p50_ns"),
+        p90: ns("p90_ns"),
+        p99: ns("p99_ns"),
+        p999: ns("p999_ns"),
+    }
+}
+
+/// Decode a `/slo.json` body into an [`SloSample`].
+pub fn parse_slo(body: &str) -> Result<SloSample, CliError> {
+    let v = Json::parse(body).map_err(|e| CliError::new(format!("bad SLO JSON: {e}"), 1))?;
+    let e2e = v.get("e2e").ok_or_else(|| CliError::new("SLO report has no e2e summary", 1))?;
+    let mut s = SloSample {
+        objective_ms: v.get("objective_ms").and_then(Json::as_f64).unwrap_or(0.0),
+        target: v.get("target").and_then(Json::as_f64).unwrap_or(0.0),
+        total: v.get("total").and_then(Json::as_u64).unwrap_or(0),
+        breaches: v.get("breaches").and_then(Json::as_u64).unwrap_or(0),
+        budget_consumed: v.get("budget_consumed").and_then(Json::as_f64).unwrap_or(0.0),
+        e2e: decode_row(e2e),
+        ..Default::default()
+    };
+    if let Some(stages) = v.get("stages").and_then(Json::as_object) {
+        s.stages = stages.iter().map(|(name, row)| (name.clone(), decode_row(row))).collect();
+    }
+    Ok(s)
+}
+
+/// Format nanoseconds for humans: `850ns`, `12.3µs`, `4.56ms`, `1.20s`.
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Render one `slo` frame: objective health, budget burn (rate vs
+/// `prev` over `dt_secs`), and the per-stage latency waterfall.
+pub fn render(prev: Option<&SloSample>, cur: &SloSample, dt_secs: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cfgtag slo — objective p{:.4$} < {:.2}ms   frames {}   breaches {}",
+        cur.target * 100.0,
+        cur.objective_ms,
+        cur.total,
+        cur.breaches,
+        if (cur.target * 1000.0) % 10.0 == 0.0 { 0 } else { 1 },
+    );
+    // Burn rate 1.0 = consuming budget exactly as fast as the
+    // objective allows; >1 = burning towards exhaustion.
+    let window_burn = prev.map(|p| {
+        let frames = cur.total.saturating_sub(p.total);
+        let breaches = cur.breaches.saturating_sub(p.breaches);
+        if frames == 0 {
+            0.0
+        } else {
+            (breaches as f64 / frames as f64) / (1.0 - cur.target).max(1e-9)
+        }
+    });
+    let _ = write!(out, "error budget: {:5.1}% consumed", cur.budget_consumed * 100.0);
+    match window_burn {
+        Some(burn) => {
+            let _ = writeln!(out, "   burn rate {burn:.2}x over last {dt_secs:.1}s");
+        }
+        None => {
+            let _ = writeln!(out, "   burn rate: (needs two polls)");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>7}  share of e2e p50",
+        "stage", "p50", "p90", "p99", "p99.9", "count"
+    );
+    let e2e_p50 = cur.e2e.p50.max(1);
+    let mut rows: Vec<(&str, &StageRow)> =
+        cur.stages.iter().map(|(n, r)| (n.as_str(), r)).collect();
+    rows.push(("e2e", &cur.e2e));
+    for (name, row) in rows {
+        let bar = if name == "e2e" {
+            String::new()
+        } else {
+            // 24 columns = 100% of the end-to-end p50.
+            let cols = ((row.p50 as f64 / e2e_p50 as f64) * 24.0).round() as usize;
+            let pct = row.p50 as f64 / e2e_p50 as f64 * 100.0;
+            format!("{:<24} {pct:5.1}%", "#".repeat(cols.min(24)))
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>9} {:>9} {:>9} {:>7}  {}",
+            name,
+            fmt_ns(row.p50),
+            fmt_ns(row.p90),
+            fmt_ns(row.p99),
+            fmt_ns(row.p999),
+            row.count,
+            bar,
+        );
+    }
+    out
+}
+
+/// Process-level `cfgtag slo`: poll, clear screen, redraw, sleep.
+pub fn main_io(args: &[String]) -> i32 {
+    let (addr, flags) = match SloFlags::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cfgtag slo: {e}");
+            return e.code;
+        }
+    };
+    let mut prev: Option<SloSample> = None;
+    let mut polls = 0u64;
+    let mut failures = 0u32;
+    let dt = flags.interval_ms as f64 / 1000.0;
+    loop {
+        match cfg_obs_http::http_get_status(&addr, "/slo.json").map_err(|e| e.to_string()) {
+            Ok((404, _)) => {
+                eprintln!(
+                    "cfgtag slo: {addr} has no SLO tracker — serve with --trace-sample N (tracing is off)"
+                );
+                return 1;
+            }
+            Ok((status, _)) if status != 200 => {
+                eprintln!("cfgtag slo: /slo.json returned HTTP {status}");
+                return 1;
+            }
+            Ok((_, body)) => match parse_slo(&body) {
+                Ok(cur) => {
+                    failures = 0;
+                    print!("\x1b[2J\x1b[H{}", render(prev.as_ref(), &cur, dt));
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                    prev = Some(cur);
+                }
+                Err(e) => {
+                    eprintln!("cfgtag slo: {e}");
+                    return e.code;
+                }
+            },
+            Err(e) => {
+                failures += 1;
+                if failures > flags.retries {
+                    eprintln!("cfgtag slo: cannot fetch http://{addr}/slo.json: {e}");
+                    eprintln!(
+                        "cfgtag slo: giving up after {failures} attempts — is `cfgtag serve` running on {addr}?"
+                    );
+                    return 1;
+                }
+                let wait = backoff_ms(failures);
+                eprintln!(
+                    "cfgtag slo: {addr} not responding ({e}); retry {failures}/{} in {wait} ms",
+                    flags.retries
+                );
+                std::thread::sleep(std::time::Duration::from_millis(wait));
+                continue;
+            }
+        }
+        polls += 1;
+        if let Some(n) = flags.iterations {
+            if polls >= n {
+                return 0;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(flags.interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// An `/slo.json` body in the exact shape the tracker renders.
+    fn body(total: u64, breaches: u64) -> String {
+        let row = |p50: u64, count: u64| {
+            format!(
+                "{{\"count\":{count},\"mean_ns\":{p50}.0,\"max_ns\":{},\"p50_ns\":{p50},\
+                 \"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+                p50 * 8,
+                p50 * 2,
+                p50 * 4,
+                p50 * 8,
+            )
+        };
+        format!(
+            "{{\"objective_ms\":50.0,\"target\":0.99,\"total\":{total},\"breaches\":{breaches},\
+             \"error_rate\":0.0,\"budget_consumed\":{},\"e2e\":{},\"stages\":{{\
+             \"frame_read\":{},\"queue_wait\":{},\"engine\":{},\"ack_write\":{}}}}}",
+            breaches as f64 / total.max(1) as f64 / 0.01,
+            row(100_000, total),
+            row(5_000, total),
+            row(60_000, total),
+            row(30_000, total),
+            row(5_000, total),
+        )
+    }
+
+    #[test]
+    fn flags_parse() {
+        let (addr, f) =
+            SloFlags::parse(&argv(&["127.0.0.1:9100", "--interval-ms", "250", "--once"])).unwrap();
+        assert_eq!(addr, "127.0.0.1:9100");
+        assert_eq!(f.interval_ms, 250);
+        assert_eq!(f.iterations, Some(1));
+        assert_eq!(f.retries, 3);
+        let (_, f) = SloFlags::parse(&argv(&["x:1", "--retries", "9"])).unwrap();
+        assert_eq!(f.retries, 9);
+        assert_eq!(SloFlags::parse(&argv(&[])).unwrap_err().code, 2);
+        assert_eq!(SloFlags::parse(&argv(&["a", "b"])).unwrap_err().code, 2);
+        assert_eq!(SloFlags::parse(&argv(&["a", "--interval-ms"])).unwrap_err().code, 2);
+        assert_eq!(SloFlags::parse(&argv(&["a", "--frobnicate"])).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn parse_slo_decodes_objective_and_stages() {
+        let s = parse_slo(&body(1000, 10)).unwrap();
+        assert_eq!(s.objective_ms, 50.0);
+        assert_eq!(s.target, 0.99);
+        assert_eq!(s.total, 1000);
+        assert_eq!(s.breaches, 10);
+        assert_eq!(s.e2e.p50, 100_000);
+        assert_eq!(s.e2e.p999, 800_000);
+        let names: Vec<&str> = s.stages.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["frame_read", "queue_wait", "engine", "ack_write"]);
+        let queue = &s.stages[1].1;
+        assert_eq!(queue.p50, 60_000);
+        assert_eq!(queue.count, 1000);
+        assert!(parse_slo("{}").is_err());
+        assert!(parse_slo("not json").is_err());
+    }
+
+    #[test]
+    fn fmt_ns_picks_readable_units() {
+        assert_eq!(fmt_ns(850), "850ns");
+        assert_eq!(fmt_ns(12_300), "12.3µs");
+        assert_eq!(fmt_ns(4_560_000), "4.56ms");
+        assert_eq!(fmt_ns(1_200_000_000), "1.20s");
+    }
+
+    #[test]
+    fn render_shows_waterfall_and_burn_rate() {
+        let t0 = parse_slo(&body(1000, 10)).unwrap();
+        let t1 = parse_slo(&body(2000, 110)).unwrap();
+        let frame = render(Some(&t0), &t1, 2.0);
+        assert!(frame.contains("objective p99 < 50.00ms"), "{frame}");
+        // 100 breaches over 1000 frames against a 1% budget: 10x burn.
+        assert!(frame.contains("burn rate 10.00x"), "{frame}");
+        // The waterfall attributes queue-wait as the dominant stage:
+        // 60µs of a 100µs e2e p50.
+        let queue_line = frame.lines().find(|l| l.starts_with("queue_wait")).unwrap();
+        assert!(queue_line.contains("60.0µs") && queue_line.contains("60.0%"), "{frame}");
+        let engine_line = frame.lines().find(|l| l.starts_with("engine")).unwrap();
+        assert!(engine_line.contains("30.0%"), "{frame}");
+        assert!(frame.lines().any(|l| l.starts_with("e2e")), "{frame}");
+        // First frame has no previous sample: burn rate defers.
+        let first = render(None, &t0, 1.0);
+        assert!(first.contains("needs two polls"), "{first}");
+    }
+}

@@ -29,6 +29,12 @@
 //!   JSON lines once the trigger has fired (`503` while pending,
 //!   `404` with no trigger armed; `?flush=1` force-completes a
 //!   partial post window).
+//! * `GET /slo.json` — the attached [`cfg_obs::SloTracker`] snapshot:
+//!   end-to-end and per-stage latency quantiles (p50/p90/p99/p99.9)
+//!   plus error-budget accounting against the latency objective.
+//! * `GET /spans.jsonl` — recent retained frame spans (head-sampled
+//!   plus always-on-slow) from the attached [`cfg_obs::SpanRecorder`],
+//!   one JSON object per line with per-stage durations.
 //!
 //! The exporter runs on one `std::net::TcpListener` accept loop —
 //! serving a scrape costs a snapshot of lock-free counters, so the
@@ -38,7 +44,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cfg_obs::{json, ProbeBank, RegistrySnapshot, SharedRegistry, Stat, TriggerHub};
+use cfg_obs::{
+    json, ProbeBank, RegistrySnapshot, SharedRegistry, SloTracker, SpanRecorder, Stat, TriggerHub,
+};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -58,6 +66,8 @@ pub struct ServiceState {
     probe_bank: Mutex<Option<Arc<ProbeBank>>>,
     trigger_hub: Mutex<Option<Arc<TriggerHub>>>,
     token_names: Mutex<Vec<String>>,
+    slo_tracker: Mutex<Option<Arc<SloTracker>>>,
+    span_recorder: Mutex<Option<Arc<SpanRecorder>>>,
 }
 
 impl ServiceState {
@@ -135,8 +145,27 @@ impl ServiceState {
         *self.token_names.lock().unwrap() = names;
     }
 
+    /// Attach the SLO tracker served at `/slo.json` (the ingest server
+    /// does this when tracing is configured).
+    pub fn set_slo_tracker(&self, tracker: Arc<SloTracker>) {
+        *self.slo_tracker.lock().unwrap() = Some(tracker);
+    }
+
+    /// Attach the span recorder served at `/spans.jsonl`.
+    pub fn set_span_recorder(&self, recorder: Arc<SpanRecorder>) {
+        *self.span_recorder.lock().unwrap() = Some(recorder);
+    }
+
     fn circuit_json(&self) -> Option<String> {
         self.circuit_json.lock().unwrap().clone()
+    }
+
+    fn slo_tracker(&self) -> Option<Arc<SloTracker>> {
+        self.slo_tracker.lock().unwrap().clone()
+    }
+
+    fn span_recorder(&self) -> Option<Arc<SpanRecorder>> {
+        self.span_recorder.lock().unwrap().clone()
     }
 
     fn probe_bank(&self) -> Option<Arc<ProbeBank>> {
@@ -458,8 +487,32 @@ pub fn respond(path: &str, registry: &SharedRegistry, state: &ServiceState) -> R
         },
         "/trigger" => respond_trigger(query, state),
         "/capture.jsonl" => respond_capture(query, state),
+        "/slo.json" => match state.slo_tracker() {
+            Some(tracker) => {
+                let mut body = tracker.snapshot().to_json();
+                body.push('\n');
+                Response { status: 200, content_type: "application/json", body }
+            }
+            None => Response {
+                status: 404,
+                content_type: "text/plain",
+                body: "no SLO tracker attached (serve with tracing enabled)\n".into(),
+            },
+        },
+        "/spans.jsonl" => match state.span_recorder() {
+            Some(recorder) => Response {
+                status: 200,
+                content_type: "application/jsonl",
+                body: recorder.spans_jsonl(),
+            },
+            None => Response {
+                status: 404,
+                content_type: "text/plain",
+                body: "no span recorder attached (serve with tracing enabled)\n".into(),
+            },
+        },
         "/" => {
-            let mut body = String::from("{\"endpoints\":[\"/metrics\",\"/healthz\",\"/readyz\",\"/report.json\",\"/circuit.json\",\"/probes.json\",\"/trigger\",\"/capture.jsonl\"],\"sinks\":[");
+            let mut body = String::from("{\"endpoints\":[\"/metrics\",\"/healthz\",\"/readyz\",\"/report.json\",\"/circuit.json\",\"/probes.json\",\"/trigger\",\"/capture.jsonl\",\"/slo.json\",\"/spans.jsonl\"],\"sinks\":[");
             for (i, name) in registry.names().iter().enumerate() {
                 if i > 0 {
                     body.push(',');
@@ -748,6 +801,43 @@ mod tests {
         let probes = v.get("probes").unwrap().as_array().unwrap();
         assert_eq!(probes[0].get("id").unwrap().as_str(), Some("tok/go/fire"));
         assert_eq!(probes[0].get("count").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn slo_and_span_endpoints() {
+        use cfg_obs::Stage;
+        let reg = SharedRegistry::new();
+        let state = ServiceState::new();
+        assert_eq!(respond("/slo.json", &reg, &state).status, 404);
+        assert_eq!(respond("/spans.jsonl", &reg, &state).status, 404);
+
+        let tracker = Arc::new(SloTracker::new(1_000_000, 0.99));
+        let recorder = Arc::new(SpanRecorder::new(16, 1, 0));
+        let mut span = recorder.begin();
+        span.stamp_at(Stage::QueueWait, 400);
+        span.stamp_at(Stage::Engine, 700);
+        span.stamp_at(Stage::AckWrite, 900);
+        tracker.observe(&span);
+        recorder.record(&span);
+        state.set_slo_tracker(Arc::clone(&tracker));
+        state.set_span_recorder(Arc::clone(&recorder));
+
+        let slo = respond("/slo.json", &reg, &state);
+        assert_eq!((slo.status, slo.content_type), (200, "application/json"));
+        let v = json::Json::parse(&slo.body).unwrap();
+        assert_eq!(v.get("total").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("stages").unwrap().get("engine").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
+
+        let spans = respond("/spans.jsonl", &reg, &state);
+        assert_eq!((spans.status, spans.content_type), (200, "application/jsonl"));
+        let line = json::Json::parse(spans.body.lines().next().unwrap()).unwrap();
+        assert_eq!(line.get("total_ns").unwrap().as_u64(), Some(900));
+
+        let index = respond("/", &reg, &state).body;
+        assert!(index.contains("/slo.json") && index.contains("/spans.jsonl"));
     }
 
     #[test]

@@ -48,6 +48,8 @@ mod probe;
 mod registry;
 mod report;
 mod sink;
+mod slo;
+mod span;
 mod stats;
 mod trace;
 mod trigger;
@@ -59,6 +61,8 @@ pub use probe::ProbeBank;
 pub use registry::{RegistrySnapshot, SharedRegistry};
 pub use report::{CompileReport, StageTiming};
 pub use sink::{MetricsSink, NoopSink, Stat};
+pub use slo::{FineHistogram, FineSnapshot, QuantileSummary, SloSnapshot, SloTracker};
+pub use span::{Span, SpanRecorder, Stage};
 pub use stats::{StatsSink, StatsSnapshot};
 pub use trace::{TraceEvent, Value};
 pub use trigger::{Trigger, TriggerCondition, TriggerHub};

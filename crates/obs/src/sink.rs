@@ -45,11 +45,14 @@ pub enum Stat {
     LoadShed,
     /// Sessions evicted by the ingest server's idle-timeout janitor.
     SessionsEvicted,
+    /// Close-drain deadlines that fired with frames still pending —
+    /// the client got its `Bye` before every ack was written.
+    DrainTimeouts,
 }
 
 impl Stat {
     /// Number of variants (sizes the counter array in `StatsSink`).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// All variants, in index order.
     pub const ALL: [Stat; Stat::COUNT] = [
@@ -68,6 +71,7 @@ impl Stat {
         Stat::WorkerRestarts,
         Stat::LoadShed,
         Stat::SessionsEvicted,
+        Stat::DrainTimeouts,
     ];
 
     /// Stable snake_case name used in JSON output.
@@ -88,6 +92,7 @@ impl Stat {
             Stat::WorkerRestarts => "worker_restarts",
             Stat::LoadShed => "load_shed",
             Stat::SessionsEvicted => "sessions_evicted",
+            Stat::DrainTimeouts => "drain_timeouts",
         }
     }
 }

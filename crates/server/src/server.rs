@@ -24,10 +24,13 @@
 
 use crate::frame::{self, Frame, FrameKind};
 use crate::session::SessionTable;
-use cfg_obs::{FlightRecorder, MetricsSink, SharedRegistry, Stat, StatsSink, TraceEvent};
+use cfg_obs::{
+    FlightRecorder, MetricsSink, SharedRegistry, SloTracker, Span, SpanRecorder, Stage, Stat,
+    StatsSink, TraceEvent,
+};
 use cfg_obs_http::ServiceState;
 use cfg_tagger::{
-    EngineKind, Error, PoolOptions, ShardPool, ShardReport, SubmitOutcome, TokenTagger,
+    EngineKind, Error, PoolOptions, ShardMsg, ShardPool, ShardReport, SubmitOutcome, TokenTagger,
 };
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -35,6 +38,41 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Frame tracing + SLO configuration for [`ServerConfig::trace`].
+///
+/// When set, every data frame gets a [`Span`] stamped at each serving
+/// stage, every finished span feeds the [`SloTracker`] (so `/slo.json`
+/// quantiles are full-fidelity, not sampled), and one span in
+/// `sample_every` — plus every span slower than the objective — is
+/// retained in the recorder's ring for `/spans.jsonl`. When `None`
+/// (the default) no span exists and the serving path pays nothing.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Retain every Nth span in the ring (1 = all). The SLO histograms
+    /// always see every frame; this only throttles `/spans.jsonl`.
+    pub sample_every: u64,
+    /// Latency objective in milliseconds; frames over it count as SLO
+    /// breaches and are always retained in the ring.
+    pub slo_ms: u64,
+    /// Fraction of frames that must meet the objective (e.g. `0.99`).
+    pub target: f64,
+    /// Ring capacity, in spans, behind `/spans.jsonl`.
+    pub ring: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig { sample_every: 1, slo_ms: 50, target: 0.99, ring: 512 }
+    }
+}
+
+/// The tracing side-car the server threads through its stages.
+#[derive(Clone)]
+struct Tracing {
+    recorder: Arc<SpanRecorder>,
+    slo: Arc<SloTracker>,
+}
 
 /// How the server is shaped; start from `ServerConfig::default()` and
 /// override fields.
@@ -65,6 +103,12 @@ pub struct ServerConfig {
     /// Flight recorder: frames are traced into it and its ring is
     /// dumped when a worker panics.
     pub flight: Option<Arc<FlightRecorder>>,
+    /// How long `Close` waits for accepted frames to drain before
+    /// `Bye`. If it fires with frames still pending, the server bumps
+    /// [`Stat::DrainTimeouts`] (`cfgtag_drain_timeouts_total`).
+    pub drain_deadline: Duration,
+    /// Frame tracing + SLO pipeline; `None` (default) serves untraced.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +125,8 @@ impl Default for ServerConfig {
             registry: None,
             state: None,
             flight: None,
+            drain_deadline: Duration::from_secs(10),
+            trace: None,
         }
     }
 }
@@ -94,6 +140,8 @@ impl std::fmt::Debug for ServerConfig {
             .field("idle_timeout", &self.idle_timeout)
             .field("engine", &self.engine)
             .field("panic_token", &self.panic_token.is_some())
+            .field("drain_deadline", &self.drain_deadline)
+            .field("trace", &self.trace)
             .finish_non_exhaustive()
     }
 }
@@ -123,6 +171,8 @@ struct Shared {
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
     sessions_served: AtomicU64,
     idle_timeout: Duration,
+    drain_deadline: Duration,
+    tracing: Option<Tracing>,
 }
 
 /// A running ingest server; shut it down with
@@ -176,13 +226,30 @@ impl IngestServer {
         let addr = listener.local_addr()?;
         let table: Arc<SessionTable<TcpStream>> = Arc::new(SessionTable::new(config.max_sessions));
 
+        // The tracing side-car: a span recorder + SLO tracker pair,
+        // also attached to the service state so the HTTP exporter can
+        // serve /slo.json and /spans.jsonl live.
+        let tracing = config.trace.as_ref().map(|t| Tracing {
+            recorder: Arc::new(SpanRecorder::new(
+                t.ring,
+                t.sample_every,
+                t.slo_ms.saturating_mul(1_000_000),
+            )),
+            slo: Arc::new(SloTracker::new(t.slo_ms.saturating_mul(1_000_000), t.target)),
+        });
+        if let (Some(tracing), Some(state)) = (&tracing, &config.state) {
+            state.set_span_recorder(Arc::clone(&tracing.recorder));
+            state.set_slo_tracker(Arc::clone(&tracing.slo));
+        }
+
         // The worker handler: tag the payload with a fresh engine, then
         // ack with the events. The ack is written *by the worker*, after
         // processing — that ordering is the no-lost-acks guarantee.
         let handler_table = Arc::clone(&table);
         let panic_token = config.panic_token.clone();
         let engine_kind = config.engine;
-        let handler = move |t: &TokenTagger, msg: &[u8]| {
+        let handler_tracing = tracing.clone();
+        let handler = move |t: &TokenTagger, msg: &[u8], mut span: Option<&mut Span>| {
             let Some((session, seq, payload)) = split_msg(msg) else { return };
             if let Some(token) = &panic_token {
                 if contains(payload, token) {
@@ -195,6 +262,9 @@ impl IngestServer {
                 events.extend(engine.finish()?);
                 Ok(events)
             })();
+            if let Some(span) = span.as_deref_mut() {
+                span.stamp(Stage::Engine);
+            }
             if let Some(writer) = handler_table.writer(session) {
                 match tagged {
                     Ok(events) => {
@@ -206,6 +276,13 @@ impl IngestServer {
                         reply(&writer, FrameKind::Err, format!("seq {seq}: {e}").as_bytes());
                     }
                 }
+            }
+            // The span ends when the reply hit the socket: fold it into
+            // the SLO histograms and (maybe) the /spans.jsonl ring.
+            if let (Some(tracing), Some(span)) = (&handler_tracing, span.as_deref_mut()) {
+                span.stamp(Stage::AckWrite);
+                tracing.slo.observe(span);
+                tracing.recorder.record(span);
             }
             if let Some(pending) = handler_table.pending(session) {
                 pending.fetch_sub(1, Ordering::AcqRel);
@@ -237,7 +314,7 @@ impl IngestServer {
             flight: config.flight.clone(),
             on_panic: Some(Arc::new(on_panic)),
         };
-        let pool = ShardPool::with_options(tagger, config.shards, pool_opts, handler);
+        let pool = ShardPool::with_span_handler(tagger, config.shards, pool_opts, handler);
 
         let server_sink = Arc::new(StatsSink::new().with_trace_capacity(0));
         if let Some(registry) = &config.registry {
@@ -258,6 +335,8 @@ impl IngestServer {
             conn_handles: Mutex::new(Vec::new()),
             sessions_served: AtomicU64::new(0),
             idle_timeout: config.idle_timeout,
+            drain_deadline: config.drain_deadline,
+            tracing,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -288,6 +367,18 @@ impl IngestServer {
     /// Live session count right now.
     pub fn sessions(&self) -> usize {
         self.shared.table.len()
+    }
+
+    /// The span recorder, when tracing is configured — the source
+    /// behind `/spans.jsonl`.
+    pub fn span_recorder(&self) -> Option<Arc<SpanRecorder>> {
+        self.shared.tracing.as_ref().map(|t| Arc::clone(&t.recorder))
+    }
+
+    /// The SLO tracker, when tracing is configured — the source behind
+    /// `/slo.json`.
+    pub fn slo_tracker(&self) -> Option<Arc<SloTracker>> {
+        self.shared.tracing.as_ref().map(|t| Arc::clone(&t.slo))
     }
 
     /// Drain-style graceful shutdown: stop accepting, tell every
@@ -382,6 +473,12 @@ enum Poll {
 #[derive(Default)]
 struct FrameReader {
     buf: Vec<u8>,
+    /// When the first byte of the frame currently being buffered
+    /// arrived — the lead a tracing span is back-dated by, so the
+    /// `frame_read` stage covers the socket reads that happened before
+    /// the span object existed.
+    frame_started: Option<Instant>,
+    last_lead_ns: u64,
 }
 
 impl FrameReader {
@@ -399,7 +496,12 @@ impl FrameReader {
                         self.buf.len()
                     )))
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    if self.frame_started.is_none() {
+                        self.frame_started = Some(Instant::now());
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -429,13 +531,32 @@ impl FrameReader {
         }
         let payload = self.buf[frame::HEADER_LEN..frame::HEADER_LEN + len].to_vec();
         self.buf.drain(..frame::HEADER_LEN + len);
+        // Close this frame's read window; leftover buffered bytes
+        // already belong to the next frame, so its clock starts now.
+        let started = self.frame_started.take();
+        self.last_lead_ns =
+            started.map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)).unwrap_or(0);
+        if !self.buf.is_empty() {
+            self.frame_started = Some(Instant::now());
+        }
         Ok(Some(Frame { kind, payload }))
+    }
+
+    /// Nanoseconds spent buffering the most recently parsed frame.
+    fn last_lead_ns(&self) -> u64 {
+        self.last_lead_ns
     }
 }
 
 fn serve_conn(shared: Arc<Shared>, mut stream: TcpStream, id: u64, writer: Arc<Mutex<TcpStream>>) {
     // Short read timeout: the reader doubles as the stop-flag poller.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    // Acks are written as two small writes (header, payload); without
+    // this, Nagle holds the payload until the client's delayed ACK
+    // (~40 ms) arrives, flooring every synchronous round-trip. The
+    // span waterfall is what exposed it: `ack_write` measures in
+    // microseconds while the client-observed round-trip sat at ~40 ms.
+    let _ = stream.set_nodelay(true);
     let mut reader = FrameReader::default();
     let mut seq: u32 = 0;
     loop {
@@ -448,7 +569,15 @@ fn serve_conn(shared: Arc<Shared>, mut stream: TcpStream, id: u64, writer: Arc<M
             Ok(Poll::Eof) => break,
             Ok(Poll::Frame(frame)) => match frame.kind {
                 FrameKind::Data => {
-                    shared.table.touch(id);
+                    // Begin the frame's span (when tracing is on),
+                    // back-dated by the socket-read lead so frame_read
+                    // covers time spent buffering the frame.
+                    let mut span = shared.tracing.as_ref().map(|t| {
+                        let mut span = t.recorder.begin_with_lead(reader.last_lead_ns());
+                        span.set_ids(id, u64::from(seq));
+                        span.stamp(Stage::FrameRead);
+                        span
+                    });
                     if let Some(flight) = &shared.flight {
                         flight.record(
                             TraceEvent::new("ingest_frame")
@@ -458,6 +587,10 @@ fn serve_conn(shared: Arc<Shared>, mut stream: TcpStream, id: u64, writer: Arc<M
                         );
                     }
                     let msg = build_msg(id, seq, &frame.payload);
+                    if let Some(span) = span.as_mut() {
+                        span.stamp(Stage::Parse);
+                    }
+                    shared.table.touch(id);
                     // Count the frame in-flight *before* submitting:
                     // the worker's post-ack decrement must never land
                     // on a counter we have not bumped yet.
@@ -465,7 +598,10 @@ fn serve_conn(shared: Arc<Shared>, mut stream: TcpStream, id: u64, writer: Arc<M
                     if let Some(pending) = &pending {
                         pending.fetch_add(1, Ordering::AcqRel);
                     }
-                    match shared.pool.submit_to(id, msg) {
+                    if let Some(span) = span.as_mut() {
+                        span.stamp(Stage::SessionLookup);
+                    }
+                    match shared.pool.submit_to(id, ShardMsg::new(msg).with_span(span)) {
                         SubmitOutcome::Accepted => {
                             if let Some(state) = &shared.state {
                                 state.set_overloaded(false);
@@ -518,12 +654,18 @@ fn serve_conn(shared: Arc<Shared>, mut stream: TcpStream, id: u64, writer: Arc<M
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// Wait (bounded) until every accepted frame of `id` has been acked —
-/// the Close-before-Bye drain.
+/// Wait (bounded by [`ServerConfig::drain_deadline`]) until every
+/// accepted frame of `id` has been acked — the Close-before-Bye drain.
+/// A deadline that fires with frames still pending is counted under
+/// [`Stat::DrainTimeouts`].
 fn drain_session(shared: &Shared, id: u64) {
-    let deadline = Instant::now() + Duration::from_secs(10);
+    let deadline = Instant::now() + shared.drain_deadline;
     while let Some(pending) = shared.table.pending(id) {
-        if pending.load(Ordering::Acquire) == 0 || Instant::now() > deadline {
+        if pending.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        if Instant::now() > deadline {
+            shared.server_sink.add(Stat::DrainTimeouts, 1);
             break;
         }
         std::thread::sleep(Duration::from_millis(2));

@@ -96,6 +96,42 @@ fn idle_sessions_are_evicted_and_counted() {
 }
 
 #[test]
+fn drain_deadline_timeout_is_counted() {
+    let t = tagger();
+    let registry = Arc::new(SharedRegistry::new());
+    // One shard with a long post-panic backoff: a poison frame parks
+    // the worker, so frames queued behind it cannot drain within the
+    // (deliberately tiny) close deadline.
+    let config = ServerConfig {
+        shards: 1,
+        panic_token: Some(b"POISON".to_vec()),
+        backoff_base_ms: 500,
+        backoff_max_ms: 500,
+        drain_deadline: Duration::from_millis(20),
+        registry: Some(Arc::clone(&registry)),
+        ..ServerConfig::default()
+    };
+    let server = IngestServer::start(&t, "127.0.0.1:0", config).unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.send(b"go POISON go").unwrap();
+    // Give the worker time to pick up the poison and enter backoff,
+    // then queue frames it cannot touch until the backoff ends.
+    std::thread::sleep(Duration::from_millis(100));
+    for _ in 0..4 {
+        client.send(b"go").unwrap();
+    }
+    // close() returns once Bye arrives — the deadline guarantees it
+    // does so long before the worker's backoff ends.
+    client.close().unwrap();
+    assert!(
+        registry.snapshot().merged.counter(Stat::DrainTimeouts) >= 1,
+        "drain deadline fired with pending frames but was not counted"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn worker_panics_answer_err_and_bump_restart_counter() {
     let t = tagger();
     let registry = Arc::new(SharedRegistry::new());

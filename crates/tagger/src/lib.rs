@@ -59,7 +59,7 @@ pub use error::Error;
 pub use event::TagEvent;
 pub use fast::ScalarEngine;
 pub use gate::GateEngine;
-pub use shard::{PoolOptions, ShardPool, ShardReport, SubmitOutcome};
+pub use shard::{PoolOptions, ShardMsg, ShardPool, ShardReport, SubmitOutcome};
 
 /// The default streaming engine behind [`TokenTagger::fast_engine`].
 ///

@@ -38,7 +38,7 @@
 //! ```
 
 use crate::tagger::TokenTagger;
-use cfg_obs::{FlightRecorder, Metrics, MetricsSink, SharedRegistry, Stat, StatsSink};
+use cfg_obs::{FlightRecorder, Metrics, MetricsSink, SharedRegistry, Span, Stage, Stat, StatsSink};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
@@ -46,8 +46,44 @@ use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// The per-message handler shared by every worker in a pool.
-type ShardHandler = Arc<dyn Fn(&TokenTagger, &[u8]) + Send + Sync>;
+/// The per-message handler shared by every worker in a pool. The third
+/// argument is the message's tracing span, if the submitter attached
+/// one — plain handlers installed via [`ShardPool::with_handler`] or
+/// [`ShardPool::with_options`] never see it.
+type ShardHandler = Arc<dyn Fn(&TokenTagger, &[u8], Option<&mut Span>) + Send + Sync>;
+
+/// A unit of work offered to the pool: the payload bytes plus an
+/// optional tracing [`Span`] that rides along to the worker, collecting
+/// enqueue / queue-wait / processing stamps on the way.
+///
+/// `Vec<u8>` converts into an untraced `ShardMsg`, so every plain
+/// call site (`pool.submit(bytes)`) keeps working unchanged.
+#[derive(Debug)]
+pub struct ShardMsg {
+    /// The message bytes handed to the worker's handler.
+    pub payload: Vec<u8>,
+    /// Tracing span carried across the queue, stamped by the pool.
+    pub span: Option<Span>,
+}
+
+impl ShardMsg {
+    /// An untraced message.
+    pub fn new(payload: Vec<u8>) -> ShardMsg {
+        ShardMsg { payload, span: None }
+    }
+
+    /// Attach a tracing span.
+    pub fn with_span(mut self, span: Option<Span>) -> ShardMsg {
+        self.span = span;
+        self
+    }
+}
+
+impl From<Vec<u8>> for ShardMsg {
+    fn from(payload: Vec<u8>) -> ShardMsg {
+        ShardMsg::new(payload)
+    }
+}
 
 /// Callback invoked (on the worker thread) after a handler panic is
 /// caught: `(shard index, panic message, offending message bytes)`.
@@ -121,7 +157,7 @@ pub struct ShardReport {
 
 /// A fixed pool of supervised tagging workers over one compiled grammar.
 pub struct ShardPool {
-    txs: RwLock<Vec<SyncSender<Vec<u8>>>>,
+    txs: RwLock<Vec<SyncSender<ShardMsg>>>,
     handles: Vec<JoinHandle<(u64, u64)>>,
     sinks: Vec<Arc<StatsSink>>,
     shards: usize,
@@ -161,6 +197,21 @@ impl ShardPool {
     where
         F: Fn(&TokenTagger, &[u8]) + Send + Sync + 'static,
     {
+        ShardPool::with_span_handler(tagger, shards, opts, move |t, msg, _span| handler(t, msg))
+    }
+
+    /// Spawn `shards` workers whose handler also receives the message's
+    /// tracing span (if one was attached at submit time) — the ingest
+    /// server uses this to stamp engine and ack-write stages.
+    pub fn with_span_handler<F>(
+        tagger: &TokenTagger,
+        shards: usize,
+        opts: PoolOptions,
+        handler: F,
+    ) -> ShardPool
+    where
+        F: Fn(&TokenTagger, &[u8], Option<&mut Span>) + Send + Sync + 'static,
+    {
         let shards = shards.max(1);
         let handler: ShardHandler = Arc::new(handler);
         let tokens = tagger.grammar().tokens().len();
@@ -175,7 +226,7 @@ impl ShardPool {
             // false and skip building trace events entirely.
             let sink = Arc::new(StatsSink::with_tokens(tokens).with_trace_capacity(0));
             let shard_tagger = tagger.clone().with_metrics(Metrics::new(sink.clone()));
-            let (tx, rx) = sync_channel::<Vec<u8>>(opts.queue_depth.max(1));
+            let (tx, rx) = sync_channel::<ShardMsg>(opts.queue_depth.max(1));
             let run = Arc::clone(&handler);
             let worker_sink = Arc::clone(&sink);
             let flight = opts.flight.clone();
@@ -187,9 +238,24 @@ impl ShardPool {
                     let mut count = 0u64;
                     let mut restarts = 0u64;
                     let mut backoff_ms = base_ms;
-                    while let Ok(msg) = rx.recv() {
-                        match catch_unwind(AssertUnwindSafe(|| run(&shard_tagger, &msg))) {
+                    while let Ok(mut msg) = rx.recv() {
+                        // Dequeue stamp: everything between the submit
+                        // path's Enqueue stamp and here was queue wait.
+                        if let Some(span) = msg.span.as_mut() {
+                            span.stamp(Stage::QueueWait);
+                        }
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            run(&shard_tagger, &msg.payload, msg.span.as_mut())
+                        }));
+                        match outcome {
                             Ok(()) => {
+                                // Processing stamp for handlers that do
+                                // not stamp finer stages themselves
+                                // (first write wins, so the server's
+                                // own Engine stamp is never clobbered).
+                                if let Some(span) = msg.span.as_mut() {
+                                    span.stamp(Stage::Engine);
+                                }
                                 count += 1;
                                 backoff_ms = base_ms;
                             }
@@ -205,7 +271,7 @@ impl ShardPool {
                                     );
                                 }
                                 if let Some(hook) = &on_panic {
-                                    hook(i, &text, &msg);
+                                    hook(i, &text, &msg.payload);
                                 }
                                 std::thread::sleep(Duration::from_millis(backoff_ms));
                                 backoff_ms = (backoff_ms * 2).min(max_ms);
@@ -230,13 +296,13 @@ impl ShardPool {
     /// Offer a message round-robin without blocking. If the first-choice
     /// queue is full every other shard is tried before giving up with
     /// [`SubmitOutcome::Shed`] (counted under [`Stat::LoadShed`]).
-    pub fn submit(&self, msg: Vec<u8>) -> SubmitOutcome {
+    pub fn submit(&self, msg: impl Into<ShardMsg>) -> SubmitOutcome {
         let txs = self.txs.read().expect("shard pool lock");
         if txs.is_empty() {
             return SubmitOutcome::Closed;
         }
         let first = self.next.fetch_add(1, Ordering::Relaxed) % txs.len();
-        let mut msg = msg;
+        let mut msg = stamp_enqueue(msg.into());
         for k in 0..txs.len() {
             let i = (first + k) % txs.len();
             match txs[i].try_send(msg) {
@@ -252,13 +318,13 @@ impl ShardPool {
     /// on the same shard, preserving per-stream message order — which is
     /// exactly why a full pinned queue must shed rather than spill to a
     /// sibling shard.
-    pub fn submit_to(&self, session: u64, msg: Vec<u8>) -> SubmitOutcome {
+    pub fn submit_to(&self, session: u64, msg: impl Into<ShardMsg>) -> SubmitOutcome {
         let txs = self.txs.read().expect("shard pool lock");
         if txs.is_empty() {
             return SubmitOutcome::Closed;
         }
         let i = (session % txs.len() as u64) as usize;
-        match txs[i].try_send(msg) {
+        match txs[i].try_send(stamp_enqueue(msg.into())) {
             Ok(()) => SubmitOutcome::Accepted,
             Err(TrySendError::Full(_)) => {
                 self.sinks[i].add(Stat::LoadShed, 1);
@@ -271,13 +337,13 @@ impl ShardPool {
     /// Dispatch a message round-robin, blocking while the chosen shard's
     /// queue is full — the offline fan-out path (files, benches), where
     /// backpressure should slow the producer rather than shed.
-    pub fn submit_wait(&self, msg: Vec<u8>) -> SubmitOutcome {
+    pub fn submit_wait(&self, msg: impl Into<ShardMsg>) -> SubmitOutcome {
         let txs = self.txs.read().expect("shard pool lock");
         if txs.is_empty() {
             return SubmitOutcome::Closed;
         }
         let i = self.next.fetch_add(1, Ordering::Relaxed) % txs.len();
-        match txs[i].send(msg) {
+        match txs[i].send(stamp_enqueue(msg.into())) {
             Ok(()) => SubmitOutcome::Accepted,
             Err(_) => SubmitOutcome::Closed,
         }
@@ -318,6 +384,16 @@ impl ShardPool {
         }
         ShardReport { messages: per_shard.iter().sum(), per_shard, restarts }
     }
+}
+
+/// Enqueue stamp on a traced message, taken just before it is offered
+/// to a shard queue — the worker's dequeue stamp closes the queue-wait
+/// window this one opens.
+fn stamp_enqueue(mut msg: ShardMsg) -> ShardMsg {
+    if let Some(span) = msg.span.as_mut() {
+        span.stamp(Stage::Enqueue);
+    }
+    msg
 }
 
 /// Stringify a caught panic payload (the two shapes `panic!` produces).
@@ -483,6 +559,37 @@ mod tests {
         assert_eq!(report.restarts, 1);
         assert_eq!(sink.get(Stat::WorkerRestarts), 1);
         assert_eq!(hook_hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn traced_message_collects_pool_stamps() {
+        use cfg_obs::{SpanRecorder, Stage};
+        let t = tagger();
+        let recorder = Arc::new(SpanRecorder::new(8, 1, 0));
+        let worker_recorder = Arc::clone(&recorder);
+        let pool =
+            ShardPool::with_span_handler(&t, 1, PoolOptions::default(), move |t, msg, span| {
+                let _ = t.tag_fast(msg);
+                if let Some(span) = span {
+                    span.stamp(Stage::Engine);
+                    worker_recorder.record(span);
+                }
+            });
+        let span = recorder.begin();
+        let msg = ShardMsg::new(b"if true then go".to_vec()).with_span(Some(span));
+        assert_eq!(pool.submit_wait(msg), SubmitOutcome::Accepted);
+        // Untraced submits ride along untouched.
+        assert_eq!(pool.submit(b"go".to_vec()), SubmitOutcome::Accepted);
+        pool.join();
+        assert_eq!(recorder.recorded(), 1);
+        let line = recorder.spans_jsonl();
+        let v = cfg_obs::json::Json::parse(line.lines().next().unwrap()).unwrap();
+        let stages = v.get("stages").unwrap();
+        for stage in ["enqueue", "queue_wait", "engine"] {
+            assert!(stages.get(stage).is_some(), "missing {stage} stamp in {line}");
+        }
+        let sum: u64 = stages.as_object().unwrap().iter().map(|(_, v)| v.as_u64().unwrap()).sum();
+        assert_eq!(sum, v.get("total_ns").unwrap().as_u64().unwrap());
     }
 
     #[test]

@@ -15,10 +15,11 @@
 //!    frame's events are byte-identical to an unfaulted local run.
 
 use cfg_grammar::builtin;
+use cfg_obs::json::Json;
 use cfg_obs::SharedRegistry;
 use cfg_obs_http::{http_get, Exporter, ServiceState};
 use cfg_server::frame::encode_events;
-use cfg_server::{Client, FaultPlan, IngestServer, Reply, ServerConfig};
+use cfg_server::{Client, FaultPlan, IngestServer, Reply, ServerConfig, TraceConfig};
 use cfg_tagger::{TaggerOptions, TokenTagger};
 use std::sync::Arc;
 use std::time::Duration;
@@ -59,6 +60,9 @@ fn server_survives_chaos_without_losing_acked_events() {
         backoff_max_ms: 200,
         registry: Some(Arc::clone(&registry)),
         state: Some(Arc::clone(&state)),
+        // Trace every frame: chaos must not be able to produce a
+        // malformed span, however the fault dice land.
+        trace: Some(TraceConfig { sample_every: 1, ring: 4096, ..TraceConfig::default() }),
         ..ServerConfig::default()
     };
     let server = IngestServer::start(&tagger, "127.0.0.1:0", config).unwrap();
@@ -195,6 +199,31 @@ fn server_survives_chaos_without_losing_acked_events() {
         .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
         .sum();
     assert!(shed > 0, "no load shedding visible in /metrics");
+
+    // Chaos cannot corrupt a span: every trace the run retained still
+    // decomposes into stage durations that sum exactly to its
+    // end-to-end latency, and the live SLO view stayed coherent.
+    let spans_body = http_get(&metrics_addr, "/spans.jsonl").unwrap();
+    let mut traced = 0usize;
+    for line in spans_body.lines() {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("bad span line {line}: {e}"));
+        let total = v.get("total_ns").unwrap().as_u64().expect("total_ns is a u64");
+        let stage_sum: u64 = v
+            .get("stages")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(_, ns)| ns.as_u64().expect("stage ns is a u64"))
+            .sum();
+        assert_eq!(stage_sum, total, "span stages diverged from end-to-end under chaos: {line}");
+        traced += 1;
+    }
+    assert!(traced > 0, "a traced chaos run retained no spans");
+    let slo = Json::parse(&http_get(&metrics_addr, "/slo.json").unwrap()).unwrap();
+    let slo_total = slo.get("total").unwrap().as_u64().unwrap();
+    assert!(slo_total > 0, "SLO tracker observed nothing under chaos");
+    assert!(slo_total >= traced as u64, "tracker saw fewer frames than the ring retained");
 
     // The server is still live after the chaos: a fresh clean session
     // gets exact answers.
