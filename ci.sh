@@ -15,7 +15,10 @@
 #                                  fault-injection chaos test
 #   9. span tracing & SLO       -- cfg-obs span/SLO suites, the slo CLI,
 #                                  and the end-to-end span_trace test
-#  10. full workspace tests     -- every crate's suites
+#  10. saturation telemetry     -- utilization time series, sampling
+#                                  profiler, shards CLI, and the
+#                                  end-to-end Little's-law test
+#  11. full workspace tests     -- every crate's suites
 #
 # Then four NON-GATING steps: the observability-overhead bench (engine
 # path + traced-server path), the engine-throughput bench, the
@@ -70,6 +73,12 @@ cargo test -q -p cfg-obs span
 cargo test -q -p cfg-obs slo
 cargo test -q -p cfg-cli slo
 cargo test -q --test span_trace
+
+echo "==> saturation telemetry: time series, profiler, shards CLI, end-to-end test"
+cargo test -q -p cfg-obs timeseries
+cargo test -q -p cfg-obs profile
+cargo test -q -p cfg-cli shards
+cargo test -q --test saturation
 
 echo "==> full workspace tests"
 cargo test --workspace -q

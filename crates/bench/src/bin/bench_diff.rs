@@ -146,25 +146,40 @@ mod tests {
         assert_eq!(direction("e2e_p50_us"), Direction::LowerIsBetter);
         assert_eq!(direction("queue_wait_p50_us"), Direction::LowerIsBetter);
         assert_eq!(direction("bytes"), Direction::Informational);
+        // Saturation gauges describe how hard the bench pushed, not
+        // how well the server did: reported without a verdict.
+        assert_eq!(direction("shard_utilization_pct"), Direction::Informational);
+        assert_eq!(direction("peak_queue_depth"), Direction::Informational);
     }
 
     #[test]
     fn rows_predating_the_latency_fields_still_compare() {
-        // A server_loop history from before per-stage quantiles were
-        // recorded: the previous row lacks every `_us` key. The shared
-        // fields still diff; the new ones are silently skipped rather
-        // than erroring or inventing a zero baseline.
+        // A server_loop history from before per-stage quantiles and
+        // saturation gauges were recorded: the previous row lacks every
+        // `_us` key plus `shard_utilization_pct` / `peak_queue_depth`.
+        // The shared fields still diff; the new ones are silently
+        // skipped rather than erroring or inventing a zero baseline.
         let prev = Json::parse(r#"{"accepted_msgs_per_sec":700.0,"shed_ratio":0.1,"acked":8000}"#)
             .unwrap();
         let cur = Json::parse(
             r#"{"accepted_msgs_per_sec":720.0,"shed_ratio":0.1,"acked":8000,
-                "e2e_p50_us":147.6,"queue_wait_p50_us":120.1,"stage_sum_vs_e2e_pct":93.5}"#,
+                "e2e_p50_us":147.6,"queue_wait_p50_us":120.1,"stage_sum_vs_e2e_pct":93.5,
+                "shard_utilization_pct":87.5,"peak_queue_depth":31}"#,
         )
         .unwrap();
         let deltas = compare_rows(&prev, &cur);
         let keys: Vec<&str> = deltas.iter().map(|d| d.key.as_str()).collect();
         assert!(keys.contains(&"accepted_msgs_per_sec"));
         assert!(!keys.iter().any(|k| k.ends_with("_us") || k.ends_with("_pct")), "{keys:?}");
+        assert!(!keys.contains(&"peak_queue_depth"), "{keys:?}");
+        // Once two saturation-aware rows exist they diff as info-only:
+        // a deeper queue is a load-shape change, never a "regression".
+        let cur2 = Json::parse(r#"{"shard_utilization_pct":40.0,"peak_queue_depth":62}"#).unwrap();
+        let gauged = compare_rows(&cur, &cur2);
+        for key in ["shard_utilization_pct", "peak_queue_depth"] {
+            let d = gauged.iter().find(|d| d.key == key).unwrap();
+            assert!(d.regression.is_none(), "{d:?}");
+        }
         // And once two traced rows exist, the quantiles are directional.
         let cur2 = Json::parse(r#"{"e2e_p50_us":170.0,"queue_wait_p50_us":121.0}"#).unwrap();
         let traced = compare_rows(&cur, &cur2);

@@ -28,10 +28,17 @@
 //! SLO histograms). The measured tracing overhead per round-trip must
 //! stay **< 2%** — also printed, also non-gating.
 //!
+//! Saturation telemetry gets the probes-off treatment on the same
+//! path: a server with a [`SaturationConfig`] attached but its
+//! [`ShardLoadBank`] *disabled* (the `--sample-hz 0`-equivalent dark
+//! state: one relaxed flag load per frame, no clock reads) must also
+//! stay **< 2%** versus no saturation at all; the fully-enabled
+//! sampling run is printed as context, like probes-on.
+//!
 //! Run: `cargo run -p cfg-bench --bin obs_overhead --release`
 
 use cfg_obs::{Metrics, NoopSink, StatsSink};
-use cfg_server::{Client, IngestServer, Reply, ServerConfig, TraceConfig};
+use cfg_server::{Client, IngestServer, Reply, SaturationConfig, ServerConfig, TraceConfig};
 use cfg_tagger::{TaggerOptions, TokenTagger};
 use cfg_xmlrpc::workload::{MessageKind, WorkloadGenerator};
 use cfg_xmlrpc::xmlrpc_grammar;
@@ -79,12 +86,27 @@ fn bench_server(
     tagger: &TokenTagger,
     batch: &[Vec<u8>],
     trace: Option<TraceConfig>,
+    saturation: Option<SaturationConfig>,
+    dark: bool,
     reps: usize,
 ) -> f64 {
     let mut samples = Vec::with_capacity(reps);
     for rep in 0..reps + 1 {
-        let config = ServerConfig { shards: 2, trace: trace.clone(), ..ServerConfig::default() };
+        let config = ServerConfig {
+            shards: 2,
+            trace: trace.clone(),
+            saturation: saturation.clone(),
+            ..ServerConfig::default()
+        };
         let server = IngestServer::start(tagger, "127.0.0.1:0", config).expect("bind server");
+        // Dark = the sampling-off serving path: the bank is attached
+        // (so the per-frame flag check is really executed) but every
+        // counter bump and Instant::now() behind it is skipped.
+        if dark {
+            if let Some(bank) = server.shard_loads() {
+                bank.set_enabled(false);
+            }
+        }
         let mut client = Client::connect(server.local_addr()).expect("connect");
         let t0 = Instant::now();
         for msg in batch {
@@ -169,11 +191,13 @@ fn main() {
     // monotonic-clock reads tracing adds must disappear into it.
     let server_reps = 9;
     let server_batch: Vec<Vec<u8>> = gen.batch(1500, 0.0).into_iter().map(|m| m.bytes).collect();
-    let server_off = bench_server(&tagger, &server_batch, None, server_reps);
+    let server_off = bench_server(&tagger, &server_batch, None, None, false, server_reps);
     let server_traced = bench_server(
         &tagger,
         &server_batch,
         Some(TraceConfig { sample_every: 1, ..TraceConfig::default() }),
+        None,
+        false,
         server_reps,
     );
     let trace_pct = (server_traced - server_off) / server_off * 100.0;
@@ -184,6 +208,23 @@ fn main() {
     println!(
         "check: server tracing overhead < 2%: {}",
         if trace_ok { "OK" } else { "FAIL (non-gating)" }
+    );
+
+    // Saturation telemetry on the same round-trips: dark (bank attached
+    // but disabled — the serving path's sampling-off cost) must vanish;
+    // fully-on sampling is context, the price of live gauges.
+    let sat = SaturationConfig::default();
+    let sampling_dark =
+        bench_server(&tagger, &server_batch, None, Some(sat.clone()), true, server_reps);
+    let sampling_on = bench_server(&tagger, &server_batch, None, Some(sat), false, server_reps);
+    let dark_pct = (sampling_dark - server_off) / server_off * 100.0;
+    let on_pct = (sampling_on - server_off) / server_off * 100.0;
+    println!("  sampling dark: {sampling_dark:>6.2} us/msg  ({dark_pct:+.2}% vs off)");
+    println!("  sampling on  : {sampling_on:>6.2} us/msg  ({on_pct:+.2}% vs off)");
+    let sampling_ok = dark_pct < 2.0;
+    println!(
+        "check: sampling-off serving overhead < 2%: {}",
+        if sampling_ok { "OK" } else { "FAIL (non-gating)" }
     );
 
     if std::fs::create_dir_all("bench_results").is_ok() {
@@ -198,7 +239,12 @@ fn main() {
              \"server_off_msg_us\": {server_off:.2}, \
              \"server_traced_msg_us\": {server_traced:.2}, \
              \"server_trace_overhead_pct\": {trace_pct:.3}, \
-             \"server_trace_under_2pct\": {trace_ok}}}\n",
+             \"server_trace_under_2pct\": {trace_ok}, \
+             \"server_sampling_dark_msg_us\": {sampling_dark:.2}, \
+             \"server_sampling_on_msg_us\": {sampling_on:.2}, \
+             \"server_sampling_dark_overhead_pct\": {dark_pct:.3}, \
+             \"server_sampling_on_overhead_pct\": {on_pct:.3}, \
+             \"server_sampling_dark_under_2pct\": {sampling_ok}}}\n",
             input.len(),
             pct(noop),
             pct(stats),

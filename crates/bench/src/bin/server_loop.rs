@@ -19,14 +19,20 @@
 //! to `bench_results/server_loop.json` — non-gating, like every timing
 //! bench here.
 //!
+//! Saturation telemetry rides along (`--sample-hz`, default 97; 0 =
+//! off): the run records the pool's peak sampled queue depth and the
+//! busiest shard's utilization into the JSONL row
+//! (`shard_utilization_pct`, `peak_queue_depth`) — the quantitative
+//! view of how close `--window` pushed the pool to overload.
+//!
 //! Run: `cargo run -p cfg-bench --bin server_loop --release -- \
 //!        [--messages N] [--clients N] [--shards N] [--queue-depth N] \
-//!        [--window N] [--trace-sample N] [--slo-ms X]`
+//!        [--window N] [--trace-sample N] [--slo-ms X] [--sample-hz N]`
 
 use cfg_obs::json::Json;
 use cfg_obs::{SharedRegistry, SloSnapshot, Stage};
 use cfg_obs_http::{http_get, Exporter, ServiceState};
-use cfg_server::{Client, IngestServer, Reply, ServerConfig, TraceConfig};
+use cfg_server::{Client, IngestServer, Reply, SaturationConfig, ServerConfig, TraceConfig};
 use cfg_tagger::{TaggerOptions, TokenTagger};
 use cfg_xmlrpc::workload::WorkloadGenerator;
 use cfg_xmlrpc::xmlrpc_grammar;
@@ -89,6 +95,7 @@ fn main() {
     let window = (arg("--window", 8) as usize).max(1);
     let trace_sample = arg("--trace-sample", 1);
     let slo_ms = arg("--slo-ms", 50).max(1);
+    let sample_hz = arg("--sample-hz", 97) as u32;
 
     let grammar = xmlrpc_grammar();
     let tagger =
@@ -105,6 +112,12 @@ fn main() {
             sample_every: trace_sample,
             slo_ms,
             ..TraceConfig::default()
+        }),
+        saturation: (sample_hz > 0).then_some(SaturationConfig {
+            sample_hz,
+            // A tight interval so even short benches see a real window.
+            interval_ms: 5,
+            history: 4096,
         }),
         ..ServerConfig::default()
     };
@@ -176,6 +189,19 @@ fn main() {
         );
         snap
     });
+    // Saturation gauges, read before shutdown tears the sampler down:
+    // the busiest shard's utilization over the sampled window and the
+    // deepest queue any snapshot caught.
+    let saturation = server.timeseries().map(|series| {
+        let utilization = series.gauges().iter().map(|g| g.utilization_pct).fold(0.0f64, f64::max);
+        let peak_depth = series
+            .ticks()
+            .iter()
+            .flat_map(|t| t.shards.iter().map(|s| s.queue_depth))
+            .max()
+            .unwrap_or(0);
+        (utilization, peak_depth)
+    });
     let report = server.shutdown();
     exporter.stop();
 
@@ -232,6 +258,17 @@ fn main() {
         );
     }
 
+    let mut saturation_fields = String::new();
+    if let Some((utilization, peak_depth)) = saturation {
+        println!(
+            "  saturation: busiest shard {utilization:.1}% utilized, peak sampled queue depth {peak_depth}"
+        );
+        saturation_fields = format!(
+            ", \"sample_hz\": {sample_hz}, \"shard_utilization_pct\": {utilization:.1}, \
+             \"peak_queue_depth\": {peak_depth}"
+        );
+    }
+
     if std::fs::create_dir_all("bench_results").is_ok() {
         use std::io::Write as _;
         let row = format!(
@@ -239,7 +276,7 @@ fn main() {
              \"shards\": {shards}, \"queue_depth\": {queue_depth}, \"window\": {window}, \
              \"secs\": {secs:.4}, \
              \"accepted_msgs_per_sec\": {accepted_per_sec:.1}, \"shed_ratio\": {shed_ratio:.4}, \
-             \"acked\": {acks}, \"shed\": {busys}{trace_fields}}}\n"
+             \"acked\": {acks}, \"shed\": {busys}{trace_fields}{saturation_fields}}}\n"
         );
         let appended = std::fs::OpenOptions::new()
             .create(true)

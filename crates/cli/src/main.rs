@@ -1,6 +1,7 @@
 //! `cfgtag` binary entry point: thin shell over [`cfg_cli::run`], plus
-//! the long-running modes (`serve`, `top`, `scope`, `slo`) that own
-//! sockets and the process lifetime and so bypass the pure dispatcher.
+//! the long-running modes (`serve`, `top`, `scope`, `slo`, `shards`)
+//! that own sockets and the process lifetime and so bypass the pure
+//! dispatcher.
 
 use std::io::Read;
 
@@ -11,6 +12,7 @@ fn main() {
         Some("top") => std::process::exit(cfg_cli::top::main_io(&args[1..])),
         Some("scope") => std::process::exit(cfg_cli::scope::main_io(&args[1..])),
         Some("slo") => std::process::exit(cfg_cli::slo::main_io(&args[1..])),
+        Some("shards") => std::process::exit(cfg_cli::shards::main_io(&args[1..])),
         _ => {}
     }
     let read_input = |path: &str| -> Result<Vec<u8>, std::io::Error> {

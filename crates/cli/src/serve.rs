@@ -24,7 +24,7 @@ use cfg_obs::{
     DEFAULT_FLIGHT_CAPACITY,
 };
 use cfg_obs_http::{Exporter, ServiceState};
-use cfg_server::{IngestServer, ServerConfig, ServerReport, TraceConfig};
+use cfg_server::{IngestServer, SaturationConfig, ServerConfig, ServerReport, TraceConfig};
 use cfg_tagger::{EngineKind, ShardPool, StartMode, TaggerOptions, TokenTagger};
 use std::io::Read;
 use std::sync::Arc;
@@ -70,6 +70,10 @@ pub struct ServeFlags {
     pub trace_sample: u64,
     /// `--slo-ms X`: end-to-end latency objective for `/slo.json`.
     pub slo_ms: u64,
+    /// `--sample-hz N`: saturation telemetry — per-shard utilization
+    /// time series plus a stage sampling profiler at N Hz (listen
+    /// mode; 0 = telemetry off).
+    pub sample_hz: u32,
 }
 
 impl Default for ServeFlags {
@@ -92,6 +96,7 @@ impl Default for ServeFlags {
             panic_token: None,
             trace_sample: 0,
             slo_ms: 50,
+            sample_hz: 0,
         }
     }
 }
@@ -149,6 +154,7 @@ impl ServeFlags {
                 }
                 "--trace-sample" => f.trace_sample = num(&mut it, "--trace-sample")?,
                 "--slo-ms" => f.slo_ms = num(&mut it, "--slo-ms")?.max(1),
+                "--sample-hz" => f.sample_hz = num(&mut it, "--sample-hz")? as u32,
                 other if other.starts_with("--") => {
                     return Err(CliError::new(format!("unknown serve flag {other}"), 2));
                 }
@@ -424,6 +430,10 @@ pub fn run_listen(
             slo_ms: flags.slo_ms,
             ..TraceConfig::default()
         }),
+        saturation: (flags.sample_hz > 0).then(|| SaturationConfig {
+            sample_hz: flags.sample_hz,
+            ..SaturationConfig::default()
+        }),
         ..ServerConfig::default()
     };
     let server = IngestServer::start(&tagger, addr, config)
@@ -440,8 +450,10 @@ pub fn run_listen(
         flags.idle_timeout_ms
     ));
     let trace_endpoints = if flags.trace_sample > 0 { " /slo.json /spans.jsonl" } else { "" };
+    let saturation_endpoints =
+        if flags.sample_hz > 0 { " /shards.json /timeseries.json /profile.folded" } else { "" };
     status(&format!(
-        "serving http://{}/metrics (+ /healthz /readyz /report.json{trace_endpoints})",
+        "serving http://{}/metrics (+ /healthz /readyz /report.json{trace_endpoints}{saturation_endpoints})",
         exporter.local_addr()
     ));
 
@@ -476,7 +488,7 @@ pub fn main_io(args: &[String]) -> i32 {
              [--chunk N] [--max-bytes N] [--shards N] [--flight-out PATH] [--flight-capacity N]\n\
              \x20      cfgtag serve <grammar.y> --listen ADDR [--engine bit|scalar|gate] \
              [--max-sessions N] [--idle-timeout-ms N] [--queue-depth N] [--panic-token S] \
-             [--trace-sample N] [--slo-ms X]"
+             [--trace-sample N] [--slo-ms X] [--sample-hz N]"
         );
         return 2;
     };
@@ -678,6 +690,8 @@ mod tests {
             "4",
             "--slo-ms",
             "25",
+            "--sample-hz",
+            "199",
         ]))
         .unwrap();
         assert_eq!(f.listen.as_deref(), Some("127.0.0.1:0"));
@@ -688,13 +702,16 @@ mod tests {
         assert_eq!(f.panic_token.as_deref(), Some("POISON"));
         assert_eq!(f.trace_sample, 4);
         assert_eq!(f.slo_ms, 25);
-        // Tracing defaults to off.
+        assert_eq!(f.sample_hz, 199);
+        // Tracing and saturation telemetry default to off.
         let (defaults, _) = ServeFlags::parse(&argv(&["g.y"])).unwrap();
         assert_eq!(defaults.trace_sample, 0);
         assert_eq!(defaults.slo_ms, 50);
+        assert_eq!(defaults.sample_hz, 0);
         assert_eq!(ServeFlags::parse(&argv(&["--listen"])).unwrap_err().code, 2);
         assert_eq!(ServeFlags::parse(&argv(&["--engine", "quantum"])).unwrap_err().code, 2);
         assert_eq!(ServeFlags::parse(&argv(&["--trace-sample"])).unwrap_err().code, 2);
+        assert_eq!(ServeFlags::parse(&argv(&["--sample-hz"])).unwrap_err().code, 2);
     }
 
     #[test]

@@ -158,15 +158,13 @@ pub fn render(prev: Option<&SloSample>, cur: &SloSample, dt_secs: f64) -> String
         if (cur.target * 1000.0) % 10.0 == 0.0 { 0 } else { 1 },
     );
     // Burn rate 1.0 = consuming budget exactly as fast as the
-    // objective allows; >1 = burning towards exhaustion.
-    let window_burn = prev.map(|p| {
+    // objective allows; >1 = burning towards exhaustion. With no prior
+    // poll — or an idle window with zero new frames — there is no rate
+    // to compute, so the dashboard shows `-` instead of a made-up 0x.
+    let window_burn = prev.and_then(|p| {
         let frames = cur.total.saturating_sub(p.total);
         let breaches = cur.breaches.saturating_sub(p.breaches);
-        if frames == 0 {
-            0.0
-        } else {
-            (breaches as f64 / frames as f64) / (1.0 - cur.target).max(1e-9)
-        }
+        (frames > 0).then(|| (breaches as f64 / frames as f64) / (1.0 - cur.target).max(1e-9))
     });
     let _ = write!(out, "error budget: {:5.1}% consumed", cur.budget_consumed * 100.0);
     match window_burn {
@@ -174,7 +172,7 @@ pub fn render(prev: Option<&SloSample>, cur: &SloSample, dt_secs: f64) -> String
             let _ = writeln!(out, "   burn rate {burn:.2}x over last {dt_secs:.1}s");
         }
         None => {
-            let _ = writeln!(out, "   burn rate: (needs two polls)");
+            let _ = writeln!(out, "   burn rate -");
         }
     }
     let _ = writeln!(
@@ -368,6 +366,17 @@ mod tests {
         assert!(frame.lines().any(|l| l.starts_with("e2e")), "{frame}");
         // First frame has no previous sample: burn rate defers.
         let first = render(None, &t0, 1.0);
-        assert!(first.contains("needs two polls"), "{first}");
+        assert!(first.contains("burn rate -"), "{first}");
+        assert!(!first.contains("0.00x"), "first poll must not fake a rate: {first}");
+    }
+
+    #[test]
+    fn render_burn_rate_dashes_on_idle_window() {
+        // Two polls with identical totals: no frames arrived in the
+        // window, so there is no rate — not a 0.00x, not a NaN.
+        let t0 = parse_slo(&body(1000, 10)).unwrap();
+        let frame = render(Some(&t0), &t0, 1.0);
+        assert!(frame.contains("burn rate -"), "{frame}");
+        assert!(!frame.contains("NaN") && !frame.contains("0.00x"), "{frame}");
     }
 }

@@ -35,6 +35,16 @@
 //! * `GET /spans.jsonl` — recent retained frame spans (head-sampled
 //!   plus always-on-slow) from the attached [`cfg_obs::SpanRecorder`],
 //!   one JSON object per line with per-stage durations.
+//! * `GET /shards.json` — current per-shard saturation gauges from the
+//!   attached [`cfg_obs::TimeSeries`]: queue depth, utilization %,
+//!   arrival/completion rates, and the Little's-law predicted queue
+//!   wait. Answers `200` with an empty shard list when sampling is off.
+//! * `GET /timeseries.json` — the saturation snapshot ring dump
+//!   (oldest first); an empty ring is `200` with an empty `samples`
+//!   array, never an error.
+//! * `GET /profile.folded` — folded-stack samples
+//!   (`stage;engine_kind count` lines) from the attached
+//!   [`cfg_obs::SamplingProfiler`], ready for flamegraph tooling.
 //!
 //! The exporter runs on one `std::net::TcpListener` accept loop —
 //! serving a scrape costs a snapshot of lock-free counters, so the
@@ -45,7 +55,8 @@
 #![warn(missing_docs)]
 
 use cfg_obs::{
-    json, ProbeBank, RegistrySnapshot, SharedRegistry, SloTracker, SpanRecorder, Stat, TriggerHub,
+    json, ProbeBank, RegistrySnapshot, SamplingProfiler, SharedRegistry, SloTracker, SpanRecorder,
+    Stat, TimeSeries, TriggerHub,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -68,6 +79,8 @@ pub struct ServiceState {
     token_names: Mutex<Vec<String>>,
     slo_tracker: Mutex<Option<Arc<SloTracker>>>,
     span_recorder: Mutex<Option<Arc<SpanRecorder>>>,
+    timeseries: Mutex<Option<Arc<TimeSeries>>>,
+    profiler: Mutex<Option<Arc<SamplingProfiler>>>,
 }
 
 impl ServiceState {
@@ -156,6 +169,19 @@ impl ServiceState {
         *self.span_recorder.lock().unwrap() = Some(recorder);
     }
 
+    /// Attach the saturation time series served at `/timeseries.json`
+    /// and `/shards.json` (the ingest server does this when sampling
+    /// is enabled). Unattached, both endpoints still answer `200` with
+    /// empty data — saturation telemetry being off is not an error.
+    pub fn set_timeseries(&self, series: Arc<TimeSeries>) {
+        *self.timeseries.lock().unwrap() = Some(series);
+    }
+
+    /// Attach the sampling profiler served at `/profile.folded`.
+    pub fn set_profiler(&self, profiler: Arc<SamplingProfiler>) {
+        *self.profiler.lock().unwrap() = Some(profiler);
+    }
+
     fn circuit_json(&self) -> Option<String> {
         self.circuit_json.lock().unwrap().clone()
     }
@@ -166,6 +192,14 @@ impl ServiceState {
 
     fn span_recorder(&self) -> Option<Arc<SpanRecorder>> {
         self.span_recorder.lock().unwrap().clone()
+    }
+
+    fn timeseries(&self) -> Option<Arc<TimeSeries>> {
+        self.timeseries.lock().unwrap().clone()
+    }
+
+    fn profiler(&self) -> Option<Arc<SamplingProfiler>> {
+        self.profiler.lock().unwrap().clone()
     }
 
     fn probe_bank(&self) -> Option<Arc<ProbeBank>> {
@@ -499,6 +533,30 @@ pub fn respond(path: &str, registry: &SharedRegistry, state: &ServiceState) -> R
                 body: "no SLO tracker attached (serve with tracing enabled)\n".into(),
             },
         },
+        // The three saturation endpoints answer 200 with empty data
+        // when nothing is attached: sampling being off is a normal
+        // serving configuration, not an error a poller should retry.
+        "/shards.json" => Response {
+            status: 200,
+            content_type: "application/json",
+            body: match state.timeseries() {
+                Some(series) => series.shards_json(),
+                None => "{\"window_ms\":0,\"shards\":[]}\n".into(),
+            },
+        },
+        "/timeseries.json" => Response {
+            status: 200,
+            content_type: "application/json",
+            body: match state.timeseries() {
+                Some(series) => series.to_json(),
+                None => "{\"interval_ms\":0,\"samples\":[]}\n".into(),
+            },
+        },
+        "/profile.folded" => Response {
+            status: 200,
+            content_type: "text/plain",
+            body: state.profiler().map(|p| p.folded()).unwrap_or_default(),
+        },
         "/spans.jsonl" => match state.span_recorder() {
             Some(recorder) => Response {
                 status: 200,
@@ -512,7 +570,7 @@ pub fn respond(path: &str, registry: &SharedRegistry, state: &ServiceState) -> R
             },
         },
         "/" => {
-            let mut body = String::from("{\"endpoints\":[\"/metrics\",\"/healthz\",\"/readyz\",\"/report.json\",\"/circuit.json\",\"/probes.json\",\"/trigger\",\"/capture.jsonl\",\"/slo.json\",\"/spans.jsonl\"],\"sinks\":[");
+            let mut body = String::from("{\"endpoints\":[\"/metrics\",\"/healthz\",\"/readyz\",\"/report.json\",\"/circuit.json\",\"/probes.json\",\"/trigger\",\"/capture.jsonl\",\"/slo.json\",\"/spans.jsonl\",\"/shards.json\",\"/timeseries.json\",\"/profile.folded\"],\"sinks\":[");
             for (i, name) in registry.names().iter().enumerate() {
                 if i > 0 {
                     body.push(',');
@@ -838,6 +896,66 @@ mod tests {
 
         let index = respond("/", &reg, &state).body;
         assert!(index.contains("/slo.json") && index.contains("/spans.jsonl"));
+    }
+
+    #[test]
+    fn saturation_endpoints_answer_200_attached_or_not() {
+        use cfg_obs::{ShardLoadBank, Stage, TickSnapshot};
+        let reg = SharedRegistry::new();
+        let state = ServiceState::new();
+
+        // Unattached: still 200, with empty-but-valid payloads — the
+        // poller-facing contract when sampling is off.
+        let shards = respond("/shards.json", &reg, &state);
+        assert_eq!((shards.status, shards.content_type), (200, "application/json"));
+        let v = json::Json::parse(&shards.body).unwrap();
+        assert_eq!(v.get("shards").unwrap().as_array().unwrap().len(), 0);
+        let series = respond("/timeseries.json", &reg, &state);
+        assert_eq!(series.status, 200);
+        let v = json::Json::parse(&series.body).unwrap();
+        assert_eq!(v.get("samples").unwrap().as_array().unwrap().len(), 0);
+        let folded = respond("/profile.folded", &reg, &state);
+        assert_eq!((folded.status, folded.content_type), (200, "text/plain"));
+        assert_eq!(folded.body, "");
+
+        // Attached with an empty ring: still 200 with an empty samples
+        // array, never a 404/503.
+        let bank = Arc::new(ShardLoadBank::new(2));
+        let ts = Arc::new(TimeSeries::new(Arc::clone(&bank), 8, Duration::from_millis(50)));
+        state.set_timeseries(Arc::clone(&ts));
+        let empty = respond("/timeseries.json", &reg, &state);
+        assert_eq!(empty.status, 200);
+        let v = json::Json::parse(&empty.body).unwrap();
+        assert_eq!(v.get("samples").unwrap().as_array().unwrap().len(), 0);
+
+        // With traffic the gauges and ring come through.
+        bank.arrive(0);
+        bank.arrive(0);
+        bank.dequeue(0);
+        bank.record_work(0, 5_000_000, true);
+        ts.push(TickSnapshot { t_ns: 0, shards: bank.sample() });
+        ts.push(TickSnapshot { t_ns: 100_000_000, shards: bank.sample() });
+        let shards = respond("/shards.json", &reg, &state);
+        let v = json::Json::parse(&shards.body).unwrap();
+        let rows = v.get("shards").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("queue_depth").unwrap().as_u64(), Some(1));
+        let series = respond("/timeseries.json", &reg, &state);
+        let v = json::Json::parse(&series.body).unwrap();
+        assert_eq!(v.get("samples").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("interval_ms").unwrap().as_u64(), Some(50));
+
+        let profiler = Arc::new(SamplingProfiler::new());
+        let slot = profiler.register("bit");
+        slot.enter(Stage::Engine);
+        profiler.sample_once();
+        state.set_profiler(Arc::clone(&profiler));
+        let folded = respond("/profile.folded", &reg, &state);
+        assert_eq!(folded.status, 200);
+        assert!(folded.body.contains("engine;bit 1"), "{}", folded.body);
+
+        let index = respond("/", &reg, &state).body;
+        assert!(index.contains("/shards.json") && index.contains("/profile.folded"));
     }
 
     #[test]

@@ -45,12 +45,14 @@ mod histogram;
 pub mod json;
 mod metrics;
 mod probe;
+pub mod profile;
 mod registry;
 mod report;
 mod sink;
 mod slo;
 mod span;
 mod stats;
+mod timeseries;
 mod trace;
 mod trigger;
 
@@ -58,11 +60,15 @@ pub use flight::{FlightRecorder, TeeSink, DEFAULT_FLIGHT_CAPACITY};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Metrics, SpanGuard};
 pub use probe::ProbeBank;
+pub use profile::{ProfilerHandle, SamplingProfiler, WorkerSlot};
 pub use registry::{RegistrySnapshot, SharedRegistry};
 pub use report::{CompileReport, StageTiming};
 pub use sink::{MetricsSink, NoopSink, Stat};
 pub use slo::{FineHistogram, FineSnapshot, QuantileSummary, SloSnapshot, SloTracker};
 pub use span::{Span, SpanRecorder, Stage};
 pub use stats::{StatsSink, StatsSnapshot};
+pub use timeseries::{
+    derive_gauges, SamplerHandle, ShardGauge, ShardLoadBank, ShardSample, TickSnapshot, TimeSeries,
+};
 pub use trace::{TraceEvent, Value};
 pub use trigger::{Trigger, TriggerCondition, TriggerHub};

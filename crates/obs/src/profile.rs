@@ -1,0 +1,345 @@
+//! A lightweight in-process sampling profiler for the serving path.
+//!
+//! Worker threads publish their *current stage* — reusing the span
+//! pipeline's [`Stage`] vocabulary, plus an explicit idle state — into
+//! a per-thread [`WorkerSlot`]: one relaxed atomic store per stage
+//! change, nothing else on the hot path. A sampler thread reads every
+//! slot at a configured frequency and accumulates per-(stage, label)
+//! hit counts, where the label names the worker's engine kind. The
+//! result renders as folded-stack lines (`stage;engine_kind count`),
+//! the format flamegraph tooling consumes directly — `/profile.folded`
+//! piped into `flamegraph.pl` is a picture of where shard worker time
+//! goes.
+//!
+//! Workers register their slot in a thread-local so code deeper in the
+//! handler (the server's parse / engine-feed / ack-write boundaries)
+//! can refine the published stage through the free functions
+//! [`enter`] / [`idle`] without any signature plumbing. On a thread
+//! that never registered — every pool without a profiler attached —
+//! those functions are a thread-local load and a `None` branch.
+
+use crate::span::Stage;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Slot value meaning "not working on anything".
+const IDLE: usize = 0;
+
+/// Stage slots per counter row: every [`Stage`] plus idle.
+const LANES: usize = Stage::COUNT + 1;
+
+/// One worker thread's published state: which stage it is in right
+/// now, and the label (engine kind) its samples fold under.
+#[derive(Debug)]
+pub struct WorkerSlot {
+    current: AtomicUsize,
+    label: String,
+}
+
+impl WorkerSlot {
+    /// Publish the stage the worker is entering.
+    pub fn enter(&self, stage: Stage) {
+        self.current.store(1 + stage as usize, Ordering::Relaxed);
+    }
+
+    /// Publish that the worker is idle (waiting for work).
+    pub fn idle(&self) {
+        self.current.store(IDLE, Ordering::Relaxed);
+    }
+
+    /// The label this slot's samples are attributed to.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The currently published stage, `None` when idle.
+    pub fn current(&self) -> Option<Stage> {
+        match self.current.load(Ordering::Relaxed) {
+            IDLE => None,
+            lane => Stage::ALL.get(lane - 1).copied(),
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT_SLOT: RefCell<Option<Arc<WorkerSlot>>> = const { RefCell::new(None) };
+}
+
+/// Register `slot` as this thread's published-stage slot; [`enter`] and
+/// [`idle`] target it from anywhere on the thread afterwards.
+pub fn set_current_slot(slot: Arc<WorkerSlot>) {
+    CURRENT_SLOT.with(|s| *s.borrow_mut() = Some(slot));
+}
+
+/// Publish a stage on this thread's registered slot. A no-op on
+/// threads that never registered one.
+pub fn enter(stage: Stage) {
+    CURRENT_SLOT.with(|s| {
+        if let Some(slot) = s.borrow().as_ref() {
+            slot.enter(stage);
+        }
+    });
+}
+
+/// Publish idle on this thread's registered slot (no-op unregistered).
+pub fn idle() {
+    CURRENT_SLOT.with(|s| {
+        if let Some(slot) = s.borrow().as_ref() {
+            slot.idle();
+        }
+    });
+}
+
+/// Per-slot sample counts: one lane per stage plus idle.
+#[derive(Debug)]
+struct SlotCounts {
+    slot: Arc<WorkerSlot>,
+    lanes: [AtomicU64; LANES],
+}
+
+/// The sampler: holds every registered [`WorkerSlot`] and the hit
+/// counts accumulated by [`SamplingProfiler::sample_once`].
+#[derive(Debug, Default)]
+pub struct SamplingProfiler {
+    slots: Mutex<Vec<SlotCounts>>,
+    samples: AtomicU64,
+}
+
+impl SamplingProfiler {
+    /// An empty profiler; workers join via
+    /// [`SamplingProfiler::register`].
+    pub fn new() -> SamplingProfiler {
+        SamplingProfiler::default()
+    }
+
+    /// Mint a slot for one worker thread, folded under `label`. The
+    /// worker keeps the `Arc` and publishes into it; the profiler
+    /// samples it.
+    pub fn register(&self, label: &str) -> Arc<WorkerSlot> {
+        let slot =
+            Arc::new(WorkerSlot { current: AtomicUsize::new(IDLE), label: label.to_owned() });
+        self.slots.lock().expect("profiler slots lock").push(SlotCounts {
+            slot: Arc::clone(&slot),
+            lanes: std::array::from_fn(|_| AtomicU64::new(0)),
+        });
+        slot
+    }
+
+    /// Registered worker slots.
+    pub fn workers(&self) -> usize {
+        self.slots.lock().expect("profiler slots lock").len()
+    }
+
+    /// Sampling ticks taken so far.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Read every slot once and bump the lane each worker is currently
+    /// in — one sampling tick.
+    pub fn sample_once(&self) {
+        let slots = self.slots.lock().expect("profiler slots lock");
+        for entry in slots.iter() {
+            let lane = entry.slot.current.load(Ordering::Relaxed).min(LANES - 1);
+            entry.lanes[lane].fetch_add(1, Ordering::Relaxed);
+        }
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folded-stack output: one `stage;label count` line per non-zero
+    /// (stage, label) pair, aggregated across workers sharing a label,
+    /// in stable (stage pipeline, label) order. Empty when nothing has
+    /// been sampled.
+    pub fn folded(&self) -> String {
+        let slots = self.slots.lock().expect("profiler slots lock");
+        let mut labels: Vec<&str> = slots.iter().map(|e| e.slot.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        let mut out = String::new();
+        for lane in 0..LANES {
+            let stage_name = if lane == IDLE { "idle" } else { Stage::ALL[lane - 1].name() };
+            for label in &labels {
+                let count: u64 = slots
+                    .iter()
+                    .filter(|e| e.slot.label == *label)
+                    .map(|e| e.lanes[lane].load(Ordering::Relaxed))
+                    .sum();
+                if count > 0 {
+                    out.push_str(stage_name);
+                    out.push(';');
+                    out.push_str(label);
+                    out.push(' ');
+                    out.push_str(&count.to_string());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Spawn the sampler thread, ticking `hz` times per second
+    /// (clamped to `1..=1000`) until the handle is stopped or dropped.
+    pub fn start(self: &Arc<Self>, hz: u32) -> ProfilerHandle {
+        let profiler = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let period = Duration::from_nanos(1_000_000_000 / u64::from(hz.clamp(1, 1000)));
+        let handle = std::thread::Builder::new()
+            .name("cfgtag-profiler".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    profiler.sample_once();
+                }
+            })
+            .expect("spawn sampling profiler");
+        ProfilerHandle { stop, handle: Some(handle) }
+    }
+}
+
+/// A running profiler sampler thread; stop it explicitly or by drop.
+#[derive(Debug)]
+pub struct ProfilerHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ProfilerHandle {
+    /// Stop sampling and join the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ProfilerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_publish_and_samples_accumulate() {
+        let p = SamplingProfiler::new();
+        let slot = p.register("bit");
+        assert_eq!(p.workers(), 1);
+        assert_eq!(slot.current(), None, "fresh slots are idle");
+        p.sample_once();
+        slot.enter(Stage::Engine);
+        assert_eq!(slot.current(), Some(Stage::Engine));
+        p.sample_once();
+        p.sample_once();
+        slot.idle();
+        p.sample_once();
+        assert_eq!(p.samples(), 4);
+        let folded = p.folded();
+        assert!(folded.contains("idle;bit 2\n"), "{folded}");
+        assert!(folded.contains("engine;bit 2\n"), "{folded}");
+        assert!(!folded.contains("parse"), "unvisited stages are elided: {folded}");
+    }
+
+    #[test]
+    fn folded_aggregates_same_label_and_orders_stages() {
+        let p = SamplingProfiler::new();
+        let a = p.register("bit");
+        let b = p.register("bit");
+        let c = p.register("scalar");
+        a.enter(Stage::Parse);
+        b.enter(Stage::Parse);
+        c.enter(Stage::AckWrite);
+        p.sample_once();
+        a.enter(Stage::AckWrite);
+        p.sample_once();
+        let folded = p.folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        // Two bit workers parsing in tick 1, one in tick 2 → 3 total.
+        assert!(lines.contains(&"parse;bit 3"), "{folded}");
+        assert!(lines.contains(&"ack_write;bit 1"), "{folded}");
+        assert!(lines.contains(&"ack_write;scalar 2"), "{folded}");
+        // Stage pipeline order: parse lines precede ack_write lines.
+        let parse_at = lines.iter().position(|l| l.starts_with("parse;")).unwrap();
+        let ack_at = lines.iter().position(|l| l.starts_with("ack_write;")).unwrap();
+        assert!(parse_at < ack_at, "{folded}");
+    }
+
+    #[test]
+    fn thread_local_enter_is_noop_until_registered() {
+        // No slot registered on this thread: must not panic, must not
+        // record anywhere.
+        idle();
+        enter(Stage::Parse);
+        let p = SamplingProfiler::new();
+        let slot = p.register("bit");
+        set_current_slot(Arc::clone(&slot));
+        enter(Stage::AckWrite);
+        assert_eq!(slot.current(), Some(Stage::AckWrite));
+        idle();
+        assert_eq!(slot.current(), None);
+    }
+
+    #[test]
+    fn worker_threads_publish_through_the_thread_local() {
+        let p = Arc::new(SamplingProfiler::new());
+        let slot = p.register("bit");
+        let worker_slot = Arc::clone(&slot);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let worker = std::thread::spawn(move || {
+            set_current_slot(worker_slot);
+            enter(Stage::Engine);
+            // Hold the stage until the main thread has sampled it.
+            rx.recv().unwrap();
+            idle();
+        });
+        for _ in 0..200 {
+            if slot.current() == Some(Stage::Engine) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        p.sample_once();
+        tx.send(()).unwrap();
+        worker.join().unwrap();
+        assert!(p.folded().contains("engine;bit 1"), "{}", p.folded());
+    }
+
+    #[test]
+    fn sampler_thread_ticks_and_stops() {
+        let p = Arc::new(SamplingProfiler::new());
+        let slot = p.register("bit");
+        slot.enter(Stage::QueueWait);
+        let handle = p.start(500);
+        for _ in 0..500 {
+            if p.samples() >= 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.stop();
+        let after = p.samples();
+        assert!(after >= 3, "sampler ticked: {after}");
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(p.samples(), after, "stopped sampler stays stopped");
+        assert!(p.folded().contains("queue_wait;bit"), "{}", p.folded());
+    }
+
+    #[test]
+    fn empty_profiler_folds_to_nothing() {
+        let p = SamplingProfiler::new();
+        assert_eq!(p.folded(), "");
+        p.sample_once();
+        assert_eq!(p.folded(), "", "no slots, nothing to attribute");
+    }
+}

@@ -25,8 +25,9 @@
 use crate::frame::{self, Frame, FrameKind};
 use crate::session::SessionTable;
 use cfg_obs::{
-    FlightRecorder, MetricsSink, SharedRegistry, SloTracker, Span, SpanRecorder, Stage, Stat,
-    StatsSink, TraceEvent,
+    profile, FlightRecorder, MetricsSink, ProfilerHandle, SamplerHandle, SamplingProfiler,
+    ShardLoadBank, SharedRegistry, SloTracker, Span, SpanRecorder, Stage, Stat, StatsSink,
+    TimeSeries, TraceEvent,
 };
 use cfg_obs_http::ServiceState;
 use cfg_tagger::{
@@ -74,6 +75,42 @@ struct Tracing {
     slo: Arc<SloTracker>,
 }
 
+/// Saturation telemetry configuration for [`ServerConfig::saturation`].
+///
+/// When set, the shard pool counts arrivals/dequeues/busy-time into a
+/// [`ShardLoadBank`], a sampler thread snapshots it into a
+/// [`TimeSeries`] ring every `interval_ms` (behind `/shards.json` and
+/// `/timeseries.json`), and a [`SamplingProfiler`] reads each worker's
+/// published stage `sample_hz` times per second (behind
+/// `/profile.folded`). When `None` (the default) none of these exist
+/// and the serving path pays one relaxed atomic load per frame.
+#[derive(Debug, Clone)]
+pub struct SaturationConfig {
+    /// Profiler sampling frequency in Hz (clamped to `1..=1000`). A
+    /// prime default avoids beating against periodic work.
+    pub sample_hz: u32,
+    /// Utilization snapshot period in milliseconds.
+    pub interval_ms: u64,
+    /// Snapshot ring capacity — `history * interval_ms` is the window
+    /// the derived gauges average over.
+    pub history: usize,
+}
+
+impl Default for SaturationConfig {
+    fn default() -> SaturationConfig {
+        SaturationConfig { sample_hz: 97, interval_ms: 50, history: 256 }
+    }
+}
+
+/// The saturation side-car: load counters, their snapshot ring, and
+/// the stage sampler.
+#[derive(Clone)]
+struct Saturation {
+    bank: Arc<ShardLoadBank>,
+    series: Arc<TimeSeries>,
+    profiler: Arc<SamplingProfiler>,
+}
+
 /// How the server is shaped; start from `ServerConfig::default()` and
 /// override fields.
 #[derive(Clone)]
@@ -109,6 +146,9 @@ pub struct ServerConfig {
     pub drain_deadline: Duration,
     /// Frame tracing + SLO pipeline; `None` (default) serves untraced.
     pub trace: Option<TraceConfig>,
+    /// Saturation telemetry (per-shard utilization time series + stage
+    /// sampling profiler); `None` (default) serves metrics-dark.
+    pub saturation: Option<SaturationConfig>,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +167,7 @@ impl Default for ServerConfig {
             flight: None,
             drain_deadline: Duration::from_secs(10),
             trace: None,
+            saturation: None,
         }
     }
 }
@@ -142,6 +183,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("panic_token", &self.panic_token.is_some())
             .field("drain_deadline", &self.drain_deadline)
             .field("trace", &self.trace)
+            .field("saturation", &self.saturation)
             .finish_non_exhaustive()
     }
 }
@@ -182,6 +224,9 @@ pub struct IngestServer {
     shared: Arc<Shared>,
     accept_handle: Option<JoinHandle<()>>,
     janitor_handle: Option<JoinHandle<()>>,
+    saturation: Option<Saturation>,
+    sampler_handle: Option<SamplerHandle>,
+    profiler_handle: Option<ProfilerHandle>,
 }
 
 /// Pool-message layout: `[session u64 LE][seq u32 LE][payload…]`.
@@ -242,6 +287,24 @@ impl IngestServer {
             state.set_slo_tracker(Arc::clone(&tracing.slo));
         }
 
+        // The saturation side-car: per-shard load counters, their
+        // snapshot ring, and the stage sampler, attached to the service
+        // state so /shards.json, /timeseries.json and /profile.folded
+        // serve live data.
+        let saturation = config.saturation.as_ref().map(|s| {
+            let bank = Arc::new(ShardLoadBank::new(config.shards));
+            let series = Arc::new(TimeSeries::new(
+                Arc::clone(&bank),
+                s.history,
+                Duration::from_millis(s.interval_ms.max(1)),
+            ));
+            Saturation { bank, series, profiler: Arc::new(SamplingProfiler::new()) }
+        });
+        if let (Some(sat), Some(state)) = (&saturation, &config.state) {
+            state.set_timeseries(Arc::clone(&sat.series));
+            state.set_profiler(Arc::clone(&sat.profiler));
+        }
+
         // The worker handler: tag the payload with a fresh engine, then
         // ack with the events. The ack is written *by the worker*, after
         // processing — that ordering is the no-lost-acks guarantee.
@@ -250,12 +313,14 @@ impl IngestServer {
         let engine_kind = config.engine;
         let handler_tracing = tracing.clone();
         let handler = move |t: &TokenTagger, msg: &[u8], mut span: Option<&mut Span>| {
+            profile::enter(Stage::Parse);
             let Some((session, seq, payload)) = split_msg(msg) else { return };
             if let Some(token) = &panic_token {
                 if contains(payload, token) {
                     panic!("injected poison frame (session {session} seq {seq})");
                 }
             }
+            profile::enter(Stage::Engine);
             let tagged: Result<Vec<_>, Error> = (|| {
                 let mut engine = t.engine(engine_kind)?;
                 let mut events = engine.feed(payload)?;
@@ -265,6 +330,7 @@ impl IngestServer {
             if let Some(span) = span.as_deref_mut() {
                 span.stamp(Stage::Engine);
             }
+            profile::enter(Stage::AckWrite);
             if let Some(writer) = handler_table.writer(session) {
                 match tagged {
                     Ok(events) => {
@@ -313,6 +379,9 @@ impl IngestServer {
             backoff_max_ms: config.backoff_max_ms,
             flight: config.flight.clone(),
             on_panic: Some(Arc::new(on_panic)),
+            load: saturation.as_ref().map(|s| Arc::clone(&s.bank)),
+            profiler: saturation.as_ref().map(|s| Arc::clone(&s.profiler)),
+            profile_label: config.engine.name().to_owned(),
         };
         let pool = ShardPool::with_span_handler(tagger, config.shards, pool_opts, handler);
 
@@ -351,11 +420,20 @@ impl IngestServer {
             .spawn(move || janitor_loop(janitor_shared))
             .expect("spawn janitor");
 
+        let sampler_handle = saturation.as_ref().map(|s| s.series.start_sampler());
+        let profiler_handle = match (&saturation, &config.saturation) {
+            (Some(sat), Some(cfg)) => Some(sat.profiler.start(cfg.sample_hz)),
+            _ => None,
+        };
+
         Ok(IngestServer {
             addr,
             shared,
             accept_handle: Some(accept_handle),
             janitor_handle: Some(janitor_handle),
+            saturation,
+            sampler_handle,
+            profiler_handle,
         })
     }
 
@@ -381,9 +459,36 @@ impl IngestServer {
         self.shared.tracing.as_ref().map(|t| Arc::clone(&t.slo))
     }
 
+    /// The saturation snapshot ring, when saturation telemetry is
+    /// configured — the source behind `/shards.json` and
+    /// `/timeseries.json`.
+    pub fn timeseries(&self) -> Option<Arc<TimeSeries>> {
+        self.saturation.as_ref().map(|s| Arc::clone(&s.series))
+    }
+
+    /// The stage sampling profiler, when saturation telemetry is
+    /// configured — the source behind `/profile.folded`.
+    pub fn profiler(&self) -> Option<Arc<SamplingProfiler>> {
+        self.saturation.as_ref().map(|s| Arc::clone(&s.profiler))
+    }
+
+    /// The per-shard load counters, when saturation telemetry is
+    /// configured.
+    pub fn shard_loads(&self) -> Option<Arc<ShardLoadBank>> {
+        self.saturation.as_ref().map(|s| Arc::clone(&s.bank))
+    }
+
     /// Drain-style graceful shutdown: stop accepting, tell every
     /// session goodbye, drain the shard queues, and report.
     pub fn shutdown(mut self) -> ServerReport {
+        // Stop the telemetry threads first; they only read atomics, but
+        // a deterministic stop keeps the final snapshots stable.
+        if let Some(h) = self.sampler_handle.take() {
+            h.stop();
+        }
+        if let Some(h) = self.profiler_handle.take() {
+            h.stop();
+        }
         self.shared.stop.store(true, Ordering::SeqCst);
         // Unblock the acceptor with one throwaway connection.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));

@@ -38,13 +38,16 @@
 //! ```
 
 use crate::tagger::TokenTagger;
-use cfg_obs::{FlightRecorder, Metrics, MetricsSink, SharedRegistry, Span, Stage, Stat, StatsSink};
+use cfg_obs::{
+    profile, FlightRecorder, Metrics, MetricsSink, SamplingProfiler, ShardLoadBank, SharedRegistry,
+    Span, Stage, Stat, StatsSink,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The per-message handler shared by every worker in a pool. The third
 /// argument is the message's tracing span, if the submitter attached
@@ -118,6 +121,21 @@ pub struct PoolOptions {
     /// backoff sleep. The ingest server uses this to NAK the client that
     /// sent the poison frame.
     pub on_panic: Option<PanicHook>,
+    /// Saturation accounting: when attached (and
+    /// [`ShardLoadBank::enabled`]), submit paths count arrivals and
+    /// workers count dequeues, completions and busy nanoseconds —
+    /// the raw data behind `/shards.json` and `/timeseries.json`.
+    /// `None` (the default) records nothing and times nothing.
+    pub load: Option<Arc<ShardLoadBank>>,
+    /// Sampling profiler: when attached, each worker registers a
+    /// current-stage slot (labelled [`PoolOptions::profile_label`])
+    /// and publishes engine/idle transitions into it; handlers may
+    /// refine the stage via [`cfg_obs::profile::enter`]. `None` (the
+    /// default) publishes nothing.
+    pub profiler: Option<Arc<SamplingProfiler>>,
+    /// Fold label for this pool's profiler samples — the engine kind
+    /// in the ingest server, `"worker"` by default.
+    pub profile_label: String,
 }
 
 impl Default for PoolOptions {
@@ -128,6 +146,9 @@ impl Default for PoolOptions {
             backoff_max_ms: 500,
             flight: None,
             on_panic: None,
+            load: None,
+            profiler: None,
+            profile_label: "worker".to_owned(),
         }
     }
 }
@@ -140,6 +161,9 @@ impl std::fmt::Debug for PoolOptions {
             .field("backoff_max_ms", &self.backoff_max_ms)
             .field("flight", &self.flight.is_some())
             .field("on_panic", &self.on_panic.is_some())
+            .field("load", &self.load.is_some())
+            .field("profiler", &self.profiler.is_some())
+            .field("profile_label", &self.profile_label)
             .finish()
     }
 }
@@ -162,6 +186,7 @@ pub struct ShardPool {
     sinks: Vec<Arc<StatsSink>>,
     shards: usize,
     next: AtomicUsize,
+    load: Option<Arc<ShardLoadBank>>,
 }
 
 impl ShardPool {
@@ -231,10 +256,18 @@ impl ShardPool {
             let worker_sink = Arc::clone(&sink);
             let flight = opts.flight.clone();
             let on_panic = opts.on_panic.clone();
+            let load = opts.load.clone();
+            let slot = opts.profiler.as_ref().map(|p| p.register(&opts.profile_label));
             let (base_ms, max_ms) = (opts.backoff_base_ms.max(1), opts.backoff_max_ms.max(1));
             let handle = std::thread::Builder::new()
                 .name(format!("cfgtag-shard{i}"))
                 .spawn(move || {
+                    // Make the slot reachable from inside the handler
+                    // (the server refines parse / engine / ack-write
+                    // boundaries through `profile::enter`).
+                    if let Some(slot) = &slot {
+                        profile::set_current_slot(Arc::clone(slot));
+                    }
                     let mut count = 0u64;
                     let mut restarts = 0u64;
                     let mut backoff_ms = base_ms;
@@ -244,9 +277,29 @@ impl ShardPool {
                         if let Some(span) = msg.span.as_mut() {
                             span.stamp(Stage::QueueWait);
                         }
+                        // Saturation accounting: close the queue-depth
+                        // window and start the busy clock — only when a
+                        // bank is attached and enabled (metrics-dark
+                        // otherwise: no counters, no clock reads).
+                        let busy_from = load.as_ref().filter(|b| b.enabled()).map(|b| {
+                            b.dequeue(i);
+                            Instant::now()
+                        });
+                        if let Some(slot) = &slot {
+                            // Coarse default; span-aware handlers
+                            // overwrite it with finer stages.
+                            slot.enter(Stage::Engine);
+                        }
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             run(&shard_tagger, &msg.payload, msg.span.as_mut())
                         }));
+                        if let Some(slot) = &slot {
+                            slot.idle();
+                        }
+                        if let (Some(bank), Some(t0)) = (&load, busy_from) {
+                            let busy = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            bank.record_work(i, busy, outcome.is_ok());
+                        }
                         match outcome {
                             Ok(()) => {
                                 // Processing stamp for handlers that do
@@ -285,7 +338,14 @@ impl ShardPool {
             handles.push(handle);
             sinks.push(sink);
         }
-        ShardPool { txs: RwLock::new(txs), handles, sinks, shards, next: AtomicUsize::new(0) }
+        ShardPool {
+            txs: RwLock::new(txs),
+            handles,
+            sinks,
+            shards,
+            next: AtomicUsize::new(0),
+            load: opts.load,
+        }
     }
 
     /// Number of shards in the pool.
@@ -306,7 +366,10 @@ impl ShardPool {
         for k in 0..txs.len() {
             let i = (first + k) % txs.len();
             match txs[i].try_send(msg) {
-                Ok(()) => return SubmitOutcome::Accepted,
+                Ok(()) => {
+                    self.count_arrival(i);
+                    return SubmitOutcome::Accepted;
+                }
                 Err(TrySendError::Full(m)) | Err(TrySendError::Disconnected(m)) => msg = m,
             }
         }
@@ -325,7 +388,10 @@ impl ShardPool {
         }
         let i = (session % txs.len() as u64) as usize;
         match txs[i].try_send(stamp_enqueue(msg.into())) {
-            Ok(()) => SubmitOutcome::Accepted,
+            Ok(()) => {
+                self.count_arrival(i);
+                SubmitOutcome::Accepted
+            }
             Err(TrySendError::Full(_)) => {
                 self.sinks[i].add(Stat::LoadShed, 1);
                 SubmitOutcome::Shed
@@ -344,8 +410,19 @@ impl ShardPool {
         }
         let i = self.next.fetch_add(1, Ordering::Relaxed) % txs.len();
         match txs[i].send(stamp_enqueue(msg.into())) {
-            Ok(()) => SubmitOutcome::Accepted,
+            Ok(()) => {
+                self.count_arrival(i);
+                SubmitOutcome::Accepted
+            }
             Err(_) => SubmitOutcome::Closed,
+        }
+    }
+
+    /// Count an accepted message on shard `i`'s load counters, when a
+    /// bank is attached and enabled.
+    fn count_arrival(&self, i: usize) {
+        if let Some(bank) = self.load.as_ref().filter(|b| b.enabled()) {
+            bank.arrive(i);
         }
     }
 
@@ -590,6 +667,50 @@ mod tests {
         }
         let sum: u64 = stages.as_object().unwrap().iter().map(|(_, v)| v.as_u64().unwrap()).sum();
         assert_eq!(sum, v.get("total_ns").unwrap().as_u64().unwrap());
+    }
+
+    #[test]
+    fn load_bank_and_profiler_account_worker_time() {
+        use cfg_obs::{SamplingProfiler, ShardLoadBank};
+        let t = tagger();
+        let bank = Arc::new(ShardLoadBank::new(2));
+        let profiler = Arc::new(SamplingProfiler::new());
+        let opts = PoolOptions {
+            load: Some(Arc::clone(&bank)),
+            profiler: Some(Arc::clone(&profiler)),
+            profile_label: "bit".to_owned(),
+            ..PoolOptions::default()
+        };
+        let pool = ShardPool::with_options(&t, 2, opts, |t, msg| {
+            let _ = t.tag_fast(msg);
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        assert_eq!(profiler.workers(), 2, "one slot per shard worker");
+        for _ in 0..6 {
+            assert_eq!(pool.submit(b"if true then go else stop".to_vec()), SubmitOutcome::Accepted);
+        }
+        pool.join();
+        let merged =
+            bank.sample().iter().fold(cfg_obs::ShardSample::default(), |acc, s| acc.merge(s));
+        assert_eq!(merged.arrivals, 6);
+        assert_eq!(merged.completions, 6);
+        assert_eq!(merged.queue_depth, 0, "drained pool leaves no depth");
+        assert!(merged.busy_ns >= 6 * 1_000_000, "slept ≥1ms per message: {merged:?}");
+    }
+
+    #[test]
+    fn disabled_bank_records_nothing() {
+        use cfg_obs::ShardLoadBank;
+        let t = tagger();
+        let bank = Arc::new(ShardLoadBank::new(1));
+        bank.set_enabled(false);
+        let opts = PoolOptions { load: Some(Arc::clone(&bank)), ..PoolOptions::default() };
+        let pool = ShardPool::with_options(&t, 1, opts, |_, _| {});
+        for _ in 0..4 {
+            assert_eq!(pool.submit(b"go".to_vec()), SubmitOutcome::Accepted);
+        }
+        assert_eq!(pool.join().messages, 4);
+        assert_eq!(bank.sample()[0], cfg_obs::ShardSample::default());
     }
 
     #[test]
