@@ -18,14 +18,18 @@
 #  10. saturation telemetry     -- utilization time series, sampling
 #                                  profiler, shards CLI, and the
 #                                  end-to-end Little's-law test
-#  11. full workspace tests     -- every crate's suites
+#  11. shadow audit             -- audit bank/ring suites, frame-codec
+#                                  chunking properties, audit CLI, and
+#                                  the end-to-end seeded-fault test
+#  12. full workspace tests     -- every crate's suites
 #
-# Then four NON-GATING steps: the observability-overhead bench (engine
-# path + traced-server path), the engine-throughput bench, the
-# ingest-server loop bench (with the stage-attribution table), and
-# bench_diff over bench_results/ histories. Timing on shared machines
-# is too noisy to fail CI on, so their verdicts are printed (bench_diff
-# flags >10% regressions) but never change the exit code.
+# Then five NON-GATING steps: the observability-overhead bench (engine
+# path + traced/audited-server path), the engine-throughput bench, the
+# ingest-server loop bench (with the stage-attribution table), the
+# false-positive precision experiment, and bench_diff over
+# bench_results/ histories. Timing on shared machines is too noisy to
+# fail CI on, so their verdicts are printed (bench_diff flags >10%
+# regressions) but never change the exit code.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -80,6 +84,13 @@ cargo test -q -p cfg-obs profile
 cargo test -q -p cfg-cli shards
 cargo test -q --test saturation
 
+echo "==> shadow audit: audit bank/ring, chunking properties, audit CLI, end-to-end test"
+cargo test -q -p cfg-obs audit
+cargo test -q -p cfg-server audit
+cargo test -q -p cfg-server chunking
+cargo test -q -p cfg-cli audit
+cargo test -q --test shadow_audit
+
 echo "==> full workspace tests"
 cargo test --workspace -q
 
@@ -91,6 +102,9 @@ cargo run -q --release -p cfg-bench --bin fast_throughput || true
 
 echo "==> ingest server loop bench (non-gating)"
 cargo run -q --release -p cfg-bench --bin server_loop || true
+
+echo "==> false-positive precision experiment (non-gating)"
+cargo run -q --release -p cfg-bench --bin false_positives || true
 
 echo "==> bench_diff vs previous run (non-gating)"
 cargo run -q --release -p cfg-bench --bin bench_diff || true

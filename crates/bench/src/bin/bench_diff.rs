@@ -25,9 +25,21 @@ enum Direction {
 }
 
 fn direction(key: &str) -> Direction {
-    if key.ends_with("_ns_per_byte") || key.ends_with("_overhead_pct") || key.ends_with("_us") {
+    // Correctness metrics ride the same verdicts as timing ones:
+    // `_precision_pct` up is good (the bare `_pct` gauges stay
+    // informational), `_fp_per_mb` is a false-positive density, so
+    // down is good like any latency.
+    if key.ends_with("_ns_per_byte")
+        || key.ends_with("_overhead_pct")
+        || key.ends_with("_us")
+        || key.ends_with("_fp_per_mb")
+    {
         Direction::LowerIsBetter
-    } else if key.ends_with("_per_sec") || key.ends_with("_gbps") || key.ends_with("_mbps") {
+    } else if key.ends_with("_per_sec")
+        || key.ends_with("_gbps")
+        || key.ends_with("_mbps")
+        || key.ends_with("_precision_pct")
+    {
         Direction::HigherIsBetter
     } else {
         Direction::Informational
@@ -150,6 +162,30 @@ mod tests {
         // how well the server did: reported without a verdict.
         assert_eq!(direction("shard_utilization_pct"), Direction::Informational);
         assert_eq!(direction("peak_queue_depth"), Direction::Informational);
+        // Correctness metrics from the false-positive experiment:
+        // precision up is good, FP density down is good.
+        assert_eq!(direction("tagger_precision_pct"), Direction::HigherIsBetter);
+        assert_eq!(direction("naive_fp_per_mb"), Direction::LowerIsBetter);
+        // Raw FP counts stay informational — the density rows carry
+        // the verdict.
+        assert_eq!(direction("naive_fp"), Direction::Informational);
+    }
+
+    #[test]
+    fn precision_regressions_flag_in_the_right_direction() {
+        // Precision dropping 100 -> 85 is a >10% regression; FP
+        // density climbing 1 -> 2 likewise. Old rows without the new
+        // fields simply skip them (compare_rows keys on the current
+        // row but requires a previous value).
+        let prev = Json::parse(r#"{"tagger_precision_pct":100.0,"tagger_fp_per_mb":1.0}"#).unwrap();
+        let cur = Json::parse(r#"{"tagger_precision_pct":85.0,"tagger_fp_per_mb":2.0}"#).unwrap();
+        let deltas = compare_rows(&prev, &cur);
+        let by_key = |k: &str| deltas.iter().find(|d| d.key == k).unwrap();
+        assert!(by_key("tagger_precision_pct").regression.unwrap() > THRESHOLD);
+        assert!(by_key("tagger_fp_per_mb").regression.unwrap() > THRESHOLD);
+        // A legacy row predating the precision fields diffs to nothing.
+        let legacy = Json::parse(r#"{"messages":2000}"#).unwrap();
+        assert!(compare_rows(&legacy, &cur).is_empty());
     }
 
     #[test]

@@ -35,10 +35,19 @@
 //! stay **< 2%** versus no saturation at all; the fully-enabled
 //! sampling run is printed as context, like probes-on.
 //!
+//! The shadow-audit lane gets the same discipline: an [`AuditConfig`]
+//! attached but its `AuditBank` *disabled* (the `--audit-sample`-unset
+//! dark state: one relaxed flag load per session, no mirroring, no
+//! replay) must stay **< 2%** versus no audit at all; the
+//! every-session audit run is printed as context — its payload copies
+//! ride the serving thread, so it is the one lane *expected* to cost.
+//!
 //! Run: `cargo run -p cfg-bench --bin obs_overhead --release`
 
 use cfg_obs::{Metrics, NoopSink, StatsSink};
-use cfg_server::{Client, IngestServer, Reply, SaturationConfig, ServerConfig, TraceConfig};
+use cfg_server::{
+    AuditConfig, Client, IngestServer, Reply, SaturationConfig, ServerConfig, TraceConfig,
+};
 use cfg_tagger::{TaggerOptions, TokenTagger};
 use cfg_xmlrpc::workload::{MessageKind, WorkloadGenerator};
 use cfg_xmlrpc::xmlrpc_grammar;
@@ -87,6 +96,7 @@ fn bench_server(
     batch: &[Vec<u8>],
     trace: Option<TraceConfig>,
     saturation: Option<SaturationConfig>,
+    audit: Option<AuditConfig>,
     dark: bool,
     reps: usize,
 ) -> f64 {
@@ -96,14 +106,19 @@ fn bench_server(
             shards: 2,
             trace: trace.clone(),
             saturation: saturation.clone(),
+            audit: audit.clone(),
             ..ServerConfig::default()
         };
         let server = IngestServer::start(tagger, "127.0.0.1:0", config).expect("bind server");
         // Dark = the sampling-off serving path: the bank is attached
         // (so the per-frame flag check is really executed) but every
-        // counter bump and Instant::now() behind it is skipped.
+        // counter bump and Instant::now() behind it is skipped. The
+        // audit bank's dark state likewise skips the mirroring.
         if dark {
             if let Some(bank) = server.shard_loads() {
+                bank.set_enabled(false);
+            }
+            if let Some(bank) = server.audit_bank() {
                 bank.set_enabled(false);
             }
         }
@@ -191,11 +206,12 @@ fn main() {
     // monotonic-clock reads tracing adds must disappear into it.
     let server_reps = 9;
     let server_batch: Vec<Vec<u8>> = gen.batch(1500, 0.0).into_iter().map(|m| m.bytes).collect();
-    let server_off = bench_server(&tagger, &server_batch, None, None, false, server_reps);
+    let server_off = bench_server(&tagger, &server_batch, None, None, None, false, server_reps);
     let server_traced = bench_server(
         &tagger,
         &server_batch,
         Some(TraceConfig { sample_every: 1, ..TraceConfig::default() }),
+        None,
         None,
         false,
         server_reps,
@@ -215,8 +231,9 @@ fn main() {
     // fully-on sampling is context, the price of live gauges.
     let sat = SaturationConfig::default();
     let sampling_dark =
-        bench_server(&tagger, &server_batch, None, Some(sat.clone()), true, server_reps);
-    let sampling_on = bench_server(&tagger, &server_batch, None, Some(sat), false, server_reps);
+        bench_server(&tagger, &server_batch, None, Some(sat.clone()), None, true, server_reps);
+    let sampling_on =
+        bench_server(&tagger, &server_batch, None, Some(sat), None, false, server_reps);
     let dark_pct = (sampling_dark - server_off) / server_off * 100.0;
     let on_pct = (sampling_on - server_off) / server_off * 100.0;
     println!("  sampling dark: {sampling_dark:>6.2} us/msg  ({dark_pct:+.2}% vs off)");
@@ -225,6 +242,32 @@ fn main() {
     println!(
         "check: sampling-off serving overhead < 2%: {}",
         if sampling_ok { "OK" } else { "FAIL (non-gating)" }
+    );
+
+    // The shadow-audit lane: attached-but-disabled (the
+    // `--audit-sample`-unset serving path — one relaxed flag load per
+    // session) must vanish; every-session auditing is context, the
+    // price of mirroring each accepted payload into the replay queue.
+    let audit_cfg = AuditConfig { sample_every: 1, ..AuditConfig::default() };
+    let audit_dark = bench_server(
+        &tagger,
+        &server_batch,
+        None,
+        None,
+        Some(audit_cfg.clone()),
+        true,
+        server_reps,
+    );
+    let audit_on =
+        bench_server(&tagger, &server_batch, None, None, Some(audit_cfg), false, server_reps);
+    let audit_dark_pct = (audit_dark - server_off) / server_off * 100.0;
+    let audit_on_pct = (audit_on - server_off) / server_off * 100.0;
+    println!("  audit dark   : {audit_dark:>6.2} us/msg  ({audit_dark_pct:+.2}% vs off)");
+    println!("  audit on     : {audit_on:>6.2} us/msg  ({audit_on_pct:+.2}% vs off)");
+    let audit_ok = audit_dark_pct < 2.0;
+    println!(
+        "check: audit-dark serving overhead < 2%: {}",
+        if audit_ok { "OK" } else { "FAIL (non-gating)" }
     );
 
     if std::fs::create_dir_all("bench_results").is_ok() {
@@ -244,7 +287,12 @@ fn main() {
              \"server_sampling_on_msg_us\": {sampling_on:.2}, \
              \"server_sampling_dark_overhead_pct\": {dark_pct:.3}, \
              \"server_sampling_on_overhead_pct\": {on_pct:.3}, \
-             \"server_sampling_dark_under_2pct\": {sampling_ok}}}\n",
+             \"server_sampling_dark_under_2pct\": {sampling_ok}, \
+             \"server_audit_dark_msg_us\": {audit_dark:.2}, \
+             \"server_audit_on_msg_us\": {audit_on:.2}, \
+             \"server_audit_dark_overhead_pct\": {audit_dark_pct:.3}, \
+             \"server_audit_on_overhead_pct\": {audit_on_pct:.3}, \
+             \"server_audit_dark_under_2pct\": {audit_ok}}}\n",
             input.len(),
             pct(noop),
             pct(stats),

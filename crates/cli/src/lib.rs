@@ -14,6 +14,7 @@
 //! cfgtag scope  <host:port> [opts]               circuit-level probe view + triggered capture
 //! cfgtag slo    <host:port> [opts]               latency-objective dashboard + stage waterfall
 //! cfgtag shards <host:port> [opts]               pool-saturation view: utilization + queue depth
+//! cfgtag audit  <host:port> [opts]               live correctness view: precision + divergences
 //! ```
 //!
 //! Options for `tag`: `--engine {bit,scalar,gate}` (which engine tags
@@ -30,14 +31,16 @@
 //! with the machine dead and error recovery off: scriptable
 //! non-conformance detection.
 //!
-//! All commands except [`serve`], [`top`], [`scope`], [`slo`] and
-//! [`shards`] (which own sockets and wall clocks by nature) are plain
-//! functions over in-memory inputs so they are unit-testable without
-//! process spawning.
+//! All commands except [`serve`], [`top`], [`scope`], [`slo`],
+//! [`shards`] and [`audit`] (which own sockets and wall clocks by
+//! nature) are plain functions over in-memory inputs so they are
+//! unit-testable without process spawning.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod poll;
 pub mod scope;
 pub mod serve;
 pub mod shards;
@@ -439,14 +442,21 @@ pub fn run(
     read_input: impl Fn(&str) -> Result<Vec<u8>, std::io::Error>,
 ) -> Result<CliOutput, CliError> {
     let usage =
-        "usage: cfgtag <check|tag|parse|vhdl|dot|report|serve|top|scope|slo|shards> <grammar-file> [args]\n\
+        "usage: cfgtag <check|tag|parse|vhdl|dot|report|serve|top|scope|slo|shards|audit> <grammar-file> [args]\n\
                  see crate docs for per-command options";
     let cmd = args.first().ok_or_else(|| CliError::new(usage, 2))?;
-    // `serve`, `top`, `scope`, `slo` and `shards` own sockets, clocks
-    // and process lifetime, so they live outside this pure dispatcher;
-    // the binary intercepts them before calling `run` (see the
-    // `main_io` in `serve`, `top`, `scope`, `slo`, `shards`).
-    if cmd == "serve" || cmd == "top" || cmd == "scope" || cmd == "slo" || cmd == "shards" {
+    // `serve`, `top`, `scope`, `slo`, `shards` and `audit` own sockets,
+    // clocks and process lifetime, so they live outside this pure
+    // dispatcher; the binary intercepts them before calling `run` (see
+    // the `main_io` in `serve`, `top`, `scope`, `slo`, `shards`,
+    // `audit`).
+    if cmd == "serve"
+        || cmd == "top"
+        || cmd == "scope"
+        || cmd == "slo"
+        || cmd == "shards"
+        || cmd == "audit"
+    {
         return Err(CliError::new(
             format!("{cmd} is handled by the cfgtag binary, not cfg_cli::run"),
             2,
@@ -733,7 +743,7 @@ mod tests {
         // serve/top/scope/slo are binary-level commands; the pure
         // dispatcher refuses them with a pointer rather than "unknown
         // command".
-        for cmd in ["serve", "top", "scope", "slo", "shards"] {
+        for cmd in ["serve", "top", "scope", "slo", "shards", "audit"] {
             let e = run(&argv(&[cmd, "g"]), read).unwrap_err();
             assert_eq!(e.code, 2);
             assert!(e.to_string().contains("cfgtag binary"));

@@ -1,7 +1,7 @@
 //! `cfgtag` binary entry point: thin shell over [`cfg_cli::run`], plus
-//! the long-running modes (`serve`, `top`, `scope`, `slo`, `shards`)
-//! that own sockets and the process lifetime and so bypass the pure
-//! dispatcher.
+//! the long-running modes (`serve`, `top`, `scope`, `slo`, `shards`,
+//! `audit`) that own sockets and the process lifetime and so bypass
+//! the pure dispatcher.
 
 use std::io::Read;
 
@@ -13,6 +13,7 @@ fn main() {
         Some("scope") => std::process::exit(cfg_cli::scope::main_io(&args[1..])),
         Some("slo") => std::process::exit(cfg_cli::slo::main_io(&args[1..])),
         Some("shards") => std::process::exit(cfg_cli::shards::main_io(&args[1..])),
+        Some("audit") => std::process::exit(cfg_cli::audit::main_io(&args[1..])),
         _ => {}
     }
     let read_input = |path: &str| -> Result<Vec<u8>, std::io::Error> {

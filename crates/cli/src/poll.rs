@@ -1,0 +1,127 @@
+//! Shared exporter-polling plumbing for the live `cfgtag` views
+//! (`top`, `slo`, `shards`, `audit`).
+//!
+//! Every live view polls a `cfgtag serve` HTTP exporter in a loop, and
+//! the first misses usually mean serve has not bound yet (or just
+//! restarted) — so each command takes a `--retries` budget and backs
+//! off exponentially instead of failing on the first refused connect.
+//! [`Poller`] owns that bookkeeping (and the friendly "is `cfgtag
+//! serve` running?" hint) so the commands share one behaviour instead
+//! of three copies of the same loop.
+
+use std::time::Duration;
+
+/// Backoff before retry `attempt` (1-based): 200 ms doubling per
+/// attempt, capped at 3.2 s.
+pub fn backoff_ms(attempt: u32) -> u64 {
+    200u64 << attempt.saturating_sub(1).min(4)
+}
+
+/// What one tolerant [`Poller::fetch`] produced.
+#[derive(Debug)]
+pub enum Fetch {
+    /// The endpoint answered with this body.
+    Body(String),
+    /// The fetch failed inside the retry budget; the backoff sleep has
+    /// already happened — `continue` the poll loop.
+    Retrying,
+    /// The retry budget is spent (give-up messages already printed):
+    /// exit with this code.
+    GaveUp(i32),
+}
+
+/// Retry bookkeeping for one polling loop: consecutive fetch failures
+/// are tolerated up to the `--retries` budget with exponential
+/// backoff, and any success resets the budget.
+#[derive(Debug)]
+pub struct Poller {
+    cmd: &'static str,
+    addr: String,
+    retries: u32,
+    failures: u32,
+}
+
+impl Poller {
+    /// A fresh budget for `cmd` (the `cfgtag` subcommand name, used in
+    /// messages) polling the exporter at `addr`.
+    pub fn new(cmd: &'static str, addr: &str, retries: u32) -> Poller {
+        Poller { cmd, addr: addr.to_owned(), retries, failures: 0 }
+    }
+
+    /// Record a successful fetch: the consecutive-failure budget
+    /// resets.
+    pub fn succeeded(&mut self) {
+        self.failures = 0;
+    }
+
+    /// Record a failed fetch of `path`. Inside the budget: print the
+    /// retry line, sleep the backoff, return `None` (caller continues
+    /// the loop). Budget spent: print the give-up hint and return the
+    /// exit code.
+    pub fn failed(&mut self, path: &str, err: &str) -> Option<i32> {
+        self.failures += 1;
+        let (cmd, addr) = (self.cmd, &self.addr);
+        if self.failures > self.retries {
+            eprintln!("cfgtag {cmd}: cannot fetch http://{addr}{path}: {err}");
+            eprintln!(
+                "cfgtag {cmd}: giving up after {} attempts — is `cfgtag serve` running on {addr}?",
+                self.failures
+            );
+            return Some(1);
+        }
+        let wait = backoff_ms(self.failures);
+        eprintln!(
+            "cfgtag {cmd}: {addr} not responding ({err}); retry {}/{} in {wait} ms",
+            self.failures, self.retries
+        );
+        std::thread::sleep(Duration::from_millis(wait));
+        None
+    }
+
+    /// One tolerant GET of `path`: the common case of
+    /// [`Poller::succeeded`]/[`Poller::failed`] around
+    /// [`cfg_obs_http::http_get`].
+    pub fn fetch(&mut self, path: &str) -> Fetch {
+        match cfg_obs_http::http_get(&self.addr, path) {
+            Ok(body) => {
+                self.succeeded();
+                Fetch::Body(body)
+            }
+            Err(e) => match self.failed(path, &e.to_string()) {
+                Some(code) => Fetch::GaveUp(code),
+                None => Fetch::Retrying,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff_ms(1), 200);
+        assert_eq!(backoff_ms(2), 400);
+        assert_eq!(backoff_ms(3), 800);
+        assert_eq!(backoff_ms(5), 3200);
+        assert_eq!(backoff_ms(50), 3200);
+    }
+
+    #[test]
+    fn budget_spends_then_gives_up_and_success_resets() {
+        let mut p = Poller::new("top", "127.0.0.1:1", 1);
+        assert_eq!(p.failed("/report.json", "refused"), None);
+        assert_eq!(p.failed("/report.json", "refused"), Some(1));
+        p.succeeded();
+        assert_eq!(p.failed("/report.json", "refused"), None);
+    }
+
+    #[test]
+    fn fetch_gives_up_against_a_dead_exporter_with_zero_retries() {
+        // Port 1 on loopback refuses (or errors) immediately; with no
+        // retry budget the first miss is the give-up.
+        let mut p = Poller::new("audit", "127.0.0.1:1", 0);
+        assert!(matches!(p.fetch("/audit.json"), Fetch::GaveUp(1)));
+    }
+}

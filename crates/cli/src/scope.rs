@@ -15,7 +15,7 @@
 //! ([`render_scope`], [`render_heat_dot`]) are pure; only [`main_io`]
 //! touches sockets and clocks.
 
-use crate::top::backoff_ms;
+use crate::poll::backoff_ms;
 use crate::CliError;
 use cfg_netlist::heat_color;
 use cfg_obs::json::Json;

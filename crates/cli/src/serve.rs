@@ -24,7 +24,9 @@ use cfg_obs::{
     DEFAULT_FLIGHT_CAPACITY,
 };
 use cfg_obs_http::{Exporter, ServiceState};
-use cfg_server::{IngestServer, SaturationConfig, ServerConfig, ServerReport, TraceConfig};
+use cfg_server::{
+    AuditConfig, IngestServer, SaturationConfig, ServerConfig, ServerReport, TraceConfig,
+};
 use cfg_tagger::{EngineKind, ShardPool, StartMode, TaggerOptions, TokenTagger};
 use std::io::Read;
 use std::sync::Arc;
@@ -74,6 +76,10 @@ pub struct ServeFlags {
     /// time series plus a stage sampling profiler at N Hz (listen
     /// mode; 0 = telemetry off).
     pub sample_hz: u32,
+    /// `--audit-sample N`: shadow-audit 1-in-N sessions — replay their
+    /// payloads through the reference engine + exact parser behind
+    /// `/audit.json` and `/mismatches.jsonl` (listen mode; 0 = off).
+    pub audit_sample: u64,
 }
 
 impl Default for ServeFlags {
@@ -97,6 +103,7 @@ impl Default for ServeFlags {
             trace_sample: 0,
             slo_ms: 50,
             sample_hz: 0,
+            audit_sample: 0,
         }
     }
 }
@@ -155,6 +162,7 @@ impl ServeFlags {
                 "--trace-sample" => f.trace_sample = num(&mut it, "--trace-sample")?,
                 "--slo-ms" => f.slo_ms = num(&mut it, "--slo-ms")?.max(1),
                 "--sample-hz" => f.sample_hz = num(&mut it, "--sample-hz")? as u32,
+                "--audit-sample" => f.audit_sample = num(&mut it, "--audit-sample")?,
                 other if other.starts_with("--") => {
                     return Err(CliError::new(format!("unknown serve flag {other}"), 2));
                 }
@@ -434,6 +442,8 @@ pub fn run_listen(
             sample_hz: flags.sample_hz,
             ..SaturationConfig::default()
         }),
+        audit: (flags.audit_sample > 0)
+            .then(|| AuditConfig { sample_every: flags.audit_sample, ..AuditConfig::default() }),
         ..ServerConfig::default()
     };
     let server = IngestServer::start(&tagger, addr, config)
@@ -452,8 +462,10 @@ pub fn run_listen(
     let trace_endpoints = if flags.trace_sample > 0 { " /slo.json /spans.jsonl" } else { "" };
     let saturation_endpoints =
         if flags.sample_hz > 0 { " /shards.json /timeseries.json /profile.folded" } else { "" };
+    let audit_endpoints =
+        if flags.audit_sample > 0 { " /audit.json /mismatches.jsonl" } else { "" };
     status(&format!(
-        "serving http://{}/metrics (+ /healthz /readyz /report.json{trace_endpoints}{saturation_endpoints})",
+        "serving http://{}/metrics (+ /healthz /readyz /report.json{trace_endpoints}{saturation_endpoints}{audit_endpoints})",
         exporter.local_addr()
     ));
 
@@ -488,7 +500,7 @@ pub fn main_io(args: &[String]) -> i32 {
              [--chunk N] [--max-bytes N] [--shards N] [--flight-out PATH] [--flight-capacity N]\n\
              \x20      cfgtag serve <grammar.y> --listen ADDR [--engine bit|scalar|gate] \
              [--max-sessions N] [--idle-timeout-ms N] [--queue-depth N] [--panic-token S] \
-             [--trace-sample N] [--slo-ms X] [--sample-hz N]"
+             [--trace-sample N] [--slo-ms X] [--sample-hz N] [--audit-sample N]"
         );
         return 2;
     };
@@ -692,6 +704,8 @@ mod tests {
             "25",
             "--sample-hz",
             "199",
+            "--audit-sample",
+            "8",
         ]))
         .unwrap();
         assert_eq!(f.listen.as_deref(), Some("127.0.0.1:0"));
@@ -703,11 +717,13 @@ mod tests {
         assert_eq!(f.trace_sample, 4);
         assert_eq!(f.slo_ms, 25);
         assert_eq!(f.sample_hz, 199);
-        // Tracing and saturation telemetry default to off.
+        assert_eq!(f.audit_sample, 8);
+        // Tracing, saturation, and audit telemetry default to off.
         let (defaults, _) = ServeFlags::parse(&argv(&["g.y"])).unwrap();
         assert_eq!(defaults.trace_sample, 0);
         assert_eq!(defaults.slo_ms, 50);
         assert_eq!(defaults.sample_hz, 0);
+        assert_eq!(defaults.audit_sample, 0);
         assert_eq!(ServeFlags::parse(&argv(&["--listen"])).unwrap_err().code, 2);
         assert_eq!(ServeFlags::parse(&argv(&["--engine", "quantum"])).unwrap_err().code, 2);
         assert_eq!(ServeFlags::parse(&argv(&["--trace-sample"])).unwrap_err().code, 2);

@@ -12,8 +12,8 @@
 //! decode ([`parse_shards`], [`parse_depth_history`]) and render
 //! ([`render`]) steps are pure; only [`main_io`] touches sockets.
 
+use crate::poll::Poller;
 use crate::slo::fmt_ns;
-use crate::top::backoff_ms;
 use crate::CliError;
 use cfg_obs::json::Json;
 use std::fmt::Write as _;
@@ -262,7 +262,7 @@ pub fn main_io(args: &[String]) -> i32 {
         }
     };
     let mut polls = 0u64;
-    let mut failures = 0u32;
+    let mut poller = Poller::new("shards", &addr, flags.retries);
     loop {
         let fetched = cfg_obs_http::http_get(&addr, "/shards.json")
             .and_then(|gauges| {
@@ -278,29 +278,16 @@ pub fn main_io(args: &[String]) -> i32 {
                         return e.code;
                     }
                 };
-                failures = 0;
+                poller.succeeded();
                 let measured = fetch_measured_queue_wait(&addr);
                 print!("\x1b[2J\x1b[H{}", render(&cur, &history, measured));
                 use std::io::Write as _;
                 let _ = std::io::stdout().flush();
             }
-            Err(e) => {
-                failures += 1;
-                if failures > flags.retries {
-                    eprintln!("cfgtag shards: cannot fetch http://{addr}/shards.json: {e}");
-                    eprintln!(
-                        "cfgtag shards: giving up after {failures} attempts — is `cfgtag serve` running on {addr}?"
-                    );
-                    return 1;
-                }
-                let wait = backoff_ms(failures);
-                eprintln!(
-                    "cfgtag shards: {addr} not responding ({e}); retry {failures}/{} in {wait} ms",
-                    flags.retries
-                );
-                std::thread::sleep(std::time::Duration::from_millis(wait));
-                continue;
-            }
+            Err(e) => match poller.failed("/shards.json", &e) {
+                Some(code) => return code,
+                None => continue,
+            },
         }
         polls += 1;
         if let Some(n) = flags.iterations {

@@ -9,7 +9,7 @@
 //! the socket-and-sleep loop in [`main_io`] is pure and unit-testable
 //! ([`parse_slo`], [`render`]).
 
-use crate::top::backoff_ms;
+use crate::poll::Poller;
 use crate::CliError;
 use cfg_obs::json::Json;
 use std::fmt::Write as _;
@@ -219,7 +219,7 @@ pub fn main_io(args: &[String]) -> i32 {
     };
     let mut prev: Option<SloSample> = None;
     let mut polls = 0u64;
-    let mut failures = 0u32;
+    let mut poller = Poller::new("slo", &addr, flags.retries);
     let dt = flags.interval_ms as f64 / 1000.0;
     loop {
         match cfg_obs_http::http_get_status(&addr, "/slo.json").map_err(|e| e.to_string()) {
@@ -235,7 +235,7 @@ pub fn main_io(args: &[String]) -> i32 {
             }
             Ok((_, body)) => match parse_slo(&body) {
                 Ok(cur) => {
-                    failures = 0;
+                    poller.succeeded();
                     print!("\x1b[2J\x1b[H{}", render(prev.as_ref(), &cur, dt));
                     use std::io::Write as _;
                     let _ = std::io::stdout().flush();
@@ -246,23 +246,10 @@ pub fn main_io(args: &[String]) -> i32 {
                     return e.code;
                 }
             },
-            Err(e) => {
-                failures += 1;
-                if failures > flags.retries {
-                    eprintln!("cfgtag slo: cannot fetch http://{addr}/slo.json: {e}");
-                    eprintln!(
-                        "cfgtag slo: giving up after {failures} attempts — is `cfgtag serve` running on {addr}?"
-                    );
-                    return 1;
-                }
-                let wait = backoff_ms(failures);
-                eprintln!(
-                    "cfgtag slo: {addr} not responding ({e}); retry {failures}/{} in {wait} ms",
-                    flags.retries
-                );
-                std::thread::sleep(std::time::Duration::from_millis(wait));
-                continue;
-            }
+            Err(e) => match poller.failed("/slo.json", &e) {
+                Some(code) => return code,
+                None => continue,
+            },
         }
         polls += 1;
         if let Some(n) = flags.iterations {

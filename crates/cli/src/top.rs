@@ -8,6 +8,7 @@
 //! interval — so everything except the socket-and-sleep loop in
 //! [`main_io`] is unit-testable.
 
+use crate::poll::{Fetch, Poller};
 use crate::CliError;
 use cfg_obs::json::Json;
 use cfg_obs::HistogramSnapshot;
@@ -31,12 +32,6 @@ impl Default for TopFlags {
     fn default() -> TopFlags {
         TopFlags { interval_ms: 1000, iterations: None, top_k: 8, retries: 3 }
     }
-}
-
-/// Backoff before retry `attempt` (1-based): 200 ms doubling per
-/// attempt, capped at 3.2 s.
-pub fn backoff_ms(attempt: u32) -> u64 {
-    200u64 << attempt.saturating_sub(1).min(4)
 }
 
 impl TopFlags {
@@ -221,13 +216,12 @@ pub fn main_io(args: &[String]) -> i32 {
     };
     let mut prev: Option<Sample> = None;
     let mut polls = 0u64;
-    let mut failures = 0u32;
+    let mut poller = Poller::new("top", &addr, flags.retries);
     let dt = flags.interval_ms as f64 / 1000.0;
     loop {
-        match cfg_obs_http::http_get(&addr, "/report.json").map_err(|e| e.to_string()) {
-            Ok(body) => match parse_report(&body) {
+        match poller.fetch("/report.json") {
+            Fetch::Body(body) => match parse_report(&body) {
                 Ok(cur) => {
-                    failures = 0;
                     // ANSI clear-screen + home, then the frame.
                     print!("\x1b[2J\x1b[H{}", render(prev.as_ref(), &cur, dt, flags.top_k));
                     use std::io::Write as _;
@@ -239,26 +233,8 @@ pub fn main_io(args: &[String]) -> i32 {
                     return e.code;
                 }
             },
-            Err(e) => {
-                // A refused or unreachable exporter usually means serve
-                // hasn't bound yet (or just restarted): back off and
-                // retry instead of failing on the first miss.
-                failures += 1;
-                if failures > flags.retries {
-                    eprintln!("cfgtag top: cannot fetch http://{addr}/report.json: {e}");
-                    eprintln!(
-                        "cfgtag top: giving up after {failures} attempts — is `cfgtag serve` running on {addr}?"
-                    );
-                    return 1;
-                }
-                let wait = backoff_ms(failures);
-                eprintln!(
-                    "cfgtag top: {addr} not responding ({e}); retry {failures}/{} in {wait} ms",
-                    flags.retries
-                );
-                std::thread::sleep(std::time::Duration::from_millis(wait));
-                continue;
-            }
+            Fetch::Retrying => continue,
+            Fetch::GaveUp(code) => return code,
         }
         polls += 1;
         if let Some(n) = flags.iterations {
@@ -314,15 +290,6 @@ mod tests {
         assert_eq!(TopFlags::parse(&argv(&["a", "b"])).unwrap_err().code, 2);
         assert_eq!(TopFlags::parse(&argv(&["a", "--top"])).unwrap_err().code, 2);
         assert_eq!(TopFlags::parse(&argv(&["a", "--retries"])).unwrap_err().code, 2);
-    }
-
-    #[test]
-    fn backoff_doubles_and_caps() {
-        assert_eq!(backoff_ms(1), 200);
-        assert_eq!(backoff_ms(2), 400);
-        assert_eq!(backoff_ms(3), 800);
-        assert_eq!(backoff_ms(5), 3200);
-        assert_eq!(backoff_ms(50), 3200);
     }
 
     #[test]

@@ -45,6 +45,15 @@
 //! * `GET /profile.folded` — folded-stack samples
 //!   (`stage;engine_kind count` lines) from the attached
 //!   [`cfg_obs::SamplingProfiler`], ready for flamegraph tooling.
+//! * `GET /audit.json` — live shadow-audit correctness counters from
+//!   the attached [`cfg_obs::AuditBank`]: sessions sampled/audited/
+//!   shed, fires confirmed by the exact parser, precision %, per-token
+//!   false positives, and cross-engine divergences. Answers `200` with
+//!   `{"enabled":false}` when auditing is off.
+//! * `GET /mismatches.jsonl` — the divergence evidence ring from the
+//!   attached [`cfg_obs::MismatchRing`], one JSON object per
+//!   divergence (byte window, offsets, both engines' event streams);
+//!   empty body when auditing is off.
 //!
 //! The exporter runs on one `std::net::TcpListener` accept loop —
 //! serving a scrape costs a snapshot of lock-free counters, so the
@@ -55,8 +64,8 @@
 #![warn(missing_docs)]
 
 use cfg_obs::{
-    json, ProbeBank, RegistrySnapshot, SamplingProfiler, SharedRegistry, SloTracker, SpanRecorder,
-    Stat, TimeSeries, TriggerHub,
+    json, AuditBank, MismatchRing, ProbeBank, RegistrySnapshot, SamplingProfiler, SharedRegistry,
+    SloTracker, SpanRecorder, Stat, TimeSeries, TriggerHub,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -81,6 +90,8 @@ pub struct ServiceState {
     span_recorder: Mutex<Option<Arc<SpanRecorder>>>,
     timeseries: Mutex<Option<Arc<TimeSeries>>>,
     profiler: Mutex<Option<Arc<SamplingProfiler>>>,
+    audit_bank: Mutex<Option<Arc<AuditBank>>>,
+    mismatch_ring: Mutex<Option<Arc<MismatchRing>>>,
 }
 
 impl ServiceState {
@@ -182,6 +193,20 @@ impl ServiceState {
         *self.profiler.lock().unwrap() = Some(profiler);
     }
 
+    /// Attach the shadow-audit counters served at `/audit.json` and as
+    /// `cfgtag_audit_*` rows in `/metrics` (the ingest server does this
+    /// when auditing is configured). Unattached, `/audit.json` answers
+    /// `200` with `{"enabled":false}` and `/metrics` stays audit-dark.
+    pub fn set_audit_bank(&self, bank: Arc<AuditBank>) {
+        *self.audit_bank.lock().unwrap() = Some(bank);
+    }
+
+    /// Attach the divergence evidence ring served at
+    /// `/mismatches.jsonl`.
+    pub fn set_mismatch_ring(&self, ring: Arc<MismatchRing>) {
+        *self.mismatch_ring.lock().unwrap() = Some(ring);
+    }
+
     fn circuit_json(&self) -> Option<String> {
         self.circuit_json.lock().unwrap().clone()
     }
@@ -204,6 +229,14 @@ impl ServiceState {
 
     fn probe_bank(&self) -> Option<Arc<ProbeBank>> {
         self.probe_bank.lock().unwrap().clone()
+    }
+
+    fn audit_bank(&self) -> Option<Arc<AuditBank>> {
+        self.audit_bank.lock().unwrap().clone()
+    }
+
+    fn mismatch_ring(&self) -> Option<Arc<MismatchRing>> {
+        self.mismatch_ring.lock().unwrap().clone()
     }
 
     fn trigger_hub(&self) -> Option<Arc<TriggerHub>> {
@@ -296,6 +329,58 @@ pub fn render_prometheus(snap: &RegistrySnapshot, state: &ServiceState) -> Strin
                 let _ =
                     writeln!(out, "cfgtag_probe_total{{probe=\"{}\"}} {count}", label_escape(id));
             }
+        }
+    }
+
+    // Shadow-audit counters, present only while an audit bank is
+    // attached *and* enabled — `/metrics` is audit-dark otherwise.
+    if let Some(bank) = state.audit_bank().filter(|b| b.is_enabled()) {
+        let _ =
+            writeln!(out, "# HELP cfgtag_audit_sessions_total Sessions seen by the audit lane.");
+        let _ = writeln!(out, "# TYPE cfgtag_audit_sessions_total counter");
+        for (outcome, count) in [
+            ("sampled", bank.sessions_sampled()),
+            ("audited", bank.sessions_audited()),
+            ("shed", bank.sessions_shed()),
+        ] {
+            let _ = writeln!(out, "cfgtag_audit_sessions_total{{outcome=\"{outcome}\"}} {count}");
+        }
+        let _ = writeln!(out, "# TYPE cfgtag_audit_frames_total counter");
+        let _ = writeln!(out, "cfgtag_audit_frames_total {}", bank.frames_audited());
+        let _ = writeln!(out, "# TYPE cfgtag_audit_bytes_total counter");
+        let _ = writeln!(out, "cfgtag_audit_bytes_total {}", bank.bytes_audited());
+        let _ = writeln!(out, "# HELP cfgtag_audit_fires_total Token fires replayed, by verdict.");
+        let _ = writeln!(out, "# TYPE cfgtag_audit_fires_total counter");
+        let _ = writeln!(out, "cfgtag_audit_fires_total{{verdict=\"all\"}} {}", bank.fires_total());
+        let _ = writeln!(
+            out,
+            "cfgtag_audit_fires_total{{verdict=\"confirmed\"}} {}",
+            bank.fires_confirmed()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP cfgtag_audit_false_positives_total Fires the exact parser did not confirm."
+        );
+        let _ = writeln!(out, "# TYPE cfgtag_audit_false_positives_total counter");
+        for index in 0..bank.token_count() {
+            let count = bank.false_positives(index as u32);
+            if count > 0 {
+                let name_label = match names.get(index) {
+                    Some(name) => format!(",name=\"{}\"", label_escape(name)),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "cfgtag_audit_false_positives_total{{token=\"{index}\"{name_label}}} {count}"
+                );
+            }
+        }
+        let _ = writeln!(out, "# HELP cfgtag_audit_divergences_total Cross-engine divergences.");
+        let _ = writeln!(out, "# TYPE cfgtag_audit_divergences_total counter");
+        let _ = writeln!(out, "cfgtag_audit_divergences_total {}", bank.divergences());
+        if let Some(precision) = bank.precision_pct() {
+            let _ = writeln!(out, "# TYPE cfgtag_audit_precision_pct gauge");
+            let _ = writeln!(out, "cfgtag_audit_precision_pct {precision:.3}");
         }
     }
 
@@ -557,6 +642,26 @@ pub fn respond(path: &str, registry: &SharedRegistry, state: &ServiceState) -> R
             content_type: "text/plain",
             body: state.profiler().map(|p| p.folded()).unwrap_or_default(),
         },
+        // The audit endpoints answer 200 whether or not a server is
+        // auditing: like saturation, auditing being off is a normal
+        // serving configuration, not an error a poller should retry.
+        "/audit.json" => Response {
+            status: 200,
+            content_type: "application/json",
+            body: match state.audit_bank() {
+                Some(bank) => {
+                    let mut body = bank.to_json(&state.token_names());
+                    body.push('\n');
+                    body
+                }
+                None => "{\"enabled\":false}\n".into(),
+            },
+        },
+        "/mismatches.jsonl" => Response {
+            status: 200,
+            content_type: "application/jsonl",
+            body: state.mismatch_ring().map(|r| r.dump_jsonl()).unwrap_or_default(),
+        },
         "/spans.jsonl" => match state.span_recorder() {
             Some(recorder) => Response {
                 status: 200,
@@ -570,7 +675,7 @@ pub fn respond(path: &str, registry: &SharedRegistry, state: &ServiceState) -> R
             },
         },
         "/" => {
-            let mut body = String::from("{\"endpoints\":[\"/metrics\",\"/healthz\",\"/readyz\",\"/report.json\",\"/circuit.json\",\"/probes.json\",\"/trigger\",\"/capture.jsonl\",\"/slo.json\",\"/spans.jsonl\",\"/shards.json\",\"/timeseries.json\",\"/profile.folded\"],\"sinks\":[");
+            let mut body = String::from("{\"endpoints\":[\"/metrics\",\"/healthz\",\"/readyz\",\"/report.json\",\"/circuit.json\",\"/probes.json\",\"/trigger\",\"/capture.jsonl\",\"/slo.json\",\"/spans.jsonl\",\"/shards.json\",\"/timeseries.json\",\"/profile.folded\",\"/audit.json\",\"/mismatches.jsonl\"],\"sinks\":[");
             for (i, name) in registry.names().iter().enumerate() {
                 if i > 0 {
                     body.push(',');
@@ -956,6 +1061,66 @@ mod tests {
 
         let index = respond("/", &reg, &state).body;
         assert!(index.contains("/shards.json") && index.contains("/profile.folded"));
+    }
+
+    #[test]
+    fn audit_endpoints_answer_200_attached_or_not() {
+        use cfg_obs::{Mismatch, MismatchRing};
+        let reg = SharedRegistry::new();
+        let state = ServiceState::new();
+
+        // Unattached: /audit.json reports auditing off, the mismatch
+        // dump is empty, and /metrics carries no audit series at all.
+        let audit = respond("/audit.json", &reg, &state);
+        assert_eq!((audit.status, audit.content_type), (200, "application/json"));
+        let v = json::Json::parse(&audit.body).unwrap();
+        assert_eq!(v.get("enabled").unwrap().as_bool(), Some(false));
+        let dump = respond("/mismatches.jsonl", &reg, &state);
+        assert_eq!((dump.status, dump.content_type), (200, "application/jsonl"));
+        assert_eq!(dump.body, "");
+        assert!(!respond("/metrics", &reg, &state).body.contains("cfgtag_audit_"));
+
+        // Attached with traffic: counters, per-token FP labels (named
+        // via the service's token names), and the precision gauge.
+        let bank = Arc::new(AuditBank::new(2));
+        bank.session_sampled();
+        bank.session_audited();
+        bank.frame_audited(100);
+        bank.fires(4, 3);
+        bank.false_positive(1);
+        bank.divergence();
+        state.set_audit_bank(Arc::clone(&bank));
+        state.set_token_names(vec!["num".into(), "str".into()]);
+        let ring = Arc::new(MismatchRing::new(4));
+        ring.record(Mismatch {
+            session: 7,
+            frame: 0,
+            window_start: 0,
+            window: b"<x>".to_vec(),
+            fast: vec![],
+            reference: vec![],
+        });
+        state.set_mismatch_ring(Arc::clone(&ring));
+
+        let v = json::Json::parse(&respond("/audit.json", &reg, &state).body).unwrap();
+        assert_eq!(v.get("enabled").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("fires_total").unwrap().as_u64(), Some(4));
+        let metrics = respond("/metrics", &reg, &state).body;
+        assert!(metrics.contains("cfgtag_audit_sessions_total{outcome=\"sampled\"} 1"));
+        assert!(metrics.contains("cfgtag_audit_fires_total{verdict=\"confirmed\"} 3"));
+        assert!(metrics.contains("cfgtag_audit_false_positives_total{token=\"1\",name=\"str\"} 1"));
+        assert!(metrics.contains("cfgtag_audit_divergences_total 1"));
+        assert!(metrics.contains("cfgtag_audit_precision_pct 75.000"));
+        let dump = respond("/mismatches.jsonl", &reg, &state);
+        let line = json::Json::parse(dump.body.lines().next().unwrap()).unwrap();
+        assert_eq!(line.get("session").unwrap().as_u64(), Some(7));
+
+        // Disabled bank: /metrics goes audit-dark again.
+        bank.set_enabled(false);
+        assert!(!respond("/metrics", &reg, &state).body.contains("cfgtag_audit_"));
+
+        let index = respond("/", &reg, &state).body;
+        assert!(index.contains("/audit.json") && index.contains("/mismatches.jsonl"));
     }
 
     #[test]

@@ -35,11 +35,19 @@
 //! window of trace events around a token fire, a FOLLOW-edge
 //! traversal, or a dead stream.
 //!
+//! The *correctness* view rides the same rails: an [`AuditBank`] holds
+//! the shadow-audit lane's counters (sessions sampled, fires confirmed
+//! by the exact parser, per-token false positives, cross-engine
+//! divergences) and a [`MismatchRing`] keeps flight-recorder evidence
+//! for each divergence, both metrics-dark unless a server was asked to
+//! audit.
+//!
 //! All JSON is hand-rolled, both directions ([`json`]); the crate has
 //! zero dependencies.
 
 #![forbid(unsafe_code)]
 
+mod audit;
 mod flight;
 mod histogram;
 pub mod json;
@@ -56,6 +64,7 @@ mod timeseries;
 mod trace;
 mod trigger;
 
+pub use audit::{AuditBank, AuditEvent, Mismatch, MismatchRing, DEFAULT_MISMATCH_CAPACITY};
 pub use flight::{FlightRecorder, TeeSink, DEFAULT_FLIGHT_CAPACITY};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Metrics, SpanGuard};

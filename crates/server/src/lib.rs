@@ -45,5 +45,7 @@ pub mod session;
 pub use client::{Client, Reply};
 pub use fault::{ClientOutcome, FaultPlan};
 pub use frame::{Frame, FrameKind, MAX_FRAME};
-pub use server::{IngestServer, SaturationConfig, ServerConfig, ServerReport, TraceConfig};
+pub use server::{
+    AuditConfig, IngestServer, SaturationConfig, ServerConfig, ServerReport, TraceConfig,
+};
 pub use session::SessionTable;

@@ -21,22 +21,34 @@
 //!   worker fully tagged the message, and carries the events — a client
 //!   that received an `Ack` can never lose that work, and `Close` drains
 //!   every accepted frame before `Bye`.
+//! * **Shadow audit**: with [`ServerConfig::audit`] set, 1-in-N
+//!   sessions have their accepted payloads mirrored into a bounded
+//!   audit queue; workers behind the shard pool replay each frame
+//!   through the production engine, the scalar reference engine
+//!   (divergence ⇒ correctness bug, evidence kept in a
+//!   [`MismatchRing`]) and the exact [`PdaParser`] (unconfirmed fires ⇒
+//!   live §3.5 false positives, counted per token in an
+//!   [`AuditBank`]). A full audit queue sheds the session and counts
+//!   it — the fast path never blocks on the audit lane.
 
 use crate::frame::{self, Frame, FrameKind};
 use crate::session::SessionTable;
 use cfg_obs::{
-    profile, FlightRecorder, MetricsSink, ProfilerHandle, SamplerHandle, SamplingProfiler,
-    ShardLoadBank, SharedRegistry, SloTracker, Span, SpanRecorder, Stage, Stat, StatsSink,
-    TimeSeries, TraceEvent,
+    profile, AuditBank, AuditEvent, FlightRecorder, MetricsSink, Mismatch, MismatchRing,
+    ProfilerHandle, SamplerHandle, SamplingProfiler, ShardLoadBank, SharedRegistry, SloTracker,
+    Span, SpanRecorder, Stage, Stat, StatsSink, TimeSeries, TraceEvent,
 };
 use cfg_obs_http::ServiceState;
 use cfg_tagger::{
-    EngineKind, Error, PoolOptions, ShardMsg, ShardPool, ShardReport, SubmitOutcome, TokenTagger,
+    EngineKind, Error, PdaParser, PoolOptions, ShardMsg, ShardPool, ShardReport, SubmitOutcome,
+    TagEvent, TokenTagger,
 };
+use std::collections::HashSet;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -111,6 +123,64 @@ struct Saturation {
     profiler: Arc<SamplingProfiler>,
 }
 
+/// Shadow-audit configuration for [`ServerConfig::audit`].
+///
+/// When set, 1-in-`sample_every` sessions have their accepted `Data`
+/// payloads mirrored into a bounded queue; `workers` threads behind the
+/// shard pool replay each frame through the production engine, the
+/// scalar reference engine and the exact PDA parser, filling an
+/// [`AuditBank`] (behind `/audit.json` and `cfgtag_audit_*` metrics)
+/// and a [`MismatchRing`] (behind `/mismatches.jsonl`). When `None`
+/// (the default) none of this exists and a session costs one relaxed
+/// atomic load at open.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Audit 1 in N sessions (1 = every session). Clamped to `>= 1`.
+    pub sample_every: u64,
+    /// Bounded audit queue depth, in sessions. A full queue sheds the
+    /// session's audit (never the session itself) and counts it.
+    pub queue_depth: usize,
+    /// Replay worker threads.
+    pub workers: usize,
+    /// Per-session mirrored-byte cap; frames beyond it are not
+    /// mirrored (the prefix is still audited).
+    pub max_bytes: usize,
+    /// Mismatch ring capacity, in divergences, behind
+    /// `/mismatches.jsonl`.
+    pub ring: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> AuditConfig {
+        AuditConfig {
+            sample_every: 1,
+            queue_depth: 64,
+            workers: 1,
+            max_bytes: 4 << 20,
+            ring: cfg_obs::DEFAULT_MISMATCH_CAPACITY,
+        }
+    }
+}
+
+/// One sampled session's mirrored payloads, queued for replay.
+struct AuditJob {
+    session: u64,
+    frames: Vec<Vec<u8>>,
+}
+
+/// The audit side-car: counters, divergence evidence, and the bounded
+/// queue feeding the replay workers.
+struct Auditor {
+    bank: Arc<AuditBank>,
+    ring: Arc<MismatchRing>,
+    sample_every: u64,
+    max_bytes: usize,
+    /// `SyncSender` is `Send` but not `Sync`; the mutex makes the lane
+    /// shareable across session readers. `try_send` under the lock is
+    /// two atomic ops — never a block.
+    tx: Mutex<SyncSender<AuditJob>>,
+}
+
 /// How the server is shaped; start from `ServerConfig::default()` and
 /// override fields.
 #[derive(Clone)]
@@ -149,6 +219,9 @@ pub struct ServerConfig {
     /// Saturation telemetry (per-shard utilization time series + stage
     /// sampling profiler); `None` (default) serves metrics-dark.
     pub saturation: Option<SaturationConfig>,
+    /// Shadow-audit lane (sampled-session replay through the reference
+    /// engine + exact parser); `None` (default) serves unaudited.
+    pub audit: Option<AuditConfig>,
 }
 
 impl Default for ServerConfig {
@@ -168,6 +241,7 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(10),
             trace: None,
             saturation: None,
+            audit: None,
         }
     }
 }
@@ -184,6 +258,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("drain_deadline", &self.drain_deadline)
             .field("trace", &self.trace)
             .field("saturation", &self.saturation)
+            .field("audit", &self.audit)
             .finish_non_exhaustive()
     }
 }
@@ -215,6 +290,7 @@ struct Shared {
     idle_timeout: Duration,
     drain_deadline: Duration,
     tracing: Option<Tracing>,
+    audit: Option<Auditor>,
 }
 
 /// A running ingest server; shut it down with
@@ -227,6 +303,7 @@ pub struct IngestServer {
     saturation: Option<Saturation>,
     sampler_handle: Option<SamplerHandle>,
     profiler_handle: Option<ProfilerHandle>,
+    audit_handles: Vec<JoinHandle<()>>,
 }
 
 /// Pool-message layout: `[session u64 LE][seq u32 LE][payload…]`.
@@ -303,6 +380,42 @@ impl IngestServer {
         if let (Some(sat), Some(state)) = (&saturation, &config.state) {
             state.set_timeseries(Arc::clone(&sat.series));
             state.set_profiler(Arc::clone(&sat.profiler));
+        }
+
+        // The shadow-audit side-car: correctness counters, divergence
+        // evidence ring, and the bounded queue feeding the replay
+        // workers. Workers exit when the sender side disconnects at
+        // shutdown.
+        let mut audit_handles = Vec::new();
+        let audit = config.audit.as_ref().map(|a| {
+            let bank = Arc::new(AuditBank::new(tagger.grammar().tokens().len()));
+            let ring = Arc::new(MismatchRing::new(a.ring));
+            let (tx, rx) = mpsc::sync_channel::<AuditJob>(a.queue_depth.max(1));
+            let rx = Arc::new(Mutex::new(rx));
+            let kind = config.engine;
+            for w in 0..a.workers.max(1) {
+                let tagger = tagger.clone();
+                let rx = Arc::clone(&rx);
+                let bank = Arc::clone(&bank);
+                let ring = Arc::clone(&ring);
+                audit_handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("cfgserve-audit{w}"))
+                        .spawn(move || audit_loop(tagger, kind, rx, bank, ring))
+                        .expect("spawn audit worker"),
+                );
+            }
+            Auditor {
+                bank,
+                ring,
+                sample_every: a.sample_every.max(1),
+                max_bytes: a.max_bytes,
+                tx: Mutex::new(tx),
+            }
+        });
+        if let (Some(audit), Some(state)) = (&audit, &config.state) {
+            state.set_audit_bank(Arc::clone(&audit.bank));
+            state.set_mismatch_ring(Arc::clone(&audit.ring));
         }
 
         // The worker handler: tag the payload with a fresh engine, then
@@ -406,6 +519,7 @@ impl IngestServer {
             idle_timeout: config.idle_timeout,
             drain_deadline: config.drain_deadline,
             tracing,
+            audit,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -434,6 +548,7 @@ impl IngestServer {
             saturation,
             sampler_handle,
             profiler_handle,
+            audit_handles,
         })
     }
 
@@ -478,6 +593,18 @@ impl IngestServer {
         self.saturation.as_ref().map(|s| Arc::clone(&s.bank))
     }
 
+    /// The shadow-audit counters, when auditing is configured — the
+    /// source behind `/audit.json` and the `cfgtag_audit_*` metrics.
+    pub fn audit_bank(&self) -> Option<Arc<AuditBank>> {
+        self.shared.audit.as_ref().map(|a| Arc::clone(&a.bank))
+    }
+
+    /// The divergence evidence ring, when auditing is configured — the
+    /// source behind `/mismatches.jsonl`.
+    pub fn mismatch_ring(&self) -> Option<Arc<MismatchRing>> {
+        self.shared.audit.as_ref().map(|a| Arc::clone(&a.ring))
+    }
+
     /// Drain-style graceful shutdown: stop accepting, tell every
     /// session goodbye, drain the shard queues, and report.
     pub fn shutdown(mut self) -> ServerReport {
@@ -502,12 +629,19 @@ impl IngestServer {
         for h in handles {
             let _ = h.join();
         }
-        let shared = Arc::into_inner(self.shared)
+        let audit_handles = std::mem::take(&mut self.audit_handles);
+        let mut shared = Arc::into_inner(self.shared)
             .expect("all server threads joined, shared state uniquely owned");
         let evicted = shared.server_sink.get(Stat::SessionsEvicted);
         let sessions_served = shared.sessions_served.load(Ordering::SeqCst);
         let shed: u64 = shared.pool.sinks().iter().map(|s| s.get(Stat::LoadShed)).sum();
         let shard = shared.pool.join();
+        // Dropping the auditor drops the queue's sender; the replay
+        // workers drain what was enqueued, see the disconnect, and exit.
+        drop(shared.audit.take());
+        for h in audit_handles {
+            let _ = h.join();
+        }
         ServerReport { sessions_served, evicted, shed, shard }
     }
 }
@@ -664,6 +798,16 @@ fn serve_conn(shared: Arc<Shared>, mut stream: TcpStream, id: u64, writer: Arc<M
     let _ = stream.set_nodelay(true);
     let mut reader = FrameReader::default();
     let mut seq: u32 = 0;
+    // Shadow-audit sampling, decided once per session: with auditing
+    // configured and enabled, 1-in-N sessions mirror their accepted
+    // payloads for replay. Unsampled sessions pay exactly this check.
+    let audit = shared
+        .audit
+        .as_ref()
+        .filter(|a| a.bank.is_enabled() && id.is_multiple_of(a.sample_every))
+        .inspect(|a| a.bank.session_sampled());
+    // Mirrored frames plus their running byte total (for the cap).
+    let mut mirrored: Option<(Vec<Vec<u8>>, usize)> = audit.map(|_| (Vec::new(), 0));
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             reply(&writer, FrameKind::Bye, b"");
@@ -711,6 +855,15 @@ fn serve_conn(shared: Arc<Shared>, mut stream: TcpStream, id: u64, writer: Arc<M
                             if let Some(state) = &shared.state {
                                 state.set_overloaded(false);
                             }
+                            // Mirror only *accepted* frames: the audit
+                            // lane must replay what the fast path
+                            // actually tagged, not what it shed.
+                            if let (Some(a), Some((frames, bytes))) = (audit, mirrored.as_mut()) {
+                                if *bytes + frame.payload.len() <= a.max_bytes {
+                                    *bytes += frame.payload.len();
+                                    frames.push(frame.payload.clone());
+                                }
+                            }
                         }
                         SubmitOutcome::Shed => {
                             if let Some(pending) = &pending {
@@ -755,6 +908,22 @@ fn serve_conn(shared: Arc<Shared>, mut stream: TcpStream, id: u64, writer: Arc<M
             }
         }
     }
+    // Hand the mirrored session to the audit lane. `try_send` on the
+    // bounded queue: a busy lane sheds the audit (counted), never the
+    // serving path.
+    if let (Some(a), Some((frames, _))) = (audit, mirrored.take()) {
+        if frames.is_empty() {
+            // Nothing tagged, nothing to check — trivially audited.
+            a.bank.session_audited();
+        } else {
+            match a.tx.lock().expect("audit queue lock").try_send(AuditJob { session: id, frames })
+            {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => a.bank.session_shed(),
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+    }
     shared.table.close(id);
     let _ = stream.shutdown(Shutdown::Both);
 }
@@ -774,6 +943,134 @@ fn drain_session(shared: &Shared, id: u64) {
             break;
         }
         std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// One audit worker: pull mirrored sessions off the bounded queue and
+/// replay them until the sender side (the [`Auditor`]) is dropped at
+/// shutdown.
+fn audit_loop(
+    tagger: TokenTagger,
+    kind: EngineKind,
+    rx: Arc<Mutex<Receiver<AuditJob>>>,
+    bank: Arc<AuditBank>,
+    ring: Arc<MismatchRing>,
+) {
+    // The exact parser is the ground truth for §3.5 false positives:
+    // build it once per worker, reuse across every frame.
+    let pda = PdaParser::new(tagger.grammar());
+    loop {
+        let job = {
+            let rx = rx.lock().expect("audit queue lock");
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            }
+        };
+        for (frame, payload) in job.frames.iter().enumerate() {
+            audit_frame(&tagger, kind, &pda, &bank, &ring, job.session, frame as u64, payload);
+        }
+        bank.session_audited();
+    }
+}
+
+/// Replay one frame exactly as the shard handler ran it (a fresh
+/// engine per frame), cross-check against the scalar reference engine,
+/// and confirm every fire against the exact parser.
+#[allow(clippy::too_many_arguments)]
+fn audit_frame(
+    tagger: &TokenTagger,
+    kind: EngineKind,
+    pda: &PdaParser,
+    bank: &AuditBank,
+    ring: &MismatchRing,
+    session: u64,
+    frame: u64,
+    payload: &[u8],
+) {
+    bank.frame_audited(payload.len() as u64);
+    let Ok(fast) = replay_events(tagger, kind, payload) else {
+        // The production engine kind failed where the fast path (by
+        // construction, same kind, same payload) also failed — the
+        // client already saw the Err frame; nothing to cross-check.
+        return;
+    };
+    let mut scalar = tagger.scalar_engine();
+    let mut reference = scalar.feed(payload);
+    reference.extend(scalar.finish());
+    if fast != reference {
+        bank.divergence();
+        ring.record(build_mismatch(session, frame, payload, &fast, &reference));
+    }
+    // §3.5: the streaming tagger may fire tokens the exact parser does
+    // not confirm. Count confirmations against the PDA's derivation.
+    let verdict = pda.parse(payload);
+    let confirmed: HashSet<(u32, usize, usize)> = if verdict.accepted {
+        verdict.events.iter().map(|e| (e.token.0, e.start, e.end)).collect()
+    } else {
+        HashSet::new()
+    };
+    let mut confirmed_fires = 0u64;
+    for e in &fast {
+        if confirmed.contains(&(e.token.0, e.start, e.end)) {
+            confirmed_fires += 1;
+        } else {
+            bank.false_positive(e.token.0);
+        }
+    }
+    bank.fires(fast.len() as u64, confirmed_fires);
+}
+
+/// Run `payload` through a fresh engine of the production kind — the
+/// exact sequence the shard handler uses.
+fn replay_events(
+    tagger: &TokenTagger,
+    kind: EngineKind,
+    payload: &[u8],
+) -> Result<Vec<TagEvent>, Error> {
+    let mut engine = tagger.engine(kind)?;
+    let mut events = engine.feed(payload)?;
+    events.extend(engine.finish()?);
+    Ok(events)
+}
+
+fn to_audit_events(events: &[TagEvent]) -> Vec<AuditEvent> {
+    events
+        .iter()
+        .map(|e| AuditEvent { token: e.token.0, start: e.start as u64, end: e.end as u64 })
+        .collect()
+}
+
+/// Build the flight-recorder evidence for one divergence: the byte
+/// window around the first differing event plus both full event
+/// streams.
+fn build_mismatch(
+    session: u64,
+    frame: u64,
+    payload: &[u8],
+    fast: &[TagEvent],
+    reference: &[TagEvent],
+) -> Mismatch {
+    let first_diff = fast
+        .iter()
+        .zip(reference.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| fast.len().min(reference.len()));
+    let anchor = fast
+        .get(first_diff)
+        .or_else(|| reference.get(first_diff))
+        .map(|e| e.start)
+        .unwrap_or(0)
+        .min(payload.len());
+    let window_start = anchor.saturating_sub(64);
+    let window_end = (window_start + 256).min(payload.len());
+    Mismatch {
+        session,
+        frame,
+        window_start: window_start as u64,
+        window: payload[window_start..window_end].to_vec(),
+        fast: to_audit_events(fast),
+        reference: to_audit_events(reference),
     }
 }
 
@@ -838,5 +1135,96 @@ mod tests {
         assert_eq!(frame.payload, b"hello");
         assert!(polls > wire.len(), "every byte cost at least one pending poll");
         assert!(matches!(reader.poll(&mut src), Ok(Poll::Pending)));
+    }
+
+    /// A reader that serves `data` in chunks whose sizes cycle through
+    /// `splits` — the adversarial transport for the chunking proptests.
+    struct Chunked<'a> {
+        data: &'a [u8],
+        pos: usize,
+        splits: &'a [usize],
+        turn: usize,
+    }
+
+    impl Read for Chunked<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            let want = self.splits[self.turn % self.splits.len()].max(1);
+            self.turn += 1;
+            let n = want.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn decode_chunked(wire: &[u8], splits: &[usize]) -> Result<Vec<Frame>, Error> {
+        let mut src = Chunked { data: wire, pos: 0, splits, turn: 0 };
+        let mut reader = FrameReader::default();
+        let mut frames = Vec::new();
+        loop {
+            match reader.poll(&mut src)? {
+                Poll::Frame(f) => frames.push(f),
+                Poll::Pending => unreachable!("Chunked never yields WouldBlock"),
+                Poll::Eof => return Ok(frames),
+            }
+        }
+    }
+
+    mod chunking_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Decoding is a pure function of the byte stream: any
+            /// chunking of a valid frame sequence — including 1-byte
+            /// dribbles — yields the same frames as one whole read.
+            #[test]
+            fn decoding_is_invariant_under_chunk_splits(
+                payloads in prop::collection::vec(
+                    prop::collection::vec(any::<u8>(), 0..40usize),
+                    1..5,
+                ),
+                splits in prop::collection::vec(1usize..6, 1..32),
+            ) {
+                let mut wire = Vec::new();
+                for p in &payloads {
+                    frame::write_frame(&mut wire, FrameKind::Data, p).unwrap();
+                }
+                let whole = decode_chunked(&wire, &[wire.len().max(1)]).unwrap();
+                let arbitrary = decode_chunked(&wire, &splits).unwrap();
+                let dribbled = decode_chunked(&wire, &[1]).unwrap();
+                prop_assert_eq!(whole.len(), payloads.len());
+                for frames in [&arbitrary, &dribbled] {
+                    prop_assert_eq!(frames.len(), whole.len());
+                    for (got, want) in frames.iter().zip(&whole) {
+                        prop_assert_eq!(got.kind, want.kind);
+                        prop_assert_eq!(&got.payload, &want.payload);
+                    }
+                }
+            }
+
+            /// An oversized length prefix is rejected as a protocol
+            /// error no matter how the bytes arrive — the reader must
+            /// never buffer toward a frame it will refuse.
+            #[test]
+            fn oversized_frames_rejected_at_every_split(
+                extra in 1u32..100_000,
+                split in 1usize..8,
+            ) {
+                let mut wire = vec![0x01]; // Data
+                wire.extend_from_slice(&(frame::MAX_FRAME as u32 + extra).to_le_bytes());
+                wire.extend_from_slice(&[0u8; 32]);
+                let err = decode_chunked(&wire, &[split]).unwrap_err();
+                prop_assert!(
+                    matches!(err, Error::Protocol(_)),
+                    "expected a protocol error, got {err:?}"
+                );
+            }
+        }
     }
 }

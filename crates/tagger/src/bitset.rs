@@ -37,7 +37,7 @@ use cfg_regex::ByteSet;
 use std::sync::Arc;
 
 /// Shared bit-parallel tables for one compiled grammar.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BitTables {
     /// Words per global position mask (`ceil(positions/64)`).
     words: usize,
@@ -195,6 +195,20 @@ impl BitTables {
     /// Words per global position bitmask.
     pub fn mask_words(&self) -> usize {
         self.words
+    }
+
+    /// Fault-injection hook for the shadow-audit tests: a copy of the
+    /// tables with the decode-ROM row for `byte` cleared, as if that
+    /// one character decoder were stuck at zero. Clearing (rather than
+    /// setting) guarantees an observable divergence — `next` is ANDed
+    /// with the row, so every candidacy through `byte` dies. Never used
+    /// on a production path.
+    #[doc(hidden)]
+    pub fn with_corrupted_rom_row(&self, byte: u8) -> BitTables {
+        let mut t = self.clone();
+        let row = byte as usize * t.words;
+        t.class_rom[row..row + t.words].fill(0);
+        t
     }
 }
 

@@ -298,6 +298,19 @@ impl TokenTagger {
         &self.bit_tables
     }
 
+    /// Fault-injection hook for the shadow-audit tests: a clone of this
+    /// tagger whose bit-parallel decode ROM has the row for `byte`
+    /// cleared (see `BitTables::with_corrupted_rom_row`). The scalar
+    /// tables are untouched, so the bit and scalar engines of the
+    /// returned tagger genuinely diverge — the seeded bug a shadow
+    /// auditor must catch. Never used on a production path.
+    #[doc(hidden)]
+    pub fn with_corrupted_rom_row(&self, byte: u8) -> TokenTagger {
+        let mut t = self.clone();
+        t.bit_tables = Arc::new(t.bit_tables.with_corrupted_rom_row(byte));
+        t
+    }
+
     /// A fresh cycle-accurate gate-level engine (instrumented with the
     /// compile options' metrics handle).
     pub fn gate_engine(&self) -> Result<GateEngine, TaggerError> {

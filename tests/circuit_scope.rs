@@ -34,6 +34,9 @@ struct GatedReader {
     chunk: usize,
     /// Ascending `(offset, release)` pairs; the front gate parks reads.
     gates: Vec<(usize, mpsc::Receiver<()>)>,
+    /// Signalled just before blocking on a gate, so the test can wait
+    /// for the stream to be *provably* parked instead of racing it.
+    parked: mpsc::Sender<()>,
 }
 
 impl Read for GatedReader {
@@ -43,6 +46,7 @@ impl Read for GatedReader {
         }
         if self.gates.first().is_some_and(|(at, _)| self.pos >= *at) {
             let (_, gate) = self.gates.remove(0);
+            let _ = self.parked.send(());
             let _ = gate.recv();
         }
         let limit = self.gates.first().map_or(self.data.len(), |(at, _)| *at);
@@ -77,11 +81,13 @@ fn scope_sees_fires_edges_and_a_triggered_capture() {
     let (gate1_at, gate2_at) = (data.len() / 4, data.len() / 2);
     let (gate1_tx, gate1_rx) = mpsc::channel::<()>();
     let (gate2_tx, gate2_rx) = mpsc::channel::<()>();
+    let (parked_tx, parked_rx) = mpsc::channel::<()>();
     let reader = GatedReader {
         data,
         pos: 0,
         chunk: 256,
         gates: vec![(gate1_at, gate1_rx), (gate2_at, gate2_rx)],
+        parked: parked_tx,
     };
 
     let flags = ServeFlags { recover: true, chunk: 256, ..Default::default() };
@@ -98,7 +104,11 @@ fn scope_sees_fires_edges_and_a_triggered_capture() {
     });
     let addr = addr_rx.recv_timeout(Duration::from_secs(30)).expect("exporter address");
 
-    // Wait until the stream has demonstrably fired some tokenizers.
+    // Wait until the reader is provably parked at gate 1 — every fire
+    // of the first quarter is registered and, crucially, no new events
+    // can land between arming the trigger below and checking that the
+    // capture is still pending.
+    parked_rx.recv_timeout(Duration::from_secs(30)).expect("stream parks at gate 1");
     let probes_body = poll_until(&addr, "token fires", |body| {
         parse_probes(body).is_ok_and(|p| {
             p.iter().any(|(id, c)| id.starts_with("tok/") && id.ends_with("/fire") && *c > 0)
