@@ -16,6 +16,17 @@ use cfg_obs::json::Json;
 /// Regression threshold (fractional): flag anything >10% worse.
 const THRESHOLD: f64 = 0.10;
 
+/// Rep-to-rep spread (percent) above which a row's own noise rivals
+/// the regression threshold — warned about, never gating.
+const SPREAD_WARN_PCT: f64 = 10.0;
+
+/// The current row's `spread_pct` when it exceeds [`SPREAD_WARN_PCT`]:
+/// the bench's own rep-to-rep noise is as large as the regression
+/// threshold, so any verdict on this file is suspect.
+fn noisy_spread(row: &Json) -> Option<f64> {
+    row.get("spread_pct").and_then(Json::as_f64).filter(|s| *s > SPREAD_WARN_PCT)
+}
+
 /// Which way a metric improves, keyed on naming convention.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Direction {
@@ -130,6 +141,12 @@ fn main() {
             };
             println!("  {:<28} {:>14.4} -> {:>14.4}  {pct:+8.2}%{verdict}", d.key, d.prev, d.cur);
         }
+        if let Some(spread) = noisy_spread(&cur) {
+            println!(
+                "  WARNING: rep-to-rep spread {spread:.1}% exceeds {SPREAD_WARN_PCT:.0}% — \
+                 this row is too noisy for its verdicts to mean much (non-gating)"
+            );
+        }
     }
     if !compared_any {
         println!("bench_diff: no comparable histories in {dir}/");
@@ -169,6 +186,30 @@ mod tests {
         // Raw FP counts stay informational — the density rows carry
         // the verdict.
         assert_eq!(direction("naive_fp"), Direction::Informational);
+        // The io-model sweep fields: batch size and session count
+        // describe the load shape, not a win or a loss. (`io_model`
+        // itself is a string, so `as_f64` already skips it.)
+        assert_eq!(direction("ack_batch_p50"), Direction::Informational);
+        assert_eq!(direction("concurrent_sessions"), Direction::Informational);
+        assert_eq!(direction("spread_pct"), Direction::Informational);
+    }
+
+    #[test]
+    fn noisy_rows_warn_but_never_gate() {
+        // spread_pct above the warn line is surfaced, but it is an
+        // Informational field: compare_rows must not emit a verdict
+        // for it, so a noisy row alone can never exit non-zero.
+        let quiet = Json::parse(r#"{"spread_pct":6.1,"bit_ns_per_byte":4.4}"#).unwrap();
+        let noisy = Json::parse(r#"{"spread_pct":15.8,"bit_ns_per_byte":4.4}"#).unwrap();
+        assert!(noisy_spread(&quiet).is_none());
+        assert_eq!(noisy_spread(&noisy), Some(15.8));
+        let spread = compare_rows(&quiet, &noisy)
+            .into_iter()
+            .find(|d| d.key == "spread_pct")
+            .expect("spread_pct compared");
+        assert!(spread.regression.is_none(), "{spread:?}");
+        // Rows predating the field (or non-bench rows) stay silent.
+        assert!(noisy_spread(&Json::parse(r#"{"acked":8000}"#).unwrap()).is_none());
     }
 
     #[test]

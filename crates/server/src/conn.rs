@@ -1,0 +1,292 @@
+//! Per-connection state for the reactor io-model: the pending-ack out
+//! queue flushed as vectored writes, and the connection state machine
+//! that decides when a session drains, says `Bye`, and closes.
+//!
+//! Everything here is single-threaded — the reactor owns every
+//! connection, so there are no locks and the in-flight counter is a
+//! plain integer. The out queue is the Ack-coalescing half of the
+//! design: completions arriving in one wakeup are appended as whole
+//! wire frames and flushed as **one** `write_vectored` batch; a partial
+//! write parks the remainder until `EPOLLOUT` says the socket drained
+//! (backpressure without a blocked thread).
+
+use crate::frame::FrameReader;
+use cfg_obs::Span;
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Cap on iovecs per `write_vectored` call (Linux caps at `IOV_MAX` =
+/// 1024; staying far below keeps each syscall's setup cost flat).
+const MAX_IOVECS: usize = 64;
+
+/// One queued outbound frame: the serialized wire bytes plus the span
+/// finished when the frame's last byte is handed to the kernel.
+struct OutFrame {
+    wire: Vec<u8>,
+    span: Option<Span>,
+}
+
+/// What one [`OutQueue::flush`] accomplished.
+#[derive(Debug, Default)]
+pub(crate) struct FlushOutcome {
+    /// Whole frames handed to the kernel by this flush.
+    pub frames: usize,
+    /// Spans of those frames, ready for their `AckWrite` stamp.
+    pub spans: Vec<Span>,
+    /// The socket refused more bytes — re-arm `EPOLLOUT` and retry on
+    /// writability.
+    pub blocked: bool,
+}
+
+/// The per-connection pending-ack queue, flushed in vectored batches.
+#[derive(Default)]
+pub(crate) struct OutQueue {
+    frames: VecDeque<OutFrame>,
+    /// Bytes of the front frame already written (a previous flush hit
+    /// a partial write).
+    head: usize,
+}
+
+impl OutQueue {
+    /// Queue one serialized frame (and optionally the span to finish
+    /// once it is written).
+    pub(crate) fn push(&mut self, wire: Vec<u8>, span: Option<Span>) {
+        self.frames.push_back(OutFrame { wire, span });
+    }
+
+    /// Whether nothing is waiting to be written.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Write as much as the socket will take, batching up to
+    /// [`MAX_IOVECS`] frames per `write_vectored` call. `WouldBlock`
+    /// sets `blocked` instead of erroring; a genuine transport error
+    /// propagates (the caller closes the connection).
+    pub(crate) fn flush<W: Write>(&mut self, w: &mut W) -> io::Result<FlushOutcome> {
+        let mut out = FlushOutcome::default();
+        while !self.frames.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> =
+                Vec::with_capacity(self.frames.len().min(MAX_IOVECS));
+            for (i, f) in self.frames.iter().take(MAX_IOVECS).enumerate() {
+                let skip = if i == 0 { self.head } else { 0 };
+                slices.push(IoSlice::new(&f.wire[skip..]));
+            }
+            let written = match w.write_vectored(&slices) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    out.blocked = true;
+                    return Ok(out);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            self.consume(written, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Account `written` bytes against the queue front.
+    fn consume(&mut self, mut written: usize, out: &mut FlushOutcome) {
+        while written > 0 {
+            let remaining = self.frames[0].wire.len() - self.head;
+            if written >= remaining {
+                written -= remaining;
+                self.head = 0;
+                let done = self.frames.pop_front().expect("frame present");
+                out.frames += 1;
+                if let Some(span) = done.span {
+                    out.spans.push(span);
+                }
+            } else {
+                self.head += written;
+                written = 0;
+            }
+        }
+    }
+}
+
+/// One reactor-owned connection: the nonblocking stream, the
+/// incremental zero-copy frame decoder, and the drain state machine.
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    pub(crate) session: u64,
+    pub(crate) reader: FrameReader,
+    /// When the first byte of the frame currently buffering arrived —
+    /// the lead a tracing span is back-dated by.
+    pub(crate) frame_started: Option<Instant>,
+    pub(crate) seq: u32,
+    /// Accepted-but-not-yet-acked frames. Reactor-local: incremented on
+    /// submit, decremented when the completion comes back.
+    pub(crate) pending: u64,
+    pub(crate) outq: OutQueue,
+    /// `Close` received (or the peer vanished): stop reading, wait for
+    /// `pending` to drain, then `Bye`.
+    pub(crate) draining: bool,
+    /// Hard deadline for the drain; overrunning it counts a
+    /// `DrainTimeouts` and says `Bye` anyway.
+    pub(crate) drain_deadline: Option<Instant>,
+    /// Close as soon as the out queue is flushed.
+    pub(crate) close_when_flushed: bool,
+    /// `EPOLLOUT` currently armed.
+    pub(crate) want_write: bool,
+    pub(crate) last_active: Instant,
+    /// Mirrored accepted payloads + byte total for the shadow-audit
+    /// lane (`None` when this session is not sampled).
+    pub(crate) mirror: Option<(Vec<Vec<u8>>, usize)>,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, session: u64, now: Instant, audited: bool) -> Conn {
+        Conn {
+            stream,
+            session,
+            reader: FrameReader::new(),
+            frame_started: None,
+            seq: 0,
+            pending: 0,
+            outq: OutQueue::default(),
+            draining: false,
+            drain_deadline: None,
+            close_when_flushed: false,
+            want_write: false,
+            last_active: now,
+            mirror: audited.then(|| (Vec::new(), 0)),
+        }
+    }
+
+    /// Whether the drain finished: the session is draining and no
+    /// accepted frame is still in flight.
+    pub(crate) fn drained(&self) -> bool {
+        self.draining && self.pending == 0
+    }
+
+    /// Whether the connection is ready to be torn down right now: the
+    /// session finished its drain (or a protocol error was answered)
+    /// and every queued reply has been flushed.
+    pub(crate) fn closeable(&self) -> bool {
+        self.close_when_flushed && self.outq.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that accepts at most `cap` bytes per call and yields
+    /// `WouldBlock` after `limit` total bytes — the adversarial socket
+    /// for the vectored-flush tests.
+    struct Throttle {
+        written: Vec<u8>,
+        cap: usize,
+        limit: usize,
+    }
+
+    impl Write for Throttle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.write_vectored(&[IoSlice::new(buf)])
+        }
+
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            if self.written.len() >= self.limit {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let mut budget = self.cap.min(self.limit - self.written.len());
+            let mut n = 0;
+            for b in bufs {
+                let take = budget.min(b.len());
+                self.written.extend_from_slice(&b[..take]);
+                n += take;
+                budget -= take;
+                if budget == 0 {
+                    break;
+                }
+            }
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn frames(n: usize) -> (OutQueue, Vec<u8>) {
+        let mut q = OutQueue::default();
+        let mut expect = Vec::new();
+        for i in 0..n {
+            let wire = vec![i as u8; 3 + i];
+            expect.extend_from_slice(&wire);
+            q.push(wire, Some(Span::detached()));
+        }
+        (q, expect)
+    }
+
+    #[test]
+    fn flush_batches_whole_queue_in_one_pass() {
+        let (mut q, expect) = frames(5);
+        let mut w = Throttle { written: Vec::new(), cap: usize::MAX, limit: usize::MAX };
+        let out = q.flush(&mut w).unwrap();
+        assert_eq!(out.frames, 5);
+        assert_eq!(out.spans.len(), 5);
+        assert!(!out.blocked);
+        assert!(q.is_empty());
+        assert_eq!(w.written, expect, "bytes on the wire equal the frames, in order");
+    }
+
+    #[test]
+    fn partial_writes_resume_mid_frame() {
+        let (mut q, expect) = frames(4);
+        // 2 bytes per syscall: every frame straddles multiple writes.
+        let mut w = Throttle { written: Vec::new(), cap: 2, limit: usize::MAX };
+        let out = q.flush(&mut w).unwrap();
+        assert_eq!(out.frames, 4);
+        assert!(q.is_empty());
+        assert_eq!(w.written, expect);
+    }
+
+    #[test]
+    fn would_block_parks_the_remainder() {
+        let (mut q, expect) = frames(4);
+        // The socket takes 7 bytes then blocks: frame 0 (3 bytes) and
+        // frame 1 (4 bytes) complete, frames 2-3 stay queued.
+        let mut w = Throttle { written: Vec::new(), cap: usize::MAX, limit: 7 };
+        let out = q.flush(&mut w).unwrap();
+        assert!(out.blocked, "socket backpressure must report blocked");
+        assert_eq!(out.frames, 2);
+        assert_eq!(q.frames.len(), 2);
+        assert_eq!(w.written, expect[..7]);
+        // Mid-frame block: 2 more bytes leaves frame 2 half-written.
+        w.limit = 9;
+        let out = q.flush(&mut w).unwrap();
+        assert!(out.blocked);
+        assert_eq!(out.frames, 0, "no whole frame completed");
+        assert_eq!(q.frames.len(), 2, "half-written frame stays at the front");
+        // Unblock: the rest goes out and the byte stream is intact.
+        w.limit = usize::MAX;
+        let out = q.flush(&mut w).unwrap();
+        assert_eq!(out.frames, 2);
+        assert!(q.is_empty());
+        assert_eq!(w.written, expect, "resumed flush never reorders or duplicates bytes");
+    }
+
+    #[test]
+    fn conn_drain_state_machine() {
+        let a = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = std::net::TcpStream::connect(a.local_addr().unwrap()).unwrap();
+        let mut conn = Conn::new(stream, 7, Instant::now(), false);
+        assert!(!conn.drained(), "not draining yet");
+        conn.pending = 2;
+        conn.draining = true;
+        assert!(!conn.drained(), "frames still in flight");
+        conn.pending = 0;
+        assert!(conn.drained());
+        assert!(!conn.closeable(), "close waits for the flush flag");
+        conn.close_when_flushed = true;
+        assert!(conn.closeable());
+        conn.outq.push(vec![1, 2, 3], None);
+        assert!(!conn.closeable(), "queued bytes must flush before close");
+    }
+}

@@ -86,6 +86,121 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
+/// A borrowed view of one decoded frame — the zero-copy counterpart of
+/// [`Frame`], yielded by [`FrameReader::next_frame`]. The payload slice
+/// points into the reader's buffer and is valid until the next call
+/// that advances the reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRef<'a> {
+    /// What the frame means.
+    pub kind: FrameKind,
+    /// The payload bytes, borrowed from the reader's buffer.
+    pub payload: &'a [u8],
+}
+
+impl FrameRef<'_> {
+    /// Copy into an owned [`Frame`].
+    pub fn to_frame(&self) -> Frame {
+        Frame { kind: self.kind, payload: self.payload.to_vec() }
+    }
+}
+
+/// An incremental, zero-copy frame decoder: [`FrameReader::push`] bytes
+/// in whatever chunks the transport produced (down to 1-byte dribbles),
+/// then [`FrameReader::next_frame`] yields complete frames as borrowed
+/// [`FrameRef`]s without copying the payload out of the buffer.
+///
+/// A yielded frame is consumed lazily: the next `push` or `next_frame`
+/// call reclaims its bytes, so the returned slice stays valid exactly
+/// as long as the borrow checker says it does. An oversized length
+/// prefix is rejected as soon as the header is complete — the reader
+/// never buffers toward a frame it will refuse — and decoding is a pure
+/// function of the byte stream (the chunking proptests hold it to
+/// byte-for-byte equivalence with [`read_frame`]).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// First byte not yet consumed by a yielded frame.
+    start: usize,
+    /// Wire length (header + payload) of the most recently yielded
+    /// frame, reclaimed on the next `push`/`next_frame`.
+    yielded: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Reclaim the bytes of the previously yielded frame.
+    fn advance(&mut self) {
+        self.start += self.yielded;
+        self.yielded = 0;
+    }
+
+    /// Append freshly read bytes. Consumed bytes are compacted away
+    /// here, so the buffer never grows past one maximum frame plus one
+    /// read chunk.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.advance();
+        if self.start > 0 {
+            let len = self.buf.len();
+            self.buf.copy_within(self.start..len, 0);
+            self.buf.truncate(len - self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a yielded frame. Nonzero
+    /// at EOF means the peer hung up mid-frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start - self.yielded
+    }
+
+    /// Decode the next complete frame as a borrowed view, `Ok(None)`
+    /// if the buffer holds only a partial frame. An unknown kind byte
+    /// or an oversized length prefix is a protocol error.
+    pub fn next_frame(&mut self) -> Result<Option<FrameRef<'_>>, Error> {
+        self.advance();
+        let avail = &self.buf[self.start..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let kind = FrameKind::from_byte(avail[0])
+            .ok_or_else(|| Error::Protocol(format!("unknown frame kind 0x{:02x}", avail[0])))?;
+        let len =
+            u32::from_le_bytes(avail[1..HEADER_LEN].try_into().expect("4 header bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(Error::Protocol(format!("{len}-byte frame exceeds max {MAX_FRAME}")));
+        }
+        if avail.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        self.yielded = HEADER_LEN + len;
+        let payload_at = self.start + HEADER_LEN;
+        Ok(Some(FrameRef { kind, payload: &self.buf[payload_at..payload_at + len] }))
+    }
+}
+
+/// Serialize one frame to bytes — the building block of the reactor's
+/// vectored-write batches. Refuses oversized payloads like
+/// [`write_frame`].
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Result<Vec<u8>, Error> {
+    if payload.len() > MAX_FRAME {
+        return Err(Error::Protocol(format!(
+            "refusing to send {}-byte frame (max {MAX_FRAME})",
+            payload.len()
+        )));
+    }
+    let mut wire = Vec::with_capacity(HEADER_LEN + payload.len());
+    wire.push(kind.byte());
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(payload);
+    Ok(wire)
+}
+
 /// Write one frame. A payload over [`MAX_FRAME`] is refused locally
 /// (`Error::Protocol`) — we never put a frame on the wire the peer must
 /// reject.
@@ -248,6 +363,136 @@ mod tests {
         let garbage = [0x7fu8, 0, 0, 0, 0];
         let err = read_frame(&mut Cursor::new(&garbage[..])).unwrap_err();
         assert!(err.to_string().contains("unknown frame kind"), "{err}");
+    }
+
+    #[test]
+    fn borrowed_reader_yields_frames_across_pushes() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Data, b"hello").unwrap();
+        write_frame(&mut wire, FrameKind::Close, b"").unwrap();
+        let mut reader = FrameReader::new();
+        // Nothing buffered, nothing decodable.
+        assert!(reader.next_frame().unwrap().is_none());
+        // Push everything but the last byte: still only a partial
+        // second frame after the first is yielded.
+        reader.push(&wire[..wire.len() - 1]);
+        {
+            let frame = reader.next_frame().unwrap().expect("first frame complete");
+            assert_eq!(frame.kind, FrameKind::Data);
+            assert_eq!(frame.payload, b"hello");
+            assert_eq!(frame.to_frame().payload, b"hello");
+        }
+        assert!(reader.next_frame().unwrap().is_none(), "second frame still partial");
+        assert_eq!(reader.buffered(), HEADER_LEN - 1, "partial header remains");
+        reader.push(&wire[wire.len() - 1..]);
+        let frame = reader.next_frame().unwrap().expect("second frame complete");
+        assert_eq!(frame.kind, FrameKind::Close);
+        assert!(frame.payload.is_empty());
+        assert!(reader.next_frame().unwrap().is_none());
+        assert_eq!(reader.buffered(), 0, "everything consumed");
+    }
+
+    #[test]
+    fn borrowed_reader_rejects_bad_headers_like_read_frame() {
+        // Unknown kind byte.
+        let mut reader = FrameReader::new();
+        reader.push(&[0x7f, 0, 0, 0, 0]);
+        let err = reader.next_frame().unwrap_err();
+        assert!(err.to_string().contains("unknown frame kind"), "{err}");
+        // Oversized length prefix: rejected as soon as the header is
+        // complete, before any payload is buffered.
+        let mut reader = FrameReader::new();
+        reader.push(&[FrameKind::Data.byte()]);
+        reader.push(&u32::MAX.to_le_bytes());
+        let err = reader.next_frame().unwrap_err();
+        assert!(err.to_string().contains("exceeds max"), "{err}");
+    }
+
+    #[test]
+    fn encode_frame_matches_write_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Ack, b"payload").unwrap();
+        assert_eq!(encode_frame(FrameKind::Ack, b"payload").unwrap(), wire);
+        let err = encode_frame(FrameKind::Data, &vec![0u8; MAX_FRAME + 1]).unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err}");
+    }
+
+    mod chunking_borrow_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Decode `wire` through the borrow-based reader, pushing it in
+        /// chunks whose sizes cycle through `splits`.
+        fn decode_borrowed(wire: &[u8], splits: &[usize]) -> Result<Vec<Frame>, Error> {
+            let mut reader = FrameReader::new();
+            let mut frames = Vec::new();
+            let mut pos = 0;
+            let mut turn = 0;
+            while pos < wire.len() {
+                let n = splits[turn % splits.len()].max(1).min(wire.len() - pos);
+                turn += 1;
+                reader.push(&wire[pos..pos + n]);
+                pos += n;
+                while let Some(frame) = reader.next_frame()? {
+                    frames.push(frame.to_frame());
+                }
+            }
+            Ok(frames)
+        }
+
+        /// Decode `wire` through the owned blocking path.
+        fn decode_owned(wire: &[u8]) -> Result<Vec<Frame>, Error> {
+            let mut cursor = std::io::Cursor::new(wire);
+            let mut frames = Vec::new();
+            while let Some(frame) = read_frame(&mut cursor)? {
+                frames.push(frame);
+            }
+            Ok(frames)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The borrowed decode path is byte-for-byte equivalent to
+            /// the owned one under arbitrary chunk splits, including
+            /// 1-byte dribbles.
+            #[test]
+            fn borrowed_equals_owned_under_chunk_splits(
+                payloads in prop::collection::vec(
+                    prop::collection::vec(any::<u8>(), 0..48usize),
+                    1..6,
+                ),
+                splits in prop::collection::vec(1usize..7, 1..32),
+            ) {
+                let kinds = [FrameKind::Data, FrameKind::Close, FrameKind::Ack];
+                let mut wire = Vec::new();
+                for (i, p) in payloads.iter().enumerate() {
+                    write_frame(&mut wire, kinds[i % kinds.len()], p).unwrap();
+                }
+                let owned = decode_owned(&wire).unwrap();
+                prop_assert_eq!(owned.len(), payloads.len());
+                for split_plan in [&splits[..], &[1][..], &[wire.len().max(1)][..]] {
+                    let borrowed = decode_borrowed(&wire, split_plan).unwrap();
+                    prop_assert_eq!(&borrowed, &owned);
+                }
+            }
+
+            /// Both paths reject an oversized length prefix at every
+            /// split, and agree it is a protocol error.
+            #[test]
+            fn borrowed_rejects_oversized_at_every_split(
+                extra in 1u32..100_000,
+                split in 1usize..8,
+            ) {
+                let mut wire = vec![FrameKind::Data.byte()];
+                wire.extend_from_slice(&(MAX_FRAME as u32 + extra).to_le_bytes());
+                wire.extend_from_slice(&[0u8; 16]);
+                let owned = decode_owned(&wire).unwrap_err();
+                let borrowed = decode_borrowed(&wire, &[split]).unwrap_err();
+                prop_assert!(matches!(owned, Error::Protocol(_)));
+                prop_assert!(matches!(borrowed, Error::Protocol(_)));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,785 @@
+//! The readiness-driven io-model: one thread, one `epoll` instance,
+//! every connection a state machine.
+//!
+//! The threaded path burns a thread per connection; at thousands of
+//! mostly-idle sessions the scheduler — not the engine — dominates
+//! `queue_wait`. The reactor replaces that with level-triggered
+//! `epoll_wait` over nonblocking sockets:
+//!
+//! * **Accept** drains the listener backlog per wakeup; beyond the
+//!   session cap a connection is refused with `Busy` exactly like the
+//!   threaded acceptor.
+//! * **Reads** pull into a shared scratch buffer, feed the incremental
+//!   [`crate::frame::FrameReader`], and submit decoded `Data` frames to
+//!   the shard pool straight from the borrowed payload slice — the
+//!   zero-copy path (one copy into the pool message, none in between).
+//! * **Completions** come back from shard workers over a
+//!   [`CompletionQueue`] whose self-pipe is itself registered in the
+//!   poller: the worker serializes the `Ack`/`Err` frame, the reactor
+//!   owns the socket.
+//! * **Writes** are coalesced: every reply queued for a connection in
+//!   one wakeup leaves in a single `write_vectored` batch (the Ack
+//!   coalescing half of the design). A partial write arms `EPOLLOUT`
+//!   and parks the remainder — backpressure without a blocked thread.
+//!
+//! The `sys` module holds the only `unsafe` in the workspace: raw FFI
+//! declarations for `epoll_create1`/`epoll_ctl`/`epoll_wait` and the
+//! self-pipe, with safe wrappers ([`Poller`], [`WakePipe`]) directly on
+//! top. No crates.io dependency is involved.
+
+use crate::conn::{Conn, OutQueue};
+use crate::frame::{self, FrameKind};
+use crate::server::{build_msg, Shared};
+use cfg_obs::{MetricsSink, Span, Stage, Stat, TraceEvent};
+use cfg_tagger::{ShardMsg, SubmitOutcome};
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{Shutdown, TcpListener};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Raw Linux FFI: `epoll`, the self-pipe, and nothing else. The one
+/// `unsafe` island in the workspace — every caller goes through the
+/// safe wrappers below.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    /// `EPOLL_CLOEXEC` and `O_CLOEXEC` share the value on Linux.
+    const CLOEXEC: i32 = 0o2000000;
+    const O_NONBLOCK: i32 = 0o4000;
+
+    /// Mirror of `struct epoll_event`. On x86-64 the kernel ABI packs
+    /// it (the `u64` sits unaligned); read fields by value only —
+    /// taking a reference to a packed field is rejected by rustc.
+    #[derive(Clone, Copy)]
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn pipe2(fds: *mut i32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn create() -> io::Result<i32> {
+        unsafe { cvt(epoll_create1(CLOEXEC)) }
+    }
+
+    pub fn ctl(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        unsafe { cvt(epoll_ctl(epfd, op, fd, &mut ev)) }.map(|_| ())
+    }
+
+    pub fn wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let cap = i32::try_from(events.len()).unwrap_or(i32::MAX).max(1);
+        let n = unsafe { cvt(epoll_wait(epfd, events.as_mut_ptr(), cap, timeout_ms)) }?;
+        Ok(n as usize)
+    }
+
+    pub fn make_pipe() -> io::Result<(i32, i32)> {
+        let mut fds = [0i32; 2];
+        unsafe { cvt(pipe2(fds.as_mut_ptr(), O_NONBLOCK | CLOEXEC)) }?;
+        Ok((fds[0], fds[1]))
+    }
+
+    pub fn read_fd(fd: i32, buf: &mut [u8]) -> isize {
+        unsafe { read(fd, buf.as_mut_ptr(), buf.len()) }
+    }
+
+    pub fn write_fd(fd: i32, buf: &[u8]) -> isize {
+        unsafe { write(fd, buf.as_ptr(), buf.len()) }
+    }
+
+    pub fn close_fd(fd: i32) {
+        unsafe {
+            let _ = close(fd);
+        }
+    }
+}
+
+/// Safe handle on one epoll instance.
+pub(crate) struct Poller {
+    epfd: i32,
+}
+
+impl Poller {
+    pub(crate) fn new() -> io::Result<Poller> {
+        Ok(Poller { epfd: sys::create()? })
+    }
+
+    fn add(&self, fd: i32, interest: u32, data: u64) -> io::Result<()> {
+        sys::ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, interest, data)
+    }
+
+    fn modify(&self, fd: i32, interest: u32, data: u64) -> io::Result<()> {
+        sys::ctl(self.epfd, sys::EPOLL_CTL_MOD, fd, interest, data)
+    }
+
+    fn del(&self, fd: i32) {
+        let _ = sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Wait for readiness; `EINTR` reads as an empty wakeup.
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        match sys::wait(self.epfd, events, timeout_ms) {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            other => other,
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// A nonblocking self-pipe: shard workers `wake()` it, the reactor has
+/// its read end registered in the poller and `drain()`s it. Writes to
+/// a full pipe are dropped on purpose — a pending byte already means
+/// "wake up", so coalescing loses nothing.
+pub(crate) struct WakePipe {
+    rd: i32,
+    wr: i32,
+}
+
+impl WakePipe {
+    pub(crate) fn new() -> io::Result<WakePipe> {
+        let (rd, wr) = sys::make_pipe()?;
+        Ok(WakePipe { rd, wr })
+    }
+
+    pub(crate) fn wake(&self) {
+        let _ = sys::write_fd(self.wr, &[1]);
+    }
+
+    pub(crate) fn drain(&self) {
+        let mut buf = [0u8; 256];
+        while sys::read_fd(self.rd, &mut buf) > 0 {}
+    }
+
+    pub(crate) fn read_fd(&self) -> i32 {
+        self.rd
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        sys::close_fd(self.rd);
+        sys::close_fd(self.wr);
+    }
+}
+
+/// One finished frame coming back from a shard worker: the serialized
+/// reply and the span to finish when its last byte reaches the kernel.
+pub(crate) struct Completion {
+    pub(crate) session: u64,
+    pub(crate) wire: Vec<u8>,
+    pub(crate) span: Option<Span>,
+}
+
+/// The worker → reactor hand-off: a mutex-guarded batch vector plus a
+/// wake pipe registered in the poller. `push` is two atomic-ish ops
+/// (lock, append) and one pipe write; the reactor drains the whole
+/// batch per wakeup — this is where Ack coalescing is born.
+pub(crate) struct CompletionQueue {
+    queue: Mutex<Vec<Completion>>,
+    pipe: WakePipe,
+}
+
+impl CompletionQueue {
+    pub(crate) fn new() -> io::Result<CompletionQueue> {
+        Ok(CompletionQueue { queue: Mutex::new(Vec::new()), pipe: WakePipe::new()? })
+    }
+
+    pub(crate) fn push(&self, done: Completion) {
+        let was_empty = {
+            let mut q = self.queue.lock().expect("completion queue lock");
+            let was_empty = q.is_empty();
+            q.push(done);
+            was_empty
+        };
+        // Only the empty -> non-empty edge needs the pipe syscall: the
+        // reactor drains the whole batch per wakeup, so completions
+        // landing behind an undrained one ride the wake already sent.
+        if was_empty {
+            self.pipe.wake();
+        }
+    }
+
+    /// Take the whole pending batch and clear the wake signal.
+    pub(crate) fn drain(&self) -> Vec<Completion> {
+        self.pipe.drain();
+        std::mem::take(&mut *self.queue.lock().expect("completion queue lock"))
+    }
+
+    /// Wake the reactor without queueing anything (shutdown nudge).
+    pub(crate) fn wake(&self) {
+        self.pipe.wake();
+    }
+
+    fn read_fd(&self) -> i32 {
+        self.pipe.read_fd()
+    }
+}
+
+/// Poller token for the listening socket.
+const LISTENER: u64 = u64::MAX;
+/// Poller token for the completion queue's wake pipe.
+const WAKER: u64 = u64::MAX - 1;
+
+/// Read-side budget per connection per wakeup. Level-triggered epoll
+/// re-reports leftover readability, so capping the bytes consumed in
+/// one turn keeps a firehose client from starving thousands of quiet
+/// ones.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// The reactor thread body: owns the listener, every connection, and
+/// the write side of the protocol until [`Shared::stop`] flips.
+pub(crate) fn run_reactor(
+    listener: TcpListener,
+    poller: Poller,
+    completions: Arc<CompletionQueue>,
+    shared: Arc<Shared>,
+) {
+    if poller.add(listener.as_raw_fd(), sys::EPOLLIN, LISTENER).is_err() {
+        return;
+    }
+    if poller.add(completions.read_fd(), sys::EPOLLIN, WAKER).is_err() {
+        return;
+    }
+    let tick =
+        (shared.idle_timeout / 4).min(Duration::from_millis(25)).max(Duration::from_millis(1));
+    let tick_ms = i32::try_from(tick.as_millis()).unwrap_or(25).max(1);
+    let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 256];
+    let mut scratch = vec![0u8; 16 * 1024];
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut by_session: HashMap<u64, u64> = HashMap::new();
+    let mut next_session: u64 = 0;
+    let mut next_sweep = Instant::now() + tick;
+    loop {
+        let n = poller.wait(&mut events, tick_ms).unwrap_or(0);
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if n > 0 {
+            shared.server_sink.add(Stat::ReactorWakeups, 1);
+        }
+        let now = Instant::now();
+        // Connections that queued replies this wakeup — each flushed
+        // exactly once below, as one vectored batch.
+        let mut dirty: Vec<u64> = Vec::new();
+        let mut close_fds: Vec<u64> = Vec::new();
+        for ev in &events[..n] {
+            let (mask, token) = (ev.events, ev.data);
+            match token {
+                LISTENER => accept_ready(
+                    &listener,
+                    &poller,
+                    &shared,
+                    &mut conns,
+                    &mut by_session,
+                    &mut next_session,
+                    now,
+                ),
+                WAKER => {
+                    for done in completions.drain() {
+                        let Some(&fd) = by_session.get(&done.session) else { continue };
+                        let Some(conn) = conns.get_mut(&fd) else { continue };
+                        conn.pending = conn.pending.saturating_sub(1);
+                        conn.outq.push(done.wire, done.span);
+                        if conn.drained() && !conn.close_when_flushed {
+                            push_bye(&mut conn.outq);
+                            conn.close_when_flushed = true;
+                        }
+                        mark_dirty(&mut dirty, fd);
+                    }
+                }
+                fd => {
+                    let Some(conn) = conns.get_mut(&fd) else { continue };
+                    if mask & sys::EPOLLERR != 0 {
+                        close_fds.push(fd);
+                        continue;
+                    }
+                    if mask & sys::EPOLLOUT != 0 {
+                        // The parked remainder may fit now.
+                        mark_dirty(&mut dirty, fd);
+                    }
+                    if mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0 {
+                        match read_ready(&shared, conn, &mut scratch, now) {
+                            ReadOutcome::Open { wrote } => {
+                                if wrote {
+                                    mark_dirty(&mut dirty, fd);
+                                }
+                            }
+                            ReadOutcome::Close => close_fds.push(fd),
+                        }
+                    }
+                }
+            }
+        }
+        for &fd in &dirty {
+            let Some(conn) = conns.get_mut(&fd) else { continue };
+            if flush_conn(&poller, &shared, conn).is_err() || conn.closeable() {
+                close_fds.push(fd);
+            }
+        }
+        for fd in close_fds.drain(..) {
+            close_conn(&poller, &shared, &mut conns, &mut by_session, fd);
+        }
+        if now >= next_sweep {
+            next_sweep = now + tick;
+            sweep(&poller, &shared, &mut conns, &mut by_session, now);
+            shared.server_sink.observe("reactor_open_conns", conns.len() as u64);
+        }
+    }
+    // Stop: wave goodbye to every session, best-effort, like the
+    // threaded readers do when they notice the flag.
+    let fds: Vec<u64> = conns.keys().copied().collect();
+    for fd in fds {
+        if let Some(conn) = conns.get_mut(&fd) {
+            push_bye(&mut conn.outq);
+            let _ = conn.outq.flush(&mut conn.stream);
+        }
+        close_conn(&poller, &shared, &mut conns, &mut by_session, fd);
+    }
+}
+
+/// Record a connection as needing a flush this wakeup, once.
+fn mark_dirty(dirty: &mut Vec<u64>, fd: u64) {
+    if !dirty.contains(&fd) {
+        dirty.push(fd);
+    }
+}
+
+fn push_bye(outq: &mut OutQueue) {
+    if let Ok(wire) = frame::encode_frame(FrameKind::Bye, b"") {
+        outq.push(wire, None);
+    }
+}
+
+fn push_err(outq: &mut OutQueue, msg: &[u8]) {
+    if let Ok(wire) = frame::encode_frame(FrameKind::Err, msg) {
+        outq.push(wire, None);
+    }
+}
+
+/// Drain the listener backlog: admit below the cap, refuse with `Busy`
+/// at it (the accepted socket is still blocking — `accept` does not
+/// inherit `O_NONBLOCK` — so the refusal write is synchronous
+/// best-effort, exactly like the threaded acceptor's).
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &Poller,
+    shared: &Shared,
+    conns: &mut HashMap<u64, Conn>,
+    by_session: &mut HashMap<u64, u64>,
+    next_session: &mut u64,
+    now: Instant,
+) {
+    loop {
+        let mut stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        if conns.len() >= shared.max_sessions {
+            let _ = frame::write_frame(&mut stream, FrameKind::Busy, b"max sessions");
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let id = *next_session;
+        *next_session += 1;
+        // Shadow-audit sampling, decided once per session — the same
+        // 1-in-N rule as the threaded path.
+        let audited = shared.audit.as_ref().is_some_and(|a| {
+            let hit = a.bank.is_enabled() && id.is_multiple_of(a.sample_every);
+            if hit {
+                a.bank.session_sampled();
+            }
+            hit
+        });
+        let fd = stream.as_raw_fd();
+        if poller.add(fd, sys::EPOLLIN | sys::EPOLLRDHUP, fd as u64).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        shared.sessions_served.fetch_add(1, Ordering::SeqCst);
+        by_session.insert(id, fd as u64);
+        conns.insert(fd as u64, Conn::new(stream, id, now, audited));
+        shared.reactor_sessions.store(conns.len() as u64, Ordering::SeqCst);
+    }
+}
+
+/// What one readiness turn on a connection's read side concluded.
+enum ReadOutcome {
+    Open { wrote: bool },
+    Close,
+}
+
+/// Pull bytes, decode frames, submit `Data` to the shard pool — the
+/// per-connection half of `serve_conn`, minus the thread.
+fn read_ready(shared: &Shared, conn: &mut Conn, scratch: &mut [u8], now: Instant) -> ReadOutcome {
+    // Split the connection into disjoint field borrows: the decoder
+    // yields payload slices borrowed from `reader` while the rest of
+    // the state machine is updated alongside.
+    let Conn {
+        stream,
+        session,
+        reader,
+        frame_started,
+        seq,
+        pending,
+        outq,
+        draining,
+        drain_deadline,
+        close_when_flushed,
+        last_active,
+        mirror,
+        ..
+    } = conn;
+    let session = *session;
+    let mut wrote = false;
+    let mut consumed = 0usize;
+    'read: while !*draining && !*close_when_flushed && consumed < READ_BUDGET {
+        let n = match stream.read(scratch) {
+            Ok(0) => {
+                if reader.buffered() > 0 {
+                    // The peer died inside a frame: same accounting as
+                    // the threaded path's protocol error, though nobody
+                    // is left to read an Err frame.
+                    shared.server_sink.add(Stat::MalformedRejected, 1);
+                }
+                return ReadOutcome::Close;
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'read,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Close,
+        };
+        consumed += n;
+        if frame_started.is_none() {
+            *frame_started = Some(Instant::now());
+        }
+        reader.push(&scratch[..n]);
+        loop {
+            let frame = match reader.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(e) => {
+                    shared.server_sink.add(Stat::MalformedRejected, 1);
+                    push_err(outq, e.to_string().as_bytes());
+                    wrote = true;
+                    *close_when_flushed = true;
+                    break 'read;
+                }
+            };
+            *last_active = now;
+            // Close this frame's read window; the lead back-dates the
+            // span so frame_read covers the buffering time.
+            let lead = frame_started
+                .take()
+                .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+                .unwrap_or(0);
+            match frame.kind {
+                FrameKind::Data => {
+                    let mut span = shared.tracing.as_ref().map(|t| {
+                        let mut span = t.recorder.begin_with_lead(lead);
+                        span.set_ids(session, u64::from(*seq));
+                        span.stamp(Stage::FrameRead);
+                        span
+                    });
+                    if let Some(flight) = &shared.flight {
+                        flight.record(
+                            TraceEvent::new("ingest_frame")
+                                .field("session", session)
+                                .field("seq", *seq)
+                                .field("bytes", frame.payload.len() as u64),
+                        );
+                    }
+                    // Zero-copy hand-off: the pool message is built
+                    // straight from the borrowed payload slice.
+                    let msg = build_msg(session, *seq, frame.payload);
+                    if let Some(span) = span.as_mut() {
+                        span.stamp(Stage::Parse);
+                        span.stamp(Stage::SessionLookup);
+                    }
+                    // Count the frame in flight *before* submitting —
+                    // though here the counter is reactor-local, so the
+                    // ordering is about bookkeeping, not races.
+                    *pending += 1;
+                    match shared.pool.submit_to(session, ShardMsg::new(msg).with_span(span)) {
+                        SubmitOutcome::Accepted => {
+                            if let Some(state) = &shared.state {
+                                state.set_overloaded(false);
+                            }
+                            // Mirror only *accepted* frames for the
+                            // audit lane.
+                            if let Some(a) = &shared.audit {
+                                if let Some((frames, bytes)) = mirror.as_mut() {
+                                    if *bytes + frame.payload.len() <= a.max_bytes {
+                                        *bytes += frame.payload.len();
+                                        frames.push(frame.payload.to_vec());
+                                    }
+                                }
+                            }
+                        }
+                        SubmitOutcome::Shed => {
+                            *pending -= 1;
+                            if let Some(state) = &shared.state {
+                                state.set_overloaded(true);
+                            }
+                            if let Ok(wire) =
+                                frame::encode_frame(FrameKind::Busy, &seq.to_le_bytes())
+                            {
+                                outq.push(wire, None);
+                                wrote = true;
+                            }
+                        }
+                        SubmitOutcome::Closed => {
+                            *pending -= 1;
+                            push_err(outq, b"server shutting down");
+                            wrote = true;
+                            *close_when_flushed = true;
+                            break 'read;
+                        }
+                    }
+                    *seq = seq.wrapping_add(1);
+                }
+                FrameKind::Close => {
+                    *draining = true;
+                    if *pending == 0 {
+                        push_bye(outq);
+                        wrote = true;
+                        *close_when_flushed = true;
+                    } else {
+                        *drain_deadline = Some(now + shared.drain_deadline);
+                    }
+                    break 'read;
+                }
+                other => {
+                    shared.server_sink.add(Stat::MalformedRejected, 1);
+                    push_err(outq, format!("unexpected client frame {other:?}").as_bytes());
+                    wrote = true;
+                    *close_when_flushed = true;
+                    break 'read;
+                }
+            }
+            // Leftover buffered bytes already belong to the next
+            // frame: its read window starts now.
+            if reader.buffered() > 0 {
+                *frame_started = Some(Instant::now());
+            }
+        }
+    }
+    ReadOutcome::Open { wrote }
+}
+
+/// Flush a connection's out queue as one vectored batch, finish the
+/// spans whose frames hit the kernel, and (re-)arm `EPOLLOUT` to match
+/// the backpressure state.
+fn flush_conn(poller: &Poller, shared: &Shared, conn: &mut Conn) -> Result<(), ()> {
+    let out = match conn.outq.flush(&mut conn.stream) {
+        Ok(out) => out,
+        Err(_) => return Err(()),
+    };
+    if out.frames > 0 {
+        shared.server_sink.observe("ack_batch_frames", out.frames as u64);
+    }
+    if let Some(tracing) = &shared.tracing {
+        for mut span in out.spans {
+            span.stamp(Stage::AckWrite);
+            tracing.slo.observe(&span);
+            tracing.recorder.record(&span);
+        }
+    }
+    let fd = conn.stream.as_raw_fd();
+    if out.blocked && !conn.want_write {
+        conn.want_write = true;
+        let _ = poller.modify(fd, sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLOUT, fd as u64);
+    } else if !out.blocked && conn.want_write {
+        conn.want_write = false;
+        let _ = poller.modify(fd, sys::EPOLLIN | sys::EPOLLRDHUP, fd as u64);
+    }
+    Ok(())
+}
+
+/// Tear a connection down: deregister, close the socket, and hand any
+/// mirrored payloads to the audit lane (same shed rules as the
+/// threaded path).
+fn close_conn(
+    poller: &Poller,
+    shared: &Shared,
+    conns: &mut HashMap<u64, Conn>,
+    by_session: &mut HashMap<u64, u64>,
+    fd: u64,
+) {
+    let Some(mut conn) = conns.remove(&fd) else { return };
+    poller.del(conn.stream.as_raw_fd());
+    by_session.remove(&conn.session);
+    if let Some(a) = &shared.audit {
+        if let Some((frames, _)) = conn.mirror.take() {
+            a.finish_session(conn.session, frames);
+        }
+    }
+    let _ = conn.stream.shutdown(Shutdown::Both);
+    shared.reactor_sessions.store(conns.len() as u64, Ordering::SeqCst);
+}
+
+/// Periodic housekeeping on the poll tick: evict idle sessions in
+/// least-recently-active order and fire overdue drain deadlines.
+fn sweep(
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, Conn>,
+    by_session: &mut HashMap<u64, u64>,
+    now: Instant,
+) {
+    let mut idle: Vec<(u64, Instant)> = conns
+        .iter()
+        .filter(|(_, c)| {
+            !c.draining
+                && !c.close_when_flushed
+                && now.duration_since(c.last_active) > shared.idle_timeout
+        })
+        .map(|(&fd, c)| (fd, c.last_active))
+        .collect();
+    idle.sort_by_key(|&(_, at)| at);
+    for (fd, _) in idle {
+        if let Some(conn) = conns.get_mut(&fd) {
+            shared.server_sink.add(Stat::SessionsEvicted, 1);
+            push_err(&mut conn.outq, format!("session {} idle timeout", conn.session).as_bytes());
+            let _ = conn.outq.flush(&mut conn.stream);
+        }
+        close_conn(poller, shared, conns, by_session, fd);
+    }
+    let mut overdue: Vec<u64> = Vec::new();
+    for (&fd, conn) in conns.iter_mut() {
+        let Some(deadline) = conn.drain_deadline else { continue };
+        if conn.draining && !conn.close_when_flushed && now > deadline {
+            shared.server_sink.add(Stat::DrainTimeouts, 1);
+            push_bye(&mut conn.outq);
+            conn.close_when_flushed = true;
+            overdue.push(fd);
+        }
+    }
+    for fd in overdue {
+        let close = match conns.get_mut(&fd) {
+            Some(conn) => {
+                let _ = conn.outq.flush(&mut conn.stream);
+                conn.closeable()
+            }
+            None => false,
+        };
+        if close {
+            close_conn(poller, shared, conns, by_session, fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poller_reports_pipe_readability() {
+        let poller = Poller::new().unwrap();
+        let pipe = WakePipe::new().unwrap();
+        poller.add(pipe.read_fd(), sys::EPOLLIN, 42).unwrap();
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0, "nothing written, nothing ready");
+        pipe.wake();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        // Copy packed fields by value before asserting on them.
+        let (mask, data) = (events[0].events, events[0].data);
+        assert_eq!(data, 42);
+        assert_ne!(mask & sys::EPOLLIN, 0);
+        pipe.drain();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0, "drain clears readiness");
+    }
+
+    #[test]
+    fn wake_pipe_coalesces_without_losing_the_signal() {
+        let poller = Poller::new().unwrap();
+        let pipe = WakePipe::new().unwrap();
+        poller.add(pipe.read_fd(), sys::EPOLLIN, 7).unwrap();
+        // Far more wakes than the pipe can buffer: extra writes drop,
+        // readiness stays level-triggered until drained.
+        for _ in 0..100_000 {
+            pipe.wake();
+        }
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        pipe.drain();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        // The signal survives coalescing: one more wake, still visible.
+        pipe.wake();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+    }
+
+    #[test]
+    fn completion_queue_delivers_in_order_and_empties() {
+        let q = CompletionQueue::new().unwrap();
+        for session in 0..100u64 {
+            q.push(Completion { session, wire: vec![0u8; 4], span: None });
+        }
+        let drained = q.drain();
+        assert_eq!(drained.len(), 100);
+        let sessions: Vec<u64> = drained.iter().map(|c| c.session).collect();
+        assert_eq!(sessions, (0..100).collect::<Vec<u64>>());
+        assert!(q.drain().is_empty(), "drain leaves the queue empty");
+    }
+
+    #[test]
+    fn poller_arms_and_disarms_write_interest() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        stream.set_nonblocking(true).unwrap();
+        let fd = stream.as_raw_fd();
+        poller.add(fd, sys::EPOLLIN, 9).unwrap();
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0, "no read interest satisfied");
+        // MOD to include EPOLLOUT: an idle socket is instantly writable.
+        poller.modify(fd, sys::EPOLLIN | sys::EPOLLOUT, 9).unwrap();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        let mask = events[0].events;
+        assert_ne!(mask & sys::EPOLLOUT, 0);
+        // MOD back to read-only interest: quiet again.
+        poller.modify(fd, sys::EPOLLIN, 9).unwrap();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        drop(listener);
+    }
+}

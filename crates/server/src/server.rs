@@ -1,9 +1,18 @@
 //! The supervised multi-session ingest server.
 //!
-//! One acceptor thread takes TCP connections; each connection becomes a
-//! session (with affinity to one shard of a [`ShardPool`]) served by its
-//! own reader thread speaking the [`crate::frame`] protocol. The moving
-//! parts:
+//! Two io-models serve the same protocol ([`IoModel`], selected by
+//! [`ServerConfig::io_model`]):
+//!
+//! * **`threads`** (default): one acceptor thread takes TCP
+//!   connections; each connection becomes a session (with affinity to
+//!   one shard of a [`ShardPool`]) served by its own reader thread
+//!   speaking the [`crate::frame`] protocol.
+//! * **`reactor`**: a single epoll-driven thread
+//!   ([`crate::reactor`]) owns every connection as a nonblocking
+//!   state machine, decodes frames zero-copy, and coalesces replies
+//!   into vectored write batches — the high-concurrency path.
+//!
+//! The moving parts common to both:
 //!
 //! * **Backpressure**: shard queues are bounded; a full queue answers
 //!   `Busy` with the shed frame's sequence number instead of blocking
@@ -32,6 +41,7 @@
 //!   it — the fast path never blocks on the audit lane.
 
 use crate::frame::{self, Frame, FrameKind};
+use crate::reactor::{self, Completion, CompletionQueue, Poller};
 use crate::session::SessionTable;
 use cfg_obs::{
     profile, AuditBank, AuditEvent, FlightRecorder, MetricsSink, Mismatch, MismatchRing,
@@ -51,6 +61,40 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which serving architecture [`IngestServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// One reader thread per connection. The default until reactor
+    /// chaos parity has soaked.
+    #[default]
+    Threads,
+    /// Single-threaded epoll reactor: nonblocking sockets, zero-copy
+    /// decode, batched vectored Acks, `EPOLLOUT` backpressure.
+    Reactor,
+}
+
+impl IoModel {
+    /// The flag spelling (`threads` / `reactor`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IoModel::Threads => "threads",
+            IoModel::Reactor => "reactor",
+        }
+    }
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<IoModel, String> {
+        match s {
+            "threads" => Ok(IoModel::Threads),
+            "reactor" => Ok(IoModel::Reactor),
+            other => Err(format!("unknown io model `{other}` (expected `threads` or `reactor`)")),
+        }
+    }
+}
 
 /// Frame tracing + SLO configuration for [`ServerConfig::trace`].
 ///
@@ -82,9 +126,9 @@ impl Default for TraceConfig {
 
 /// The tracing side-car the server threads through its stages.
 #[derive(Clone)]
-struct Tracing {
-    recorder: Arc<SpanRecorder>,
-    slo: Arc<SloTracker>,
+pub(crate) struct Tracing {
+    pub(crate) recorder: Arc<SpanRecorder>,
+    pub(crate) slo: Arc<SloTracker>,
 }
 
 /// Saturation telemetry configuration for [`ServerConfig::saturation`].
@@ -170,21 +214,42 @@ struct AuditJob {
 
 /// The audit side-car: counters, divergence evidence, and the bounded
 /// queue feeding the replay workers.
-struct Auditor {
-    bank: Arc<AuditBank>,
+pub(crate) struct Auditor {
+    pub(crate) bank: Arc<AuditBank>,
     ring: Arc<MismatchRing>,
-    sample_every: u64,
-    max_bytes: usize,
+    pub(crate) sample_every: u64,
+    pub(crate) max_bytes: usize,
     /// `SyncSender` is `Send` but not `Sync`; the mutex makes the lane
     /// shareable across session readers. `try_send` under the lock is
     /// two atomic ops — never a block.
     tx: Mutex<SyncSender<AuditJob>>,
 }
 
+impl Auditor {
+    /// Hand one finished session's mirrored payloads to the replay
+    /// lane. `try_send` on the bounded queue: a busy lane sheds the
+    /// audit (counted), never the serving path.
+    pub(crate) fn finish_session(&self, session: u64, frames: Vec<Vec<u8>>) {
+        if frames.is_empty() {
+            // Nothing tagged, nothing to check — trivially audited.
+            self.bank.session_audited();
+            return;
+        }
+        match self.tx.lock().expect("audit queue lock").try_send(AuditJob { session, frames }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => self.bank.session_shed(),
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+}
+
 /// How the server is shaped; start from `ServerConfig::default()` and
 /// override fields.
 #[derive(Clone)]
 pub struct ServerConfig {
+    /// Serving architecture: thread-per-connection or the epoll
+    /// reactor.
+    pub io_model: IoModel,
     /// Worker shards in the pool.
     pub shards: usize,
     /// Bounded queue depth per shard; a full queue sheds with `Busy`.
@@ -227,6 +292,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
+            io_model: IoModel::default(),
             shards: 2,
             queue_depth: 64,
             max_sessions: 64,
@@ -249,6 +315,7 @@ impl Default for ServerConfig {
 impl std::fmt::Debug for ServerConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerConfig")
+            .field("io_model", &self.io_model)
             .field("shards", &self.shards)
             .field("queue_depth", &self.queue_depth)
             .field("max_sessions", &self.max_sessions)
@@ -277,20 +344,28 @@ pub struct ServerReport {
     pub shard: ShardReport,
 }
 
-/// Everything the acceptor, janitor, reader and worker threads share.
-struct Shared {
-    pool: ShardPool,
+/// Everything the acceptor/reactor, janitor, reader and worker
+/// threads share.
+pub(crate) struct Shared {
+    pub(crate) pool: ShardPool,
     table: Arc<SessionTable<TcpStream>>,
-    stop: AtomicBool,
-    server_sink: Arc<StatsSink>,
-    state: Option<Arc<ServiceState>>,
-    flight: Option<Arc<FlightRecorder>>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) server_sink: Arc<StatsSink>,
+    pub(crate) state: Option<Arc<ServiceState>>,
+    pub(crate) flight: Option<Arc<FlightRecorder>>,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
-    sessions_served: AtomicU64,
-    idle_timeout: Duration,
-    drain_deadline: Duration,
-    tracing: Option<Tracing>,
-    audit: Option<Auditor>,
+    pub(crate) sessions_served: AtomicU64,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) drain_deadline: Duration,
+    pub(crate) tracing: Option<Tracing>,
+    pub(crate) audit: Option<Auditor>,
+    io_model: IoModel,
+    /// Session cap, enforced by the table (threads) or the reactor's
+    /// connection map (reactor).
+    pub(crate) max_sessions: usize,
+    /// Live-connection gauge maintained by the reactor thread (the
+    /// threaded path reads the session table instead).
+    pub(crate) reactor_sessions: AtomicU64,
 }
 
 /// A running ingest server; shut it down with
@@ -304,10 +379,14 @@ pub struct IngestServer {
     sampler_handle: Option<SamplerHandle>,
     profiler_handle: Option<ProfilerHandle>,
     audit_handles: Vec<JoinHandle<()>>,
+    /// Reactor mode: the completion queue doubles as the shutdown
+    /// nudge (threads mode unblocks the acceptor with a throwaway
+    /// connection instead).
+    wake: Option<Arc<CompletionQueue>>,
 }
 
 /// Pool-message layout: `[session u64 LE][seq u32 LE][payload…]`.
-fn build_msg(session: u64, seq: u32, payload: &[u8]) -> Vec<u8> {
+pub(crate) fn build_msg(session: u64, seq: u32, payload: &[u8]) -> Vec<u8> {
     let mut msg = Vec::with_capacity(12 + payload.len());
     msg.extend_from_slice(&session.to_le_bytes());
     msg.extend_from_slice(&seq.to_le_bytes());
@@ -347,6 +426,16 @@ impl IngestServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let table: Arc<SessionTable<TcpStream>> = Arc::new(SessionTable::new(config.max_sessions));
+
+        // Reactor plumbing is created up-front so epoll/pipe failures
+        // surface from `start` instead of killing a detached thread.
+        let reactor_io = match config.io_model {
+            IoModel::Threads => None,
+            IoModel::Reactor => {
+                listener.set_nonblocking(true)?;
+                Some((Poller::new()?, Arc::new(CompletionQueue::new()?)))
+            }
+        };
 
         // The tracing side-car: a span recorder + SLO tracker pair,
         // also attached to the service state so the HTTP exporter can
@@ -419,70 +508,140 @@ impl IngestServer {
         }
 
         // The worker handler: tag the payload with a fresh engine, then
-        // ack with the events. The ack is written *by the worker*, after
-        // processing — that ordering is the no-lost-acks guarantee.
-        let handler_table = Arc::clone(&table);
+        // ack with the events. The ack is produced *by the worker*,
+        // after processing — that ordering is the no-lost-acks
+        // guarantee. The io-models differ only in delivery: the
+        // threaded handler writes to the session's shared socket; the
+        // reactor handler serializes the reply and hands it to the
+        // completion queue (the reactor owns the socket and stamps
+        // `AckWrite` when the batch actually flushes).
+        type Handler = Box<dyn Fn(&TokenTagger, &[u8], Option<&mut Span>) + Send + Sync>;
+        type PanicHook = Arc<dyn Fn(usize, &str, &[u8]) + Send + Sync>;
         let panic_token = config.panic_token.clone();
         let engine_kind = config.engine;
-        let handler_tracing = tracing.clone();
-        let handler = move |t: &TokenTagger, msg: &[u8], mut span: Option<&mut Span>| {
-            profile::enter(Stage::Parse);
-            let Some((session, seq, payload)) = split_msg(msg) else { return };
-            if let Some(token) = &panic_token {
-                if contains(payload, token) {
-                    panic!("injected poison frame (session {session} seq {seq})");
-                }
-            }
-            profile::enter(Stage::Engine);
-            let tagged: Result<Vec<_>, Error> = (|| {
-                let mut engine = t.engine(engine_kind)?;
-                let mut events = engine.feed(payload)?;
-                events.extend(engine.finish()?);
-                Ok(events)
-            })();
-            if let Some(span) = span.as_deref_mut() {
-                span.stamp(Stage::Engine);
-            }
-            profile::enter(Stage::AckWrite);
-            if let Some(writer) = handler_table.writer(session) {
-                match tagged {
-                    Ok(events) => {
-                        let mut ack = seq.to_le_bytes().to_vec();
-                        ack.extend_from_slice(&frame::encode_events(&events));
-                        reply(&writer, FrameKind::Ack, &ack);
-                    }
-                    Err(e) => {
-                        reply(&writer, FrameKind::Err, format!("seq {seq}: {e}").as_bytes());
-                    }
-                }
-            }
-            // The span ends when the reply hit the socket: fold it into
-            // the SLO histograms and (maybe) the /spans.jsonl ring.
-            if let (Some(tracing), Some(span)) = (&handler_tracing, span.as_deref_mut()) {
-                span.stamp(Stage::AckWrite);
-                tracing.slo.observe(span);
-                tracing.recorder.record(span);
-            }
-            if let Some(pending) = handler_table.pending(session) {
-                pending.fetch_sub(1, Ordering::AcqRel);
-            }
+        let run_engine = move |t: &TokenTagger, payload: &[u8]| -> Result<Vec<TagEvent>, Error> {
+            let mut engine = t.engine(engine_kind)?;
+            let mut events = engine.feed(payload)?;
+            events.extend(engine.finish()?);
+            Ok(events)
         };
-
-        // After a caught panic the poison frame was *not* processed:
-        // tell the client with an `Err` frame and release its drain
-        // counter so `Close` does not wait on it forever.
-        let hook_table = Arc::clone(&table);
-        let on_panic = move |_shard: usize, text: &str, msg: &[u8]| {
-            let Some((session, seq, _)) = split_msg(msg) else { return };
-            if let Some(writer) = hook_table.writer(session) {
-                reply(
-                    &writer,
-                    FrameKind::Err,
-                    format!("seq {seq}: worker panic: {text}").as_bytes(),
-                );
+        let (handler, on_panic): (Handler, PanicHook) = match &reactor_io {
+            None => {
+                let handler_table = Arc::clone(&table);
+                let handler_tracing = tracing.clone();
+                let panic_token = panic_token.clone();
+                let handler = move |t: &TokenTagger, msg: &[u8], mut span: Option<&mut Span>| {
+                    profile::enter(Stage::Parse);
+                    let Some((session, seq, payload)) = split_msg(msg) else { return };
+                    if let Some(token) = &panic_token {
+                        if contains(payload, token) {
+                            panic!("injected poison frame (session {session} seq {seq})");
+                        }
+                    }
+                    profile::enter(Stage::Engine);
+                    let tagged = run_engine(t, payload);
+                    if let Some(span) = span.as_deref_mut() {
+                        span.stamp(Stage::Engine);
+                    }
+                    profile::enter(Stage::AckWrite);
+                    if let Some(writer) = handler_table.writer(session) {
+                        match tagged {
+                            Ok(events) => {
+                                let mut ack = seq.to_le_bytes().to_vec();
+                                ack.extend_from_slice(&frame::encode_events(&events));
+                                reply(&writer, FrameKind::Ack, &ack);
+                            }
+                            Err(e) => {
+                                reply(
+                                    &writer,
+                                    FrameKind::Err,
+                                    format!("seq {seq}: {e}").as_bytes(),
+                                );
+                            }
+                        }
+                    }
+                    // The span ends when the reply hit the socket: fold
+                    // it into the SLO histograms and (maybe) the
+                    // /spans.jsonl ring.
+                    if let (Some(tracing), Some(span)) = (&handler_tracing, span.as_deref_mut()) {
+                        span.stamp(Stage::AckWrite);
+                        tracing.slo.observe(span);
+                        tracing.recorder.record(span);
+                    }
+                    if let Some(pending) = handler_table.pending(session) {
+                        pending.fetch_sub(1, Ordering::AcqRel);
+                    }
+                };
+                // After a caught panic the poison frame was *not*
+                // processed: tell the client with an `Err` frame and
+                // release its drain counter so `Close` does not wait on
+                // it forever.
+                let hook_table = Arc::clone(&table);
+                let on_panic = move |_shard: usize, text: &str, msg: &[u8]| {
+                    let Some((session, seq, _)) = split_msg(msg) else { return };
+                    if let Some(writer) = hook_table.writer(session) {
+                        reply(
+                            &writer,
+                            FrameKind::Err,
+                            format!("seq {seq}: worker panic: {text}").as_bytes(),
+                        );
+                    }
+                    if let Some(pending) = hook_table.pending(session) {
+                        pending.fetch_sub(1, Ordering::AcqRel);
+                    }
+                };
+                (Box::new(handler), Arc::new(on_panic))
             }
-            if let Some(pending) = hook_table.pending(session) {
-                pending.fetch_sub(1, Ordering::AcqRel);
+            Some((_, completions)) => {
+                let done = Arc::clone(completions);
+                let handler = move |t: &TokenTagger, msg: &[u8], mut span: Option<&mut Span>| {
+                    profile::enter(Stage::Parse);
+                    let Some((session, seq, payload)) = split_msg(msg) else { return };
+                    if let Some(token) = &panic_token {
+                        if contains(payload, token) {
+                            panic!("injected poison frame (session {session} seq {seq})");
+                        }
+                    }
+                    profile::enter(Stage::Engine);
+                    let tagged = run_engine(t, payload);
+                    if let Some(span) = span.as_deref_mut() {
+                        span.stamp(Stage::Engine);
+                    }
+                    profile::enter(Stage::AckWrite);
+                    let wire = match tagged {
+                        Ok(events) => {
+                            let mut ack = seq.to_le_bytes().to_vec();
+                            ack.extend_from_slice(&frame::encode_events(&events));
+                            frame::encode_frame(FrameKind::Ack, &ack)
+                        }
+                        Err(e) => frame::encode_frame(
+                            FrameKind::Err,
+                            format!("seq {seq}: {e}").as_bytes(),
+                        ),
+                    };
+                    // An oversized ack still owes the client a reply
+                    // (and the reactor a pending-count decrement).
+                    let wire = wire
+                        .or_else(|_| {
+                            frame::encode_frame(
+                                FrameKind::Err,
+                                format!("seq {seq}: reply too large").as_bytes(),
+                            )
+                        })
+                        .expect("short Err frame is always encodable");
+                    done.push(Completion { session, wire, span: span.map(|s| s.clone()) });
+                };
+                let hook_done = Arc::clone(completions);
+                let on_panic = move |_shard: usize, text: &str, msg: &[u8]| {
+                    let Some((session, seq, _)) = split_msg(msg) else { return };
+                    if let Ok(wire) = frame::encode_frame(
+                        FrameKind::Err,
+                        format!("seq {seq}: worker panic: {text}").as_bytes(),
+                    ) {
+                        hook_done.push(Completion { session, wire, span: None });
+                    }
+                };
+                (Box::new(handler), Arc::new(on_panic))
             }
         };
 
@@ -491,7 +650,7 @@ impl IngestServer {
             backoff_base_ms: config.backoff_base_ms,
             backoff_max_ms: config.backoff_max_ms,
             flight: config.flight.clone(),
-            on_panic: Some(Arc::new(on_panic)),
+            on_panic: Some(on_panic),
             load: saturation.as_ref().map(|s| Arc::clone(&s.bank)),
             profiler: saturation.as_ref().map(|s| Arc::clone(&s.profiler)),
             profile_label: config.engine.name().to_owned(),
@@ -520,19 +679,39 @@ impl IngestServer {
             drain_deadline: config.drain_deadline,
             tracing,
             audit,
+            io_model: config.io_model,
+            max_sessions: config.max_sessions,
+            reactor_sessions: AtomicU64::new(0),
         });
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_handle = std::thread::Builder::new()
-            .name("cfgserve-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))
-            .expect("spawn acceptor");
-
-        let janitor_shared = Arc::clone(&shared);
-        let janitor_handle = std::thread::Builder::new()
-            .name("cfgserve-janitor".into())
-            .spawn(move || janitor_loop(janitor_shared))
-            .expect("spawn janitor");
+        let (accept_handle, janitor_handle, wake) = match reactor_io {
+            None => {
+                let accept_shared = Arc::clone(&shared);
+                let accept_handle = std::thread::Builder::new()
+                    .name("cfgserve-accept".into())
+                    .spawn(move || accept_loop(listener, accept_shared))
+                    .expect("spawn acceptor");
+                let janitor_shared = Arc::clone(&shared);
+                let janitor_handle = std::thread::Builder::new()
+                    .name("cfgserve-janitor".into())
+                    .spawn(move || janitor_loop(janitor_shared))
+                    .expect("spawn janitor");
+                (accept_handle, Some(janitor_handle), None)
+            }
+            Some((poller, completions)) => {
+                // One thread does it all — accept, read, submit, flush;
+                // idle sweeping rides the poll tick, so no janitor.
+                let reactor_shared = Arc::clone(&shared);
+                let reactor_completions = Arc::clone(&completions);
+                let handle = std::thread::Builder::new()
+                    .name("cfgserve-reactor".into())
+                    .spawn(move || {
+                        reactor::run_reactor(listener, poller, reactor_completions, reactor_shared)
+                    })
+                    .expect("spawn reactor");
+                (handle, None, Some(completions))
+            }
+        };
 
         let sampler_handle = saturation.as_ref().map(|s| s.series.start_sampler());
         let profiler_handle = match (&saturation, &config.saturation) {
@@ -544,11 +723,12 @@ impl IngestServer {
             addr,
             shared,
             accept_handle: Some(accept_handle),
-            janitor_handle: Some(janitor_handle),
+            janitor_handle,
             saturation,
             sampler_handle,
             profiler_handle,
             audit_handles,
+            wake,
         })
     }
 
@@ -559,7 +739,10 @@ impl IngestServer {
 
     /// Live session count right now.
     pub fn sessions(&self) -> usize {
-        self.shared.table.len()
+        match self.shared.io_model {
+            IoModel::Threads => self.shared.table.len(),
+            IoModel::Reactor => self.shared.reactor_sessions.load(Ordering::SeqCst) as usize,
+        }
     }
 
     /// The span recorder, when tracing is configured — the source
@@ -617,8 +800,14 @@ impl IngestServer {
             h.stop();
         }
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with one throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        // Unblock the serving thread: nudge the reactor's wake pipe, or
+        // hand the blocking acceptor one throwaway connection.
+        match &self.wake {
+            Some(completions) => completions.wake(),
+            None => {
+                let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            }
+        }
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
@@ -650,7 +839,8 @@ impl std::fmt::Debug for IngestServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IngestServer")
             .field("addr", &self.addr)
-            .field("sessions", &self.shared.table.len())
+            .field("io_model", &self.shared.io_model)
+            .field("sessions", &self.sessions())
             .finish_non_exhaustive()
     }
 }
@@ -708,10 +898,12 @@ enum Poll {
 /// An incremental frame parser that survives read timeouts mid-frame —
 /// a slow-loris client dribbling one byte per second must cost the
 /// server only buffered bytes, never a blocked thread or lost partial
-/// frame.
+/// frame. Decoding itself is delegated to the shared
+/// [`frame::FrameReader`] (the same one the reactor drives zero-copy);
+/// this wrapper adds the blocking-read pump and the span-lead clock.
 #[derive(Default)]
 struct FrameReader {
-    buf: Vec<u8>,
+    inner: frame::FrameReader,
     /// When the first byte of the frame currently being buffered
     /// arrived — the lead a tracing span is back-dated by, so the
     /// `frame_read` stage covers the socket reads that happened before
@@ -724,22 +916,33 @@ impl FrameReader {
     fn poll<R: Read>(&mut self, r: &mut R) -> Result<Poll, Error> {
         let mut chunk = [0u8; 4096];
         loop {
-            if let Some(frame) = self.try_parse()? {
+            let decoded = self.inner.next_frame()?.map(|f| f.to_frame());
+            if let Some(frame) = decoded {
+                // Close this frame's read window; leftover buffered
+                // bytes already belong to the next frame, so its clock
+                // starts now.
+                let started = self.frame_started.take();
+                self.last_lead_ns = started
+                    .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+                    .unwrap_or(0);
+                if self.inner.buffered() > 0 {
+                    self.frame_started = Some(Instant::now());
+                }
                 return Ok(Poll::Frame(frame));
             }
             match r.read(&mut chunk) {
-                Ok(0) if self.buf.is_empty() => return Ok(Poll::Eof),
+                Ok(0) if self.inner.buffered() == 0 => return Ok(Poll::Eof),
                 Ok(0) => {
                     return Err(Error::Protocol(format!(
                         "connection closed inside a frame ({} bytes buffered)",
-                        self.buf.len()
+                        self.inner.buffered()
                     )))
                 }
                 Ok(n) => {
                     if self.frame_started.is_none() {
                         self.frame_started = Some(Instant::now());
                     }
-                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.inner.push(&chunk[..n]);
                 }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
@@ -750,35 +953,6 @@ impl FrameReader {
                 Err(e) => return Err(Error::Io(e)),
             }
         }
-    }
-
-    fn try_parse(&mut self) -> Result<Option<Frame>, Error> {
-        if self.buf.len() < frame::HEADER_LEN {
-            return Ok(None);
-        }
-        let kind = FrameKind::from_byte(self.buf[0])
-            .ok_or_else(|| Error::Protocol(format!("unknown frame kind 0x{:02x}", self.buf[0])))?;
-        let len = u32::from_le_bytes(self.buf[1..5].try_into().expect("4 header bytes")) as usize;
-        if len > frame::MAX_FRAME {
-            return Err(Error::Protocol(format!(
-                "{len}-byte frame exceeds max {}",
-                frame::MAX_FRAME
-            )));
-        }
-        if self.buf.len() < frame::HEADER_LEN + len {
-            return Ok(None);
-        }
-        let payload = self.buf[frame::HEADER_LEN..frame::HEADER_LEN + len].to_vec();
-        self.buf.drain(..frame::HEADER_LEN + len);
-        // Close this frame's read window; leftover buffered bytes
-        // already belong to the next frame, so its clock starts now.
-        let started = self.frame_started.take();
-        self.last_lead_ns =
-            started.map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)).unwrap_or(0);
-        if !self.buf.is_empty() {
-            self.frame_started = Some(Instant::now());
-        }
-        Ok(Some(Frame { kind, payload }))
     }
 
     /// Nanoseconds spent buffering the most recently parsed frame.
@@ -908,21 +1082,9 @@ fn serve_conn(shared: Arc<Shared>, mut stream: TcpStream, id: u64, writer: Arc<M
             }
         }
     }
-    // Hand the mirrored session to the audit lane. `try_send` on the
-    // bounded queue: a busy lane sheds the audit (counted), never the
-    // serving path.
+    // Hand the mirrored session to the audit lane.
     if let (Some(a), Some((frames, _))) = (audit, mirrored.take()) {
-        if frames.is_empty() {
-            // Nothing tagged, nothing to check — trivially audited.
-            a.bank.session_audited();
-        } else {
-            match a.tx.lock().expect("audit queue lock").try_send(AuditJob { session: id, frames })
-            {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => a.bank.session_shed(),
-                Err(TrySendError::Disconnected(_)) => {}
-            }
-        }
+        a.finish_session(id, frames);
     }
     shared.table.close(id);
     let _ = stream.shutdown(Shutdown::Both);
