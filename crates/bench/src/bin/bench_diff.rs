@@ -1,8 +1,15 @@
 //! Compares the two most recent rows of each `bench_results/*.json`
 //! JSONL history and prints per-metric deltas.
 //!
-//! Direction matters: `*_ns_per_byte` / `*_pct` / `*_us` metrics are
-//! lower-is-better, `*_per_sec` / `*_gbps` / `*_mbps` are
+//! Histories may interleave several *series* in one file: rows carrying
+//! an `engine` string field (e.g. the per-engine `fast_throughput`
+//! rows) are grouped by that value and each group diffs its own last
+//! two rows, so a simd row never diffs against the combined scalar/bit
+//! row — and legacy rows without the field keep comparing exactly as
+//! before.
+//!
+//! Direction matters: `*ns_per_byte` / `*_pct` / `*_us` metrics are
+//! lower-is-better, `*_per_sec` / `*gbps` / `*_mbps` are
 //! higher-is-better; everything else is reported without a verdict. A
 //! regression worse than 10% on any directional metric makes the
 //! process exit non-zero — CI runs it **non-gating** (`|| true`), so
@@ -39,8 +46,11 @@ fn direction(key: &str) -> Direction {
     // Correctness metrics ride the same verdicts as timing ones:
     // `_precision_pct` up is good (the bare `_pct` gauges stay
     // informational), `_fp_per_mb` is a false-positive density, so
-    // down is good like any latency.
+    // down is good like any latency. The bare `ns_per_byte` / `gbps`
+    // spellings come from per-engine rows (an `engine` field names the
+    // series, so the metric needs no prefix).
     if key.ends_with("_ns_per_byte")
+        || key == "ns_per_byte"
         || key.ends_with("_overhead_pct")
         || key.ends_with("_us")
         || key.ends_with("_fp_per_mb")
@@ -48,6 +58,7 @@ fn direction(key: &str) -> Direction {
         Direction::LowerIsBetter
     } else if key.ends_with("_per_sec")
         || key.ends_with("_gbps")
+        || key == "gbps"
         || key.ends_with("_mbps")
         || key.ends_with("_precision_pct")
     {
@@ -91,12 +102,29 @@ fn compare_rows(prev: &Json, cur: &Json) -> Vec<Delta> {
     out
 }
 
-/// The last two non-empty lines of a JSONL body, parsed.
-fn last_two_rows(body: &str) -> Option<(Json, Json)> {
-    let mut rows = body.lines().filter(|l| !l.trim().is_empty()).rev();
-    let cur = Json::parse(rows.next()?).ok()?;
-    let prev = Json::parse(rows.next()?).ok()?;
-    Some((prev, cur))
+/// The last two rows of every series in a JSONL body. Rows are grouped
+/// by their `engine` string field (rows without one — every history
+/// predating per-engine rows — form the `""` group); each group with
+/// two or more rows yields `(series, prev, cur)`. Group order follows
+/// first appearance in the file.
+fn last_two_rows_per_series(body: &str) -> Vec<(String, Json, Json)> {
+    let mut groups: Vec<(String, Vec<Json>)> = Vec::new();
+    for line in body.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(row) = Json::parse(line) else { continue };
+        let series = row.get("engine").and_then(Json::as_str).unwrap_or("").to_owned();
+        match groups.iter_mut().find(|(s, _)| *s == series) {
+            Some((_, rows)) => rows.push(row),
+            None => groups.push((series, vec![row])),
+        }
+    }
+    groups
+        .into_iter()
+        .filter_map(|(series, mut rows)| {
+            let cur = rows.pop()?;
+            let prev = rows.pop()?;
+            Some((series, prev, cur))
+        })
+        .collect()
 }
 
 fn main() {
@@ -117,35 +145,42 @@ fn main() {
         }
         let Ok(body) = std::fs::read_to_string(&path) else { continue };
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_owned();
-        let Some((prev, cur)) = last_two_rows(&body) else {
-            println!("{name}: no history (need two JSONL rows); skipped");
-            continue;
-        };
-        let deltas = compare_rows(&prev, &cur);
-        if deltas.is_empty() {
-            println!("{name}: no shared numeric fields; skipped");
+        let series = last_two_rows_per_series(&body);
+        if series.is_empty() {
+            println!("{name}: no history (need two JSONL rows per series); skipped");
             continue;
         }
-        compared_any = true;
-        println!("{name}: latest vs previous");
-        for d in &deltas {
-            let pct = if d.prev != 0.0 { (d.cur - d.prev) / d.prev * 100.0 } else { 0.0 };
-            let verdict = match d.regression {
-                Some(r) if r > THRESHOLD => {
-                    regressed = true;
-                    "  << REGRESSION"
-                }
-                Some(r) if r < -THRESHOLD => "  (improved)",
-                Some(_) => "",
-                None => "  (info)",
-            };
-            println!("  {:<28} {:>14.4} -> {:>14.4}  {pct:+8.2}%{verdict}", d.key, d.prev, d.cur);
-        }
-        if let Some(spread) = noisy_spread(&cur) {
-            println!(
-                "  WARNING: rep-to-rep spread {spread:.1}% exceeds {SPREAD_WARN_PCT:.0}% — \
-                 this row is too noisy for its verdicts to mean much (non-gating)"
-            );
+        for (group, prev, cur) in series {
+            let label = if group.is_empty() { name.clone() } else { format!("{name}[{group}]") };
+            let deltas = compare_rows(&prev, &cur);
+            if deltas.is_empty() {
+                println!("{label}: no shared numeric fields; skipped");
+                continue;
+            }
+            compared_any = true;
+            println!("{label}: latest vs previous");
+            for d in &deltas {
+                let pct = if d.prev != 0.0 { (d.cur - d.prev) / d.prev * 100.0 } else { 0.0 };
+                let verdict = match d.regression {
+                    Some(r) if r > THRESHOLD => {
+                        regressed = true;
+                        "  << REGRESSION"
+                    }
+                    Some(r) if r < -THRESHOLD => "  (improved)",
+                    Some(_) => "",
+                    None => "  (info)",
+                };
+                println!(
+                    "  {:<28} {:>14.4} -> {:>14.4}  {pct:+8.2}%{verdict}",
+                    d.key, d.prev, d.cur
+                );
+            }
+            if let Some(spread) = noisy_spread(&cur) {
+                println!(
+                    "  WARNING: rep-to-rep spread {spread:.1}% exceeds {SPREAD_WARN_PCT:.0}% — \
+                     this row is too noisy for its verdicts to mean much (non-gating)"
+                );
+            }
         }
     }
     if !compared_any {
@@ -172,6 +207,10 @@ mod tests {
         assert_eq!(direction("noop_overhead_pct"), Direction::LowerIsBetter);
         assert_eq!(direction("msgs_per_sec"), Direction::HigherIsBetter);
         assert_eq!(direction("bandwidth_gbps"), Direction::HigherIsBetter);
+        // Per-engine rows spell the metric bare (the `engine` field
+        // names the series); same verdicts as the prefixed forms.
+        assert_eq!(direction("ns_per_byte"), Direction::LowerIsBetter);
+        assert_eq!(direction("gbps"), Direction::HigherIsBetter);
         assert_eq!(direction("e2e_p50_us"), Direction::LowerIsBetter);
         assert_eq!(direction("queue_wait_p50_us"), Direction::LowerIsBetter);
         assert_eq!(direction("bytes"), Direction::Informational);
@@ -296,10 +335,40 @@ mod tests {
 
     #[test]
     fn last_two_rows_needs_history() {
-        assert!(last_two_rows("{\"a\":1}\n").is_none());
-        assert!(last_two_rows("").is_none());
-        let (prev, cur) = last_two_rows("{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n").unwrap();
+        assert!(last_two_rows_per_series("{\"a\":1}\n").is_empty());
+        assert!(last_two_rows_per_series("").is_empty());
+        let series = last_two_rows_per_series("{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n");
+        assert_eq!(series.len(), 1);
+        let (group, prev, cur) = &series[0];
+        assert_eq!(group, "");
         assert_eq!(prev.get("a").and_then(Json::as_u64), Some(2));
         assert_eq!(cur.get("a").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn engine_rows_form_their_own_series() {
+        // A fast_throughput-style history: legacy combined rows
+        // interleaved with per-engine simd rows. Each series diffs its
+        // own last two; the simd row never diffs against the combined
+        // row even though it is the file's final line.
+        let body = "{\"bit_ns_per_byte\":4.5}\n\
+                    {\"engine\":\"simd\",\"ns_per_byte\":0.9}\n\
+                    {\"bit_ns_per_byte\":4.4}\n\
+                    {\"engine\":\"simd\",\"ns_per_byte\":0.8}\n";
+        let series = last_two_rows_per_series(body);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, "");
+        assert_eq!(series[0].1.get("bit_ns_per_byte").and_then(Json::as_f64), Some(4.5));
+        assert_eq!(series[0].2.get("bit_ns_per_byte").and_then(Json::as_f64), Some(4.4));
+        assert_eq!(series[1].0, "simd");
+        assert_eq!(series[1].2.get("ns_per_byte").and_then(Json::as_f64), Some(0.8));
+        // A lone simd row in an otherwise legacy history is tolerated:
+        // the legacy series still compares, simd waits for a second row.
+        let sparse = "{\"bit_ns_per_byte\":4.5}\n\
+                      {\"bit_ns_per_byte\":4.4}\n\
+                      {\"engine\":\"simd\",\"ns_per_byte\":0.9}\n";
+        let series = last_two_rows_per_series(sparse);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].0, "");
     }
 }

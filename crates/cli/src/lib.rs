@@ -17,8 +17,8 @@
 //! cfgtag audit  <host:port> [opts]               live correctness view: precision + divergences
 //! ```
 //!
-//! Options for `tag`: `--engine {bit,scalar,gate}` (which engine tags
-//! the stream; `--gate` is the legacy alias for `--engine gate`),
+//! Options for `tag`: `--engine {bit,scalar,gate,simd}` (which engine
+//! tags the stream; `--gate` is the legacy alias for `--engine gate`),
 //! `--always` (scan at every alignment), `--recover` (§5.2
 //! error recovery), `--no-context` (skip token duplication), `--stats`
 //! (counter/timing report after the events), `--trace-out PATH` (write
@@ -120,7 +120,7 @@ impl From<String> for CliOutput {
 /// Parsed `tag` options.
 #[derive(Debug, Default, Clone)]
 pub struct TagFlags {
-    /// Which engine tags the stream (`--engine bit|scalar|gate`;
+    /// Which engine tags the stream (`--engine bit|scalar|gate|simd`;
     /// `--gate` is the legacy alias for `--engine gate`).
     pub engine: EngineKind,
     /// Scan at every byte alignment.
@@ -241,13 +241,15 @@ pub fn cmd_tag(grammar_text: &str, input: &[u8], flags: &TagFlags) -> Result<Cli
         ]))),
         None => Metrics::new(sink.clone()),
     };
-    // One construction path for all three engines: the trait object
-    // from [`TokenTagger::engine`]. The gate kind arrives pre-wrapped
-    // in a `GateStream` (span recovery + functional liveness mirror).
+    // One construction path for all four engines: the trait object
+    // from [`TokenTagger::engine`], driven through the slice-first API.
+    // The gate kind arrives pre-wrapped in a `GateStream` (span
+    // recovery + functional liveness mirror).
     let tagger = tagger.with_metrics(metrics);
     let mut engine = tagger.engine(flags.engine).map_err(CliError::from)?;
-    let mut events = engine.feed(input).map_err(CliError::from)?;
-    events.extend(engine.finish().map_err(CliError::from)?);
+    let mut events = Vec::new();
+    engine.feed_slice(input, &mut events).map_err(CliError::from)?;
+    engine.finish_into(&mut events).map_err(CliError::from)?;
     let ended_dead = engine.is_dead();
     let mut out = String::new();
     let _ = writeln!(out, "{:<20} {:>6} {:>6}  lexeme / context", "token", "start", "end");
@@ -545,7 +547,7 @@ mod tests {
     fn tag_all_engines_agree() {
         let input = b"if true then go else stop";
         let fast = cmd_tag(ITE, input, &TagFlags::default()).unwrap();
-        for kind in [EngineKind::Scalar, EngineKind::Gate] {
+        for kind in [EngineKind::Scalar, EngineKind::Gate, EngineKind::Simd] {
             let other =
                 cmd_tag(ITE, input, &TagFlags { engine: kind, ..Default::default() }).unwrap();
             assert_eq!(fast.text, other.text, "engine {kind}");
@@ -657,6 +659,7 @@ mod tests {
             (vec!["--engine", "bit"], EngineKind::Bit),
             (vec!["--engine", "scalar"], EngineKind::Scalar),
             (vec!["--engine", "gate"], EngineKind::Gate),
+            (vec!["--engine", "simd"], EngineKind::Simd),
             (vec!["--gate"], EngineKind::Gate),
         ] {
             let (f, _) = TagFlags::parse(&argv(&args)).unwrap();

@@ -510,7 +510,7 @@ pub fn main_io(args: &[String]) -> i32 {
             "usage: cfgtag serve <grammar.y> [input] [--port N] [--loop N] [--recover] [--always] \
              [--chunk N] [--max-bytes N] [--shards N] [--flight-out PATH] [--flight-capacity N]\n\
              \x20      cfgtag serve <grammar.y> --listen ADDR [--io-model threads|reactor] \
-             [--engine bit|scalar|gate] [--max-sessions N] [--idle-timeout-ms N] \
+             [--engine bit|scalar|gate|simd] [--max-sessions N] [--idle-timeout-ms N] \
              [--queue-depth N] [--panic-token S] [--trace-sample N] [--slo-ms X] \
              [--sample-hz N] [--audit-sample N]"
         );

@@ -521,8 +521,9 @@ impl IngestServer {
         let engine_kind = config.engine;
         let run_engine = move |t: &TokenTagger, payload: &[u8]| -> Result<Vec<TagEvent>, Error> {
             let mut engine = t.engine(engine_kind)?;
-            let mut events = engine.feed(payload)?;
-            events.extend(engine.finish()?);
+            let mut events = Vec::new();
+            engine.feed_slice(payload, &mut events)?;
+            engine.finish_into(&mut events)?;
             Ok(events)
         };
         let (handler, on_panic): (Handler, PanicHook) = match &reactor_io {
@@ -1158,8 +1159,9 @@ fn audit_frame(
         return;
     };
     let mut scalar = tagger.scalar_engine();
-    let mut reference = scalar.feed(payload);
-    reference.extend(scalar.finish());
+    let mut reference = Vec::new();
+    scalar.feed_into(payload, &mut reference);
+    scalar.finish_into(&mut reference);
     if fast != reference {
         bank.divergence();
         ring.record(build_mismatch(session, frame, payload, &fast, &reference));
@@ -1191,8 +1193,9 @@ fn replay_events(
     payload: &[u8],
 ) -> Result<Vec<TagEvent>, Error> {
     let mut engine = tagger.engine(kind)?;
-    let mut events = engine.feed(payload)?;
-    events.extend(engine.finish()?);
+    let mut events = Vec::new();
+    engine.feed_slice(payload, &mut events)?;
+    engine.finish_into(&mut events)?;
     Ok(events)
 }
 

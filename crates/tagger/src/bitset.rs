@@ -37,43 +37,47 @@ use cfg_regex::ByteSet;
 use std::sync::Arc;
 
 /// Shared bit-parallel tables for one compiled grammar.
+///
+/// Fields are `pub(crate)` so the wide-stepping front end
+/// ([`crate::SimdEngine`]) can derive its composed ROMs and run-class
+/// LUTs from the same source of truth instead of duplicating the build.
 #[derive(Debug, Clone)]
 pub struct BitTables {
     /// Words per global position mask (`ceil(positions/64)`).
-    words: usize,
+    pub(crate) words: usize,
     /// Words per token mask (`ceil(tokens/64)`).
-    twords: usize,
+    pub(crate) twords: usize,
     /// Total global positions.
-    positions: usize,
+    pub(crate) positions: usize,
     /// Global bit offset per token (length `tokens + 1`).
-    offset: Vec<usize>,
+    pub(crate) offset: Vec<usize>,
     /// Owning token of each global position.
-    pos_token: Vec<u32>,
+    pub(crate) pos_token: Vec<u32>,
     /// Byte→candidate-positions decode ROM: 256 rows × `words`.
-    class_rom: Vec<u64>,
+    pub(crate) class_rom: Vec<u64>,
     /// Byte→continuation-positions ROM: 256 rows × `words`.
-    cont_rom: Vec<u64>,
+    pub(crate) cont_rom: Vec<u64>,
     /// FOLLOW mask per global position (`positions` rows × `words`).
-    follow: Vec<u64>,
+    pub(crate) follow: Vec<u64>,
     /// Predecessor mask per global position (inverted FOLLOW).
-    pred: Vec<u64>,
+    pub(crate) pred: Vec<u64>,
     /// FIRST-position mask per token (`tokens` rows × `words`).
-    first_masks: Vec<u64>,
+    pub(crate) first_masks: Vec<u64>,
     /// OR of `first_masks` over the start set (the §3.3 start pulse).
-    start_first_mask: Vec<u64>,
+    pub(crate) start_first_mask: Vec<u64>,
     /// LAST positions, globally.
-    last_mask: Vec<u64>,
+    pub(crate) last_mask: Vec<u64>,
     /// Tokens in FIRST(start), as a token bitset.
-    start_tokens: Vec<u64>,
+    pub(crate) start_tokens: Vec<u64>,
     /// FOLLOW(token) as token bitsets (`tokens` rows × `twords`).
-    follower_words: Vec<u64>,
+    pub(crate) follower_words: Vec<u64>,
     /// FOLLOW(token) as ascending index lists — the gated probe/trace
     /// path iterates these so edge attribution matches the scalar engine.
-    follower_lists: Vec<Vec<usize>>,
-    delim: ByteSet,
-    always: bool,
-    longest: bool,
-    error_recovery: bool,
+    pub(crate) follower_lists: Vec<Vec<usize>>,
+    pub(crate) delim: ByteSet,
+    pub(crate) always: bool,
+    pub(crate) longest: bool,
+    pub(crate) error_recovery: bool,
 }
 
 impl BitTables {
@@ -217,9 +221,9 @@ impl BitTables {
 /// [`BitEngine::finish`] to drain the final lookahead byte.
 #[derive(Debug)]
 pub struct BitEngine {
-    tables: Arc<BitTables>,
+    pub(crate) tables: Arc<BitTables>,
     /// Active position bitset (valid after the last committed step).
-    active: Vec<u64>,
+    pub(crate) active: Vec<u64>,
     /// Scratch: next active bitset (double-buffered per byte).
     next: Vec<u64>,
     /// Scratch: first-position enables for this byte.
@@ -227,28 +231,28 @@ pub struct BitEngine {
     /// Scratch: enabled-token bitset for this byte.
     enabled: Vec<u64>,
     /// Lexeme start per global position; valid where `active` is set.
-    starts: Vec<usize>,
+    pub(crate) starts: Vec<usize>,
     next_starts: Vec<usize>,
     /// Token bitset: enables pulsed by matches on the previous byte.
-    set_now: Vec<u64>,
+    pub(crate) set_now: Vec<u64>,
     /// Token bitset: arm registers (enables held across delimiters).
-    arm: Vec<u64>,
+    pub(crate) arm: Vec<u64>,
     /// Scratch: `(token, lexeme start)` per match this byte.
     fired: Vec<(usize, usize)>,
     /// Cached [`BitEngine::is_dead`] — lets `step` clock-gate a dead
     /// machine that has no wake-up source (see the top of `step`).
-    dead: bool,
-    prev_was_delim: bool,
-    pending: Option<u8>,
-    cursor: usize,
-    finished: bool,
-    metrics: Metrics,
+    pub(crate) dead: bool,
+    pub(crate) prev_was_delim: bool,
+    pub(crate) pending: Option<u8>,
+    pub(crate) cursor: usize,
+    pub(crate) finished: bool,
+    pub(crate) metrics: Metrics,
     /// Cached `metrics.is_enabled()` — same contract as the scalar
     /// engine: a dark sink costs nothing per byte.
-    live_stats: bool,
+    pub(crate) live_stats: bool,
     was_dead: bool,
     probes: Option<Arc<TaggerProbes>>,
-    live_probes: bool,
+    pub(crate) live_probes: bool,
 }
 
 impl BitEngine {
@@ -283,17 +287,27 @@ impl BitEngine {
 
     /// Attach an observability handle (builder style).
     pub fn with_metrics(mut self, metrics: Metrics) -> BitEngine {
-        self.live_stats = metrics.is_enabled();
-        self.metrics = metrics;
+        self.set_metrics(metrics);
         self
     }
 
     /// Attach circuit probes (builder style). A disabled bank is cached
     /// as off and the per-byte probe scans are skipped entirely.
     pub fn with_probes(mut self, probes: Arc<TaggerProbes>) -> BitEngine {
+        self.set_probes(probes);
+        self
+    }
+
+    /// In-place variant of [`BitEngine::with_metrics`] (for wrappers).
+    pub(crate) fn set_metrics(&mut self, metrics: Metrics) {
+        self.live_stats = metrics.is_enabled();
+        self.metrics = metrics;
+    }
+
+    /// In-place variant of [`BitEngine::with_probes`] (for wrappers).
+    pub(crate) fn set_probes(&mut self, probes: Arc<TaggerProbes>) {
         self.live_probes = probes.bank().is_enabled();
         self.probes = Some(probes);
-        self
     }
 
     /// Reset to the start-of-stream state.
@@ -321,35 +335,47 @@ impl BitEngine {
     /// Feed bytes; returns the events completed so far (an event is only
     /// emitted once its lookahead byte has been seen).
     pub fn feed(&mut self, bytes: &[u8]) -> Vec<TagEvent> {
-        assert!(!self.finished, "feed after finish; call reset first");
         let mut events = Vec::new();
+        self.feed_into(bytes, &mut events);
+        events
+    }
+
+    /// Slice-first feed: append completed events to `events` without
+    /// allocating a fresh vector per call.
+    pub fn feed_into(&mut self, bytes: &[u8], events: &mut Vec<TagEvent>) {
+        assert!(!self.finished, "feed after finish; call reset first");
         // One refcount bump per feed() call, not per byte; the window
         // walk keeps the lookahead pairing out of the per-byte path.
         let tables = Arc::clone(&self.tables);
         if let (Some(prev), Some(&first)) = (self.pending, bytes.first()) {
-            self.step(&tables, prev, Some(first), &mut events);
+            self.step(&tables, prev, Some(first), events);
         }
         for pair in bytes.windows(2) {
-            self.step(&tables, pair[0], Some(pair[1]), &mut events);
+            self.step(&tables, pair[0], Some(pair[1]), events);
         }
         if let Some(&last) = bytes.last() {
             self.pending = Some(last);
         }
         self.metrics.add(Stat::BytesIn, bytes.len() as u64);
-        events
     }
 
     /// Drain the final byte against a delimiter flush, exactly like the
     /// scalar engine (see [`crate::ScalarEngine::finish`]).
     pub fn finish(&mut self) -> Vec<TagEvent> {
         let mut events = Vec::new();
+        self.finish_into(&mut events);
+        events
+    }
+
+    /// Slice-first variant of [`BitEngine::finish`]: append the drained
+    /// events to `events`.
+    pub fn finish_into(&mut self, events: &mut Vec<TagEvent>) {
         let tables = Arc::clone(&self.tables);
         if let Some(prev) = self.pending.take() {
             let flush = tables.delim.iter().next().unwrap_or(b' ');
-            self.step(&tables, prev, Some(flush), &mut events);
+            self.step(&tables, prev, Some(flush), events);
         }
         self.finished = true;
-        events
     }
 
     /// Bytes processed so far (excluding the pending lookahead byte).
@@ -367,7 +393,15 @@ impl BitEngine {
     /// Dispatches to a monomorphic kernel for the common word counts so
     /// the compiler unrolls every word loop and keeps the masks in
     /// registers; wider grammars take [`BitEngine::step_dyn`].
-    fn step(&mut self, t: &BitTables, byte: u8, next_byte: Option<u8>, events: &mut Vec<TagEvent>) {
+    /// `pub(crate)` so the wide front end ([`crate::SimdEngine`]) can
+    /// delegate candidate bytes to the exact scalar-per-byte kernel.
+    pub(crate) fn step(
+        &mut self,
+        t: &BitTables,
+        byte: u8,
+        next_byte: Option<u8>,
+        events: &mut Vec<TagEvent>,
+    ) {
         match t.words {
             1 => self.step_w::<1>(t, byte, next_byte, events),
             2 => self.step_w::<2>(t, byte, next_byte, events),

@@ -1,0 +1,637 @@
+//! Wide-stepping front end over the bit-parallel kernel — the software
+//! analogue of widening the paper's datapath from 1 byte/cycle to a
+//! W-byte word per cycle (§5.2 future work), built the way software
+//! grammar engines actually win: vectorize the *common case*, fall back
+//! to the exact per-byte NFA step only at candidate positions.
+//!
+//! [`SimdEngine`] wraps a [`BitEngine`] and never re-implements its
+//! transition semantics. Instead it recognises three run classes where
+//! the machine's state word provably cannot change (or changes along a
+//! precomputed closure) and crosses them in bulk:
+//!
+//! 1. **Dead runs** — the clock-gated fast path lifted from per-byte to
+//!    whole-slice granularity: a dead machine with no wake-up source
+//!    (no `Always` scanning, no §5.2 recovery, no lit probe bank) only
+//!    advances its delimiter flip-flop, so the rest of the slice is
+//!    consumed in O(1).
+//! 2. **Idle scans** — machine waiting for a token start (`Always`
+//!    mode, or §5.2 recovery at a boundary). 64-byte blocks are
+//!    classified into *byte-class bitstreams* (`delim`/`wake` bits in a
+//!    `u64` lane, simdjson-style) via 256-entry LUTs derived from the
+//!    decode ROM; word-wide mask algebra finds the first byte that can
+//!    enable a FIRST position, and only that byte runs the full kernel.
+//!    For recovery mode the per-byte enable recurrence collapses to
+//!    `enabled[j] = delim[j-1]`, so the stop mask is two shifts and an
+//!    AND per block.
+//! 3. **Literal chains** — a singleton active position with no pending
+//!    enables steps through a *composed ROM*: `fused[p][b] =
+//!    FOLLOW(p) & class_rom[b]`, the FOLLOW∘decode transition fused at
+//!    table-build time. While each fused row stays a single non-LAST
+//!    bit, the byte is a pure state rename (`p → q`, lexeme start
+//!    carried), with no fires and no enable churn — one load and two
+//!    tests per byte instead of the full kernel.
+//!
+//! The composed ROM is the practical form of "fuse byte-pair
+//! transitions": a literal 65,536-row byte-pair matrix is unsound here
+//! (a LAST hit on the *first* byte of a pair must still fire and pulse
+//! followers before the second byte is decoded) and costs tens of
+//! megabytes per grammar; composing FOLLOW with the decode ROM keeps
+//! the fusion, stays exact, and is gated to small grammars
+//! (`mask_words ≤ 8`).
+//!
+//! **Exactness contract:** events, `is_dead`, and all observable state
+//! are byte-identical to [`BitEngine`] (and therefore to
+//! [`crate::ScalarEngine`]) — property-tested four ways. Run classes 2
+//! and 3 are only taken when the engine is *dark* (metrics sink and
+//! probe bank both off), because a lit sink samples per byte; class 1
+//! is taken whenever the underlying clock gate would be (a gated step
+//! records nothing, so skipping it is exact even under a live sink).
+
+use crate::bitset::{BitEngine, BitTables};
+use crate::event::TagEvent;
+use crate::probes::TaggerProbes;
+use cfg_obs::{Metrics, Stat};
+use std::sync::Arc;
+
+/// Widest grammar (in 64-bit mask words) that gets a composed
+/// FOLLOW∘decode ROM. At 8 words (512 positions) the table tops out at
+/// 8 MiB; beyond that the chain path is skipped and wide stepping
+/// falls back to dead/idle runs plus the per-byte kernel.
+const FUSED_MAX_WORDS: usize = 8;
+
+/// Derived wide-stepping tables: run-classification LUTs plus the
+/// optional composed transition ROM. Built once per grammar from
+/// [`BitTables`] and shared by every [`SimdEngine`].
+#[derive(Debug)]
+pub struct SimdTables {
+    /// `1` iff the byte is a grammar delimiter (bit 0; the other bits
+    /// are zero so the block classifier can shift-OR rows directly).
+    delim_lut: [u8; 256],
+    /// `1` iff `class_rom[b] & start_first_mask != 0` — the byte can
+    /// light a FIRST position of a start-set token.
+    wake_lut: [u8; 256],
+    /// Composed ROM: `fused[(p * 256 + b) * words ..][..words]` =
+    /// `FOLLOW(p) & class_rom[b]`. Empty unless `has_fused`.
+    fused: Vec<u64>,
+    /// Whether the composed ROM was built (small grammars only).
+    has_fused: bool,
+}
+
+impl SimdTables {
+    /// Derive the wide tables from the packed bit-parallel tables.
+    pub fn build(t: &BitTables) -> SimdTables {
+        let w = t.words;
+        let mut delim_lut = [0u8; 256];
+        let mut wake_lut = [0u8; 256];
+        for b in 0..256usize {
+            delim_lut[b] = t.delim.contains(b as u8) as u8;
+            let rom = &t.class_rom[b * w..][..w];
+            wake_lut[b] = rom.iter().zip(&t.start_first_mask).any(|(&r, &s)| r & s != 0) as u8;
+        }
+        let has_fused = w <= FUSED_MAX_WORDS && t.positions > 0;
+        let mut fused = Vec::new();
+        if has_fused {
+            fused = vec![0u64; t.positions * 256 * w];
+            for p in 0..t.positions {
+                let frow = &t.follow[p * w..][..w];
+                for b in 0..256usize {
+                    let rom = &t.class_rom[b * w..][..w];
+                    let dst = &mut fused[(p * 256 + b) * w..][..w];
+                    for ((d, &f), &r) in dst.iter_mut().zip(frow).zip(rom) {
+                        *d = f & r;
+                    }
+                }
+            }
+        }
+        SimdTables { delim_lut, wake_lut, fused, has_fused }
+    }
+
+    /// Whether the composed FOLLOW∘decode ROM is available.
+    pub fn has_fused_rom(&self) -> bool {
+        self.has_fused
+    }
+}
+
+/// Wide-stepping engine: a [`BitEngine`] plus run-skipping front end.
+/// Create via [`crate::TokenTagger::simd_engine`]; the API mirrors the
+/// other streaming engines (`feed` / `finish` / `reset` / `is_dead`).
+#[derive(Debug)]
+pub struct SimdEngine {
+    inner: BitEngine,
+    wide: Arc<SimdTables>,
+    /// Scratch: OR of FIRST masks over the armed tokens (idle scans).
+    scratch_fu: Vec<u64>,
+}
+
+impl SimdEngine {
+    /// New engine over shared bit tables and derived wide tables.
+    pub fn new(tables: Arc<BitTables>, wide: Arc<SimdTables>) -> SimdEngine {
+        SimdEngine { inner: BitEngine::new(tables), wide, scratch_fu: Vec::new() }
+    }
+
+    /// Attach an observability handle (builder style). A live sink
+    /// disables the idle/chain bulk paths (they would under-report
+    /// per-byte samples) but keeps the dead-run skip.
+    pub fn with_metrics(mut self, metrics: Metrics) -> SimdEngine {
+        self.inner.set_metrics(metrics);
+        self
+    }
+
+    /// Attach circuit probes (builder style). A lit bank forces the
+    /// exact per-byte kernel so decoder/stage hit counts stay faithful.
+    pub fn with_probes(mut self, probes: Arc<TaggerProbes>) -> SimdEngine {
+        self.inner.set_probes(probes);
+        self
+    }
+
+    /// Reset to the start-of-stream state.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    /// Is the machine dead (same contract as [`BitEngine::is_dead`])?
+    pub fn is_dead(&self) -> bool {
+        self.inner.is_dead()
+    }
+
+    /// Bytes processed so far (excluding the pending lookahead byte).
+    pub fn position(&self) -> usize {
+        self.inner.position()
+    }
+
+    /// Feed bytes; returns the events completed so far.
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<TagEvent> {
+        let mut events = Vec::new();
+        self.feed_into(bytes, &mut events);
+        events
+    }
+
+    /// Slice-first feed: append completed events to `events`.
+    pub fn feed_into(&mut self, bytes: &[u8], events: &mut Vec<TagEvent>) {
+        assert!(!self.inner.finished, "feed after finish; call reset first");
+        if bytes.is_empty() {
+            return;
+        }
+        let tables = Arc::clone(&self.inner.tables);
+        let wide = Arc::clone(&self.wide);
+        // Pair the held lookahead byte exactly like the inner feed.
+        if let Some(prev) = self.inner.pending {
+            self.inner.step(&tables, prev, Some(bytes[0]), events);
+        }
+        // Bytes 0..n are each paired with their in-slice lookahead;
+        // byte n becomes the new pending byte.
+        let n = bytes.len() - 1;
+        let mut i = 0usize;
+        while i < n {
+            let t = &*tables;
+            // Run class 1: dead, no wake-up source. Every remaining
+            // step would take the clock gate, which only latches the
+            // delimiter flip-flop — compose them all in O(1). Exact
+            // even under a live sink: gated steps record nothing.
+            if self.inner.dead && !t.always && !t.error_recovery && !self.inner.live_probes {
+                self.inner.cursor += n - i;
+                self.inner.prev_was_delim = t.delim.contains(bytes[n - 1]);
+                break;
+            }
+            let dark = !self.inner.live_stats && !self.inner.live_probes;
+            if dark {
+                let set_zero = self.inner.set_now.iter().all(|&x| x == 0);
+                let arm_any = self.inner.arm.iter().any(|&x| x != 0);
+                let active_any = self.inner.active.iter().any(|&x| x != 0);
+                if active_any {
+                    // Run class 3: literal chain through the fused ROM.
+                    if !t.always && wide.has_fused && set_zero && !arm_any {
+                        let adv = self.chain_run(t, &wide, bytes, i, n);
+                        if adv > 0 {
+                            i += adv;
+                            continue;
+                        }
+                    }
+                } else if set_zero {
+                    // Run class 2: idle scan for a token start.
+                    if (t.always || t.error_recovery) && self.arm_is_start_or_empty(t) {
+                        let adv = self.scan_junk_run(t, &wide, bytes, i, n);
+                        if adv > 0 {
+                            i += adv;
+                            continue;
+                        }
+                    } else if !t.always && arm_any {
+                        let adv = self.armed_quiet_run(t, bytes, i, n);
+                        if adv > 0 {
+                            i += adv;
+                            continue;
+                        }
+                    }
+                }
+            }
+            // Candidate byte (or a state no bulk path covers): run the
+            // exact per-byte kernel on untouched state.
+            self.inner.step(t, bytes[i], Some(bytes[i + 1]), events);
+            i += 1;
+        }
+        self.inner.pending = Some(bytes[n]);
+        self.inner.metrics.add(Stat::BytesIn, bytes.len() as u64);
+    }
+
+    /// Drain the final byte against a delimiter flush.
+    pub fn finish(&mut self) -> Vec<TagEvent> {
+        self.inner.finish()
+    }
+
+    /// Slice-first variant of [`SimdEngine::finish`].
+    pub fn finish_into(&mut self, events: &mut Vec<TagEvent>) {
+        self.inner.finish_into(events);
+    }
+
+    /// Is `arm` exactly the start-token set, or empty? (The idle-scan
+    /// recurrence only holds for those two values.)
+    fn arm_is_start_or_empty(&self, t: &BitTables) -> bool {
+        self.inner.arm.iter().all(|&x| x == 0)
+            || self.inner.arm.iter().zip(&t.start_tokens).all(|(&a, &s)| a == s)
+    }
+
+    /// Run class 3: the machine is a single live position `p` with no
+    /// pending or armed enables and no start scanning. While the fused
+    /// row `FOLLOW(p) & class_rom[b]` stays a single non-LAST bit `q`,
+    /// the step is a pure rename: no fires (nothing reaches LAST), no
+    /// new enables, lexeme start carried from `p` to its unique
+    /// successor. Breaks — leaving state untouched for that byte — on
+    /// a dead row (machine dies), a fork (multiple candidates need the
+    /// min-start merge), or a LAST hit (match detection needs the
+    /// lookahead). Returns bytes consumed.
+    fn chain_run(
+        &mut self,
+        t: &BitTables,
+        wide: &SimdTables,
+        bytes: &[u8],
+        i0: usize,
+        n: usize,
+    ) -> usize {
+        let w = t.words;
+        // Singleton active position?
+        let mut p = usize::MAX;
+        for (k, &word) in self.inner.active.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            if p != usize::MAX || word & (word - 1) != 0 {
+                return 0;
+            }
+            p = (k << 6) + word.trailing_zeros() as usize;
+        }
+        if p == usize::MAX {
+            return 0;
+        }
+        let p0 = p;
+        let start = self.inner.starts[p];
+        let mut i = i0;
+        while i < n {
+            let row = &wide.fused[(p * 256 + bytes[i] as usize) * w..][..w];
+            let mut q_word = 0u64;
+            let mut q_k = 0usize;
+            let mut nonzero = 0usize;
+            for (k, &word) in row.iter().enumerate() {
+                if word != 0 {
+                    nonzero += 1;
+                    q_word = word;
+                    q_k = k;
+                }
+            }
+            if nonzero != 1 || q_word & (q_word - 1) != 0 || q_word & t.last_mask[q_k] != 0 {
+                break;
+            }
+            p = (q_k << 6) + q_word.trailing_zeros() as usize;
+            i += 1;
+        }
+        let adv = i - i0;
+        if adv > 0 {
+            self.inner.active[p0 >> 6] &= !(1u64 << (p0 & 63));
+            self.inner.active[p >> 6] |= 1u64 << (p & 63);
+            self.inner.starts[p] = start;
+            self.inner.cursor += adv;
+            self.inner.prev_was_delim = t.delim.contains(bytes[i - 1]);
+            self.inner.dead = false;
+        }
+        adv
+    }
+
+    /// Run class 2a: no live positions, no pulsed enables, but armed
+    /// tokens held across delimiters (`AtStart` machines idling between
+    /// lexemes). A byte is skippable iff it is a delimiter (so the arm
+    /// registers re-latch unchanged) whose decode row cannot light any
+    /// armed token's FIRST position. Breaks on the first non-delimiter
+    /// (the arms drop — a real transition) or wake candidate.
+    fn armed_quiet_run(&mut self, t: &BitTables, bytes: &[u8], i0: usize, n: usize) -> usize {
+        let w = t.words;
+        self.scratch_fu.clear();
+        self.scratch_fu.resize(w, 0);
+        for (k, &aw) in self.inner.arm.iter().enumerate() {
+            let mut word = aw;
+            while word != 0 {
+                let tok = (k << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let row = &t.first_masks[tok * w..][..w];
+                for (f, &r) in self.scratch_fu.iter_mut().zip(row) {
+                    *f |= r;
+                }
+            }
+        }
+        let mut i = i0;
+        while i < n {
+            let b = bytes[i];
+            if !t.delim.contains(b) {
+                break;
+            }
+            let rom = &t.class_rom[b as usize * w..][..w];
+            if rom.iter().zip(&self.scratch_fu).any(|(&r, &f)| r & f != 0) {
+                break;
+            }
+            i += 1;
+        }
+        let adv = i - i0;
+        if adv > 0 {
+            // Arms re-latched unchanged every consumed byte; only the
+            // delimiter flip-flop and cursor advance.
+            self.inner.cursor += adv;
+            self.inner.prev_was_delim = true;
+        }
+        adv
+    }
+
+    /// Run class 2b: idle start scanning, blockwise. State: no live
+    /// positions, no pulsed enables, `arm ∈ {∅, start_tokens}`, and the
+    /// machine rescans for starts (`Always` mode or §5.2 recovery).
+    ///
+    /// Each 64-byte block is classified into two `u64` byte-class
+    /// bitstreams (`delim`, `wake`) by shift-OR over the LUT rows. In
+    /// `Always` mode the start set is enabled every byte, so the stop
+    /// mask is just `wake`. In recovery mode the enable recurrence
+    /// collapses: once inside the run, the start set is enabled at byte
+    /// `j` iff byte `j-1` was a delimiter, so the stop mask is
+    /// `wake & ((delim << 1) | entry_enable)` — two shifts and an AND
+    /// per block. Consumed bytes provably light no position; the flush
+    /// recomputes the arm registers and dead flag from the final
+    /// delimiter/enable flags.
+    fn scan_junk_run(
+        &mut self,
+        t: &BitTables,
+        wide: &SimdTables,
+        bytes: &[u8],
+        i0: usize,
+        n: usize,
+    ) -> usize {
+        let arm_any = self.inner.arm.iter().any(|&x| x != 0);
+        // Start set enabled at the entry byte: armed, held over from a
+        // delimiter (recovery pulse), or unconditionally in Always.
+        let entry_enable = t.always || arm_any || self.inner.prev_was_delim;
+        let mut enable_carry = entry_enable;
+        let mut i = i0;
+        let mut stopped = false;
+        while i < n && !stopped {
+            let len = (n - i).min(64);
+            let block = &bytes[i..i + len];
+            let mut delim_mask = 0u64;
+            let mut wake_mask = 0u64;
+            for (j, &b) in block.iter().enumerate() {
+                delim_mask |= (wide.delim_lut[b as usize] as u64) << j;
+                wake_mask |= (wide.wake_lut[b as usize] as u64) << j;
+            }
+            let enable_mask =
+                if t.always { !0u64 } else { (delim_mask << 1) | (enable_carry as u64) };
+            let stop = wake_mask & enable_mask;
+            if stop != 0 {
+                i += stop.trailing_zeros() as usize;
+                stopped = true;
+            } else {
+                i += len;
+                enable_carry = (delim_mask >> (len - 1)) & 1 == 1;
+            }
+        }
+        let adv = i - i0;
+        if adv > 0 {
+            let last_delim = wide.delim_lut[bytes[i - 1] as usize] == 1;
+            // Enable flag *at* the last consumed byte (for adv == 1 it
+            // is the entry flag; otherwise the previous byte's delim).
+            let enable_at_last = if t.always {
+                true
+            } else if adv == 1 {
+                entry_enable
+            } else {
+                wide.delim_lut[bytes[i - 2] as usize] == 1
+            };
+            let armed = last_delim && enable_at_last;
+            let mut arm_out = 0u64;
+            for (a, &s) in self.inner.arm.iter_mut().zip(&t.start_tokens) {
+                *a = if armed { s } else { 0 };
+                arm_out |= *a;
+            }
+            self.inner.cursor += adv;
+            self.inner.prev_was_delim = last_delim;
+            self.inner.dead = arm_out == 0;
+        }
+        adv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tagger::{StartMode, TaggerOptions, TokenTagger};
+    use cfg_grammar::{builtin, Grammar};
+
+    /// Events from the scalar reference engine.
+    fn scalar_events(t: &TokenTagger, input: &[u8]) -> Vec<TagEvent> {
+        let mut e = t.scalar_engine();
+        let mut out = e.feed(input);
+        out.extend(e.finish());
+        out
+    }
+
+    /// Events from the simd engine, fed in `chunk`-byte pieces.
+    fn simd_events(t: &TokenTagger, input: &[u8], chunk: usize) -> Vec<TagEvent> {
+        let mut e = t.simd_engine();
+        let mut out = Vec::new();
+        for c in input.chunks(chunk.max(1)) {
+            e.feed_into(c, &mut out);
+        }
+        e.finish_into(&mut out);
+        out
+    }
+
+    #[test]
+    fn agrees_with_scalar_on_modes_and_junk() {
+        let g = builtin::if_then_else();
+        for (always, recover) in [(false, false), (true, false), (false, true), (true, true)] {
+            let opts = TaggerOptions::builder()
+                .start_mode(if always { StartMode::Always } else { StartMode::AtStart })
+                .error_recovery(recover)
+                .build();
+            let t = TokenTagger::compile(&g, opts).unwrap();
+            for input in [
+                &b"if true then go else stop"[..],
+                b"zzz go zzz",
+                b"gogo if  stop",
+                b"",
+                b"then then then",
+                b"if      true        then go",
+            ] {
+                let expect = scalar_events(&t, input);
+                for chunk in [1usize, 3, 64, input.len().max(1)] {
+                    assert_eq!(
+                        simd_events(&t, input, chunk),
+                        expect,
+                        "always={always} recover={recover} chunk={chunk} input={input:?}"
+                    );
+                }
+                let mut e = t.simd_engine();
+                e.feed(input);
+                let _ = e.finish();
+                let mut s = t.scalar_engine();
+                s.feed(input);
+                let _ = s.finish();
+                assert_eq!(e.is_dead(), s.is_dead(), "dead diverges on {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_junk_crosses_block_boundaries() {
+        let g = builtin::if_then_else();
+        for (always, recover) in [(true, false), (false, true), (true, true)] {
+            let opts = TaggerOptions::builder()
+                .start_mode(if always { StartMode::Always } else { StartMode::AtStart })
+                .error_recovery(recover)
+                .build();
+            let t = TokenTagger::compile(&g, opts).unwrap();
+            // >64-byte junk runs with delimiters at awkward offsets, a
+            // real token buried past several blocks, junk again.
+            let mut input = Vec::new();
+            for r in 0..5usize {
+                input.extend(std::iter::repeat_n(b'z', 63 + r));
+                input.push(b' ');
+            }
+            input.extend_from_slice(b"go ");
+            input.extend(std::iter::repeat_n(b'#', 200));
+            input.extend_from_slice(b" if true then go else stop");
+            let expect = scalar_events(&t, &input);
+            for chunk in [1usize, 7, 64, 4096] {
+                assert_eq!(
+                    simd_events(&t, &input, chunk),
+                    expect,
+                    "always={always} recover={recover} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn literal_chain_grammar_takes_fused_rom() {
+        // One long literal token: after its first byte the machine is a
+        // singleton position chain — exactly the fused-ROM run class.
+        let lit: String = (0..180).map(|i| (b'a' + (i % 26) as u8) as char).collect();
+        let text = format!("LONG {lit}\nGO go\n%%\ns: LONG GO;\n%%\n");
+        let g = Grammar::parse(&text).unwrap();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let input = format!("{lit} go");
+        let expect = scalar_events(&t, input.as_bytes());
+        assert_eq!(expect.len(), 2, "LONG then GO");
+        for chunk in [1usize, 13, 4096] {
+            assert_eq!(simd_events(&t, input.as_bytes(), chunk), expect, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn armed_idle_between_lexemes() {
+        // AtStart, no recovery: wide delimiter runs between tokens keep
+        // the arm registers latched — the armed-quiet run class.
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let input = b"if                                    true then go";
+        let expect = scalar_events(&t, input);
+        for chunk in [1usize, 5, 4096] {
+            assert_eq!(simd_events(&t, input, chunk), expect, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn dead_run_skips_but_state_matches() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        // Dies immediately, then 1 MiB of junk: the dead skip must
+        // leave cursor/pending/delim state identical to the bit engine.
+        let mut input = vec![b'?'];
+        input.extend(std::iter::repeat_n(b'x', 1 << 20));
+        input.push(b' ');
+        let expect = scalar_events(&t, &input);
+        assert!(expect.is_empty());
+        let mut simd = t.simd_engine();
+        let mut bit = t.fast_engine();
+        let mut ev_s = Vec::new();
+        simd.feed_into(&input, &mut ev_s);
+        simd.finish_into(&mut ev_s);
+        let mut ev_b = bit.feed(&input);
+        ev_b.extend(bit.finish());
+        assert_eq!(ev_s, expect);
+        assert_eq!(ev_b, expect);
+        assert_eq!(simd.position(), bit.position());
+        assert_eq!(simd.is_dead(), bit.is_dead());
+    }
+
+    #[test]
+    fn reset_reuses_engine() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let input = b"if true then go else stop";
+        let mut e = t.simd_engine();
+        let mut ev1 = e.feed(input);
+        ev1.extend(e.finish());
+        e.reset();
+        let mut ev2 = e.feed(input);
+        ev2.extend(e.finish());
+        assert_eq!(ev1, ev2);
+        assert_eq!(ev1, scalar_events(&t, input));
+    }
+
+    #[test]
+    fn live_sink_falls_back_and_counts_like_bit_engine() {
+        use cfg_obs::{Metrics, Stat, StatsSink};
+        let g = builtin::if_then_else();
+        for recover in [false, true] {
+            let opts = TaggerOptions::builder().error_recovery(recover).build();
+            let t = TokenTagger::compile(&g, opts).unwrap();
+            let mut input = b"if true zz then ".to_vec();
+            input.extend(std::iter::repeat_n(b'j', 300));
+            input.extend_from_slice(b" go else stop");
+
+            let sink_b = Arc::new(StatsSink::new());
+            let mut bit = t.fast_engine().with_metrics(Metrics::new(sink_b.clone()));
+            let mut ev_b = bit.feed(&input);
+            ev_b.extend(bit.finish());
+
+            let sink_s = Arc::new(StatsSink::new());
+            let mut simd = t.simd_engine().with_metrics(Metrics::new(sink_s.clone()));
+            let mut ev_s = Vec::new();
+            simd.feed_into(&input, &mut ev_s);
+            simd.finish_into(&mut ev_s);
+
+            assert_eq!(ev_s, ev_b, "recover={recover}");
+            for stat in [Stat::BytesIn, Stat::Resyncs, Stat::DeadEntries] {
+                assert_eq!(
+                    sink_s.get(stat),
+                    sink_b.get(stat),
+                    "{stat:?} diverges under a live sink (recover={recover})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feed after finish")]
+    fn feed_after_finish_panics() {
+        let g = builtin::if_then_else();
+        let t = TokenTagger::compile(&g, TaggerOptions::default()).unwrap();
+        let mut e = t.simd_engine();
+        let _ = e.finish();
+        let _ = e.feed(b"go");
+    }
+}

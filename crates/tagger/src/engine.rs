@@ -1,31 +1,41 @@
-//! The unified streaming-engine API.
+//! The unified streaming-engine API — slice-first.
 //!
-//! Three engines execute the same compiled structure — the bit-parallel
-//! kernel ([`BitEngine`]), the scalar reference ([`ScalarEngine`]) and
-//! the simulated circuit ([`crate::GateEngine`]) — but they grew three
-//! bespoke constructor/driver surfaces. This module folds them behind
-//! one object-safe [`Engine`] trait (`feed` / `finish` / `is_dead`) and
-//! one constructor, [`crate::TokenTagger::engine`], selected by
-//! [`EngineKind`]:
+//! Four engines execute the same compiled structure — the bit-parallel
+//! kernel ([`BitEngine`]), its wide-stepping front end
+//! ([`crate::SimdEngine`]), the scalar reference ([`ScalarEngine`]) and
+//! the simulated circuit ([`crate::GateEngine`]) — behind one
+//! object-safe [`Engine`] trait and one constructor,
+//! [`crate::TokenTagger::engine`], selected by [`EngineKind`].
+//!
+//! The primary entry point is [`Engine::feed_slice`]: callers hand the
+//! engine whole buffers and a reusable output vector, so block-oriented
+//! kernels (the simd engine's 64-byte classifier, the bit engine's
+//! windowed lookahead pairing) see the full slice instead of a per-byte
+//! drip, and the server/shard hot paths stop allocating a `Vec` per
+//! frame. [`Engine::feed_byte`] is the required per-byte primitive;
+//! `feed_slice` has a per-byte default impl that every bundled engine
+//! overrides with its batch path.
 //!
 //! ```
 //! use cfg_grammar::builtin;
-//! use cfg_tagger::{EngineKind, TaggerOptions, TokenTagger};
+//! use cfg_tagger::{Engine, EngineKind, TaggerOptions, TokenTagger};
 //!
 //! let t = TokenTagger::compile(&builtin::if_then_else(), TaggerOptions::default()).unwrap();
 //! for kind in EngineKind::ALL {
 //!     let mut e = t.engine(kind).unwrap();
-//!     let mut events = e.feed(b"if true then go else stop").unwrap();
-//!     events.extend(e.finish().unwrap());
+//!     let mut events = Vec::new();
+//!     e.feed_slice(b"if true then go else stop", &mut events).unwrap();
+//!     e.finish_into(&mut events).unwrap();
 //!     assert_eq!(events.len(), 6, "{kind}");
 //!     assert!(!e.is_dead());
 //! }
 //! ```
 //!
-//! `feed`/`finish` return `Result` because the gate-level engine can
-//! fail in the simulator; the software engines always return `Ok`.
+//! Methods return `Result` because the gate-level engine can fail in
+//! the simulator; the software engines always return `Ok`.
 
 use crate::bitset::BitEngine;
+use crate::bitset_wide::SimdEngine;
 use crate::error::Error;
 use crate::event::TagEvent;
 use crate::fast::ScalarEngine;
@@ -40,27 +50,62 @@ use std::sync::Arc;
 ///
 /// Object-safe: [`crate::TokenTagger::engine`] hands out
 /// `Box<dyn Engine>` so callers select the implementation at runtime
-/// (e.g. `cfgtag tag --engine gate`).
+/// (e.g. `cfgtag tag --engine simd`).
 pub trait Engine: Send {
-    /// Feed a chunk of the stream; returns the events completed so far.
-    fn feed(&mut self, bytes: &[u8]) -> Result<Vec<TagEvent>, Error>;
+    /// Feed one byte; completed events are appended to `out`. The
+    /// per-byte primitive — prefer [`Engine::feed_slice`], which lets
+    /// batch-oriented engines amortize across the buffer.
+    fn feed_byte(&mut self, byte: u8, out: &mut Vec<TagEvent>) -> Result<(), Error>;
 
-    /// End the stream (flush lookahead / pipeline) and return the final
-    /// events. The engine is exhausted afterwards.
-    fn finish(&mut self) -> Result<Vec<TagEvent>, Error>;
+    /// Feed a whole buffer; completed events are appended to `out`.
+    ///
+    /// The primary entry point. The default impl drips bytes through
+    /// [`Engine::feed_byte`]; implementations override it with their
+    /// batch kernel (all bundled engines do).
+    fn feed_slice(&mut self, bytes: &[u8], out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        for &b in bytes {
+            self.feed_byte(b, out)?;
+        }
+        Ok(())
+    }
+
+    /// End the stream (flush lookahead / pipeline), appending the final
+    /// events to `out`. The engine is exhausted afterwards.
+    fn finish_into(&mut self, out: &mut Vec<TagEvent>) -> Result<(), Error>;
 
     /// Is the machine dead — no live state, so no further events can
     /// fire until a §5.2 resync (or never, with recovery off)?
     fn is_dead(&self) -> bool;
+
+    /// Allocating convenience wrapper over [`Engine::feed_slice`].
+    fn feed(&mut self, bytes: &[u8]) -> Result<Vec<TagEvent>, Error> {
+        let mut out = Vec::new();
+        self.feed_slice(bytes, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocating convenience wrapper over [`Engine::finish_into`].
+    fn finish(&mut self) -> Result<Vec<TagEvent>, Error> {
+        let mut out = Vec::new();
+        self.finish_into(&mut out)?;
+        Ok(out)
+    }
 }
 
 impl Engine for BitEngine {
-    fn feed(&mut self, bytes: &[u8]) -> Result<Vec<TagEvent>, Error> {
-        Ok(BitEngine::feed(self, bytes))
+    fn feed_byte(&mut self, byte: u8, out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        BitEngine::feed_into(self, &[byte], out);
+        Ok(())
     }
 
-    fn finish(&mut self) -> Result<Vec<TagEvent>, Error> {
-        Ok(BitEngine::finish(self))
+    fn feed_slice(&mut self, bytes: &[u8], out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        BitEngine::feed_into(self, bytes, out);
+        Ok(())
+    }
+
+    fn finish_into(&mut self, out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        BitEngine::finish_into(self, out);
+        Ok(())
     }
 
     fn is_dead(&self) -> bool {
@@ -68,13 +113,41 @@ impl Engine for BitEngine {
     }
 }
 
-impl Engine for ScalarEngine {
-    fn feed(&mut self, bytes: &[u8]) -> Result<Vec<TagEvent>, Error> {
-        Ok(ScalarEngine::feed(self, bytes))
+impl Engine for SimdEngine {
+    fn feed_byte(&mut self, byte: u8, out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        SimdEngine::feed_into(self, &[byte], out);
+        Ok(())
     }
 
-    fn finish(&mut self) -> Result<Vec<TagEvent>, Error> {
-        Ok(ScalarEngine::finish(self))
+    fn feed_slice(&mut self, bytes: &[u8], out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        SimdEngine::feed_into(self, bytes, out);
+        Ok(())
+    }
+
+    fn finish_into(&mut self, out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        SimdEngine::finish_into(self, out);
+        Ok(())
+    }
+
+    fn is_dead(&self) -> bool {
+        SimdEngine::is_dead(self)
+    }
+}
+
+impl Engine for ScalarEngine {
+    fn feed_byte(&mut self, byte: u8, out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        ScalarEngine::feed_into(self, &[byte], out);
+        Ok(())
+    }
+
+    fn feed_slice(&mut self, bytes: &[u8], out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        ScalarEngine::feed_into(self, bytes, out);
+        Ok(())
+    }
+
+    fn finish_into(&mut self, out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        ScalarEngine::finish_into(self, out);
+        Ok(())
     }
 
     fn is_dead(&self) -> bool {
@@ -94,18 +167,24 @@ pub enum EngineKind {
     /// The generated circuit, simulated cycle by cycle and wrapped in
     /// a [`GateStream`] for span recovery and liveness.
     Gate,
+    /// The wide-stepping front end over the bit kernel
+    /// ([`crate::SimdEngine`]): block classification, dead/idle run
+    /// skipping and the fused transition ROM.
+    Simd,
 }
 
 impl EngineKind {
     /// All kinds, for exhaustive cross-engine tests.
-    pub const ALL: [EngineKind; 3] = [EngineKind::Bit, EngineKind::Scalar, EngineKind::Gate];
+    pub const ALL: [EngineKind; 4] =
+        [EngineKind::Bit, EngineKind::Scalar, EngineKind::Gate, EngineKind::Simd];
 
-    /// The stable CLI name (`bit` / `scalar` / `gate`).
+    /// The stable CLI name (`bit` / `scalar` / `gate` / `simd`).
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Bit => "bit",
             EngineKind::Scalar => "scalar",
             EngineKind::Gate => "gate",
+            EngineKind::Simd => "simd",
         }
     }
 }
@@ -124,7 +203,8 @@ impl FromStr for EngineKind {
             "bit" => Ok(EngineKind::Bit),
             "scalar" => Ok(EngineKind::Scalar),
             "gate" => Ok(EngineKind::Gate),
-            other => Err(format!("unknown engine {other:?} (expected bit, scalar or gate)")),
+            "simd" => Ok(EngineKind::Simd),
+            other => Err(format!("unknown engine {other:?} (expected bit, scalar, gate or simd)")),
         }
     }
 }
@@ -147,6 +227,9 @@ pub struct GateStream {
     reverse_nfas: Arc<Vec<Nfa>>,
     buf: Vec<u8>,
     metrics: Metrics,
+    /// Reused sink for the mirror's (discarded) events, so the trait's
+    /// slice path does not allocate a vector per frame.
+    mirror_out: Vec<TagEvent>,
 }
 
 impl GateStream {
@@ -157,7 +240,15 @@ impl GateStream {
         reverse_nfas: Arc<Vec<Nfa>>,
         metrics: Metrics,
     ) -> GateStream {
-        GateStream { gate, mirror, mirror_sink, reverse_nfas, buf: Vec::new(), metrics }
+        GateStream {
+            gate,
+            mirror,
+            mirror_sink,
+            reverse_nfas,
+            buf: Vec::new(),
+            metrics,
+            mirror_out: Vec::new(),
+        }
     }
 
     fn resolve(&self, raw: &[crate::event::RawMatch]) -> Vec<TagEvent> {
@@ -177,14 +268,22 @@ impl fmt::Debug for GateStream {
 }
 
 impl Engine for GateStream {
-    fn feed(&mut self, bytes: &[u8]) -> Result<Vec<TagEvent>, Error> {
-        self.buf.extend_from_slice(bytes);
-        let _ = self.mirror.feed(bytes);
-        let raw = self.gate.feed(bytes)?;
-        Ok(self.resolve(&raw))
+    fn feed_byte(&mut self, byte: u8, out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        self.feed_slice(&[byte], out)
     }
 
-    fn finish(&mut self) -> Result<Vec<TagEvent>, Error> {
+    fn feed_slice(&mut self, bytes: &[u8], out: &mut Vec<TagEvent>) -> Result<(), Error> {
+        self.buf.extend_from_slice(bytes);
+        self.mirror_out.clear();
+        let mut mirror_out = std::mem::take(&mut self.mirror_out);
+        self.mirror.feed_into(bytes, &mut mirror_out);
+        self.mirror_out = mirror_out;
+        let raw = self.gate.feed(bytes)?;
+        out.extend(self.resolve(&raw));
+        Ok(())
+    }
+
+    fn finish_into(&mut self, out: &mut Vec<TagEvent>) -> Result<(), Error> {
         let _ = self.mirror.finish();
         let raw = self.gate.finish()?;
         // Liveness counters come from the functional mirror; fold them
@@ -192,7 +291,8 @@ impl Engine for GateStream {
         // is private and otherwise discarded).
         self.metrics.add(Stat::Resyncs, self.mirror_sink.get(Stat::Resyncs));
         self.metrics.add(Stat::DeadEntries, self.mirror_sink.get(Stat::DeadEntries));
-        Ok(self.resolve(&raw))
+        out.extend(self.resolve(&raw));
+        Ok(())
     }
 
     fn is_dead(&self) -> bool {

@@ -220,18 +220,24 @@ impl ScalarEngine {
     /// Feed bytes; returns the events completed so far (an event is only
     /// emitted once its lookahead byte has been seen).
     pub fn feed(&mut self, bytes: &[u8]) -> Vec<TagEvent> {
-        assert!(!self.finished, "feed after finish; call reset first");
         let mut events = Vec::new();
+        self.feed_into(bytes, &mut events);
+        events
+    }
+
+    /// Slice-first feed: append completed events to `events` without
+    /// allocating a fresh vector per call.
+    pub fn feed_into(&mut self, bytes: &[u8], events: &mut Vec<TagEvent>) {
+        assert!(!self.finished, "feed after finish; call reset first");
         // One refcount bump per feed() call — not one per input byte.
         let tables = Arc::clone(&self.tables);
         for &b in bytes {
             if let Some(prev) = self.pending.replace(b) {
-                self.step(&tables, prev, Some(b), &mut events);
+                self.step(&tables, prev, Some(b), events);
             }
         }
         // Batched off the per-byte loop: one branch per feed() call.
         self.metrics.add(Stat::BytesIn, bytes.len() as u64);
-        events
     }
 
     /// Drain the final byte. Mirrors the hardware exactly: the circuit
@@ -243,13 +249,19 @@ impl ScalarEngine {
     /// the gate-level engine observes.
     pub fn finish(&mut self) -> Vec<TagEvent> {
         let mut events = Vec::new();
+        self.finish_into(&mut events);
+        events
+    }
+
+    /// Slice-first variant of [`ScalarEngine::finish`]: append the
+    /// drained events to `events`.
+    pub fn finish_into(&mut self, events: &mut Vec<TagEvent>) {
         let tables = Arc::clone(&self.tables);
         if let Some(prev) = self.pending.take() {
             let flush = tables.delim.iter().next().unwrap_or(b' ');
-            self.step(&tables, prev, Some(flush), &mut events);
+            self.step(&tables, prev, Some(flush), events);
         }
         self.finished = true;
-        events
     }
 
     /// Process one byte with its lookahead; `self.cursor` indexes it.

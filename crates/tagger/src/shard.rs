@@ -195,9 +195,12 @@ impl ShardPool {
     /// discarding the events — the throughput-measurement default.
     pub fn new(tagger: &TokenTagger, shards: usize) -> ShardPool {
         ShardPool::with_handler(tagger, shards, |t, msg| {
+            // Slice-first: one reusable sink, no per-message event Vec
+            // churn beyond this local (events are discarded anyway).
             let mut engine = t.fast_engine();
-            let _ = engine.feed(msg);
-            let _ = engine.finish();
+            let mut events = Vec::new();
+            engine.feed_into(msg, &mut events);
+            engine.finish_into(&mut events);
         })
     }
 

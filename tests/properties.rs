@@ -172,20 +172,24 @@ proptest! {
     }
 }
 
-// ------------------------------------- three engines, one event stream
+// -------------------------------------- four engines, one event stream
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// The bit-parallel kernel, the scalar reference and the simulated
-    /// circuit produce byte-identical event streams on random patterns,
-    /// random inputs, every start-mode/recovery combination, and every
-    /// chunk split of the stream — the full hardware/software
-    /// co-verification triangle. Every engine is built through the
-    /// unified [`EngineKind`] constructor, so this also pins the trait
-    /// path to the bespoke constructors' behaviour.
+    /// The bit-parallel kernel, its wide-stepping simd front end, the
+    /// scalar reference and the simulated circuit produce byte-identical
+    /// event streams on random patterns, random inputs, every
+    /// start-mode/recovery combination, and every chunk split of the
+    /// stream — the full hardware/software co-verification square.
+    /// Every engine is built through the unified [`EngineKind`]
+    /// constructor and driven through the slice-first [`Engine`] trait,
+    /// so this also pins the trait path to the bespoke constructors'
+    /// behaviour. The 1-byte chunk split is the dribble case: it forces
+    /// the simd engine to carry dead/idle/chain state across every
+    /// feed boundary.
     #[test]
-    fn bitset_equals_scalar_and_gate(
+    fn bitset_equals_scalar_gate_and_simd(
         pat in pattern_strategy(),
         input in input_strategy(),
         always in any::<bool>(),
@@ -205,26 +209,35 @@ proptest! {
         let Ok(tagger) = TokenTagger::compile(&g, opts) else { return Ok(()) };
 
         let mut scalar = tagger.engine(EngineKind::Scalar).unwrap();
-        let mut expect = scalar.feed(&input).unwrap();
-        expect.extend(scalar.finish().unwrap());
+        let mut expect = Vec::new();
+        scalar.feed_slice(&input, &mut expect).unwrap();
+        scalar.finish_into(&mut expect).unwrap();
 
-        // Bit kernel: batch, then every chunk split (1/2/3/7) — the
-        // lookahead carry across feed() boundaries must be seamless.
+        // Bit kernel and simd front end: batch, then every chunk split
+        // (1/2/3/7) — the lookahead carry across feed() boundaries must
+        // be seamless, and for simd the 1-byte dribble exercises the
+        // cross-block state carry of every run class.
         let batch = tagger.tag_fast(&input);
         prop_assert_eq!(&batch, &expect, "batch: pattern {} input {:?}", pat, input);
-        for chunk in [1usize, 2, 3, 7] {
-            let mut e = tagger.engine(EngineKind::Bit).unwrap();
-            let mut got = Vec::new();
-            for c in input.chunks(chunk) {
-                got.extend(e.feed(c).unwrap());
+        for kind in [EngineKind::Bit, EngineKind::Simd] {
+            for chunk in [1usize, 2, 3, 7, input.len().max(1)] {
+                let mut e = tagger.engine(kind).unwrap();
+                let mut got = Vec::new();
+                for c in input.chunks(chunk) {
+                    e.feed_slice(c, &mut got).unwrap();
+                }
+                e.finish_into(&mut got).unwrap();
+                prop_assert_eq!(
+                    &got, &expect,
+                    "{} chunk {}: pattern {} input {:?}", kind, chunk, pat, input
+                );
             }
-            got.extend(e.finish().unwrap());
-            prop_assert_eq!(&got, &expect, "chunk {}: pattern {} input {:?}", chunk, pat, input);
         }
 
         let mut gate_engine = tagger.engine(EngineKind::Gate).unwrap();
-        let mut gate = gate_engine.feed(&input).unwrap();
-        gate.extend(gate_engine.finish().unwrap());
+        let mut gate = Vec::new();
+        gate_engine.feed_slice(&input, &mut gate).unwrap();
+        gate_engine.finish_into(&mut gate).unwrap();
         prop_assert_eq!(&gate, &expect, "gate: pattern {} input {:?}", pat, input);
     }
 }
